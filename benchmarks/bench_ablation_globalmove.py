@@ -1,0 +1,56 @@
+"""Ablation — the global-move extension stage after the paper's flow.
+
+The paper's stages cannot move a cell to a different row once MGL placed
+it (matching only permutes same-type positions; stage 3 freezes rows).
+The optional rip-up-and-reinsert stage (repro.core.globalmove) closes
+that gap; this bench measures what it buys on top of the full flow.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import TableCollector, bench_scale
+from repro import LegalizerParams, legalize
+from repro.benchgen import iccad2017_suite
+from repro.checker import check_legal
+
+CASES = [
+    iccad2017_suite(scale=bench_scale(), names=[name])[0]
+    for name in ("des_perf_b_md2", "fft_2_md2")
+]
+
+
+@pytest.mark.parametrize("case", CASES, ids=lambda c: c.name)
+@pytest.mark.parametrize("extension", [False, True], ids=["paper", "paper+gm"])
+def test_ablation_globalmove(benchmark, table_store, case, extension):
+    design = case.build()
+    params = LegalizerParams(
+        scheduler_capacity=1, use_global_moves=extension
+    )
+    result = benchmark.pedantic(
+        legalize, args=(design, params), iterations=1, rounds=1
+    )
+    assert check_legal(result.placement).is_legal
+
+    final = (
+        result.after_global_moves or result.after_flow
+        or result.after_matching or result.after_mgl
+    )
+    if "ablation_globalmove.txt" not in table_store:
+        table_store["ablation_globalmove.txt"] = TableCollector(
+            "Ablation — global-move extension on top of the full flow",
+            ["benchmark", "flow", "avg_disp", "max_disp", "accepted"],
+        )
+    table_store["ablation_globalmove.txt"].add(
+        benchmark=case.name,
+        flow="paper+gm" if extension else "paper",
+        avg_disp=final.avg_disp,
+        max_disp=final.max_disp,
+        accepted=(
+            result.global_move_stats.accepted
+            if result.global_move_stats else 0
+        ),
+    )
+    if extension and result.after_flow is not None:
+        assert final.avg_disp <= result.after_flow.avg_disp + 1e-9

@@ -1,0 +1,54 @@
+"""Ablation — the max-displacement weight ``n_0`` of Eq. 8 (§3.3.1).
+
+``n_0`` balances maximum against average displacement in the stage-3
+objective.  ``n_0 = 0`` reduces to the pure total-displacement MCF;
+larger values spend average displacement to pull in the worst cell.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import TableCollector, bench_scale
+from repro.benchgen import iccad2017_suite
+from repro.checker import check_legal
+from repro.core.flowopt import optimize_fixed_row_order
+from repro.core.mgl import MGLegalizer
+from repro.core.params import LegalizerParams
+
+CASE = iccad2017_suite(scale=bench_scale(), names=["des_perf_a_md2"])[0]
+
+N0S = [0, 2, 8, 32]
+
+
+@pytest.fixture(scope="module")
+def base_placement():
+    design = CASE.build()
+    params = LegalizerParams(routability=False, scheduler_capacity=1)
+    placement = MGLegalizer(design, params).run()
+    assert check_legal(placement).is_legal
+    return placement
+
+
+@pytest.mark.parametrize("n0", N0S)
+def test_ablation_n0(benchmark, table_store, base_placement, n0):
+    placement = base_placement.copy()
+    params = LegalizerParams(routability=False, flow_n0=n0)
+
+    stats = benchmark.pedantic(
+        optimize_fixed_row_order, args=(placement, params),
+        iterations=1, rounds=1,
+    )
+    assert check_legal(placement).is_legal
+    if "ablation_n0.txt" not in table_store:
+        table_store["ablation_n0.txt"] = TableCollector(
+            "Ablation — Eq. 8 weight n_0 (des_perf_a_md2 stand-in)",
+            ["n0", "avg_disp", "max_disp", "moved", "backend"],
+        )
+    table_store["ablation_n0.txt"].add(
+        n0=n0,
+        avg_disp=stats.avg_disp_after,
+        max_disp=stats.max_disp_after,
+        moved=stats.moved,
+        backend=stats.backend,
+    )

@@ -1,0 +1,75 @@
+"""Ablation — displacement vs HPWL objective in the fixed-order stage.
+
+§1 of the paper criticizes MrDP's wirelength-driven legalization: "an
+objective of HPWL instead of displacement in legalization may disturb
+some other metrics optimized in GP."  With both objectives implemented
+on the same dual-MCF substrate (repro.core.flowopt vs
+repro.core.hpwlopt) the trade-off is directly measurable: the HPWL
+objective buys wirelength at the price of displacement, and vice versa.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import TableCollector, bench_scale
+from repro.benchgen import iccad2017_suite
+from repro.checker import check_legal
+from repro.core.flowopt import optimize_fixed_row_order
+from repro.core.hpwlopt import build_hpwl_problem, optimize_hpwl_fixed_order
+from repro.core.mgl import MGLegalizer
+from repro.core.params import LegalizerParams
+
+CASE = iccad2017_suite(scale=bench_scale(), names=["fft_a_md2"])[0]
+
+
+@pytest.fixture(scope="module")
+def base_placement():
+    design = CASE.build()
+    params = LegalizerParams(routability=False, scheduler_capacity=1)
+    placement = MGLegalizer(design, params).run()
+    assert check_legal(placement).is_legal
+    return placement, params
+
+
+def _metrics(placement, params):
+    problem = build_hpwl_problem(placement, params)
+    xs = problem.base.current_x(placement)
+    disp = sum(
+        w * abs(x - g)
+        for w, x, g in zip(problem.base.weights, xs, problem.base.gp_x)
+    )
+    return disp, problem.hpwl_x(xs)
+
+
+@pytest.mark.parametrize("objective", ["displacement", "hpwl"])
+def test_ablation_objective(benchmark, table_store, objective, base_placement):
+    base, params = base_placement
+    placement = base.copy()
+
+    if objective == "displacement":
+        runner = lambda: optimize_fixed_row_order(placement, params)
+    else:
+        runner = lambda: optimize_hpwl_fixed_order(placement, params)
+    benchmark.pedantic(runner, iterations=1, rounds=1)
+    assert check_legal(placement).is_legal
+
+    disp, hpwl_x = _metrics(placement, params)
+    base_disp, base_hpwl = _metrics(base, params)
+    if "ablation_objective.txt" not in table_store:
+        table_store["ablation_objective.txt"] = TableCollector(
+            "Ablation — stage-3 objective: displacement (paper) vs "
+            "HPWL (MrDP-style), fft_a_md2 stand-in",
+            ["objective", "total_disp", "hpwl_x", "disp_vs_mgl", "hpwl_vs_mgl"],
+        )
+    table_store["ablation_objective.txt"].add(
+        objective=objective,
+        total_disp=disp,
+        hpwl_x=hpwl_x,
+        disp_vs_mgl=disp - base_disp,
+        hpwl_vs_mgl=hpwl_x - base_hpwl,
+    )
+    if objective == "displacement":
+        assert disp <= base_disp  # the paper's objective never regresses it
+    else:
+        assert hpwl_x <= base_hpwl  # and MrDP's never regresses HPWL

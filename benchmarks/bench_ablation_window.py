@@ -1,0 +1,53 @@
+"""Ablation — MGL window size and expansion policy (§3.1, §3.5).
+
+DESIGN.md calls out the window geometry as the main quality/runtime
+knob: small windows are fast but see fewer insertion points; large ones
+approach exhaustive search.  This bench sweeps the initial window size on
+one mid-density case and reports displacement vs evaluated insertions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import TableCollector, bench_scale
+from repro.benchgen import iccad2017_suite
+from repro.checker import check_legal
+from repro.core.mgl import MGLegalizer
+from repro.core.params import LegalizerParams
+
+CASE = iccad2017_suite(scale=bench_scale(), names=["fft_2_md2"])[0]
+
+WINDOWS = [(12, 4), (24, 8), (48, 12)]
+
+
+@pytest.mark.parametrize("window", WINDOWS, ids=lambda w: f"{w[0]}x{w[1]}")
+def test_ablation_window(benchmark, table_store, window):
+    design = CASE.build()
+    width, height = window
+    params = LegalizerParams(
+        routability=False, scheduler_capacity=1,
+        window_width=width, window_height=height,
+    )
+
+    def run():
+        legalizer = MGLegalizer(design, params)
+        placement = legalizer.run()
+        return legalizer, placement
+
+    legalizer, placement = benchmark.pedantic(run, iterations=1, rounds=1)
+    assert check_legal(placement).is_legal
+
+    disps = placement.displacements()
+    if "ablation_window.txt" not in table_store:
+        table_store["ablation_window.txt"] = TableCollector(
+            "Ablation — MGL window size (fft_2_md2 stand-in)",
+            ["window", "avg_disp", "max_disp", "insertions", "expansions"],
+        )
+    table_store["ablation_window.txt"].add(
+        window=f"{width}x{height}",
+        avg_disp=float(disps.mean()),
+        max_disp=float(disps.max()),
+        insertions=legalizer.stats["insertions_evaluated"],
+        expansions=legalizer.stats["window_expansions"],
+    )

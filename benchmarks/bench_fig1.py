@@ -1,0 +1,85 @@
+"""Figure 1 — pin access and pin short detection.
+
+The figure defines the two violation kinds: a pin on layer k overlapping
+a P/G shape on layer k (short) or on layer k+1 (access blocked).  This
+bench constructs the figure's situation — an M1 pin under an M2 rail and
+an M2 pin on an M2 rail — and measures the checker over a swept design,
+verifying both kinds are detected and counted stably.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import TableCollector
+from repro.checker import count_routability_violations
+from repro.model.design import Design
+from repro.model.geometry import Interval, Rect
+from repro.model.placement import Placement
+from repro.model.rails import HORIZONTAL, Rail
+from repro.model.technology import CellType, PinShape, Technology
+
+
+def figure1_design() -> Design:
+    tech = Technology(
+        cell_types=[
+            CellType(
+                "FIG1", 3, 1,
+                pins=(
+                    PinShape("m1", 1, Rect(0.05, 0.2, 0.25, 0.6)),
+                    PinShape("m2", 2, Rect(0.3, 1.0, 0.45, 1.5)),
+                ),
+            ),
+        ]
+    )
+    design = Design(tech, num_rows=32, num_sites=120, name="fig1")
+    # M2 stripes every 4 rows; some cross the M1 pin band, some the M2 pin.
+    design.rails.add_rail(
+        Rail(2, HORIZONTAL, offset=0.3, pitch=8.0, width=0.25,
+             span=Interval(0, 64), extent=Interval(0, 24))
+    )
+    design.rails.add_rail(
+        Rail(2, HORIZONTAL, offset=5.1, pitch=8.0, width=0.25,
+             span=Interval(0, 64), extent=Interval(0, 24))
+    )
+    for index in range(200):
+        design.add_cell(
+            f"c{index}", tech.type_named("FIG1"),
+            (index * 7) % 110, (index * 3) % 31,
+        )
+    return design
+
+
+def test_fig1_detection_counts(benchmark, table_store):
+    design = figure1_design()
+    placement = Placement.from_gp_rounded(design)
+
+    report = benchmark(count_routability_violations, placement)
+    # Both violation kinds of Fig. 1 must occur in this construction.
+    assert report.pin_access > 0
+    assert report.pin_short > 0
+    benchmark.extra_info.update(
+        pin_access=report.pin_access, pin_short=report.pin_short
+    )
+    if "fig1.txt" not in table_store:
+        table_store["fig1.txt"] = TableCollector(
+            "Fig. 1 — pin access / pin short detection",
+            ["cells", "pin_access", "pin_short"],
+        )
+    table_store["fig1.txt"].add(
+        cells=design.num_cells,
+        pin_access=report.pin_access,
+        pin_short=report.pin_short,
+    )
+
+
+def test_fig1_row_semantics(benchmark):
+    """Single-cell sanity: layer-(k+1) overlap is access, layer-k is short."""
+    design = figure1_design()
+    placement = Placement(design)
+    placement.move(0, 5, 0)  # row 0: M1 pin under the 0.3-offset M2 stripe
+    for cell in range(1, design.num_cells):
+        placement.move(cell, 0, 1)  # park the rest on a stripe-free row
+    report = benchmark(count_routability_violations, placement)
+    assert report.pin_access == 1
+    assert report.pin_short == 0

@@ -1,0 +1,73 @@
+"""Figure 3 — MLL vs MGL on the insertion toy.
+
+The figure's point: minimizing local-cell displacement from *current*
+positions (MLL) picks a different insertion than minimizing from *GP*
+positions (MGL), and the MGL choice has strictly lower total displacement
+from GP.  We reproduce the mechanism on the equivalent toy used in
+tests/test_paper_figures.py and measure the insertion machinery.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import TableCollector
+from repro.core.insertion import InsertionContext
+from repro.core.occupancy import Occupancy
+from repro.model.design import Design
+from repro.model.placement import Placement
+from repro.model.technology import CellType, Technology
+
+
+def build_toy():
+    tech = Technology(cell_types=[CellType("U", 1, 1)])
+    design = Design(tech, num_rows=1, num_sites=7, name="fig3")
+    design.add_cell("c0", tech.type_named("U"), 1.0, 0.0)
+    design.add_cell("c1", tech.type_named("U"), 4.0, 0.0)
+    target = design.add_cell("ct", tech.type_named("U"), 3.0, 0.0)
+    design.site_width = design.row_height
+    placement = Placement(design)
+    occupancy = Occupancy(design, placement)
+    for cell, x in [(0, 0), (1, 3)]:
+        placement.move(cell, x, 0)
+        occupancy.add(cell)
+    return design, placement, occupancy, target
+
+
+def insert_with(reference: str) -> int:
+    design, placement, occupancy, target = build_toy()
+    context = InsertionContext(
+        design, occupancy, target, design.chip_rect, reference=reference
+    )
+    best = None
+    for bottom_row, gaps in context.enumerate_insertion_points():
+        result = context.evaluate(bottom_row, gaps)
+        if result is not None and (best is None or result.sort_key() < best.sort_key()):
+            best = result
+    for cell, new_x in best.moves:
+        occupancy.update_x(cell, new_x)
+    placement.move(target, best.x, best.y)
+    return int(sum(abs(placement.x[c] - design.gp_x[c]) for c in range(3)))
+
+
+@pytest.mark.parametrize("reference", ["current", "gp"])
+def test_fig3_insertion(benchmark, table_store, reference):
+    total = benchmark(insert_with, reference)
+    expected = {"gp": 1, "current": 3}
+    assert total == expected[reference]
+    if "fig3.txt" not in table_store:
+        table_store["fig3.txt"] = TableCollector(
+            "Fig. 3 — toy insertion: total displacement from GP",
+            ["method", "total_disp"],
+        )
+    table_store["fig3.txt"].add(
+        method="MGL (gp)" if reference == "gp" else "MLL (current)",
+        total_disp=total,
+    )
+
+
+def test_fig3_mgl_strictly_better(benchmark):
+    gp_total, current_total = benchmark(
+        lambda: (insert_with("gp"), insert_with("current"))
+    )
+    assert gp_total < current_total

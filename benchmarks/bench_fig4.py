@@ -1,0 +1,80 @@
+"""Figure 4 — the four displacement-curve types and curve summation.
+
+Reproduces the figure's taxonomy (types A-D arise exactly from the side
+of the insertion point and the GP-vs-current relation) and benchmarks the
+curve machinery of Algorithm 1: building, summing, and minimizing the
+breakpoint curves for a realistic local-cell population.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from conftest import TableCollector
+from repro.core.curves import DisplacementCurve, minimize_over_sites, sum_curves
+
+
+def test_fig4_curve_types(benchmark, table_store):
+    cases = [
+        ("A", DisplacementCurve.pushed_right(5, 3, 2), "right cell, GP left"),
+        ("B", DisplacementCurve.pushed_left(5, 9, 2), "left cell, GP right"),
+        ("C", DisplacementCurve.pushed_right(5, 9, 2), "right cell, GP right"),
+        ("D", DisplacementCurve.pushed_left(5, 2, 2), "left cell, GP left"),
+    ]
+    if "fig4.txt" not in table_store:
+        table_store["fig4.txt"] = TableCollector(
+            "Fig. 4 — displacement curve types",
+            ["type", "construction", "breakpoints", "slopes"],
+        )
+    types = benchmark(lambda: [curve.curve_type() for _, curve, _ in cases])
+    assert types == [expected for expected, _, _ in cases]
+    for expected, curve, construction in cases:
+        table_store["fig4.txt"].add(
+            type=expected,
+            construction=construction,
+            breakpoints=", ".join(f"{x:g}" for x, _ in curve.breakpoints),
+            slopes=", ".join(f"{s:g}" for s in curve.slope_pattern()),
+        )
+
+
+def _random_curves(count: int, seed: int = 3):
+    rng = random.Random(seed)
+    curves = [DisplacementCurve.target(rng.uniform(0, 100))]
+    for _ in range(count):
+        cur = rng.uniform(0, 100)
+        gp = rng.uniform(0, 100)
+        off = rng.uniform(1, 10)
+        if rng.random() < 0.5:
+            curves.append(DisplacementCurve.pushed_right(cur, gp, off))
+        else:
+            curves.append(DisplacementCurve.pushed_left(cur, gp, off))
+    return curves
+
+
+@pytest.mark.parametrize("count", [8, 32, 128])
+def test_fig4_sum_and_minimize(benchmark, count):
+    """Alg. 1 lines 3-11: sort breakpoints, build the sum, take the min."""
+    curves = _random_curves(count)
+
+    def run():
+        return minimize_over_sites(curves, 0, 100)
+
+    best = benchmark(run)
+    assert best is not None
+    x, cost = best
+    # Validate against dense evaluation.
+    total = sum_curves(curves)
+    dense_best = min(total.value(s) for s in range(0, 101))
+    assert cost == pytest.approx(dense_best, abs=1e-9)
+
+
+def test_fig4_breakpoint_count_linear(benchmark):
+    """#breakpoints is linear in #local cells (the paper's efficiency
+    argument for evaluating each breakpoint)."""
+    def totals():
+        return [sum_curves(_random_curves(count)) for count in (10, 50, 200)]
+
+    for count, total in zip((10, 50, 200), benchmark(totals)):
+        assert len(total.breakpoints) <= 2 * (count + 1)

@@ -1,0 +1,100 @@
+"""Figure 5 — the dual-MCF graph of the fixed-row-fixed-order problem.
+
+Reproduces the figure's example (two single-row cells and one double-row
+cell) and checks the structural claims of §3.3: ``m + 1`` nodes (plus
+``v_p``/``v_n`` with the max-displacement extension) versus MrDP's
+``3m + 2``, the edge inventory/caps/costs, and that solving the dual and
+reading potentials recovers the primal optimum.  The benchmark measures
+the solve on growing chains.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from conftest import TableCollector
+from repro.core.flowopt import FixedRowOrderProblem, build_dual_graph, solve_mcf
+from repro.flow.graph import edges_by_name
+from repro.flow.network_simplex import NetworkSimplex
+
+
+def figure5_problem() -> FixedRowOrderProblem:
+    """c1, c2 single-row; c3 double-row to the right of both."""
+    return FixedRowOrderProblem(
+        cells=[0, 1, 2],
+        weights=[1, 1, 1],
+        widths=[2, 2, 2],
+        gp_x=[1, 2, 6],
+        dy=[0, 1, 0],
+        lower=[0, 0, 0],
+        upper=[8, 8, 8],
+        pairs=[(0, 2, 2), (1, 2, 2)],
+    )
+
+
+def test_fig5_graph_structure(benchmark, table_store):
+    problem = figure5_problem()
+    graph, v_z = benchmark(build_dual_graph, problem, 2)
+    names = edges_by_name(graph)
+
+    assert graph.num_nodes == 6  # v_1..v_3, v_z, v_p, v_n
+    # Edge inventory of the figure: per-cell f+/f-/fl/fr and fp/fn, the
+    # neighbor arcs f_13/f_23, and the dotted fP/fN arcs.
+    for base in ("f+", "f-", "fl", "fr", "fp", "fn"):
+        for k in range(3):
+            assert f"{base}{k}" in names
+    assert "fe0_2" in names and "fe1_2" in names
+    assert "fP" in names and "fN" in names
+    assert graph.edges[names["fP"]].capacity == 2  # n_0
+    assert graph.edges[names["f+1"]].capacity == 1  # n_i
+
+    if "fig5.txt" not in table_store:
+        table_store["fig5.txt"] = TableCollector(
+            "Fig. 5 — dual-MCF graph inventory (3-cell example)",
+            ["nodes", "edges", "mrdp_nodes", "mrdp_edges"],
+        )
+    table_store["fig5.txt"].add(
+        nodes=graph.num_nodes,
+        edges=graph.num_edges,
+        mrdp_nodes=3 * 3 + 2,   # the paper's comparison: 3m + 2
+        mrdp_edges=6 * 3 + 2,   # 6m + |E|
+    )
+
+
+def test_fig5_solution_via_potentials(benchmark):
+    problem = figure5_problem()
+    xs = benchmark(solve_mcf, problem, 0)
+    assert problem.check_feasible(xs) == []
+    assert xs == [1, 2, 6]  # everyone reaches GP in the toy
+
+
+def _chain(n: int, seed: int = 4) -> FixedRowOrderProblem:
+    rng = random.Random(seed)
+    gps = sorted(rng.randint(0, 6 * n) for _ in range(n))
+    widths = [rng.randint(1, 4) for _ in range(n)]
+    return FixedRowOrderProblem(
+        cells=list(range(n)),
+        weights=[1] * n,
+        widths=widths,
+        gp_x=gps,
+        dy=[rng.randint(0, 3) for _ in range(n)],
+        lower=[0] * n,
+        upper=[8 * n - w for w in widths],
+        pairs=[(i, i + 1, widths[i]) for i in range(n - 1)],
+    )
+
+
+@pytest.mark.parametrize("n", [50, 200, 800])
+def test_fig5_network_simplex_scaling(benchmark, n):
+    problem = _chain(n)
+
+    def solve():
+        graph, v_z = build_dual_graph(problem, n0=4)
+        result = NetworkSimplex(graph).solve()
+        pi = result.potentials
+        return [pi[v_z] - pi[k] for k in range(n)]
+
+    xs = benchmark.pedantic(solve, iterations=1, rounds=1)
+    assert problem.check_feasible(xs) == []

@@ -1,0 +1,61 @@
+"""Runtime scaling of the full flow (the Tables' "Runtime (s)" columns).
+
+The paper reports C++/LEMON runtimes from 0.4 s (29k cells) to 27.6 s
+(1.3M cells) — roughly linear in cell count.  Contest scale is out of
+reach for pure Python (see DESIGN.md), but the *scaling shape* of our
+implementation is measurable: this bench sweeps the cell count at fixed
+density and reports wall time per stage, verifying near-linear growth
+(the windowed insertion is O(cells x window work); the post-processing
+MCF dominates asymptotically).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import TableCollector
+from repro import LegalizerParams, legalize
+from repro.benchgen import SyntheticSpec, generate_design
+from repro.checker import check_legal
+
+SIZES = [200, 400, 800]
+
+
+def design_of(size: int):
+    doubles = max(4, size // 12)
+    talls = max(2, size // 30)
+    return generate_design(
+        SyntheticSpec(
+            name=f"scale{size}",
+            cells_by_height={1: size - doubles - talls, 2: doubles, 3: talls},
+            density=0.6,
+            seed=77,
+        )
+    )
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_runtime_scaling(benchmark, table_store, size):
+    design = design_of(size)
+    params = LegalizerParams(routability=False, scheduler_capacity=1)
+
+    result = benchmark.pedantic(
+        legalize, args=(design, params), iterations=1, rounds=1
+    )
+    assert check_legal(result.placement).is_legal
+
+    if "runtime_scaling.txt" not in table_store:
+        table_store["runtime_scaling.txt"] = TableCollector(
+            "Runtime scaling of the full flow (density 0.6)",
+            ["cells", "mgl_s", "matching_s", "flow_s", "total_s",
+             "us_per_cell"],
+        )
+    total = result.total_seconds
+    table_store["runtime_scaling.txt"].add(
+        cells=design.num_cells,
+        mgl_s=result.after_mgl.seconds,
+        matching_s=result.after_matching.seconds if result.after_matching else 0,
+        flow_s=result.after_flow.seconds if result.after_flow else 0,
+        total_s=total,
+        us_per_cell=1e6 * total / design.num_cells,
+    )

@@ -1,0 +1,107 @@
+"""Table 2 — total displacement vs prior legalizers.
+
+Paper claim (normalized total displacement, ours = 1.00): MLL-Imp [12]
+1.20, multi-row Abacus [7] 1.17, LCP [9] 1.09.  Runtime also favored the
+proposed flow (1.00 vs 1.13 / 2.32 / 1.20).
+
+Per the paper's protocol, "ours" here optimizes *total displacement*
+(uniform weights) and ignores fences and routability; benchmarks are the
+10%-double-height ISPD-2015 derivatives.  The expected *shape* at our
+scale: ours best or tied, ordered methods (abacus) worst on dense rows,
+MLL between (its accumulation penalty grows with density/clustering; see
+EXPERIMENTS.md for the measured deltas).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import TableCollector, bench_scale, select_cases
+from repro.baselines import (
+    legalize_abacus,
+    legalize_lcp,
+    legalize_mll,
+    legalize_tetris,
+)
+from repro.benchgen import ispd2015_suite
+from repro.benchgen.suites import _ISPD2015_ROWS
+from repro.checker import check_legal
+from repro.core.flowopt import optimize_fixed_row_order
+from repro.core.mgl import MGLegalizer
+from repro.core.params import LegalizerParams
+
+DEFAULT_SUBSET = [
+    "des_perf_a",
+    "fft_1",
+    "fft_2",
+    "matrix_mult_b",
+    "pci_bridge32_a",
+    "superblue19",
+]
+
+CASES = {
+    case.name: case
+    for case in ispd2015_suite(scale=bench_scale(), names=None)
+}
+SELECTED = select_cases(list(_ISPD2015_ROWS), DEFAULT_SUBSET)
+
+
+def _params() -> LegalizerParams:
+    return LegalizerParams(
+        routability=False, use_matching=False, scheduler_capacity=1
+    )
+
+
+def _run_ours(design):
+    params = _params()
+    placement = MGLegalizer(design, params).run()
+    optimize_fixed_row_order(placement, params)
+    return placement
+
+
+def _run_mll_imp(design):
+    """"[12]-Imp": MLL plus the fixed-order refinement, the improved
+    variant the paper actually compares against (reported via [9])."""
+    placement = legalize_mll(design)
+    optimize_fixed_row_order(placement, _params())
+    return placement
+
+
+ALGOS = {
+    "mll": lambda design: legalize_mll(design),
+    "mll_imp": _run_mll_imp,
+    "abacus": lambda design: legalize_abacus(design),
+    "lcp": lambda design: legalize_lcp(design),
+    "tetris": lambda design: legalize_tetris(design),
+    "ours": _run_ours,
+}
+
+
+def _collector(table_store) -> TableCollector:
+    if "table2.txt" not in table_store:
+        table_store["table2.txt"] = TableCollector(
+            "Table 2 — total displacement (sites) vs prior legalizers",
+            ["benchmark", "cells", "density", "algo", "total_disp", "runtime_s"],
+        )
+    return table_store["table2.txt"]
+
+
+@pytest.mark.parametrize("name", SELECTED)
+@pytest.mark.parametrize("algo", list(ALGOS))
+def test_table2(benchmark, table_store, name, algo):
+    design = CASES[name].build()
+    placement = benchmark.pedantic(
+        ALGOS[algo], args=(design,), iterations=1, rounds=1
+    )
+    assert check_legal(placement).is_legal
+    total = placement.total_displacement_sites()
+    benchmark.extra_info["total_disp_sites"] = total
+    runtime = benchmark.stats.stats.mean if benchmark.stats else None
+    _collector(table_store).add(
+        benchmark=name,
+        cells=design.num_cells,
+        density=design.density(),
+        algo=algo,
+        total_disp=total,
+        runtime_s=runtime,
+    )

@@ -1,0 +1,92 @@
+"""Shared benchmark infrastructure.
+
+Environment knobs:
+
+* ``REPRO_BENCH_FULL=1`` — run every benchmark row of each table instead
+  of the representative default subset;
+* ``REPRO_BENCH_SCALE=<float>`` — override the cell-count scale factor
+  versus the contest originals (default 0.004: a few hundred cells per
+  case, so the whole harness finishes in minutes on a laptop).
+
+Each table module accumulates result rows and prints the formatted table
+(the same columns the paper reports) at module teardown; tables are also
+written to ``benchmarks/out/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def bench_full() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+def bench_scale(default: float = 0.004) -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", default))
+
+
+def select_cases(all_names: Sequence[str], subset: Sequence[str]) -> List[str]:
+    """The default representative subset, or everything under FULL."""
+    if bench_full():
+        return list(all_names)
+    return [name for name in subset if name in all_names]
+
+
+class TableCollector:
+    """Accumulates table rows and renders them on flush."""
+
+    def __init__(self, title: str, columns: Sequence[str]):
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[Dict[str, object]] = []
+
+    def add(self, **row: object) -> None:
+        self.rows.append(row)
+
+    def render(self) -> str:
+        widths = {
+            col: max(len(col), *(len(_fmt(r.get(col))) for r in self.rows))
+            if self.rows else len(col)
+            for col in self.columns
+        }
+        lines = [self.title, "=" * len(self.title)]
+        lines.append("  ".join(col.ljust(widths[col]) for col in self.columns))
+        for row in self.rows:
+            lines.append(
+                "  ".join(
+                    _fmt(row.get(col)).ljust(widths[col]) for col in self.columns
+                )
+            )
+        return "\n".join(lines)
+
+    def flush(self, filename: str) -> None:
+        if not self.rows:
+            return
+        text = self.render()
+        print("\n" + text + "\n")
+        OUT_DIR.mkdir(exist_ok=True)
+        (OUT_DIR / filename).write_text(text + "\n")
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+@pytest.fixture(scope="session")
+def table_store():
+    """Session store of TableCollector objects, flushed at session end."""
+    store: Dict[str, TableCollector] = {}
+    yield store
+    for filename, collector in store.items():
+        collector.flush(filename)

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Table-2-style comparison of all five legalizers on one benchmark.
+
+Run:
+    python examples/compare_legalizers.py [benchmark-name] [scale]
+
+Default: fft_2 at scale 0.01 (~320 cells).  Reports total displacement
+(sites) and runtime for tetris / MLL / Abacus-style / LCP-style / ours,
+matching the protocol of the paper's second experiment (total
+displacement objective, no fences, no routability constraints).
+"""
+
+import sys
+import time
+
+from repro.baselines import (
+    legalize_abacus,
+    legalize_lcp,
+    legalize_mll,
+    legalize_tetris,
+)
+from repro.benchgen import ispd2015_suite
+from repro.checker import check_legal
+from repro.core.flowopt import optimize_fixed_row_order
+from repro.core.mgl import MGLegalizer
+from repro.core.params import LegalizerParams
+
+
+def run_ours(design):
+    params = LegalizerParams(
+        routability=False, use_matching=False, scheduler_capacity=1
+    )
+    placement = MGLegalizer(design, params).run()
+    optimize_fixed_row_order(placement, params)
+    return placement
+
+
+ALGOS = [
+    ("tetris", legalize_tetris),
+    ("mll [12]", legalize_mll),
+    ("abacus [7]", legalize_abacus),
+    ("lcp [9]", legalize_lcp),
+    ("ours", run_ours),
+]
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "fft_2"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.01
+    cases = ispd2015_suite(scale=scale, names=[name])
+    if not cases:
+        raise SystemExit(f"unknown benchmark {name!r}; see Table 2 names")
+    design = cases[0].build()
+    print(f"benchmark {name}: {design} density={design.density():.2f}\n")
+
+    rows = []
+    for tag, algorithm in ALGOS:
+        start = time.perf_counter()
+        placement = algorithm(design)
+        elapsed = time.perf_counter() - start
+        assert check_legal(placement).is_legal, tag
+        rows.append((tag, placement.total_displacement_sites(), elapsed))
+
+    best = min(total for _, total, _ in rows)
+    print(f"{'algorithm':12s} {'total disp':>12s} {'norm':>6s} {'time':>7s}")
+    for tag, total, elapsed in rows:
+        print(f"{tag:12s} {total:12.0f} {total / best:6.2f} {elapsed:6.1f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Reproduction of "Routability-Driven and Fence-Aware Legalization for
+Mixed-Cell-Height Circuits" (Li, Chow, Chen, Young, Yu — DAC 2018).
+
+Public entry points:
+
+* :class:`repro.model.Design` / :class:`repro.model.Placement` — problem
+  and solution state;
+* :func:`repro.legalize` — the full three-stage flow of the paper
+  (MGL -> matching -> fixed-row-fixed-order MCF) with routability and
+  fence handling;
+* :mod:`repro.baselines` — prior-work legalizers used in the paper's
+  comparisons;
+* :mod:`repro.checker` — legality/routability checkers and the contest
+  score;
+* :mod:`repro.benchgen` — synthetic benchmark suites standing in for the
+  ICCAD-2017 / ISPD-2015 contest benchmarks.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import LegalizationResult, Legalizer, LegalizerParams, legalize
+from repro.model import Design, Placement
+
+__all__ = [
+    "Design",
+    "LegalizationResult",
+    "Legalizer",
+    "LegalizerParams",
+    "Placement",
+    "legalize",
+    "__version__",
+]

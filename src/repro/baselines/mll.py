@@ -1,0 +1,38 @@
+"""MLL — multi-row local legalization (Chow, Pui, Young, DAC 2016 [12]).
+
+The direct ancestor of MGL and the paper's closest comparison point.
+The window machinery, insertion-point enumeration, and spreading are the
+same; the one defining difference (paper §3.1, Fig. 3) is that MLL's
+displacement curves measure local-cell movement from the cells'
+**current** locations rather than their GP locations, so only curve types
+A and B occur and displacement accumulates over the run.
+
+Implementation-wise this is :class:`~repro.core.mgl.MGLegalizer` with
+``reference="current"``; the reuse is intentional — it isolates exactly
+the algorithmic delta the paper evaluates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.mgl import MGLegalizer
+from repro.core.params import LegalizerParams
+from repro.model.design import Design
+from repro.model.placement import Placement
+
+
+class MLLLegalizer(MGLegalizer):
+    """MGL's machinery with current-location displacement curves."""
+
+    def __init__(self, design: Design, params: Optional[LegalizerParams] = None):
+        if params is None:
+            params = LegalizerParams(
+                routability=False, use_matching=False, use_flow_opt=False
+            )
+        super().__init__(design, params, reference="current")
+
+
+def legalize_mll(design: Design, params: Optional[LegalizerParams] = None) -> Placement:
+    """One-call MLL legalization (the [12] baseline of Table 2)."""
+    return MLLLegalizer(design, params).run()

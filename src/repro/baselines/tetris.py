@@ -1,0 +1,177 @@
+"""Greedy nearest-fit legalizer (Tetris family).
+
+This is the reproduction's stand-in for the ICCAD-2017 contest champion
+binary of Table 1: it produces a valid placement quickly — fence regions,
+P/G parity, and blockages are honored as hard constraints — but it is
+routability-blind (no edge-spacing fillers, no rail/IO avoidance), never
+moves already-placed cells, and has no post-processing.  Exactly the
+profile the champion shows in Table 1: competitive but larger
+displacements and thousands of soft-constraint violations.
+
+Each cell, processed large-first, lands on the free position nearest its
+GP location: rows are scanned outward from the GP row, and within each
+row the best free span for the cell's footprint is found among the
+fence-matching segments.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from repro.core.mgl import LegalizationError
+from repro.core.occupancy import Occupancy
+from repro.model.design import Design
+from repro.model.placement import Placement
+
+
+class TetrisLegalizer:
+    """Greedy, non-spreading legalizer."""
+
+    def __init__(self, design: Design):
+        design.validate()
+        self.design = design
+
+    def run(self) -> Placement:
+        """Legalize all movable cells; returns the placement.
+
+        Raises:
+            LegalizationError: when a cell finds no free spot anywhere in
+                its fence region.
+        """
+        design = self.design
+        placement = Placement(design)
+        occupancy = Occupancy(design, placement)
+        for cell in range(design.num_cells):
+            if design.cells[cell].fixed:
+                placement.move(cell, int(design.gp_x[cell]), int(design.gp_y[cell]))
+                occupancy.add(cell)
+
+        order = sorted(
+            design.movable_cells(),
+            key=lambda c: (
+                -design.cell_type_of(c).height,
+                -design.cell_type_of(c).width,
+                design.gp_x[c],
+                c,
+            ),
+        )
+        for cell in order:
+            spot = self._nearest_spot(occupancy, cell)
+            if spot is None:
+                raise LegalizationError(
+                    f"tetris: no free spot for cell {cell} "
+                    f"(fence {design.fence_of(cell)})"
+                )
+            placement.move(cell, spot[0], spot[1])
+            occupancy.add(cell)
+        return placement
+
+    # ------------------------------------------------------------------
+
+    def _nearest_spot(
+        self, occupancy: Occupancy, cell: int
+    ) -> Optional[Tuple[int, int]]:
+        """Free position minimizing displacement, scanning rows outward."""
+        design = self.design
+        cell_type = design.cell_type_of(cell)
+        gp_x, gp_y = design.gp_x[cell], design.gp_y[cell]
+        x_unit = design.x_unit_rows
+
+        rows = [
+            row
+            for row in range(design.num_rows - cell_type.height + 1)
+            if design.row_parity_ok(cell, row)
+        ]
+        rows.sort(key=lambda r: (abs(r - gp_y), r))
+
+        best: Optional[Tuple[float, int, int]] = None
+        for row in rows:
+            y_cost = abs(row - gp_y)
+            if best is not None and y_cost >= best[0]:
+                break  # Rows are sorted by |dy|; nothing closer remains.
+            x = self._best_x_in_rows(occupancy, cell, row)
+            if x is None:
+                continue
+            cost = y_cost + abs(x - gp_x) * x_unit
+            candidate = (cost, x, row)
+            if best is None or candidate < best:
+                best = candidate
+        if best is None:
+            return None
+        return best[1], best[2]
+
+    def _best_x_in_rows(
+        self, occupancy: Occupancy, cell: int, bottom_row: int
+    ) -> Optional[int]:
+        """Best free x for the cell's footprint starting at ``bottom_row``.
+
+        Intersects the free gaps of all spanned rows (fence-matching
+        segments only) and returns the feasible site nearest the GP x.
+        """
+        design = self.design
+        cell_type = design.cell_type_of(cell)
+        fence = design.fence_of(cell)
+        gp_x = design.gp_x[cell]
+        width = cell_type.width
+
+        # Free intervals per row, then running intersection.
+        spans: Optional[List[Tuple[int, int]]] = None
+        for row in range(bottom_row, bottom_row + cell_type.height):
+            row_spans: List[Tuple[int, int]] = []
+            for segment in design.segments_in_row(row):
+                if segment.fence_id != fence or segment.width < width:
+                    continue
+                cursor = segment.x_lo
+                for other in occupancy.cells_in_range(
+                    row, segment.x_lo, segment.x_hi
+                ):
+                    other_x = occupancy.placement.x[other]
+                    if other_x - cursor >= width:
+                        row_spans.append((cursor, other_x))
+                    cursor = max(
+                        cursor, other_x + design.cell_type_of(other).width
+                    )
+                if segment.x_hi - cursor >= width:
+                    row_spans.append((cursor, segment.x_hi))
+            if spans is None:
+                spans = row_spans
+            else:
+                spans = _intersect_spans(spans, row_spans, width)
+            if not spans:
+                return None
+
+        best_x: Optional[int] = None
+        best_dist = math.inf
+        for lo, hi in spans or ():
+            x = int(min(max(round(gp_x), lo), hi - width))
+            dist = abs(x - gp_x)
+            if dist < best_dist:
+                best_dist = dist
+                best_x = x
+        return best_x
+
+
+def _intersect_spans(
+    a: List[Tuple[int, int]], b: List[Tuple[int, int]], width: int
+) -> List[Tuple[int, int]]:
+    """Pairwise intersection of two sorted span lists, keeping >= width."""
+    result: List[Tuple[int, int]] = []
+    i = j = 0
+    a = sorted(a)
+    b = sorted(b)
+    while i < len(a) and j < len(b):
+        lo = max(a[i][0], b[j][0])
+        hi = min(a[i][1], b[j][1])
+        if hi - lo >= width:
+            result.append((lo, hi))
+        if a[i][1] < b[j][1]:
+            i += 1
+        else:
+            j += 1
+    return result
+
+
+def legalize_tetris(design: Design) -> Placement:
+    """One-call greedy legalization (the Table 1 baseline)."""
+    return TetrisLegalizer(design).run()

@@ -1,0 +1,26 @@
+"""Synthetic benchmark substrate.
+
+The paper evaluates on the ICCAD-2017 contest benchmarks (Table 1) and on
+ISPD-2015-derived mixed-height benchmarks (Table 2).  Neither suite is
+redistributable here, so :mod:`repro.benchgen.synthetic` generates
+deterministic designs matching each benchmark's published statistics
+(cell counts per height, density, fences, P/G grids, IO pins), and
+:mod:`repro.benchgen.suites` instantiates scaled-down stand-ins for every
+row of both tables.  See DESIGN.md ("Substitutions") for why this
+preserves the comparisons.
+"""
+
+from repro.benchgen.synthetic import SyntheticSpec, generate_design
+from repro.benchgen.suites import (
+    BenchmarkCase,
+    iccad2017_suite,
+    ispd2015_suite,
+)
+
+__all__ = [
+    "BenchmarkCase",
+    "SyntheticSpec",
+    "generate_design",
+    "iccad2017_suite",
+    "ispd2015_suite",
+]

@@ -1,0 +1,34 @@
+"""Legality, routability, and scoring of placements.
+
+This is the reproduction's stand-in for the contest evaluator: it checks
+the hard constraints (overlaps, site/row bounds, fences, P/G parity,
+fixed cells), counts the soft routability violations (edge spacing, pin
+access, pin short), and computes the ICCAD-2017 quality score (paper
+Eq. 10) together with its ingredients ``S_am`` (Eq. 2), maximum
+displacement, and HPWL increase.
+"""
+
+from repro.checker.legality import LegalityReport, check_legal, check_legal_region
+from repro.checker.routability import (
+    RoutabilityReport,
+    count_routability_violations,
+    placed_pin_rects,
+)
+from repro.checker.report import PlacementReport, build_report, format_report, placement_report
+from repro.checker.score import ScoreReport, average_displacement, contest_score
+
+__all__ = [
+    "LegalityReport",
+    "PlacementReport",
+    "RoutabilityReport",
+    "ScoreReport",
+    "average_displacement",
+    "check_legal",
+    "check_legal_region",
+    "contest_score",
+    "count_routability_violations",
+    "placed_pin_rects",
+    "build_report",
+    "format_report",
+    "placement_report",
+]

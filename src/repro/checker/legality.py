@@ -1,0 +1,199 @@
+"""Hard-constraint legality checking.
+
+A placement is *legal* when every movable cell
+
+* sits on integer sites/rows inside the chip;
+* lies, on every row it spans, inside a segment whose fence id matches the
+  cell's fence assignment (this subsumes blockage avoidance, fence
+  containment, and chip bounds);
+* satisfies P/G parity (even-height cells on the design's power parity);
+* overlaps no other cell;
+
+and every fixed cell is exactly at its input position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.model.placement import Placement
+
+
+@dataclass
+class LegalityReport:
+    """Outcome of :func:`check_legal`.
+
+    Each list holds human-readable violation descriptions; the companion
+    ``*_cells`` lists hold the offending cell indices for programmatic use.
+    """
+
+    out_of_bounds: List[str] = field(default_factory=list)
+    segment_violations: List[str] = field(default_factory=list)
+    parity_violations: List[str] = field(default_factory=list)
+    overlaps: List[str] = field(default_factory=list)
+    fixed_moved: List[str] = field(default_factory=list)
+
+    overlap_pairs: List[Tuple[int, int]] = field(default_factory=list)
+    violating_cells: List[int] = field(default_factory=list)
+
+    @property
+    def is_legal(self) -> bool:
+        return not (
+            self.out_of_bounds
+            or self.segment_violations
+            or self.parity_violations
+            or self.overlaps
+            or self.fixed_moved
+        )
+
+    def all_messages(self) -> List[str]:
+        return (
+            self.out_of_bounds
+            + self.segment_violations
+            + self.parity_violations
+            + self.overlaps
+            + self.fixed_moved
+        )
+
+    def summary(self) -> str:
+        if self.is_legal:
+            return "legal"
+        return (
+            f"{len(self.out_of_bounds)} out-of-bounds, "
+            f"{len(self.segment_violations)} segment/fence, "
+            f"{len(self.parity_violations)} parity, "
+            f"{len(self.overlaps)} overlap, "
+            f"{len(self.fixed_moved)} fixed-cell violations"
+        )
+
+
+def check_legal(placement: Placement) -> LegalityReport:
+    """Check all hard constraints of ``placement``.
+
+    Returns a :class:`LegalityReport`; ``report.is_legal`` is the verdict.
+    """
+    return _check(placement, range(placement.design.num_cells), full=True)
+
+
+def check_legal_region(placement: Placement, cells) -> LegalityReport:
+    """Check only the constraints touching ``cells`` (ECO verification).
+
+    Per-cell constraints (bounds, parity, segments, fixedness) are checked
+    for the given cells only; overlap is checked between those cells and
+    *anything* sharing their rows, so an illegal interaction with an
+    untouched neighbor is still caught.  Violations elsewhere in the
+    placement are not reported — use :func:`check_legal` for a full sweep.
+    """
+    return _check(placement, list(cells), full=False)
+
+
+def _check(placement: Placement, cells, full: bool) -> LegalityReport:
+    design = placement.design
+    report = LegalityReport()
+    flagged = set()
+
+    for cell in cells:
+        instance = design.cells[cell]
+        cell_type = instance.cell_type
+        x, y = placement.x[cell], placement.y[cell]
+
+        if instance.fixed:
+            if x != int(instance.gp_x) or y != int(instance.gp_y):
+                report.fixed_moved.append(
+                    f"fixed cell {cell} ({instance.name}) moved to ({x}, {y})"
+                )
+                flagged.add(cell)
+            continue
+
+        if not (0 <= x and x + cell_type.width <= design.num_sites
+                and 0 <= y and y + cell_type.height <= design.num_rows):
+            report.out_of_bounds.append(
+                f"cell {cell} ({instance.name}) at ({x}, {y}) size "
+                f"{cell_type.width}x{cell_type.height} leaves the chip"
+            )
+            flagged.add(cell)
+            continue
+
+        if not design.row_parity_ok(cell, y):
+            report.parity_violations.append(
+                f"cell {cell} ({instance.name}) height {cell_type.height} "
+                f"on row {y} breaks P/G parity {design.power_parity}"
+            )
+            flagged.add(cell)
+
+        for row in range(y, y + cell_type.height):
+            segment = design.segment_at(row, x)
+            if (
+                segment is None
+                or not segment.contains_span(x, x + cell_type.width)
+                or segment.fence_id != instance.fence_id
+            ):
+                report.segment_violations.append(
+                    f"cell {cell} ({instance.name}) span [{x}, "
+                    f"{x + cell_type.width}) on row {row} not in a fence-"
+                    f"{instance.fence_id} segment"
+                )
+                flagged.add(cell)
+                break
+
+    _check_overlaps(placement, report, flagged,
+                    None if full else set(cells))
+    report.violating_cells = sorted(flagged)
+    return report
+
+
+def _check_overlaps(
+    placement: Placement,
+    report: LegalityReport,
+    flagged: set,
+    focus: "set | None" = None,
+) -> None:
+    """Sweep each row for overlapping cell spans.
+
+    With ``focus`` given, only overlaps involving a focus cell are
+    reported (region mode); rows not touched by any focus cell are
+    skipped entirely.
+    """
+    design = placement.design
+    focus_rows = None
+    if focus is not None:
+        focus_rows = set()
+        for cell in focus:
+            y = placement.y[cell]
+            height = design.cell_type_of(cell).height
+            focus_rows.update(range(y, y + height))
+
+    by_row: Dict[int, List[Tuple[int, int, int]]] = {}
+    for cell in range(design.num_cells):
+        cell_type = design.cell_type_of(cell)
+        x, y = placement.x[cell], placement.y[cell]
+        for row in range(y, y + cell_type.height):
+            if focus_rows is not None and row not in focus_rows:
+                continue
+            by_row.setdefault(row, []).append((x, x + cell_type.width, cell))
+
+    seen_pairs = set()
+    for row, spans in by_row.items():
+        spans.sort()
+        # Active list of spans whose right edge is beyond the sweep point;
+        # catches overlaps hidden behind a wide cell, not just neighbours.
+        active: List[Tuple[int, int]] = []  # (x_hi, cell)
+        for x_lo, x_hi, cell in spans:
+            active = [(hi, other) for hi, other in active if hi > x_lo]
+            for hi, other in active:
+                pair = (min(cell, other), max(cell, other))
+                if pair in seen_pairs:
+                    continue
+                if focus is not None and not (
+                    cell in focus or other in focus
+                ):
+                    continue
+                seen_pairs.add(pair)
+                report.overlaps.append(
+                    f"cells {pair[0]} and {pair[1]} overlap on row {row} "
+                    f"near x={x_lo}"
+                )
+                flagged.update(pair)
+            active.append((x_hi, cell))
+    report.overlap_pairs = sorted(seen_pairs)

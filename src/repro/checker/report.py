@@ -1,0 +1,180 @@
+"""Human-readable placement quality reports.
+
+Aggregates everything the other checkers compute into one text report:
+per-height displacement statistics (the ingredients of Eq. 2), an ASCII
+displacement histogram, the routability violation breakdown, fence
+utilization, and the contest score.  Used by ``repro check --verbose``
+and handy in notebooks/logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.checker.legality import check_legal
+from repro.checker.routability import count_routability_violations
+from repro.checker.score import contest_score
+from repro.model.placement import Placement
+
+
+@dataclass
+class HeightStats:
+    """Displacement statistics for one cell-height class."""
+
+    height: int
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    max: float
+
+
+@dataclass
+class FenceStats:
+    """Occupancy of one fence region."""
+
+    fence_id: int
+    name: str
+    cells: int
+    utilization: float
+
+
+@dataclass
+class PlacementReport:
+    """All quality facets of one placement."""
+
+    legal: bool
+    legality_summary: str
+    height_stats: List[HeightStats] = field(default_factory=list)
+    fence_stats: List[FenceStats] = field(default_factory=list)
+    histogram: List[int] = field(default_factory=list)
+    histogram_edges: List[float] = field(default_factory=list)
+    pin_short: int = 0
+    pin_access: int = 0
+    edge_violations: int = 0
+    avg_displacement: float = 0.0
+    max_displacement: float = 0.0
+    hpwl_ratio: float = 0.0
+    score: float = 0.0
+
+
+def _percentile(sorted_values: List[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
+    return sorted_values[index]
+
+
+def build_report(placement: Placement, bins: int = 8) -> PlacementReport:
+    """Compute the full report for a placement."""
+    design = placement.design
+    legal = check_legal(placement)
+    routability = count_routability_violations(placement)
+    score = contest_score(placement, routability)
+
+    report = PlacementReport(
+        legal=legal.is_legal,
+        legality_summary=legal.summary(),
+        pin_short=routability.pin_short,
+        pin_access=routability.pin_access,
+        edge_violations=routability.edge_violations,
+        avg_displacement=score.avg_displacement,
+        max_displacement=score.max_displacement,
+        hpwl_ratio=score.hpwl_ratio,
+        score=score.score,
+    )
+
+    for height, cells in sorted(design.cells_by_height().items()):
+        disps = sorted(placement.displacement(c) for c in cells)
+        report.height_stats.append(
+            HeightStats(
+                height=height,
+                count=len(cells),
+                mean=sum(disps) / len(disps),
+                p50=_percentile(disps, 0.50),
+                p90=_percentile(disps, 0.90),
+                max=disps[-1],
+            )
+        )
+
+    movable = design.movable_cells()
+    if movable:
+        disps = [placement.displacement(c) for c in movable]
+        top = max(disps) or 1.0
+        edges = [top * i / bins for i in range(bins + 1)]
+        counts = [0] * bins
+        for value in disps:
+            slot = min(bins - 1, int(value / top * bins))
+            counts[slot] += 1
+        report.histogram = counts
+        report.histogram_edges = edges
+
+    for fence in design.fences:
+        members = [c for c in range(design.num_cells)
+                   if design.fence_of(c) == fence.fence_id]
+        capacity = sum(r.area for r in fence.rects)
+        used = sum(
+            design.cell_type_of(c).width * design.cell_type_of(c).height
+            for c in members
+        )
+        report.fence_stats.append(
+            FenceStats(
+                fence_id=fence.fence_id,
+                name=fence.name,
+                cells=len(members),
+                utilization=used / capacity if capacity else 0.0,
+            )
+        )
+    return report
+
+
+def format_report(report: PlacementReport, width: int = 40) -> str:
+    """Render the report as plain text."""
+    lines: List[str] = []
+    lines.append(f"legality       : {report.legality_summary}")
+    lines.append(
+        f"displacement   : avg {report.avg_displacement:.3f}  "
+        f"max {report.max_displacement:.2f} (row heights)"
+    )
+    lines.append(
+        f"routability    : {report.pin_short} pin short, "
+        f"{report.pin_access} pin access, "
+        f"{report.edge_violations} edge spacing"
+    )
+    lines.append(
+        f"score          : S = {report.score:.4f}  "
+        f"(HPWL ratio {report.hpwl_ratio:+.4f})"
+    )
+
+    if report.height_stats:
+        lines.append("per-height displacement (rows):")
+        lines.append("  h  count   mean    p50    p90    max")
+        for stats in report.height_stats:
+            lines.append(
+                f"  {stats.height}  {stats.count:5d}  {stats.mean:5.2f}  "
+                f"{stats.p50:5.2f}  {stats.p90:5.2f}  {stats.max:5.2f}"
+            )
+
+    if report.histogram:
+        lines.append("displacement histogram:")
+        peak = max(report.histogram) or 1
+        for slot, count in enumerate(report.histogram):
+            lo = report.histogram_edges[slot]
+            hi = report.histogram_edges[slot + 1]
+            bar = "#" * max(1 if count else 0, round(width * count / peak))
+            lines.append(f"  [{lo:6.2f},{hi:6.2f})  {count:5d} {bar}")
+
+    if report.fence_stats:
+        lines.append("fences:")
+        for stats in report.fence_stats:
+            lines.append(
+                f"  {stats.fence_id}: {stats.name}  {stats.cells} cells, "
+                f"{stats.utilization:.0%} full"
+            )
+    return "\n".join(lines)
+
+
+def placement_report(placement: Placement) -> str:
+    """One-call text report."""
+    return format_report(build_report(placement))

@@ -1,0 +1,134 @@
+"""Displacement metrics and the ICCAD-2017 contest score (paper Eq. 10).
+
+The score combines
+
+* ``S_am`` — average displacement weighted per cell height (Eq. 2),
+* the maximum displacement,
+* the HPWL increase ratio, and
+* the routability violation counts ``N_p`` and ``N_e``
+
+as ``S = (1 + S_hpwl + (N_p + N_e)/m) * (1 + max_disp/Delta) * S_am`` with
+``Delta = 100``.  Lower is better.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.checker.routability import RoutabilityReport, count_routability_violations
+from repro.model.design import Design
+from repro.model.netlist import hpwl
+from repro.model.placement import Placement
+
+#: The contest's maximum-displacement normalizer (paper Eq. 10).
+DELTA = 100.0
+
+
+def average_displacement(placement: Placement) -> float:
+    """Height-weighted average displacement ``S_am`` (Eq. 2).
+
+    Each height class contributes the mean displacement of its cells;
+    classes are averaged uniformly.  Only movable cells count.
+    """
+    design = placement.design
+    groups = design.cells_by_height()
+    if not groups:
+        return 0.0
+    total = 0.0
+    for cells in groups.values():
+        group_sum = sum(placement.displacement(cell) for cell in cells)
+        total += group_sum / len(cells)
+    return total / len(groups)
+
+
+def max_displacement(placement: Placement) -> float:
+    """Largest per-cell displacement in row-height units (movable cells)."""
+    movable = placement.design.movable_cells()
+    if not movable:
+        return 0.0
+    return max(placement.displacement(cell) for cell in movable)
+
+
+def gp_hpwl(design: Design) -> float:
+    """HPWL of the global-placement input, in length units."""
+    centers = []
+    for cell in range(design.num_cells):
+        cell_type = design.cell_type_of(cell)
+        cx = (design.gp_x[cell] + cell_type.width / 2.0) * design.site_width
+        cy = (design.gp_y[cell] + cell_type.height / 2.0) * design.row_height
+        centers.append((cx, cy))
+    return hpwl(design.netlist, centers)
+
+
+@dataclass
+class ScoreReport:
+    """All components of the contest score for one placement."""
+
+    avg_displacement: float
+    max_displacement: float
+    hpwl_before: float
+    hpwl_after: float
+    pin_violations: int
+    edge_violations: int
+    num_cells: int
+    score: float
+    routability: Optional[RoutabilityReport] = None
+
+    @property
+    def hpwl_ratio(self) -> float:
+        """HPWL increase ratio ``S_hpwl`` (0 when there are no nets)."""
+        if self.hpwl_before <= 0:
+            return 0.0
+        return (self.hpwl_after - self.hpwl_before) / self.hpwl_before
+
+    def row(self) -> Dict[str, float]:
+        """Flat dict of the metrics, convenient for benchmark tables."""
+        return {
+            "avg_disp": self.avg_displacement,
+            "max_disp": self.max_displacement,
+            "hpwl": self.hpwl_after,
+            "hpwl_ratio": self.hpwl_ratio,
+            "pin_violations": self.pin_violations,
+            "edge_violations": self.edge_violations,
+            "score": self.score,
+        }
+
+
+def contest_score(
+    placement: Placement,
+    routability: Optional[RoutabilityReport] = None,
+) -> ScoreReport:
+    """Compute the full contest score report for a placement.
+
+    Args:
+        placement: the legalized placement to score.
+        routability: a precomputed violation report; computed here when
+            omitted.
+    """
+    design = placement.design
+    if routability is None:
+        routability = count_routability_violations(placement)
+
+    avg_disp = average_displacement(placement)
+    max_disp = max_displacement(placement)
+    hpwl_before = gp_hpwl(design)
+    hpwl_after = hpwl(design.netlist, placement.centers_length_units())
+
+    m = max(1, len(design.movable_cells()))
+    s_hpwl = 0.0 if hpwl_before <= 0 else (hpwl_after - hpwl_before) / hpwl_before
+    n_p = routability.pin_violations
+    n_e = routability.edge_violations
+    score = (1.0 + s_hpwl + (n_p + n_e) / m) * (1.0 + max_disp / DELTA) * avg_disp
+
+    return ScoreReport(
+        avg_displacement=avg_disp,
+        max_displacement=max_disp,
+        hpwl_before=hpwl_before,
+        hpwl_after=hpwl_after,
+        pin_violations=n_p,
+        edge_violations=n_e,
+        num_cells=m,
+        score=score,
+        routability=routability,
+    )

@@ -1,0 +1,264 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro generate  — build a synthetic design file
+    repro legalize  — legalize a design, write the placement
+    repro check     — verify legality/routability and print the score
+    repro compare   — run all legalizers on a design (Table-2 style)
+    repro svg       — render a placement to SVG
+
+Designs and placements use the text format of :mod:`repro.io`.
+Run ``repro <command> --help`` for options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro import LegalizerParams, legalize
+from repro.checker import check_legal, contest_score, count_routability_violations
+from repro.io import load_design, load_placement, save_design, save_placement
+
+
+def _add_param_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--no-routability", action="store_true",
+                        help="ignore rails/IO pins during legalization")
+    parser.add_argument("--no-matching", action="store_true",
+                        help="skip the max-displacement matching stage")
+    parser.add_argument("--no-flow-opt", action="store_true",
+                        help="skip the fixed-row-fixed-order MCF stage")
+    parser.add_argument("--window", type=int, nargs=2, metavar=("W", "H"),
+                        help="initial MGL window (sites rows)")
+    parser.add_argument("--capacity", type=int, default=1,
+                        help="scheduler L_p capacity (default 1)")
+    parser.add_argument("--height-weighted", action="store_true",
+                        help="use Eq. 2 height weights during MGL")
+
+
+def _params_from(args: argparse.Namespace) -> LegalizerParams:
+    params = LegalizerParams(
+        routability=not args.no_routability,
+        use_matching=not args.no_matching,
+        use_flow_opt=not args.no_flow_opt,
+        scheduler_capacity=args.capacity,
+        height_weighted=args.height_weighted,
+    )
+    if args.window:
+        params.window_width, params.window_height = args.window
+    return params
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    from repro.benchgen import SyntheticSpec, generate_design
+
+    cells = {}
+    for item in args.cells:
+        height, _, count = item.partition(":")
+        cells[int(height)] = int(count)
+    design = generate_design(
+        SyntheticSpec(
+            name=args.name,
+            cells_by_height=cells,
+            density=args.density,
+            seed=args.seed,
+            num_fences=args.fences,
+            with_rails=args.rails,
+            num_io_pins=args.io_pins,
+            with_edge_rules=args.edge_rules,
+        )
+    )
+    save_design(design, args.output)
+    print(f"wrote {design} to {args.output}")
+    return 0
+
+
+def cmd_legalize(args: argparse.Namespace) -> int:
+    design = load_design(args.design)
+    params = _params_from(args)
+    start = time.perf_counter()
+    result = legalize(design, params)
+    elapsed = time.perf_counter() - start
+    save_placement(result.placement, args.output)
+    final = result.after_flow or result.after_matching or result.after_mgl
+    print(f"legalized {design.num_cells} cells in {elapsed:.1f}s")
+    print(f"avg disp {final.avg_disp:.3f}  max disp {final.max_disp:.2f} "
+          f"(row heights)")
+    print(f"placement written to {args.output}")
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    design = load_design(args.design)
+    placement = load_placement(design, args.placement)
+    if args.verbose:
+        from repro.checker import placement_report
+
+        print(placement_report(placement))
+        return 0 if check_legal(placement).is_legal else 1
+    legal = check_legal(placement)
+    print(f"legality: {legal.summary()}")
+    if not legal.is_legal:
+        for message in legal.all_messages()[: args.max_messages]:
+            print(f"  {message}")
+    routability = count_routability_violations(placement)
+    print(f"routability: {routability.summary()}")
+    score = contest_score(placement, routability)
+    print(f"avg disp {score.avg_displacement:.3f}  "
+          f"max disp {score.max_displacement:.2f}  "
+          f"HPWL ratio {score.hpwl_ratio:+.4f}  score S {score.score:.4f}")
+    return 0 if legal.is_legal else 1
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.baselines import (
+        legalize_abacus,
+        legalize_lcp,
+        legalize_mll,
+        legalize_tetris,
+    )
+    from repro.core.flowopt import optimize_fixed_row_order
+    from repro.core.mgl import MGLegalizer
+
+    design = load_design(args.design)
+
+    def ours(d):
+        params = LegalizerParams(
+            routability=False, use_matching=False, scheduler_capacity=1
+        )
+        placement = MGLegalizer(d, params).run()
+        optimize_fixed_row_order(placement, params)
+        return placement
+
+    algos = [
+        ("tetris", legalize_tetris),
+        ("mll", legalize_mll),
+        ("abacus", legalize_abacus),
+        ("lcp", legalize_lcp),
+        ("ours", ours),
+    ]
+    print(f"{'algorithm':10s} {'total_disp':>12s} {'time':>8s}")
+    for tag, algorithm in algos:
+        start = time.perf_counter()
+        placement = algorithm(design)
+        elapsed = time.perf_counter() - start
+        assert check_legal(placement).is_legal, tag
+        print(f"{tag:10s} {placement.total_displacement_sites():12.0f} "
+              f"{elapsed:7.1f}s")
+    return 0
+
+
+def cmd_import_bookshelf(args: argparse.Namespace) -> int:
+    from repro.io import load_bookshelf
+
+    design, placement = load_bookshelf(args.aux)
+    save_design(design, args.output)
+    print(f"imported {design} from {args.aux}")
+    if args.placement:
+        save_placement(placement, args.placement)
+        print(f"placement written to {args.placement}")
+    return 0
+
+
+def cmd_export_bookshelf(args: argparse.Namespace) -> int:
+    from repro.io import save_bookshelf
+
+    design = load_design(args.design)
+    placement = (
+        load_placement(design, args.placement) if args.placement else None
+    )
+    aux = save_bookshelf(design, args.output, placement=placement)
+    print(f"wrote Bookshelf bundle: {aux}")
+    return 0
+
+
+def cmd_svg(args: argparse.Namespace) -> int:
+    from repro.viz import render_displacement_svg, render_placement_svg
+
+    design = load_design(args.design)
+    placement = load_placement(design, args.placement)
+    if args.displacement:
+        svg = render_displacement_svg(placement)
+    else:
+        svg = render_placement_svg(placement, show_rails=not args.no_rails)
+    with open(args.output, "w") as handle:
+        handle.write(svg)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Mixed-cell-height legalization (DAC 2018 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="build a synthetic design")
+    gen.add_argument("name")
+    gen.add_argument("-o", "--output", required=True)
+    gen.add_argument("--cells", nargs="+", default=["1:500", "2:40"],
+                     metavar="H:N", help="cells per height, e.g. 1:500 2:40")
+    gen.add_argument("--density", type=float, default=0.6)
+    gen.add_argument("--seed", type=int, default=1)
+    gen.add_argument("--fences", type=int, default=0)
+    gen.add_argument("--rails", action="store_true")
+    gen.add_argument("--io-pins", type=int, default=0)
+    gen.add_argument("--edge-rules", action="store_true")
+    gen.set_defaults(func=cmd_generate)
+
+    leg = sub.add_parser("legalize", help="legalize a design file")
+    leg.add_argument("design")
+    leg.add_argument("-o", "--output", required=True)
+    _add_param_flags(leg)
+    leg.set_defaults(func=cmd_legalize)
+
+    chk = sub.add_parser("check", help="check a placement")
+    chk.add_argument("design")
+    chk.add_argument("placement")
+    chk.add_argument("--max-messages", type=int, default=10)
+    chk.add_argument("-v", "--verbose", action="store_true",
+                     help="full report: per-height stats, histogram, fences")
+    chk.set_defaults(func=cmd_check)
+
+    cmp_parser = sub.add_parser("compare", help="run all legalizers")
+    cmp_parser.add_argument("design")
+    cmp_parser.set_defaults(func=cmd_compare)
+
+    imp = sub.add_parser("import-bookshelf",
+                         help="convert a Bookshelf .aux bundle to a design file")
+    imp.add_argument("aux")
+    imp.add_argument("-o", "--output", required=True)
+    imp.add_argument("--placement", help="also write the .pl as a placement")
+    imp.set_defaults(func=cmd_import_bookshelf)
+
+    exp = sub.add_parser("export-bookshelf",
+                         help="write a design (and placement) as Bookshelf")
+    exp.add_argument("design")
+    exp.add_argument("-o", "--output", required=True,
+                     help="output directory for the bundle")
+    exp.add_argument("--placement", help="placement file to export")
+    exp.set_defaults(func=cmd_export_bookshelf)
+
+    svg = sub.add_parser("svg", help="render a placement to SVG")
+    svg.add_argument("design")
+    svg.add_argument("placement")
+    svg.add_argument("-o", "--output", required=True)
+    svg.add_argument("--displacement", action="store_true",
+                     help="draw GP displacement vectors")
+    svg.add_argument("--no-rails", action="store_true")
+    svg.set_defaults(func=cmd_svg)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

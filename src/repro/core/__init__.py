@@ -1,0 +1,33 @@
+"""The paper's contribution: the three-stage legalization flow.
+
+* :mod:`repro.core.curves` — piecewise-linear displacement curves
+  (types A-D of Fig. 4) and their summation/minimization;
+* :mod:`repro.core.insertion` — insertion-point enumeration inside a
+  window (the method of MLL [12], §3.1);
+* :mod:`repro.core.mgl` — multi-row global legalization (Alg. 1);
+* :mod:`repro.core.scheduler` — the deterministic non-overlapping-window
+  scheduler of §3.5;
+* :mod:`repro.core.matching` — maximum-displacement optimization by
+  min-cost bipartite matching per (cell type, fence) group (§3.2);
+* :mod:`repro.core.flowopt` — fixed-row-fixed-order optimization through
+  the dual min-cost flow (§3.3, Eqs. 4-9);
+* :mod:`repro.core.refine` — routability-driven feasible ranges (§3.4);
+* :mod:`repro.core.legalizer` — the full pipeline (Fig. 2).
+"""
+
+from repro.core.curves import DisplacementCurve, minimize_over_sites, sum_curves
+from repro.core.incremental import IncrementalLegalizer, IncrementalResult
+from repro.core.legalizer import LegalizationResult, Legalizer, legalize
+from repro.core.params import LegalizerParams
+
+__all__ = [
+    "DisplacementCurve",
+    "IncrementalLegalizer",
+    "IncrementalResult",
+    "LegalizationResult",
+    "Legalizer",
+    "LegalizerParams",
+    "legalize",
+    "minimize_over_sites",
+    "sum_curves",
+]

@@ -1,0 +1,284 @@
+"""HPWL-driven fixed-row-fixed-order optimization (MrDP-style).
+
+The paper contrasts its displacement objective with MrDP's
+wirelength-driven refinement [13] and notes that optimizing HPWL during
+legalization "may disturb some other metrics optimized in GP" (§1).
+This module implements that alternative objective on the same dual-MCF
+substrate as :mod:`repro.core.flowopt`, so the trade-off can actually be
+measured (see ``benchmarks/bench_ablation_objective.py``):
+
+    minimize  K * sum_n w_n (R_n - L_n)  +  sum_i |x_i - x'_i|
+
+with rows and per-row order frozen.  ``L_n``/``R_n`` are each net's
+bounding-box edges in x; the displacement term (weight 1 against the
+HPWL weight ``K``) acts as a tie-break that keeps cells near their GP
+positions where HPWL is indifferent.
+
+The LP is a pure difference system, so its dual is again a min-cost
+flow: one node per cell, per net-L, per net-R, plus ``v_z``; net nodes
+carry supplies ``±K w_n`` (the objective coefficients), ordering/bound
+constraints become the same arcs as Eq. 6, and the optimal node
+potentials are the primal positions, exactly as in §3.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.flowopt import FixedRowOrderProblem, build_problem
+from repro.core.params import LegalizerParams
+from repro.core.refine import RoutabilityGuard
+from repro.flow.graph import FlowGraph, INFINITE
+from repro.flow.network_simplex import NetworkSimplex
+from repro.model.placement import Placement
+
+
+@dataclass
+class HpwlProblem:
+    """A fixed-order problem plus net membership for the HPWL term.
+
+    ``nets`` holds, per net, the list of ``(variable index, x offset in
+    sites)`` pairs (offsets are pin/cell-center offsets from the cell's
+    left edge) and a list of fixed terminal x positions in sites.
+    """
+
+    base: FixedRowOrderProblem
+    nets: List[Tuple[List[Tuple[int, int]], List[int], int]] = field(
+        default_factory=list
+    )  # (pins, terminals, weight)
+
+    def hpwl_x(self, xs: Sequence[int]) -> int:
+        """x-component of HPWL (site units) at positions ``xs``."""
+        total = 0
+        for pins, terminals, weight in self.nets:
+            points = [xs[k] + off for k, off in pins] + list(terminals)
+            if len(points) >= 2:
+                total += weight * (max(points) - min(points))
+        return total
+
+    def objective(self, xs: Sequence[int], hpwl_weight: int) -> int:
+        disp = sum(
+            self.base.weights[k] * abs(x - g)
+            for k, (x, g) in enumerate(zip(xs, self.base.gp_x))
+        )
+        return hpwl_weight * self.hpwl_x(xs) + disp
+
+
+def build_hpwl_problem(
+    placement: Placement,
+    params: Optional[LegalizerParams] = None,
+    guard: Optional[RoutabilityGuard] = None,
+) -> HpwlProblem:
+    """Extract the HPWL variant of the stage-3 problem.
+
+    Net pins anchor at cell centers (x offset = width/2 rounded), the
+    standard HPWL approximation; nets entirely on fixed/absent cells are
+    dropped.
+    """
+    design = placement.design
+    base = build_problem(placement, params, guard)
+    index = base.index_of()
+
+    problem = HpwlProblem(base=base)
+    for net in design.netlist.nets:
+        pins: List[Tuple[int, int]] = []
+        terminals = [
+            int(round(t[0] / design.site_width)) for t in net.terminals
+        ]
+        for pin in net.pins:
+            cell = pin.cell
+            offset = design.cell_type_of(cell).width // 2
+            if cell in index:
+                pins.append((index[cell], offset))
+            else:
+                terminals.append(placement.x[cell] + offset)
+        if len(pins) >= 1 and len(pins) + len(terminals) >= 2:
+            problem.nets.append((pins, terminals, 1))
+    return problem
+
+
+def build_hpwl_dual_graph(
+    problem: HpwlProblem, hpwl_weight: int
+) -> Tuple[FlowGraph, int]:
+    """The dual min-cost flow of the HPWL + displacement LP.
+
+    Node potentials recover the variables as ``v = pi[v_z] - pi[node]``;
+    net-L/net-R nodes carry supplies ``+K w`` / ``-K w`` (their objective
+    coefficients enter the conservation equations), while the
+    displacement term uses the capacitated ``f+/f-`` arc pair of Eq. 6.
+    """
+    base = problem.base
+    n = len(base.cells)
+    graph = FlowGraph()
+    for _ in range(n):
+        graph.add_node()
+    v_z = graph.add_node()
+
+    # Displacement term and bounds — identical to Eq. 6.
+    for k in range(n):
+        weight = base.weights[k]
+        graph.add_edge(k, v_z, capacity=weight, cost=base.gp_x[k], name=f"f+{k}")
+        graph.add_edge(v_z, k, capacity=weight, cost=-base.gp_x[k], name=f"f-{k}")
+        graph.add_edge(v_z, k, capacity=INFINITE, cost=-base.lower[k], name=f"fl{k}")
+        graph.add_edge(k, v_z, capacity=INFINITE, cost=base.upper[k], name=f"fr{k}")
+    for left, right, sep in base.pairs:
+        graph.add_edge(left, right, capacity=INFINITE, cost=-sep,
+                       name=f"fe{left}_{right}")
+
+    # Net bounding-box variables: supply +Kw at L (coefficient -Kw in the
+    # minimization) and -Kw at R.
+    for net_id, (pins, terminals, weight) in enumerate(problem.nets):
+        supply = hpwl_weight * weight
+        node_l = graph.add_node(supply=supply)
+        node_r = graph.add_node(supply=-supply)
+        for k, offset in pins:
+            # L_n - x_k <= offset ; x_k - R_n <= -offset
+            graph.add_edge(node_l, k, capacity=INFINITE, cost=offset,
+                           name=f"nl{net_id}_{k}")
+            graph.add_edge(k, node_r, capacity=INFINITE, cost=-offset,
+                           name=f"nr{net_id}_{k}")
+        for t in terminals:
+            # L_n <= t ; R_n >= t  (against v_z, potential 0)
+            graph.add_edge(node_l, v_z, capacity=INFINITE, cost=t,
+                           name=f"ntl{net_id}_{t}")
+            graph.add_edge(v_z, node_r, capacity=INFINITE, cost=-t,
+                           name=f"ntr{net_id}_{t}")
+    return graph, v_z
+
+
+def solve_hpwl_mcf(problem: HpwlProblem, hpwl_weight: int) -> List[int]:
+    """Solve the dual and read positions from potentials."""
+    graph, v_z = build_hpwl_dual_graph(problem, hpwl_weight)
+    result = NetworkSimplex(graph).solve()
+    pi = result.potentials
+    return [pi[v_z] - pi[k] for k in range(len(problem.base.cells))]
+
+
+def solve_hpwl_lp(problem: HpwlProblem, hpwl_weight: int) -> List[int]:
+    """scipy/HiGHS reference solution of the same LP."""
+    import numpy as np
+    from scipy.optimize import linprog
+    from scipy.sparse import coo_matrix
+
+    base = problem.base
+    n = len(base.cells)
+    m = len(problem.nets)
+    if n == 0:
+        return []
+    # Variables: x (n), p (n), q (n), L (m), R (m).
+    num_vars = 3 * n + 2 * m
+    cost = np.zeros(num_vars)
+    cost[n:2 * n] = base.weights
+    cost[2 * n:3 * n] = base.weights
+    for net_id, (_pins, _terms, weight) in enumerate(problem.nets):
+        cost[3 * n + net_id] = -hpwl_weight * weight  # L enters as -L
+        cost[3 * n + m + net_id] = hpwl_weight * weight
+
+    rows: List[int] = []
+    cols: List[int] = []
+    vals: List[float] = []
+    rhs: List[float] = []
+
+    def constraint(entries, bound):
+        row_id = len(rhs)
+        for col, val in entries:
+            rows.append(row_id)
+            cols.append(col)
+            vals.append(val)
+        rhs.append(bound)
+
+    for k in range(n):
+        constraint([(k, 1.0), (n + k, -1.0)], base.gp_x[k])
+        constraint([(k, -1.0), (2 * n + k, -1.0)], -base.gp_x[k])
+    for left, right, sep in base.pairs:
+        constraint([(left, 1.0), (right, -1.0)], -sep)
+    for net_id, (pins, _terminals, _weight) in enumerate(problem.nets):
+        for k, offset in pins:
+            constraint([(3 * n + net_id, 1.0), (k, -1.0)], offset)
+            constraint([(k, 1.0), (3 * n + m + net_id, -1.0)], -offset)
+    # Fixed terminals bound L from above and R from below directly.
+    bounds = (
+        [(base.lower[k], base.upper[k]) for k in range(n)]
+        + [(0, None)] * (2 * n)
+        + [
+            (None, min(problem.nets[i][1]) if problem.nets[i][1] else None)
+            for i in range(m)
+        ]
+        + [
+            (max(problem.nets[i][1]) if problem.nets[i][1] else None, None)
+            for i in range(m)
+        ]
+    )
+    matrix = coo_matrix(
+        (vals, (rows, cols)), shape=(len(rhs), num_vars)
+    )
+    solution = linprog(cost, A_ub=matrix, b_ub=rhs, bounds=bounds, method="highs")
+    if not solution.success:
+        raise RuntimeError(f"HPWL LP failed: {solution.message}")
+    return [int(round(v)) for v in solution.x[:n]]
+
+
+@dataclass
+class HpwlOptStats:
+    """Outcome of the HPWL-driven refinement."""
+
+    cells: int = 0
+    moved: int = 0
+    hpwl_x_before: int = 0
+    hpwl_x_after: int = 0
+    disp_before: int = 0
+    disp_after: int = 0
+
+
+def optimize_hpwl_fixed_order(
+    placement: Placement,
+    params: Optional[LegalizerParams] = None,
+    guard: Optional[RoutabilityGuard] = None,
+    hpwl_weight: int = 100,
+    backend: str = "mcf",
+) -> HpwlOptStats:
+    """Shift cells in x to minimize HPWL (with displacement tie-break).
+
+    Rows and per-row order are preserved; the solution is applied only if
+    feasible and non-worsening on the exact objective.
+    """
+    params = params or LegalizerParams()
+    if guard is None and params.routability:
+        guard = RoutabilityGuard(placement.design, params)
+    problem = build_hpwl_problem(placement, params, guard)
+    base = problem.base
+    stats = HpwlOptStats(cells=len(base.cells))
+    if not base.cells:
+        return stats
+
+    current = base.current_x(placement)
+    stats.hpwl_x_before = problem.hpwl_x(current)
+    stats.disp_before = sum(
+        w * abs(x - g) for w, x, g in zip(base.weights, current, base.gp_x)
+    )
+
+    if backend == "mcf":
+        solution = solve_hpwl_mcf(problem, hpwl_weight)
+    elif backend == "lp":
+        solution = solve_hpwl_lp(problem, hpwl_weight)
+    else:
+        raise ValueError(f"unknown backend {backend!r}")
+
+    if base.check_feasible(solution):
+        return stats
+    if problem.objective(solution, hpwl_weight) > problem.objective(
+        current, hpwl_weight
+    ):
+        return stats
+
+    for k, cell in enumerate(base.cells):
+        if placement.x[cell] != solution[k]:
+            placement.x[cell] = solution[k]
+            stats.moved += 1
+    after = base.current_x(placement)
+    stats.hpwl_x_after = problem.hpwl_x(after)
+    stats.disp_after = sum(
+        w * abs(x - g) for w, x, g in zip(base.weights, after, base.gp_x)
+    )
+    return stats

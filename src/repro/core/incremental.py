@@ -1,0 +1,140 @@
+"""Incremental (ECO-style) legalization.
+
+A natural extension of the paper's machinery: engineering change orders
+add, resize, or move a handful of cells in an otherwise legal placement,
+and rerunning full legalization would disturb thousands of already-good
+positions.  MGL's window insertion is inherently incremental — it places
+one cell into an existing legal context — so ECO legalization is: freeze
+everything, rip up the affected cells, re-insert them with MGL windows,
+then (optionally) run the two post-processing stages restricted to the
+paper's semantics (they are global but position-preserving in spirit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from repro.checker.legality import check_legal
+from repro.core.mgl import MGLegalizer
+from repro.core.occupancy import Occupancy
+from repro.core.params import LegalizerParams
+from repro.model.design import Design
+from repro.model.placement import Placement
+
+
+@dataclass
+class IncrementalResult:
+    """Outcome of one ECO pass."""
+
+    placed: List[int] = field(default_factory=list)
+    disturbed: List[int] = field(default_factory=list)  # cells that shifted
+    total_disturbance_sites: int = 0
+
+
+class IncrementalLegalizer:
+    """Re-legalizes a subset of cells inside a legal placement.
+
+    Usage::
+
+        eco = IncrementalLegalizer(design, placement)
+        eco.relegalize([cell_a, cell_b])        # rip up and re-insert
+        eco.insert_new(cell_c)                  # a cell added to the design
+
+    The placement is mutated in place; all untouched cells keep their
+    positions unless a window spread shifts them (reported in the
+    result).
+    """
+
+    def __init__(
+        self,
+        design: Design,
+        placement: Placement,
+        params: Optional[LegalizerParams] = None,
+    ):
+        self.design = design
+        self.placement = placement
+        self.params = params or LegalizerParams()
+        self.legalizer = MGLegalizer(design, self.params)
+        self._occupancy: Optional[Occupancy] = None
+
+    def _occ(self) -> Occupancy:
+        """Occupancy over every cell currently considered placed."""
+        if self._occupancy is None:
+            occupancy = Occupancy(self.design, self.placement)
+            for cell in range(self.design.num_cells):
+                occupancy.add(cell)
+            self._occupancy = occupancy
+        return self._occupancy
+
+    # ------------------------------------------------------------------
+
+    def relegalize(self, cells: Sequence[int]) -> IncrementalResult:
+        """Rip up ``cells`` and re-insert them near their GP positions.
+
+        Raises:
+            ValueError: when a requested cell is fixed.
+        """
+        occupancy = self._occ()
+        for cell in cells:
+            if self.design.cells[cell].fixed:
+                raise ValueError(f"cell {cell} is fixed; cannot rip up")
+            occupancy.remove(cell)
+        return self._insert(cells)
+
+    def insert_new(self, cell: int) -> IncrementalResult:
+        """Legalize a cell that has never been placed (freshly added).
+
+        The caller must have grown the placement to cover the new cell
+        (e.g. by constructing it after the cell was added, or appending
+        to ``placement.x``/``placement.y``).  The cell's current
+        placement coordinates are treated as garbage.
+        """
+        occupancy = self._occ()
+        if occupancy.is_placed(cell):
+            # The occupancy indexed the whole design, including this
+            # not-really-placed cell; deregister its garbage position.
+            occupancy.remove(cell)
+        return self._insert([cell])
+
+    # ------------------------------------------------------------------
+
+    def _insert(self, cells: Iterable[int]) -> IncrementalResult:
+        occupancy = self._occ()
+        before = {
+            other: (self.placement.x[other], self.placement.y[other])
+            for other in range(self.design.num_cells)
+        }
+        result = IncrementalResult()
+        order = sorted(
+            cells,
+            key=lambda c: (
+                -self.design.cell_type_of(c).height,
+                -self.design.cell_type_of(c).width,
+                self.design.gp_x[c],
+                c,
+            ),
+        )
+        for cell in order:
+            self.legalizer.legalize_cell(occupancy, cell)
+            result.placed.append(cell)
+
+        ripped = set(order)
+        for other, (old_x, old_y) in before.items():
+            if other in ripped:
+                continue
+            new_x, new_y = self.placement.x[other], self.placement.y[other]
+            if (new_x, new_y) != (old_x, old_y):
+                result.disturbed.append(other)
+                result.total_disturbance_sites += abs(new_x - old_x)
+        return result
+
+    def verify(self) -> bool:
+        """Convenience: is the current placement legal?"""
+        return check_legal(self.placement).is_legal
+
+    def verify_region(self, cells: Iterable[int]) -> bool:
+        """Fast ECO check: only the constraints touching ``cells``."""
+        from repro.checker.legality import check_legal_region
+
+        return check_legal_region(self.placement, cells).is_legal

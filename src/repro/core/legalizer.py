@@ -1,0 +1,132 @@
+"""The full three-stage legalization flow (paper Fig. 2).
+
+1. **MGL** inserts every cell near its GP position (§3.1, §3.5);
+2. **matching** trims the maximum displacement by permuting same-type
+   cells within each fence region (§3.2);
+3. **fixed-row-fixed-order MCF** shifts cells horizontally for the final
+   weighted average + maximum displacement optimum (§3.3, §3.4).
+
+:func:`legalize` is the one-call public entry point.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.flowopt import FlowOptStats, optimize_fixed_row_order
+from repro.core.globalmove import GlobalMoveStats, optimize_global_moves
+from repro.core.matching import MatchingStats, optimize_max_displacement
+from repro.core.mgl import MGLegalizer
+from repro.core.params import LegalizerParams
+from repro.core.refine import RoutabilityGuard
+from repro.model.design import Design
+from repro.model.placement import Placement
+
+
+@dataclass
+class StageMetrics:
+    """Displacement snapshot after one stage."""
+
+    avg_disp: float
+    max_disp: float
+    seconds: float
+
+
+@dataclass
+class LegalizationResult:
+    """Everything the flow produced."""
+
+    placement: Placement
+    after_mgl: StageMetrics
+    after_matching: Optional[StageMetrics] = None
+    after_flow: Optional[StageMetrics] = None
+    after_global_moves: Optional[StageMetrics] = None
+    matching_stats: Optional[MatchingStats] = None
+    flow_stats: Optional[FlowOptStats] = None
+    global_move_stats: Optional[GlobalMoveStats] = None
+    mgl_stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        total = self.after_mgl.seconds
+        if self.after_matching is not None:
+            total += self.after_matching.seconds
+        if self.after_flow is not None:
+            total += self.after_flow.seconds
+        if self.after_global_moves is not None:
+            total += self.after_global_moves.seconds
+        return total
+
+
+def _snapshot(placement: Placement, seconds: float) -> StageMetrics:
+    disps = [placement.displacement(c) for c in placement.design.movable_cells()]
+    if not disps:
+        return StageMetrics(0.0, 0.0, seconds)
+    return StageMetrics(sum(disps) / len(disps), max(disps), seconds)
+
+
+class Legalizer:
+    """The complete legalization pipeline for one design."""
+
+    def __init__(self, design: Design, params: Optional[LegalizerParams] = None):
+        design.validate()
+        self.design = design
+        self.params = params or LegalizerParams()
+        self.params.validate()
+        self.guard = (
+            RoutabilityGuard(design, self.params) if self.params.routability else None
+        )
+
+    def run(self) -> LegalizationResult:
+        """Run all enabled stages and return placement plus metrics."""
+        params = self.params
+
+        start = time.perf_counter()
+        mgl = MGLegalizer(self.design, params, guard=self.guard)
+        placement = mgl.run()
+        result = LegalizationResult(
+            placement=placement,
+            after_mgl=_snapshot(placement, time.perf_counter() - start),
+            mgl_stats=dict(mgl.stats),
+        )
+
+        if params.use_matching:
+            start = time.perf_counter()
+            result.matching_stats = optimize_max_displacement(placement, params)
+            result.after_matching = _snapshot(
+                placement, time.perf_counter() - start
+            )
+
+        if params.use_flow_opt:
+            start = time.perf_counter()
+            result.flow_stats = optimize_fixed_row_order(
+                placement, params, guard=self.guard
+            )
+            result.after_flow = _snapshot(placement, time.perf_counter() - start)
+
+        if params.use_global_moves:
+            start = time.perf_counter()
+            result.global_move_stats = optimize_global_moves(
+                placement, params, guard=self.guard
+            )
+            result.after_global_moves = _snapshot(
+                placement, time.perf_counter() - start
+            )
+
+        return result
+
+
+def legalize(
+    design: Design, params: Optional[LegalizerParams] = None
+) -> LegalizationResult:
+    """Legalize ``design`` with the paper's full flow.
+
+    Example::
+
+        from repro import legalize
+        result = legalize(design)
+        placement = result.placement
+    """
+    return Legalizer(design, params).run()

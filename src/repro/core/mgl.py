@@ -1,0 +1,245 @@
+"""Multi-row global legalization — MGL (paper §3.1, Algorithm 1).
+
+Cells are legalized sequentially.  For each target cell a window around
+its GP position is searched: all insertion points are enumerated, each is
+costed through displacement curves measured **from GP positions** (the
+defining difference from MLL), and the cheapest feasible one is applied,
+spreading local cells aside.  The window grows geometrically whenever no
+feasible insertion point exists.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.insertion import EvaluatedInsertion, InsertionContext
+from repro.core.occupancy import Occupancy
+from repro.core.params import LegalizerParams
+from repro.core.refine import RoutabilityGuard
+from repro.model.design import Design
+from repro.model.geometry import Rect
+from repro.model.placement import Placement
+
+
+class LegalizationError(Exception):
+    """Raised when a cell cannot be placed anywhere in its fence region."""
+
+
+def height_weights(design: Design) -> Callable[[int], float]:
+    """Per-cell weights ``n_i = 1 / |C_h|`` implementing Eq. 2."""
+    counts: Dict[int, int] = {}
+    for group_height, cells in design.cells_by_height().items():
+        counts[group_height] = len(cells)
+
+    def weight(cell: int) -> float:
+        return 1.0 / counts[design.cell_type_of(cell).height]
+
+    return weight
+
+
+def mgl_cell_order(design: Design, params: LegalizerParams) -> List[int]:
+    """Deterministic processing order of the movable cells.
+
+    The default places tall/large cells first (they have the fewest
+    feasible spots) and sweeps by GP x within equal footprints.
+    """
+    cells = design.movable_cells()
+    if params.seed_order == "input":
+        return cells
+    if params.seed_order == "gp_x":
+        return sorted(cells, key=lambda c: (design.gp_x[c], design.gp_y[c], c))
+    # "height_area_x"
+    def key(cell: int) -> Tuple:
+        cell_type = design.cell_type_of(cell)
+        return (
+            -cell_type.height,
+            -(cell_type.height * cell_type.width),
+            design.gp_x[cell],
+            design.gp_y[cell],
+            cell,
+        )
+
+    return sorted(cells, key=key)
+
+
+class MGLegalizer:
+    """Window-based sequential legalizer minimizing displacement from GP.
+
+    Args:
+        design: the problem instance (validated by the caller).
+        params: tunables; see :class:`LegalizerParams`.
+        guard: routability guard, built automatically when
+            ``params.routability`` is set and the design has rails/pins.
+    """
+
+    def __init__(
+        self,
+        design: Design,
+        params: Optional[LegalizerParams] = None,
+        guard: Optional[RoutabilityGuard] = None,
+        reference: str = "gp",
+    ):
+        self.design = design
+        self.params = params or LegalizerParams()
+        self.params.validate()
+        self.reference = reference
+        if guard is None and self.params.routability:
+            guard = RoutabilityGuard(design, self.params)
+        self.guard = guard
+        self.weight_of = (
+            height_weights(design) if self.params.height_weighted else (lambda _c: 1.0)
+        )
+        self.stats: Dict[str, int] = {
+            "insertions_evaluated": 0,
+            "window_expansions": 0,
+            "cells_placed": 0,
+        }
+
+    # ------------------------------------------------------------------
+
+    def initial_window(self, cell: int, scale: float = 1.0) -> Rect:
+        """The window around the cell's GP position at a given scale.
+
+        For cells assigned to an explicit fence whose GP lies outside it,
+        the window center is clamped into the fence's bounding box so the
+        search starts where placement is possible at all.
+        """
+        design = self.design
+        cell_type = design.cell_type_of(cell)
+        cx = design.gp_x[cell] + cell_type.width / 2.0
+        cy = design.gp_y[cell] + cell_type.height / 2.0
+        fence_id = design.fence_of(cell)
+        if fence_id != 0:
+            box = design.fence_region(fence_id).bounding_box
+            cx = min(max(cx, box.xlo), box.xhi)
+            cy = min(max(cy, box.ylo), box.yhi)
+        half_w = max(self.params.window_width * scale, cell_type.width + 2) / 2.0
+        half_h = max(self.params.window_height * scale, cell_type.height + 2) / 2.0
+        chip = design.chip_rect
+        return Rect(
+            max(chip.xlo, cx - half_w),
+            max(chip.ylo, cy - half_h),
+            min(chip.xhi, cx + half_w),
+            min(chip.yhi, cy + half_h),
+        )
+
+    def try_insert(
+        self,
+        occupancy: Occupancy,
+        cell: int,
+        window: Rect,
+        exhaustive: bool = False,
+    ) -> Optional[EvaluatedInsertion]:
+        """Best feasible insertion of ``cell`` within ``window`` (unapplied).
+
+        ``exhaustive`` lifts the per-row gap and combination caps and
+        drops the routability guard — used by the final chip-window
+        fallback, where completeness matters more than speed: routability
+        is a *soft* constraint (§2), so when the only rows a fence allows
+        are rail-conflicted, the cell is placed there anyway and the
+        violations are simply counted.
+        """
+        context = InsertionContext(
+            self.design,
+            occupancy,
+            cell,
+            window,
+            weight_of=self.weight_of,
+            guard=None if exhaustive else self.guard,
+            reference=self.reference,
+            max_gaps_per_row=(
+                1 << 30 if exhaustive else self.params.max_gaps_per_row
+            ),
+        )
+        best: Optional[EvaluatedInsertion] = None
+        margin = self.params.prune_margin
+        max_points = (
+            1 << 30 if exhaustive else self.params.max_insertion_points
+        )
+        for bottom_row, gaps in context.enumerate_insertion_points(max_points):
+            if (
+                best is not None
+                and context.target_cost_lower_bound(bottom_row, gaps)
+                > best.cost + margin
+            ):
+                continue  # Cannot beat the incumbent even before pushes.
+            evaluated = context.evaluate(bottom_row, gaps)
+            self.stats["insertions_evaluated"] += 1
+            if evaluated is None:
+                continue
+            if best is None or evaluated.sort_key() < best.sort_key():
+                best = evaluated
+        return best
+
+    def apply_insertion(
+        self, occupancy: Occupancy, cell: int, insertion: EvaluatedInsertion
+    ) -> None:
+        """Spread local cells and register the target at its new position."""
+        placement = occupancy.placement
+        right_moves = sorted(
+            (move for move in insertion.moves if move[1] > placement.x[move[0]]),
+            key=lambda move: -placement.x[move[0]],
+        )
+        left_moves = sorted(
+            (move for move in insertion.moves if move[1] < placement.x[move[0]]),
+            key=lambda move: placement.x[move[0]],
+        )
+        for moved_cell, new_x in right_moves:
+            occupancy.update_x(moved_cell, new_x)
+        for moved_cell, new_x in left_moves:
+            occupancy.update_x(moved_cell, new_x)
+        placement.move(cell, insertion.x, insertion.y)
+        occupancy.add(cell)
+        self.stats["cells_placed"] += 1
+
+    def legalize_cell(self, occupancy: Occupancy, cell: int) -> EvaluatedInsertion:
+        """Place one cell, expanding the window on failure.
+
+        Raises:
+            LegalizationError: when no feasible insertion exists even at
+                the final (chip-sized) window.
+        """
+        scale = 1.0
+        for attempt in range(self.params.max_expansions):
+            window = self.initial_window(cell, scale)
+            insertion = self.try_insert(occupancy, cell, window)
+            if insertion is not None:
+                self.apply_insertion(occupancy, cell, insertion)
+                return insertion
+            self.stats["window_expansions"] += 1
+            scale *= self.params.window_expand
+        # Last resort: the whole chip as the window, with all caps lifted.
+        insertion = self.try_insert(
+            occupancy, cell, self.design.chip_rect, exhaustive=True
+        )
+        if insertion is not None:
+            self.apply_insertion(occupancy, cell, insertion)
+            return insertion
+        raise LegalizationError(
+            f"cell {cell} ({self.design.cells[cell].name!r}) cannot be placed; "
+            f"fence {self.design.fence_of(cell)} appears over-full"
+        )
+
+    def run(self, placement: Optional[Placement] = None) -> Placement:
+        """Legalize every movable cell; returns the placement.
+
+        A fresh placement is created unless one is supplied (whose
+        positions are overwritten for movable cells; fixed cells are
+        pinned at their GP positions).
+        """
+        design = self.design
+        if placement is None:
+            placement = Placement(design)
+        occupancy = Occupancy(design, placement)
+        for cell in range(design.num_cells):
+            if design.cells[cell].fixed:
+                placement.move(cell, int(design.gp_x[cell]), int(design.gp_y[cell]))
+                occupancy.add(cell)
+        if self.params.scheduler_capacity > 1:
+            from repro.core.scheduler import WindowScheduler
+
+            WindowScheduler(self, occupancy).run()
+        else:
+            for cell in mgl_cell_order(design, self.params):
+                self.legalize_cell(occupancy, cell)
+        return placement

@@ -1,0 +1,201 @@
+"""Row occupancy: sorted per-row bookkeeping of already-placed cells.
+
+MGL legalizes cells one at a time; this structure tracks which cells sit
+where while the placement is being built, answers neighbor queries, and
+applies the horizontal "spread" moves.  Multi-row cells are registered in
+every row they span.  Fixed cells are registered up-front and behave as
+obstacles.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.model.design import Design
+from repro.model.placement import Placement
+
+
+class Occupancy:
+    """Mutable per-row index of placed cells, ordered by x.
+
+    The structure mirrors (a subset of) a :class:`Placement`: call
+    :meth:`add` when a cell is placed, :meth:`update_x` when it shifts
+    horizontally, :meth:`remove` to un-place it.  Positions are read from
+    and written to the backing placement, keeping the two consistent.
+    """
+
+    def __init__(self, design: Design, placement: Placement):
+        self.design = design
+        self.placement = placement
+        # Per row: parallel arrays of x positions and cell ids, x-sorted.
+        self._xs: List[List[int]] = [[] for _ in range(design.num_rows)]
+        self._cells: List[List[int]] = [[] for _ in range(design.num_rows)]
+        self._placed: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add(self, cell: int) -> None:
+        """Register ``cell`` at its current placement position."""
+        if cell in self._placed:
+            raise ValueError(f"cell {cell} is already placed")
+        x, y = self.placement.x[cell], self.placement.y[cell]
+        height = self.design.cell_type_of(cell).height
+        for row in range(y, y + height):
+            index = self._insert_index(row, x, cell)
+            self._xs[row].insert(index, x)
+            self._cells[row].insert(index, cell)
+        self._placed.add(cell)
+
+    def remove(self, cell: int) -> None:
+        """Unregister ``cell`` (its placement position is left untouched)."""
+        if cell not in self._placed:
+            raise ValueError(f"cell {cell} is not placed")
+        x, y = self.placement.x[cell], self.placement.y[cell]
+        height = self.design.cell_type_of(cell).height
+        for row in range(y, y + height):
+            index = self._find_index(row, x, cell)
+            del self._xs[row][index]
+            del self._cells[row][index]
+        self._placed.discard(cell)
+
+    def update_x(self, cell: int, new_x: int) -> None:
+        """Shift ``cell`` horizontally, preserving its order in every row.
+
+        The caller guarantees the shift does not reorder cells within any
+        row (MGL's spreads never do); this is asserted cheaply.
+        """
+        old_x = self.placement.x[cell]
+        if new_x == old_x:
+            return
+        y = self.placement.y[cell]
+        height = self.design.cell_type_of(cell).height
+        for row in range(y, y + height):
+            index = self._find_index(row, old_x, cell)
+            xs = self._xs[row]
+            xs[index] = new_x
+            if index > 0 and xs[index - 1] > new_x:
+                raise AssertionError(
+                    f"update_x would reorder row {row} (cell {cell})"
+                )
+            if index + 1 < len(xs) and xs[index + 1] < new_x:
+                raise AssertionError(
+                    f"update_x would reorder row {row} (cell {cell})"
+                )
+        self.placement.x[cell] = new_x
+
+    def is_placed(self, cell: int) -> bool:
+        return cell in self._placed
+
+    @property
+    def placed_cells(self) -> Set[int]:
+        return set(self._placed)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def row_cells(self, row: int) -> Sequence[int]:
+        """Cells registered in ``row``, ordered by x."""
+        return self._cells[row]
+
+    def cells_in_range(self, row: int, x_lo: float, x_hi: float) -> List[int]:
+        """Cells whose span intersects ``[x_lo, x_hi)`` on ``row``."""
+        xs = self._xs[row]
+        cells = self._cells[row]
+        result: List[int] = []
+        index = bisect_left(xs, x_lo)
+        # The cell just left of x_lo may still reach into the range.
+        if index > 0:
+            cell = cells[index - 1]
+            width = self.design.cell_type_of(cell).width
+            if xs[index - 1] + width > x_lo:
+                result.append(cell)
+        while index < len(xs) and xs[index] < x_hi:
+            result.append(cells[index])
+            index += 1
+        return result
+
+    def left_neighbor(self, row: int, x: float, exclude: int = -1) -> Optional[int]:
+        """The placed cell with the largest position strictly below ``x``."""
+        xs = self._xs[row]
+        index = bisect_left(xs, x)
+        while index > 0:
+            cell = self._cells[row][index - 1]
+            if cell != exclude:
+                return cell
+            index -= 1
+        return None
+
+    def right_neighbor(self, row: int, x: float, exclude: int = -1) -> Optional[int]:
+        """The placed cell with the smallest position at/above ``x``."""
+        xs = self._xs[row]
+        index = bisect_left(xs, x)
+        while index < len(xs):
+            cell = self._cells[row][index]
+            if cell != exclude:
+                return cell
+            index += 1
+        return None
+
+    def neighbors_of(self, cell: int) -> Tuple[List[int], List[int]]:
+        """Immediate (left, right) neighbor cells of ``cell`` over its rows."""
+        x, y = self.placement.x[cell], self.placement.y[cell]
+        height = self.design.cell_type_of(cell).height
+        lefts: List[int] = []
+        rights: List[int] = []
+        for row in range(y, y + height):
+            index = self._find_index(row, x, cell)
+            if index > 0:
+                lefts.append(self._cells[row][index - 1])
+            if index + 1 < len(self._cells[row]):
+                rights.append(self._cells[row][index + 1])
+        return lefts, rights
+
+    def verify_consistent(self) -> None:
+        """Internal consistency check used by tests (O(total entries))."""
+        for row in range(self.design.num_rows):
+            xs = self._xs[row]
+            cells = self._cells[row]
+            assert len(xs) == len(cells)
+            assert xs == sorted(xs), f"row {row} not sorted"
+            for x, cell in zip(xs, cells):
+                assert self.placement.x[cell] == x, (
+                    f"row {row}: cell {cell} stale position"
+                )
+                y = self.placement.y[cell]
+                height = self.design.cell_type_of(cell).height
+                assert y <= row < y + height, f"cell {cell} in wrong row {row}"
+
+    # ------------------------------------------------------------------
+
+    def _insert_index(self, row: int, x: int, cell: int) -> int:
+        """Insertion index keeping (x, cell) lexicographic stability."""
+        xs = self._xs[row]
+        index = bisect_left(xs, x)
+        while index < len(xs) and xs[index] == x and self._cells[row][index] < cell:
+            index += 1
+        return index
+
+    def _find_index(self, row: int, x: int, cell: int) -> int:
+        """Index of ``cell`` in ``row`` given its current x."""
+        xs = self._xs[row]
+        cells = self._cells[row]
+        index = bisect_left(xs, x)
+        while index < len(xs) and xs[index] == x:
+            if cells[index] == cell:
+                return index
+            index += 1
+        raise KeyError(f"cell {cell} not found in row {row} at x={x}")
+
+
+def build_occupancy(
+    design: Design, placement: Placement, cells: Iterable[int]
+) -> Occupancy:
+    """Occupancy over a chosen subset of cells (e.g. the fixed ones)."""
+    occupancy = Occupancy(design, placement)
+    for cell in cells:
+        occupancy.add(cell)
+    return occupancy

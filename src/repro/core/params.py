@@ -1,0 +1,107 @@
+"""Tunable parameters of the legalization flow.
+
+All knobs referenced in the paper are collected here so benchmarks and
+ablations can sweep them: the MGL window geometry and expansion policy
+(§3.1), the matching threshold ``delta_0`` of Eq. 3 (§3.2), the
+max-vs-average weight ``n_0`` of Eq. 8 (§3.3.1), routability penalties
+(§3.4), and the scheduler's batch capacity (§3.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class LegalizerParams:
+    """Parameters of the three-stage legalizer.
+
+    Attributes:
+        window_width: initial MGL window width in sites.
+        window_height: initial MGL window height in rows.
+        window_expand: multiplicative growth per failed insertion attempt.
+        max_expansions: attempts before MGL gives up on a cell (an error;
+            indicates an over-full fence region).
+        height_weighted: weigh displacement by ``1/|C_h|`` per Eq. 2
+            during MGL (True) or uniformly (False, the Table 2 setting).
+        use_matching: run the §3.2 max-displacement matching stage.
+        use_flow_opt: run the §3.3 fixed-row-fixed-order MCF stage.
+        use_global_moves: run the rip-up-and-reinsert refinement after
+            the paper's three stages (an extension, off by default; see
+            repro.core.globalmove).
+        matching_delta0: tolerable max-displacement threshold ``delta_0``
+            in Eq. 3 (row-height units); None picks it adaptively as the
+            90th percentile of the current displacement distribution, so
+            the linear region preserves the average while the ``delta^5``
+            region crushes the outliers.
+        matching_max_group: largest (type, fence) group matched exactly;
+            bigger groups are split by displacement-first chunks.
+        flow_n0: weight ``n_0`` of the max-displacement term in Eq. 8
+            (in units of one cell's weight; height weights are scaled to
+            exact integers internally, see repro.core.flowopt).
+        routability: honor rails/IO pins during MGL and restrict stage-3
+            ranges to violation-free intervals (§3.4).
+        io_penalty: added insertion cost per IO-pin conflict.
+        blocked_penalty: added cost when no rail-clean x exists nearby.
+        guard_max_shift: how far (sites) MGL may walk from the curve
+            optimum to clear a vertical-rail conflict.
+        feasible_range_limit: cap (sites per side) on the stage-3
+            violation-free range growth around each cell.
+        max_insertion_points: cap on gap combinations per bottom row.
+        max_gaps_per_row: keep only this many candidate gaps per row
+            (nearest the GP x first); bounds work in expanded windows.
+        prune_margin: slack (row-height units) added to the incumbent cost
+            when pruning insertion points by the target-only lower bound;
+            covers local-cell displacement *reductions* the bound ignores.
+        scheduler_capacity: max simultaneously processed windows (the
+            ``L_p`` capacity of §3.5); determinism holds for any value.
+            The default of 1 is plain sequential MGL — Python gains no
+            wall-clock from batching (GIL), so the scheduler is for
+            reproducing the paper's determinism claim, not for speed.
+        scheduler_threads: thread-pool size for the scheduler's
+            evaluation phase (0/1 = no pool).  Results are identical with
+            or without threads; see repro.core.scheduler.
+        seed_order: cell-ordering strategy for MGL
+            ("height_area_x" | "gp_x" | "input").
+    """
+
+    window_width: int = 40
+    window_height: int = 10
+    window_expand: float = 1.6
+    max_expansions: int = 12
+    height_weighted: bool = False
+    use_matching: bool = True
+    use_flow_opt: bool = True
+    use_global_moves: bool = False
+    matching_delta0: Optional[float] = None
+    matching_max_group: int = 600
+    flow_n0: int = 4
+    routability: bool = True
+    io_penalty: float = 10.0
+    blocked_penalty: float = 50.0
+    guard_max_shift: int = 12
+    feasible_range_limit: int = 64
+    max_insertion_points: int = 128
+    max_gaps_per_row: int = 12
+    prune_margin: float = 2.0
+    scheduler_capacity: int = 1
+    scheduler_threads: int = 0
+    seed_order: str = "height_area_x"
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` on out-of-range settings."""
+        if self.window_width <= 0 or self.window_height <= 0:
+            raise ValueError("window dimensions must be positive")
+        if self.window_expand <= 1.0:
+            raise ValueError("window_expand must exceed 1.0")
+        if self.max_expansions < 1:
+            raise ValueError("max_expansions must be at least 1")
+        if self.matching_delta0 is not None and self.matching_delta0 <= 0:
+            raise ValueError("matching_delta0 must be positive")
+        if self.flow_n0 < 0:
+            raise ValueError("flow_n0 must be non-negative")
+        if self.seed_order not in ("height_area_x", "gp_x", "input"):
+            raise ValueError(f"unknown seed_order {self.seed_order!r}")
+        if self.scheduler_capacity < 1:
+            raise ValueError("scheduler_capacity must be at least 1")

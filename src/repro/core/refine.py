@@ -1,0 +1,225 @@
+"""Routability-driven refinement hooks (paper §3.4).
+
+The :class:`RoutabilityGuard` packages the three rail/IO interactions the
+paper weaves into MGL:
+
+* **horizontal rails** — a row whose P/G stripe would short a pin or
+  block its access is not a valid insertion row (``row_ok``);
+* **vertical rails** — when the curve optimum collides with a vertical
+  stripe, nearby positions are examined until a least-cost clean site is
+  found (``adjust_x``);
+* **IO pins** — overlaps are allowed but penalized (``io_penalty_at``).
+
+It also computes the violation-free *feasible range* ``[l_i, r_i]`` each
+cell is confined to during the fixed-row-fixed-order optimization, which
+is how stage 3 avoids creating new pin violations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.params import LegalizerParams
+from repro.model.design import Design
+from repro.model.geometry import Rect
+from repro.model.technology import CellType
+
+
+class RoutabilityGuard:
+    """Cached rail/IO conflict queries for one design."""
+
+    def __init__(self, design: Design, params: Optional[LegalizerParams] = None):
+        self.design = design
+        self.params = params or LegalizerParams()
+        self._row_ok_cache: Dict[Tuple[str, int], bool] = {}
+        self._x_blocked_cache: Dict[Tuple[str, bool, int], bool] = {}
+        # The x_blocked cache drops the row when every vertical stripe
+        # runs the chip's full height (the standard grid does).
+        chip_y = design.chip_rect_length_units.y_interval
+        self._x_cacheable = all(
+            rail.extent.lo <= chip_y.lo and rail.extent.hi >= chip_y.hi
+            for rail in design.rails.rails
+            if rail.orientation == "v"
+        )
+
+    # ------------------------------------------------------------------
+    # Pin geometry
+    # ------------------------------------------------------------------
+
+    def _is_flipped(self, cell_type: CellType, row: int) -> bool:
+        """Mirror odd-height cells on off-parity rows (P/G alignment)."""
+        if cell_type.parity_constrained:
+            return False
+        return row % 2 != self.design.power_parity
+
+    def pin_rects_at(
+        self, cell_type: CellType, row: int, x: float
+    ) -> List[Tuple[int, Rect]]:
+        """(layer, rect) of each signal pin for a placement at ``(x, row)``."""
+        design = self.design
+        x_len = x * design.site_width
+        y_len = row * design.row_height
+        height_len = cell_type.height * design.row_height
+        flipped = self._is_flipped(cell_type, row)
+        rects: List[Tuple[int, Rect]] = []
+        for pin in cell_type.pins:
+            rect = pin.rect
+            if flipped:
+                rect = Rect(
+                    rect.xlo, height_len - rect.yhi, rect.xhi, height_len - rect.ylo
+                )
+            rects.append((pin.layer, rect.translated(x_len, y_len)))
+        return rects
+
+    # ------------------------------------------------------------------
+    # Horizontal rails: row validity
+    # ------------------------------------------------------------------
+
+    def row_ok(self, cell_type: CellType, row: int) -> bool:
+        """False when a horizontal rail shorts/blocks a pin on this row.
+
+        Horizontal stripes run the full chip width, so the conflict
+        depends only on the cell type and its row (and flip) — cached.
+        """
+        if not cell_type.pins:
+            return True
+        key = (cell_type.name, row)
+        cached = self._row_ok_cache.get(key)
+        if cached is not None:
+            return cached
+        rails = self.design.rails
+        ok = True
+        for layer, rect in self.pin_rects_at(cell_type, row, 0.0):
+            if rails.horizontal_blocked(layer, rect.ylo, rect.yhi):
+                ok = False
+                break
+            if rails.horizontal_blocked(layer + 1, rect.ylo, rect.yhi):
+                ok = False
+                break
+        self._row_ok_cache[key] = ok
+        return ok
+
+    # ------------------------------------------------------------------
+    # Vertical rails and IO pins: x selection
+    # ------------------------------------------------------------------
+
+    def x_blocked(self, cell_type: CellType, row: int, x: int) -> bool:
+        """True when a vertical rail shorts/blocks some pin at ``(x, row)``.
+
+        Vertical stripes run the full chip height, so (given the flip
+        state) the answer depends only on the cell type and x — cached.
+        """
+        if not cell_type.pins:
+            return False
+        key = (cell_type.name, self._is_flipped(cell_type, row), int(x))
+        if self._x_cacheable:
+            cached = self._x_blocked_cache.get(key)
+            if cached is not None:
+                return cached
+        rails = self.design.rails
+        blocked = False
+        for layer, rect in self.pin_rects_at(cell_type, row, x):
+            for rail in rails.rails:
+                if rail.orientation != "v":
+                    continue
+                if rail.layer in (layer, layer + 1) and rail.overlaps_rect(rect):
+                    blocked = True
+                    break
+            if blocked:
+                break
+        if self._x_cacheable:
+            self._x_blocked_cache[key] = blocked
+        return blocked
+
+    def io_penalty_at(self, cell_type: CellType, row: int, x: int) -> float:
+        """Penalty for IO-pin overlaps of any pin at ``(x, row)``."""
+        if not cell_type.pins:
+            return 0.0
+        count = 0
+        for layer, rect in self.pin_rects_at(cell_type, row, x):
+            for io_pin in self.design.rails.io_pins:
+                if io_pin.layer in (layer, layer + 1) and io_pin.rect.overlaps(rect):
+                    count += 1
+        return count * self.params.io_penalty
+
+    def adjust_x(
+        self,
+        cell_type: CellType,
+        row: int,
+        x_opt: int,
+        lo: int,
+        hi: int,
+        cost_at: Callable[[float], float],
+    ) -> Tuple[int, float]:
+        """Pick the cheapest clean x near the curve optimum.
+
+        Walks outward from ``x_opt`` (alternating sides, nearest first) up
+        to ``guard_max_shift`` sites; among vertical-rail-clean candidates
+        the one minimizing ``cost_at(x) + io_penalty`` wins.  When every
+        candidate is blocked, the optimum is kept with ``blocked_penalty``
+        added (the soft-constraint semantics of §2).
+        """
+        best_x: Optional[int] = None
+        best_total = math.inf
+        for offset in range(0, self.params.guard_max_shift + 1):
+            for candidate in ((x_opt + offset, x_opt - offset) if offset else (x_opt,)):
+                if candidate < lo or candidate > hi:
+                    continue
+                if self.x_blocked(cell_type, row, candidate):
+                    continue
+                total = cost_at(candidate) + self.io_penalty_at(cell_type, row, candidate)
+                if total < best_total - 1e-12:
+                    best_total = total
+                    best_x = candidate
+            # All remaining candidates are farther, hence costlier on a
+            # convex-ish curve; but IO penalties are lumpy, so we scan the
+            # full shift budget rather than early-exit.
+        if best_x is None:
+            penalty = self.params.blocked_penalty + self.io_penalty_at(
+                cell_type, row, x_opt
+            )
+            return x_opt, penalty
+        return best_x, best_total - cost_at(best_x)
+
+    # ------------------------------------------------------------------
+    # Stage-3 feasible ranges (C_L = C_R = C)
+    # ------------------------------------------------------------------
+
+    def feasible_range(
+        self,
+        cell_type: CellType,
+        row: int,
+        x: int,
+        segment_lo: int,
+        segment_hi: int,
+    ) -> Tuple[int, int]:
+        """Largest clean interval ``[l, r]`` of left-edge sites around ``x``.
+
+        ``segment_lo``/``segment_hi`` bound the cell's span inside its row
+        segment (``segment_hi`` already excludes the cell width).  The
+        interval is grown site by site from the current position until a
+        vertical-rail conflict (or the segment bound) is hit, so every
+        position inside it is conflict-free — the restriction §3.4 imposes
+        on the stage-3 MCF.
+        """
+        if not self.params.routability or not cell_type.pins:
+            return segment_lo, segment_hi
+        def conflicted(candidate: int) -> bool:
+            # §3.4: the range is bounded by the P/G rails *or IO pins*.
+            return self.x_blocked(cell_type, row, candidate) or (
+                self.io_penalty_at(cell_type, row, candidate) > 0
+            )
+
+        if conflicted(x):
+            # Already conflicting: do not let stage 3 make it worse; pin
+            # the cell to its current position.
+            return x, x
+        limit = self.params.feasible_range_limit
+        left = x
+        while left > max(segment_lo, x - limit) and not conflicted(left - 1):
+            left -= 1
+        right = x
+        while right < min(segment_hi, x + limit) and not conflicted(right + 1):
+            right += 1
+        return left, right

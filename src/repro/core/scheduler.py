@@ -1,0 +1,189 @@
+"""Deterministic multi-window scheduler (paper §3.5).
+
+The paper parallelizes MGL by processing non-overlapping windows
+simultaneously: a scheduler keeps a processing list ``L_p`` (bounded
+capacity) and a waiting list ``L_w``; windows that fail get expanded and
+re-queued.  Because the scheduler synchronizes after every batch and
+selects windows deterministically, the outcome is identical for any
+thread count once the ``L_p`` capacity is fixed.
+
+Our reproduction keeps exactly that structure.  Batch members are
+pairwise non-overlapping; their insertions are **evaluated** against the
+frozen batch-start occupancy — optionally on a thread pool
+(``scheduler_threads``), which is safe because evaluation never mutates
+state — and then **applied** serially in selection order.  Since pushes
+may exit a window (up to the nearest wall), each application first
+verifies the evaluated moves are still conflict-free and silently
+re-evaluates when an earlier batch member interfered.  The result is
+therefore a pure function of the batch order — deterministic regardless
+of thread timing, the property the paper claims (Python's GIL means the
+thread pool is about structure, not wall-clock speedup).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.core.insertion import EvaluatedInsertion
+from repro.core.mgl import LegalizationError, MGLegalizer, mgl_cell_order
+from repro.core.occupancy import Occupancy
+from repro.model.geometry import Rect
+
+
+class WindowScheduler:
+    """Batches non-overlapping MGL windows with bounded capacity."""
+
+    def __init__(self, legalizer: MGLegalizer, occupancy: Occupancy):
+        self.legalizer = legalizer
+        self.occupancy = occupancy
+        self.capacity = legalizer.params.scheduler_capacity
+        self.threads = legalizer.params.scheduler_threads
+        self.batches_run = 0
+        self.reevaluations = 0
+
+    def run(self) -> None:
+        """Process every movable cell to completion.
+
+        Raises:
+            LegalizationError: propagated from the legalizer when a cell
+                cannot be placed at the maximum window size.
+        """
+        legalizer = self.legalizer
+        params = legalizer.params
+        waiting: Deque[Tuple[int, float, int]] = deque(
+            (cell, 1.0, 0) for cell in mgl_cell_order(legalizer.design, params)
+        )
+        pool: Optional[ThreadPoolExecutor] = (
+            ThreadPoolExecutor(max_workers=self.threads) if self.threads > 1
+            else None
+        )
+
+        try:
+            while waiting:
+                batch, waiting = self._select_batch(waiting)
+                self.batches_run += 1
+                evaluations = self._evaluate_batch(batch, pool)
+                for (cell, scale, attempts, window), insertion in zip(
+                    batch, evaluations
+                ):
+                    if insertion is not None and not self._still_valid(
+                        cell, insertion
+                    ):
+                        # An earlier batch member's spread interfered;
+                        # redo this one against the current state.
+                        self.reevaluations += 1
+                        insertion = legalizer.try_insert(
+                            self.occupancy, cell, window
+                        )
+                    if insertion is not None:
+                        legalizer.apply_insertion(self.occupancy, cell, insertion)
+                        continue
+                    legalizer.stats["window_expansions"] += 1
+                    attempts += 1
+                    if attempts >= params.max_expansions:
+                        # Final attempt at chip scale, synchronously and
+                        # exhaustively.
+                        insertion = legalizer.try_insert(
+                            self.occupancy, cell, legalizer.design.chip_rect,
+                            exhaustive=True,
+                        )
+                        if insertion is None:
+                            raise LegalizationError(
+                                f"cell {cell} cannot be placed; fence "
+                                f"{legalizer.design.fence_of(cell)} appears "
+                                f"over-full"
+                            )
+                        legalizer.apply_insertion(self.occupancy, cell, insertion)
+                    else:
+                        # Re-queue at the front: a failed (usually large)
+                        # cell must not fall behind the small cells that
+                        # would otherwise fragment its remaining space.
+                        waiting.appendleft(
+                            (cell, scale * params.window_expand, attempts)
+                        )
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False)
+
+    # ------------------------------------------------------------------
+
+    def _select_batch(
+        self, waiting: Deque[Tuple[int, float, int]]
+    ) -> Tuple[List[Tuple[int, float, int, Rect]], Deque[Tuple[int, float, int]]]:
+        """Fill L_p: first-fit scan of L_w for pairwise-disjoint windows."""
+        legalizer = self.legalizer
+        batch: List[Tuple[int, float, int, Rect]] = []
+        batch_windows: List[Rect] = []
+        deferred: Deque[Tuple[int, float, int]] = deque()
+        while waiting and len(batch) < self.capacity:
+            cell, scale, attempts = waiting.popleft()
+            window = legalizer.initial_window(cell, scale)
+            if any(window.overlaps(other) for other in batch_windows):
+                deferred.append((cell, scale, attempts))
+                continue
+            batch.append((cell, scale, attempts, window))
+            batch_windows.append(window)
+        # Anything skipped during selection stays at the queue front,
+        # preserving the deterministic order.
+        while waiting:
+            deferred.append(waiting.popleft())
+        return batch, deferred
+
+    def _evaluate_batch(
+        self,
+        batch: List[Tuple[int, float, int, Rect]],
+        pool: Optional[ThreadPoolExecutor],
+    ) -> List[Optional[EvaluatedInsertion]]:
+        """Evaluate all members against the frozen batch-start state."""
+        legalizer = self.legalizer
+        if pool is None or len(batch) <= 1:
+            return [
+                legalizer.try_insert(self.occupancy, cell, window)
+                for cell, _scale, _attempts, window in batch
+            ]
+        futures = [
+            pool.submit(legalizer.try_insert, self.occupancy, cell, window)
+            for cell, _scale, _attempts, window in batch
+        ]
+        return [future.result() for future in futures]
+
+    def _still_valid(self, target: int, insertion: EvaluatedInsertion) -> bool:
+        """Check the evaluated moves against the *current* occupancy.
+
+        Every planned span (spread moves plus the target itself) must be
+        overlap-free and edge-spacing-clean against cells outside the
+        plan; planned cells are consistent among themselves by
+        construction.
+        """
+        from repro.checker.routability import required_gap
+
+        design = self.legalizer.design
+        placement = self.occupancy.placement
+        planned: Dict[int, Tuple[int, int]] = {
+            cell: (new_x, placement.y[cell]) for cell, new_x in insertion.moves
+        }
+        planned[target] = (insertion.x, insertion.y)
+
+        for cell, (x, y) in planned.items():
+            cell_type = design.cell_type_of(cell)
+            for row in range(y, y + cell_type.height):
+                for other in self.occupancy.cells_in_range(
+                    row, x - 64, x + cell_type.width + 64
+                ):
+                    if other == cell or other in planned:
+                        continue
+                    other_x = placement.x[other]
+                    other_w = design.cell_type_of(other).width
+                    if other_x < x:
+                        if other_x + other_w + required_gap(
+                            design, other, cell
+                        ) > x:
+                            return False
+                    else:
+                        if x + cell_type.width + required_gap(
+                            design, cell, other
+                        ) > other_x:
+                            return False
+        return True

@@ -1,0 +1,123 @@
+"""Min-cost bipartite perfect matching.
+
+The maximum-displacement optimization (paper §3.2) needs, per (cell type,
+fence) group, a min-cost perfect matching between the group's cells and
+the multiset of their current positions.  The paper solves this as a
+min-cost flow [20]; we provide that formulation on our own solvers plus a
+dense Hungarian-style backend via :func:`scipy.optimize.linear_sum_assignment`
+for speed on large groups, selected automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from repro.flow.graph import FlowGraph
+from repro.flow.ssp import solve_ssp
+
+#: Largest integer magnitude exactly representable in float64; above this,
+#: the scipy backend could mis-rank costs, so the exact solver is forced.
+_FLOAT64_EXACT_LIMIT = 2**52
+
+
+@dataclass
+class AssignmentResult:
+    """A perfect matching: ``columns[i]`` is the column assigned to row i."""
+
+    columns: List[int]
+    cost: int
+
+
+def min_cost_assignment(
+    costs: Sequence[Sequence[int]],
+    backend: str = "auto",
+) -> AssignmentResult:
+    """Solve the square min-cost perfect-matching problem.
+
+    Args:
+        costs: square matrix of non-negative integer costs;
+            ``costs[i][j]`` is the cost of assigning row ``i`` (a cell) to
+            column ``j`` (a position).
+        backend: ``"scipy"`` (dense, fast), ``"flow"`` (our exact MCF, as
+            in the paper), or ``"auto"`` (scipy unless exactness would be
+            lost to float64 rounding).
+
+    Returns:
+        The optimal assignment with its exact integer cost.
+
+    Raises:
+        ValueError: for a non-square matrix or unknown backend.
+    """
+    n = len(costs)
+    if any(len(row) != n for row in costs):
+        raise ValueError("cost matrix must be square")
+    if n == 0:
+        return AssignmentResult(columns=[], cost=0)
+
+    if backend == "auto":
+        max_cost = max(max(abs(int(c)) for c in row) for row in costs)
+        backend = "scipy" if max_cost <= _FLOAT64_EXACT_LIMIT else "flow"
+
+    if backend == "scipy":
+        columns = _solve_scipy(costs)
+    elif backend == "flow":
+        columns = _solve_flow(costs)
+    else:
+        raise ValueError(f"unknown assignment backend {backend!r}")
+
+    total = sum(int(costs[i][columns[i]]) for i in range(n))
+    return AssignmentResult(columns=columns, cost=total)
+
+
+def _solve_scipy(costs: Sequence[Sequence[int]]) -> List[int]:
+    from scipy.optimize import linear_sum_assignment
+
+    matrix = np.asarray(costs, dtype=float)
+    row_indices, col_indices = linear_sum_assignment(matrix)
+    columns = [0] * len(costs)
+    for row, col in zip(row_indices, col_indices):
+        columns[int(row)] = int(col)
+    return columns
+
+
+def _solve_flow(costs: Sequence[Sequence[int]]) -> List[int]:
+    """Paper-style formulation: source -> cells -> positions -> sink MCF."""
+    n = len(costs)
+    graph = FlowGraph()
+    source = graph.add_node(supply=n)
+    sink = graph.add_node(supply=-n)
+    rows = [graph.add_node() for _ in range(n)]
+    cols = [graph.add_node() for _ in range(n)]
+    for row in rows:
+        graph.add_edge(source, row, capacity=1, cost=0)
+    for col in cols:
+        graph.add_edge(col, sink, capacity=1, cost=0)
+    cell_edges: List[List[int]] = []
+    for i in range(n):
+        edge_row: List[int] = []
+        for j in range(n):
+            edge_row.append(
+                graph.add_edge(rows[i], cols[j], capacity=1, cost=int(costs[i][j]))
+            )
+        cell_edges.append(edge_row)
+
+    result = solve_ssp(graph)
+    columns = [-1] * n
+    for i in range(n):
+        for j in range(n):
+            if result.flows[cell_edges[i][j]] == 1:
+                columns[i] = j
+                break
+    if any(col < 0 for col in columns):
+        raise RuntimeError("flow solution is not a perfect matching")
+    return columns
+
+
+def assignment_cost_matrix(
+    n: int, cost_of: Callable[[int, int], int]
+) -> List[List[int]]:
+    """Materialize an ``n x n`` cost matrix from a cost function."""
+    return [[int(cost_of(i, j)) for j in range(n)] for i in range(n)]

@@ -1,0 +1,153 @@
+"""Flow-network representation.
+
+A :class:`FlowGraph` is a directed multigraph with integer node supplies
+and integer edge capacities/costs (lower bounds are zero).  "Infinite"
+capacity is the sentinel :data:`INFINITE`; solvers replace it with a safe
+finite bound derived from the instance (total supply plus total finite
+capacity), which is valid whenever the optimum is bounded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+#: Sentinel capacity meaning "unbounded".
+INFINITE = None
+
+
+@dataclass
+class FlowEdge:
+    """One directed edge ``tail -> head``.
+
+    Attributes:
+        tail: source node id.
+        head: target node id.
+        capacity: integer upper bound, or :data:`INFINITE`.
+        cost: integer cost per unit of flow (may be negative).
+        name: optional label used in validation error messages.
+    """
+
+    tail: int
+    head: int
+    capacity: Optional[int]
+    cost: int
+    name: str = ""
+
+
+class FlowGraph:
+    """A min-cost-flow instance builder.
+
+    Node supplies follow the usual convention: positive supply means the
+    node produces flow, negative means it consumes.  A valid instance has
+    supplies summing to zero.
+    """
+
+    def __init__(self) -> None:
+        self.supplies: List[int] = []
+        self.edges: List[FlowEdge] = []
+        self._names: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+
+    def add_node(self, supply: int = 0, name: str = "") -> int:
+        """Add a node and return its id."""
+        self.supplies.append(int(supply))
+        node = len(self.supplies) - 1
+        if name:
+            if name in self._names:
+                raise ValueError(f"duplicate node name {name!r}")
+            self._names[name] = node
+        return node
+
+    def node_named(self, name: str) -> int:
+        """Id of a node registered with ``name``."""
+        return self._names[name]
+
+    def add_supply(self, node: int, amount: int) -> None:
+        """Increase the supply of ``node`` by ``amount`` (may be negative)."""
+        self.supplies[node] += int(amount)
+
+    def add_edge(
+        self,
+        tail: int,
+        head: int,
+        capacity: Optional[int],
+        cost: int,
+        name: str = "",
+    ) -> int:
+        """Add an edge and return its id.
+
+        Raises:
+            ValueError: for negative finite capacity or unknown endpoints.
+        """
+        n = len(self.supplies)
+        if not (0 <= tail < n and 0 <= head < n):
+            raise ValueError(f"edge endpoints ({tail}, {head}) out of range")
+        if capacity is not None and capacity < 0:
+            raise ValueError("edge capacity must be non-negative")
+        self.edges.append(FlowEdge(tail, head, capacity, int(cost), name))
+        return len(self.edges) - 1
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.supplies)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def total_supply_imbalance(self) -> int:
+        """Sum of supplies; nonzero means the instance is malformed."""
+        return sum(self.supplies)
+
+    def infinite_capacity_bound(self) -> int:
+        """A finite capacity safely standing in for :data:`INFINITE`.
+
+        Any basic optimal solution routes, through each unbounded edge, at
+        most the total flow that bounded edges and supplies can inject;
+        the bound below dominates that.
+        """
+        supply_total = sum(abs(s) for s in self.supplies)
+        finite_cap_total = sum(
+            e.capacity for e in self.edges if e.capacity is not None
+        )
+        return supply_total + finite_cap_total + 1
+
+    def resolved_capacities(self) -> List[int]:
+        """Per-edge capacities with :data:`INFINITE` replaced by the bound."""
+        bound = self.infinite_capacity_bound()
+        return [bound if e.capacity is None else e.capacity for e in self.edges]
+
+    def __repr__(self) -> str:
+        return f"FlowGraph({self.num_nodes} nodes, {self.num_edges} edges)"
+
+
+@dataclass
+class FlowResult:
+    """Solution of a min-cost-flow instance.
+
+    Attributes:
+        flows: per-edge flow values, aligned with ``graph.edges``.
+        potentials: per-node potentials (dual values) certifying
+            optimality; conventions are solver-specific but always satisfy
+            complementary slackness as checked by
+            :func:`repro.flow.validate.check_complementary_slackness`.
+        cost: total cost ``sum(flow_e * cost_e)``.
+        iterations: solver iterations (pivots or augmentations).
+    """
+
+    flows: List[int]
+    potentials: List[int]
+    cost: int
+    iterations: int = 0
+
+    def flow_on(self, edge: int) -> int:
+        return self.flows[edge]
+
+
+def edges_by_name(graph: FlowGraph) -> Dict[str, int]:
+    """Map edge names to edge ids (named edges only)."""
+    return {e.name: i for i, e in enumerate(graph.edges) if e.name}

@@ -1,0 +1,314 @@
+"""Primal network simplex with the first-eligible pivot rule.
+
+This is the solver configuration the paper names in §3.3.1 ("a network
+simplex algorithm with first eligible pivot rule"), reimplemented from
+scratch.  The implementation follows the classic strongly-feasible-tree
+method (Ahuja, Magnanti & Orlin, *Network Flows*, §11):
+
+* an artificial root with big-cost artificial arcs provides the initial
+  strongly feasible spanning tree;
+* the entering arc is the first arc violating its optimality condition in
+  a cyclic scan (Cunningham's first-eligible rule, guaranteeing finite
+  termination on strongly feasible trees);
+* the leaving arc is the *last* blocking arc encountered when traversing
+  the pivot cycle in its orientation starting from the apex, which
+  preserves strong feasibility.
+
+All arithmetic is exact integer arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.flow.graph import FlowGraph, FlowResult
+
+
+class InfeasibleFlowError(Exception):
+    """Raised when the instance admits no feasible flow."""
+
+
+class UnboundedFlowError(Exception):
+    """Raised when the instance has unbounded (negative-cycle) optimum."""
+
+
+class NetworkSimplex:
+    """Network simplex solver for one :class:`FlowGraph` instance.
+
+    Usage::
+
+        result = NetworkSimplex(graph).solve()
+
+    The graph is not modified; "infinite" capacities are replaced
+    internally by :meth:`FlowGraph.infinite_capacity_bound`.
+    """
+
+    def __init__(self, graph: FlowGraph):
+        if graph.total_supply_imbalance() != 0:
+            raise ValueError(
+                f"supplies sum to {graph.total_supply_imbalance()}, expected 0"
+            )
+        self.graph = graph
+        n = graph.num_nodes
+        self._root = n
+
+        # Edge arrays: original edges first, then n artificial arcs.
+        self._tail: List[int] = [e.tail for e in graph.edges]
+        self._head: List[int] = [e.head for e in graph.edges]
+        self._cap: List[int] = graph.resolved_capacities()
+        self._cost: List[int] = [e.cost for e in graph.edges]
+        self._flow: List[int] = [0] * graph.num_edges
+
+        big_cost = 1 + sum(abs(c) for c in self._cost)
+        art_cap = graph.infinite_capacity_bound()
+        self._num_real_edges = graph.num_edges
+        for node, supply in enumerate(graph.supplies):
+            if supply >= 0:
+                self._tail.append(node)
+                self._head.append(self._root)
+            else:
+                self._tail.append(self._root)
+                self._head.append(node)
+            self._cap.append(art_cap)
+            self._cost.append(big_cost)
+            self._flow.append(abs(supply))
+
+        # Spanning-tree state: the initial tree is the star of artificials.
+        self._parent: List[Optional[int]] = [self._root] * n + [None]
+        self._parent_edge: List[int] = [
+            self._num_real_edges + i for i in range(n)
+        ] + [-1]
+        self._depth: List[int] = [1] * n + [0]
+        self._pi: List[int] = [0] * (n + 1)
+        for node in range(n):
+            edge = self._parent_edge[node]
+            # Tree arcs have zero reduced cost: cost + pi[tail] - pi[head] = 0.
+            if self._tail[edge] == node:  # node -> root
+                self._pi[node] = -big_cost
+            else:  # root -> node
+                self._pi[node] = big_cost
+
+        # Basic-edge adjacency for subtree rebuilds after pivots.
+        self._adj: List[List[int]] = [[] for _ in range(n + 1)]
+        for node in range(n):
+            edge = self._parent_edge[node]
+            self._adj[node].append(edge)
+            self._adj[self._root].append(edge)
+
+        self._scan_pos = 0
+        self.iterations = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def solve(self, max_iterations: Optional[int] = None) -> FlowResult:
+        """Run pivots to optimality and return the solution.
+
+        Raises:
+            InfeasibleFlowError: when supplies cannot be routed.
+            RuntimeError: when ``max_iterations`` is exceeded (a safety
+                valve; the algorithm itself is finite).
+        """
+        num_edges_total = len(self._tail)
+        if max_iterations is None:
+            # Generous bound; Cunningham's rule is finite but we keep a
+            # hard stop so a bug can never hang a run.
+            max_iterations = 200 * num_edges_total * max(1, self.graph.num_nodes) + 10000
+
+        while True:
+            entering = self._find_entering_edge()
+            if entering is None:
+                break
+            self.iterations += 1
+            if self.iterations > max_iterations:
+                raise RuntimeError("network simplex exceeded iteration budget")
+            self._pivot(entering)
+
+        for edge in range(self._num_real_edges, num_edges_total):
+            if self._flow[edge] > 0:
+                raise InfeasibleFlowError(
+                    "no feasible flow: artificial arc still carries flow"
+                )
+
+        flows = self._flow[: self._num_real_edges]
+        cost = sum(f * c for f, c in zip(flows, self._cost))
+        potentials = self._pi[: self.graph.num_nodes]
+        return FlowResult(flows=flows, potentials=potentials, cost=cost,
+                          iterations=self.iterations)
+
+    # ------------------------------------------------------------------
+    # Pivoting
+    # ------------------------------------------------------------------
+
+    def _reduced_cost(self, edge: int) -> int:
+        return self._cost[edge] + self._pi[self._tail[edge]] - self._pi[self._head[edge]]
+
+    def _find_entering_edge(self) -> Optional[int]:
+        """First-eligible rule: cyclic scan for a violating non-tree arc."""
+        num_edges_total = len(self._tail)
+        for offset in range(num_edges_total):
+            edge = (self._scan_pos + offset) % num_edges_total
+            if self._cap[edge] == 0:
+                continue  # Zero-capacity arcs can never enter the basis.
+            flow = self._flow[edge]
+            if flow == 0:
+                if self._reduced_cost(edge) < 0:
+                    self._scan_pos = (edge + 1) % num_edges_total
+                    return edge
+            elif flow == self._cap[edge]:
+                if self._reduced_cost(edge) > 0:
+                    self._scan_pos = (edge + 1) % num_edges_total
+                    return edge
+            # Arcs strictly between bounds are basic (tree) arcs with zero
+            # reduced cost, or degenerate non-tree arcs that cannot improve.
+        return None
+
+    def _pivot(self, entering: int) -> None:
+        """Perform one pivot with ``entering`` as the entering arc."""
+        # Orientation: push along the arc if it sits at its lower bound,
+        # against it if it sits at its upper bound.
+        forward = self._flow[entering] == 0
+        if forward:
+            start, end = self._tail[entering], self._head[entering]
+        else:
+            start, end = self._head[entering], self._tail[entering]
+
+        apex = self._find_apex(start, end)
+        # Cycle in flow direction: apex -> ... -> start (down the tree,
+        # reversed path), entering arc, end -> ... -> apex (up the tree).
+        cycle: List[Tuple[int, bool]] = []  # (edge, traversed_forward)
+        down_path = self._path_to_ancestor(start, apex)
+        for edge, child in reversed(down_path):
+            # Traversing from apex toward `start`: the tree arc is walked
+            # from parent to child, i.e. forward iff its head is the child.
+            cycle.append((edge, self._head[edge] == child))
+        cycle.append((entering, forward))
+        for edge, child in self._path_to_ancestor(end, apex):
+            # Traversing from `end` up toward apex: forward iff its tail is
+            # the child.
+            cycle.append((edge, self._tail[edge] == child))
+
+        # Max augmentation and leaving arc: last blocking arc from apex.
+        delta: Optional[int] = None
+        leaving_index = -1
+        for index, (edge, fwd) in enumerate(cycle):
+            residual = self._cap[edge] - self._flow[edge] if fwd else self._flow[edge]
+            if delta is None or residual < delta:
+                delta = residual
+                leaving_index = index
+            elif residual == delta:
+                leaving_index = index
+        assert delta is not None
+        leaving, _ = cycle[leaving_index]
+
+        if delta > 0:
+            for edge, fwd in cycle:
+                if fwd:
+                    self._flow[edge] += delta
+                else:
+                    self._flow[edge] -= delta
+
+        if leaving == entering:
+            return  # The entering arc moved between its bounds; tree unchanged.
+
+        self._replace_tree_edge(leaving, entering)
+
+    def _find_apex(self, a: int, b: int) -> int:
+        """Lowest common ancestor of ``a`` and ``b`` in the tree."""
+        while a != b:
+            if self._depth[a] >= self._depth[b]:
+                a = self._parent[a]  # type: ignore[assignment]
+            else:
+                b = self._parent[b]  # type: ignore[assignment]
+        return a
+
+    def _path_to_ancestor(self, node: int, ancestor: int) -> List[Tuple[int, int]]:
+        """Tree path as ``(edge, child_node)`` pairs from ``node`` up."""
+        path: List[Tuple[int, int]] = []
+        while node != ancestor:
+            path.append((self._parent_edge[node], node))
+            node = self._parent[node]  # type: ignore[assignment]
+        return path
+
+    def _replace_tree_edge(self, leaving: int, entering: int) -> None:
+        """Swap arcs in the basis and rebuild the detached subtree."""
+        self._adj[self._tail[leaving]].remove(leaving)
+        self._adj[self._head[leaving]].remove(leaving)
+        self._adj[self._tail[entering]].append(entering)
+        self._adj[self._head[entering]].append(entering)
+
+        # The child side of the leaving arc is detached from the root.
+        if self._parent[self._tail[leaving]] == self._head[leaving]:
+            detached_seed = self._tail[leaving]
+        else:
+            detached_seed = self._head[leaving]
+
+        detached = self._collect_component(detached_seed, avoid=entering)
+        # One endpoint of the entering arc lies in the detached component;
+        # it becomes the component's attachment point.
+        if self._tail[entering] in detached:
+            attach = self._tail[entering]
+        else:
+            attach = self._head[entering]
+        self._parent[attach] = (
+            self._head[entering] if self._tail[entering] == attach
+            else self._tail[entering]
+        )
+        self._parent_edge[attach] = entering
+        self._rebuild_subtree(attach, detached)
+
+    def _collect_component(self, seed: int, avoid: int) -> set:
+        """Nodes reachable from ``seed`` over basic arcs, skipping ``avoid``."""
+        seen = {seed}
+        stack = [seed]
+        while stack:
+            node = stack.pop()
+            for edge in self._adj[node]:
+                if edge == avoid:
+                    continue
+                other = self._head[edge] if self._tail[edge] == node else self._tail[edge]
+                if other not in seen:
+                    seen.add(other)
+                    stack.append(other)
+        return seen
+
+    def _rebuild_subtree(self, attach: int, component: set) -> None:
+        """Recompute parent/depth/potentials inside ``component``.
+
+        ``attach`` already has its parent/parent_edge set to the entering
+        arc; everything else in the component re-hangs below it.
+        """
+        parent_of_attach = self._parent[attach]
+        assert parent_of_attach is not None
+        self._depth[attach] = self._depth[parent_of_attach] + 1
+        edge = self._parent_edge[attach]
+        if self._tail[edge] == attach:
+            self._pi[attach] = self._pi[self._head[edge]] - self._cost[edge]
+        else:
+            self._pi[attach] = self._pi[self._tail[edge]] + self._cost[edge]
+
+        stack = [attach]
+        visited = {attach}
+        while stack:
+            node = stack.pop()
+            for edge in self._adj[node]:
+                other = self._head[edge] if self._tail[edge] == node else self._tail[edge]
+                if other in visited or other not in component:
+                    continue
+                if other == self._parent[node] and self._parent_edge[node] == edge:
+                    continue
+                visited.add(other)
+                self._parent[other] = node
+                self._parent_edge[other] = edge
+                self._depth[other] = self._depth[node] + 1
+                if self._tail[edge] == node:
+                    self._pi[other] = self._pi[node] + self._cost[edge]
+                else:
+                    self._pi[other] = self._pi[node] - self._cost[edge]
+                stack.append(other)
+
+
+def solve_min_cost_flow(graph: FlowGraph) -> FlowResult:
+    """Solve ``graph`` with :class:`NetworkSimplex` (convenience wrapper)."""
+    return NetworkSimplex(graph).solve()

@@ -1,0 +1,80 @@
+"""Certificates for min-cost-flow solutions.
+
+Because all solver arithmetic is exact, optimality can be *proved* for any
+solution by checking primal feasibility plus complementary slackness with
+the returned potentials — no tolerance, no reference solver needed.  Tests
+lean on these checks heavily.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.flow.graph import FlowGraph, FlowResult
+
+
+def flow_cost(graph: FlowGraph, flows: Sequence[int]) -> int:
+    """Exact total cost of a flow vector."""
+    return sum(f * e.cost for f, e in zip(flows, graph.edges))
+
+
+def check_feasible_flow(graph: FlowGraph, flows: Sequence[int]) -> List[str]:
+    """Return a list of feasibility violations (empty when feasible).
+
+    Checks capacity bounds per edge and flow conservation per node against
+    the declared supplies.
+    """
+    problems: List[str] = []
+    if len(flows) != graph.num_edges:
+        return [f"flow vector has {len(flows)} entries for {graph.num_edges} edges"]
+
+    caps = graph.resolved_capacities()
+    for index, (edge, flow) in enumerate(zip(graph.edges, flows)):
+        label = edge.name or f"edge#{index}"
+        if flow < 0:
+            problems.append(f"{label}: negative flow {flow}")
+        if flow > caps[index]:
+            problems.append(f"{label}: flow {flow} exceeds capacity {caps[index]}")
+
+    balance = list(graph.supplies)
+    for edge, flow in zip(graph.edges, flows):
+        balance[edge.tail] -= flow
+        balance[edge.head] += flow
+    for node, residual in enumerate(balance):
+        if residual != 0:
+            problems.append(f"node {node}: conservation violated by {residual}")
+    return problems
+
+
+def check_complementary_slackness(
+    graph: FlowGraph, result: FlowResult
+) -> List[str]:
+    """Return complementary-slackness violations (empty when optimal).
+
+    With reduced cost ``rc = cost + pi[tail] - pi[head]``:
+
+    * ``flow < capacity`` requires ``rc >= 0``;
+    * ``flow > 0`` requires ``rc <= 0``.
+
+    Together with feasibility this certifies optimality of the flow.
+    """
+    problems = check_feasible_flow(graph, result.flows)
+    caps = graph.resolved_capacities()
+    pi = result.potentials
+    for index, (edge, flow) in enumerate(zip(graph.edges, result.flows)):
+        label = edge.name or f"edge#{index}"
+        reduced = edge.cost + pi[edge.tail] - pi[edge.head]
+        if flow < caps[index] and reduced < 0:
+            problems.append(
+                f"{label}: reduced cost {reduced} < 0 with slack capacity"
+            )
+        if flow > 0 and reduced > 0:
+            problems.append(f"{label}: reduced cost {reduced} > 0 with positive flow")
+    return problems
+
+
+def assert_optimal(graph: FlowGraph, result: FlowResult) -> None:
+    """Raise :class:`AssertionError` when ``result`` is not provably optimal."""
+    problems = check_complementary_slackness(graph, result)
+    if problems:
+        raise AssertionError("; ".join(problems[:10]))

@@ -1,0 +1,22 @@
+"""Global-placement substrate.
+
+Legalization consumes a GP solution; the paper takes those from the
+contest inputs.  Here, besides the clustered generator in
+:mod:`repro.benchgen`, two real GP sources are provided:
+
+* :mod:`repro.gp.perturb` — jitter a legal placement into a realistic
+  overlapping GP input with controllable difficulty (used by tests that
+  need a known-feasible optimum nearby);
+* :mod:`repro.gp.quadratic` — a small quadratic-wirelength analytic
+  placer (net star model, sparse least squares, spreading iterations)
+  used by the examples to drive the flow end to end from a netlist.
+"""
+
+from repro.gp.perturb import perturb_placement
+from repro.gp.quadratic import QuadraticPlacer, quadratic_global_placement
+
+__all__ = [
+    "QuadraticPlacer",
+    "perturb_placement",
+    "quadratic_global_placement",
+]

@@ -1,0 +1,53 @@
+"""Perturbed-legal GP inputs for controlled experiments.
+
+Several tests and ablations want a GP input whose *feasible* legalization
+is known to exist and whose difficulty is a single knob: take a legal
+placement, overwrite the design's GP positions with a jittered copy, and
+hand the design back to the legalizers.  The jitter magnitude controls
+how much work legalization has to do; the legal placement is kept as the
+known-feasible witness.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.model.design import Design
+from repro.model.placement import Placement
+
+
+def perturb_placement(
+    placement: Placement,
+    sigma_rows: float = 2.0,
+    seed: int = 0,
+    clamp: bool = True,
+) -> Design:
+    """Overwrite the design's GP with a Gaussian jitter of ``placement``.
+
+    Args:
+        placement: a (typically legal) placement of the design.
+        sigma_rows: jitter standard deviation, in row heights, applied to
+            both axes (x converted through the site/row ratio).
+        seed: RNG seed (deterministic).
+        clamp: keep jittered positions inside the chip.
+
+    Returns:
+        The same design object, with ``gp_x``/``gp_y`` updated for all
+        movable cells (fixed cells keep their positions).
+    """
+    design = placement.design
+    rng = random.Random(seed * 7_919 + 13)
+    sigma_x = sigma_rows * design.row_height / design.site_width
+
+    for cell in design.movable_cells():
+        cell_type = design.cell_type_of(cell)
+        gx = placement.x[cell] + rng.gauss(0.0, sigma_x)
+        gy = placement.y[cell] + rng.gauss(0.0, sigma_rows)
+        if clamp:
+            gx = min(max(0.0, gx), design.num_sites - cell_type.width)
+            gy = min(max(0.0, gy), design.num_rows - cell_type.height)
+        design.cells[cell].gp_x = gx
+        design.cells[cell].gp_y = gy
+    design._gp_x_array = None
+    design._gp_y_array = None
+    return design

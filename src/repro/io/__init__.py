@@ -1,0 +1,24 @@
+"""Design and placement persistence.
+
+Two formats: the library's own line-oriented text format
+(:mod:`repro.io.textformat`, full model fidelity) and the academic
+Bookshelf format (:mod:`repro.io.bookshelf`, interchange with other
+placers — geometry, fixed cells, and nets; no fences/rails).
+"""
+
+from repro.io.bookshelf import load_bookshelf, save_bookshelf
+from repro.io.textformat import (
+    load_design,
+    load_placement,
+    save_design,
+    save_placement,
+)
+
+__all__ = [
+    "load_bookshelf",
+    "load_design",
+    "load_placement",
+    "save_bookshelf",
+    "save_design",
+    "save_placement",
+]

@@ -1,0 +1,46 @@
+"""Placement data model.
+
+This subpackage is the substrate every algorithm in :mod:`repro` operates
+on: geometry primitives, the technology description (cell types, pins,
+edge-spacing rules, metal layers), power/ground rail grids, fence regions,
+the netlist, row/segment structures, and the :class:`~repro.model.design.Design`
+container tying them together with a mutable :class:`~repro.model.placement.Placement`.
+
+Coordinate conventions (see DESIGN.md §5):
+
+* x positions are integer site indices, y positions are integer row indices;
+* a cell occupies ``[x, x + width)`` sites and ``[y, y + height)`` rows;
+* displacement is reported in row-height units, converting x through
+  ``site_width / row_height``.
+"""
+
+from repro.model.design import Design
+from repro.model.fence import DEFAULT_FENCE, FenceRegion
+from repro.model.geometry import Interval, Point, Rect
+from repro.model.netlist import Net, Netlist, PinRef
+from repro.model.placement import CellState, Placement
+from repro.model.rails import Rail, RailGrid
+from repro.model.row import Row, Segment
+from repro.model.technology import CellType, EdgeSpacingTable, PinShape, Technology
+
+__all__ = [
+    "CellState",
+    "CellType",
+    "DEFAULT_FENCE",
+    "Design",
+    "EdgeSpacingTable",
+    "FenceRegion",
+    "Interval",
+    "Net",
+    "Netlist",
+    "PinRef",
+    "PinShape",
+    "Placement",
+    "Point",
+    "Rail",
+    "RailGrid",
+    "Rect",
+    "Row",
+    "Segment",
+    "Technology",
+]

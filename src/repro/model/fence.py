@@ -1,0 +1,95 @@
+"""Fence regions.
+
+A fence region is a union of rectangles (in site/row units).  Cells
+assigned to a fence must be placed entirely inside one of its rectangles;
+cells not assigned to any fence belong to the *default fence* — the chip
+area minus every explicit fence (paper §3, ISPD-2015 semantics [17]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.model.geometry import Interval, Rect
+
+#: Fence id of the default region (outside all explicit fences).
+DEFAULT_FENCE = 0
+
+
+@dataclass
+class FenceRegion:
+    """A named fence region made of one or more rectangles.
+
+    Attributes:
+        fence_id: positive integer identifier; 0 is reserved for the
+            default fence and never stored in a :class:`FenceRegion`.
+        name: human-readable name (contest group name).
+        rects: member rectangles in site/row units.  They may touch but are
+            expected not to overlap.
+    """
+
+    fence_id: int
+    name: str
+    rects: List[Rect] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.fence_id == DEFAULT_FENCE:
+            raise ValueError("fence id 0 is reserved for the default fence")
+        if self.fence_id < 0:
+            raise ValueError("fence ids must be positive")
+
+    def add_rect(self, rect: Rect) -> Rect:
+        self.rects.append(rect)
+        return rect
+
+    def contains_rect(self, rect: Rect) -> bool:
+        """True when ``rect`` fits entirely inside one member rectangle.
+
+        Contest fences are unions of non-overlapping rectangles, so a cell
+        is inside the fence iff it is inside a single member rectangle
+        (cells never straddle two disjoint rectangles).
+        """
+        return any(member.contains_rect(rect) for member in self.rects)
+
+    def overlaps_rect(self, rect: Rect) -> bool:
+        """True when ``rect`` intersects any member rectangle."""
+        return any(member.overlaps(rect) for member in self.rects)
+
+    def row_intervals(self, row: int, height: int = 1) -> List[Interval]:
+        """x-intervals of this fence fully covering rows ``[row, row+height)``.
+
+        A multi-row cell needs the fence to cover all of its rows at the
+        same x, so the usable intervals are the intersection over the
+        spanned rows of the per-row coverage.
+        """
+        result: List[Interval] = []
+        for member in self.rects:
+            if member.ylo <= row and row + height <= member.yhi:
+                result.append(member.x_interval)
+        result.sort(key=lambda iv: iv.lo)
+        return result
+
+    @property
+    def bounding_box(self) -> Rect:
+        """Bounding box of all member rectangles.
+
+        Raises:
+            ValueError: for a fence with no rectangles.
+        """
+        if not self.rects:
+            raise ValueError(f"fence {self.name!r} has no rectangles")
+        box = self.rects[0]
+        for member in self.rects[1:]:
+            box = box.union_span(member)
+        return box
+
+
+def fences_overlap(fences: Sequence[FenceRegion]) -> bool:
+    """True when any two distinct fences share area (invalid input)."""
+    for i, fence_a in enumerate(fences):
+        for fence_b in fences[i + 1 :]:
+            for rect_a in fence_a.rects:
+                if fence_b.overlaps_rect(rect_a):
+                    return True
+    return False

@@ -1,0 +1,215 @@
+"""Geometry primitives used throughout the placement model.
+
+All coordinates here are plain numbers (typically integers in site/row
+units).  The classes are deliberately small, immutable value objects so they
+can be hashed, stored in sets, and compared in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """A 2-D point ``(x, y)``."""
+
+    x: float
+    y: float
+
+    def manhattan(self, other: "Point") -> float:
+        """Manhattan distance to ``other``."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a copy shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A half-open 1-D interval ``[lo, hi)``.
+
+    Empty intervals (``hi <= lo``) are permitted and behave as expected:
+    they overlap nothing and contain nothing.
+    """
+
+    lo: float
+    hi: float
+
+    @property
+    def length(self) -> float:
+        """Interval length, never negative."""
+        return max(0.0, self.hi - self.lo)
+
+    @property
+    def empty(self) -> bool:
+        """True when the interval contains no point."""
+        return self.hi <= self.lo
+
+    def contains(self, x: float) -> bool:
+        """True when ``lo <= x < hi``."""
+        return self.lo <= x < self.hi
+
+    def contains_interval(self, other: "Interval") -> bool:
+        """True when ``other`` lies entirely inside this interval."""
+        return other.empty or (self.lo <= other.lo and other.hi <= self.hi)
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True when the two intervals share a point (open overlap)."""
+        return self.lo < other.hi and other.lo < self.hi
+
+    def intersect(self, other: "Interval") -> "Interval":
+        """Intersection of the two intervals (possibly empty)."""
+        return Interval(max(self.lo, other.lo), min(self.hi, other.hi))
+
+    def union_span(self, other: "Interval") -> "Interval":
+        """Smallest interval covering both inputs."""
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def shifted(self, delta: float) -> "Interval":
+        """Return a copy shifted by ``delta``."""
+        return Interval(self.lo + delta, self.hi + delta)
+
+    def clamp(self, x: float) -> float:
+        """Clamp ``x`` into ``[lo, hi]`` (closed on both ends)."""
+        return min(max(x, self.lo), self.hi)
+
+
+@dataclass(frozen=True, order=True)
+class Rect:
+    """An axis-aligned rectangle ``[xlo, xhi) x [ylo, yhi)``."""
+
+    xlo: float
+    ylo: float
+    xhi: float
+    yhi: float
+
+    @property
+    def width(self) -> float:
+        return max(0.0, self.xhi - self.xlo)
+
+    @property
+    def height(self) -> float:
+        return max(0.0, self.yhi - self.ylo)
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def empty(self) -> bool:
+        return self.xhi <= self.xlo or self.yhi <= self.ylo
+
+    @property
+    def x_interval(self) -> Interval:
+        return Interval(self.xlo, self.xhi)
+
+    @property
+    def y_interval(self) -> Interval:
+        return Interval(self.ylo, self.yhi)
+
+    @property
+    def center(self) -> Point:
+        return Point((self.xlo + self.xhi) / 2.0, (self.ylo + self.yhi) / 2.0)
+
+    def contains_point(self, x: float, y: float) -> bool:
+        """True when ``(x, y)`` lies inside the half-open rectangle."""
+        return self.xlo <= x < self.xhi and self.ylo <= y < self.yhi
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """True when ``other`` lies entirely inside this rectangle."""
+        if other.empty:
+            return True
+        return (
+            self.xlo <= other.xlo
+            and other.xhi <= self.xhi
+            and self.ylo <= other.ylo
+            and other.yhi <= self.yhi
+        )
+
+    def overlaps(self, other: "Rect") -> bool:
+        """True when the two rectangles share interior area."""
+        return (
+            self.xlo < other.xhi
+            and other.xlo < self.xhi
+            and self.ylo < other.yhi
+            and other.ylo < self.yhi
+        )
+
+    def intersect(self, other: "Rect") -> "Rect":
+        """Intersection rectangle (possibly empty)."""
+        return Rect(
+            max(self.xlo, other.xlo),
+            max(self.ylo, other.ylo),
+            min(self.xhi, other.xhi),
+            min(self.yhi, other.yhi),
+        )
+
+    def union_span(self, other: "Rect") -> "Rect":
+        """Bounding box of the two rectangles."""
+        return Rect(
+            min(self.xlo, other.xlo),
+            min(self.ylo, other.ylo),
+            max(self.xhi, other.xhi),
+            max(self.yhi, other.yhi),
+        )
+
+    def translated(self, dx: float, dy: float) -> "Rect":
+        """Return a copy shifted by ``(dx, dy)``."""
+        return Rect(self.xlo + dx, self.ylo + dy, self.xhi + dx, self.yhi + dy)
+
+    def inflated(self, margin: float) -> "Rect":
+        """Return a copy grown by ``margin`` on all four sides."""
+        return Rect(
+            self.xlo - margin, self.ylo - margin, self.xhi + margin, self.yhi + margin
+        )
+
+
+def subtract_intervals(base: Interval, holes: Iterable[Interval]) -> List[Interval]:
+    """Subtract ``holes`` from ``base`` and return the remaining pieces.
+
+    The result is a sorted list of disjoint, non-empty intervals.  Used to
+    carve row segments out of rows around blockages and fences.
+    """
+    pieces = [base] if not base.empty else []
+    for hole in sorted(holes, key=lambda iv: iv.lo):
+        if hole.empty:
+            continue
+        next_pieces: List[Interval] = []
+        for piece in pieces:
+            if not piece.overlaps(hole):
+                next_pieces.append(piece)
+                continue
+            left = Interval(piece.lo, min(piece.hi, hole.lo))
+            right = Interval(max(piece.lo, hole.hi), piece.hi)
+            if not left.empty:
+                next_pieces.append(left)
+            if not right.empty:
+                next_pieces.append(right)
+        pieces = next_pieces
+    return pieces
+
+
+def merge_intervals(intervals: Iterable[Interval]) -> List[Interval]:
+    """Merge overlapping/touching intervals into a minimal disjoint list."""
+    items = sorted((iv for iv in intervals if not iv.empty), key=lambda iv: iv.lo)
+    merged: List[Interval] = []
+    for iv in items:
+        if merged and iv.lo <= merged[-1].hi:
+            merged[-1] = Interval(merged[-1].lo, max(merged[-1].hi, iv.hi))
+        else:
+            merged.append(iv)
+    return merged
+
+
+def iter_pairs(values: Iterable) -> Iterator[Tuple]:
+    """Yield consecutive pairs ``(values[i], values[i+1])``."""
+    prev: Optional[object] = None
+    first = True
+    for value in values:
+        if not first:
+            yield prev, value
+        prev = value
+        first = False

@@ -1,0 +1,108 @@
+"""Netlist: nets connecting cell pins, plus HPWL evaluation.
+
+Legalization itself optimizes displacement, but the contest score (paper
+Eq. 10) penalizes the *increase* in half-perimeter wirelength (HPWL), so
+the checker needs net connectivity.  Pin positions are resolved through the
+owning cell's type and current placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class PinRef:
+    """A reference to one pin of one cell instance.
+
+    Attributes:
+        cell: cell instance index in the design.
+        pin: pin name within the cell's type; ``None`` refers to the cell
+            center (used for abstract/synthetic netlists without physical
+            pin geometry).
+    """
+
+    cell: int
+    pin: Optional[str] = None
+
+
+@dataclass
+class Net:
+    """A net connecting cell pins and optional fixed terminal points.
+
+    Attributes:
+        name: net name.
+        pins: connected cell pins.
+        terminals: fixed ``(x, y)`` points in length units (IO terminals).
+    """
+
+    name: str
+    pins: List[PinRef] = field(default_factory=list)
+    terminals: List[Tuple[float, float]] = field(default_factory=list)
+
+    @property
+    def degree(self) -> int:
+        """Number of connected points (pins plus fixed terminals)."""
+        return len(self.pins) + len(self.terminals)
+
+
+class Netlist:
+    """A collection of nets with per-cell connectivity indexing."""
+
+    def __init__(self, nets: Optional[Iterable[Net]] = None):
+        self.nets: List[Net] = list(nets or ())
+        self._cell_to_nets: Optional[Dict[int, List[int]]] = None
+
+    def add_net(self, net: Net) -> Net:
+        """Append a net and invalidate the connectivity index."""
+        self.nets.append(net)
+        self._cell_to_nets = None
+        return net
+
+    def nets_of_cell(self, cell: int) -> List[int]:
+        """Indices of nets touching ``cell`` (built lazily, cached)."""
+        if self._cell_to_nets is None:
+            index: Dict[int, List[int]] = {}
+            for net_index, net in enumerate(self.nets):
+                for pin in net.pins:
+                    index.setdefault(pin.cell, []).append(net_index)
+            self._cell_to_nets = index
+        return self._cell_to_nets.get(cell, [])
+
+    def __len__(self) -> int:
+        return len(self.nets)
+
+    def __iter__(self):
+        return iter(self.nets)
+
+
+def hpwl(
+    netlist: Netlist,
+    positions: Sequence[Tuple[float, float]],
+) -> float:
+    """Total half-perimeter wirelength in length units.
+
+    Args:
+        netlist: the nets to measure.
+        positions: per-cell pin anchor positions ``(x, y)`` in length units
+            (typically cell centers; physical pin offsets shift HPWL by a
+            placement-independent amount for single-pin-per-net-per-cell
+            netlists, so centers are the standard approximation).
+
+    Nets with fewer than two points contribute zero.
+    """
+    total = 0.0
+    for net in netlist.nets:
+        xs: List[float] = []
+        ys: List[float] = []
+        for pin in net.pins:
+            x, y = positions[pin.cell]
+            xs.append(x)
+            ys.append(y)
+        for x, y in net.terminals:
+            xs.append(x)
+            ys.append(y)
+        if len(xs) >= 2:
+            total += (max(xs) - min(xs)) + (max(ys) - min(ys))
+    return total

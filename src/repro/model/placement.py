@@ -1,0 +1,148 @@
+"""Mutable placement state.
+
+A :class:`Placement` stores the legalized (or in-progress) integer
+site/row position of every cell of a design.  Global-placement input
+positions live on the design itself (they are immutable reference data);
+the placement only holds the current positions being optimized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.model.geometry import Rect
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.model.design import Design
+
+
+@dataclass(frozen=True)
+class CellState:
+    """A snapshot of one cell's current position."""
+
+    cell: int
+    x: int
+    y: int
+
+
+class Placement:
+    """Integer positions ``(x site, y row)`` for every cell of a design.
+
+    The placement does not enforce legality; it is plain state that
+    algorithms mutate and checkers validate.
+    """
+
+    def __init__(self, design: "Design", x: Optional[Sequence[int]] = None,
+                 y: Optional[Sequence[int]] = None):
+        self.design = design
+        n = design.num_cells
+        if x is None:
+            x = [0] * n
+        if y is None:
+            y = [0] * n
+        if len(x) != n or len(y) != n:
+            raise ValueError(
+                f"placement size mismatch: design has {n} cells, "
+                f"got {len(x)} x / {len(y)} y positions"
+            )
+        self.x: List[int] = [int(v) for v in x]
+        self.y: List[int] = [int(v) for v in y]
+
+    @classmethod
+    def from_gp_rounded(cls, design: "Design") -> "Placement":
+        """Seed a placement by rounding GP positions to sites/rows.
+
+        The result is generally illegal (overlaps, fence violations); it is
+        the standard starting state handed to a legalizer.
+        """
+        x = [int(round(design.gp_x[i])) for i in range(design.num_cells)]
+        y = [int(round(design.gp_y[i])) for i in range(design.num_cells)]
+        return cls(design, x, y)
+
+    def copy(self) -> "Placement":
+        """Deep copy of the position state (shares the design)."""
+        return Placement(self.design, list(self.x), list(self.y))
+
+    def move(self, cell: int, x: int, y: int) -> None:
+        """Place ``cell`` at ``(x, y)``."""
+        self.x[cell] = int(x)
+        self.y[cell] = int(y)
+
+    def position(self, cell: int) -> Tuple[int, int]:
+        """Current ``(x, y)`` of ``cell``."""
+        return self.x[cell], self.y[cell]
+
+    def rect(self, cell: int) -> Rect:
+        """Occupied rectangle of ``cell`` in site/row units."""
+        cell_type = self.design.cell_type_of(cell)
+        x, y = self.x[cell], self.y[cell]
+        return Rect(x, y, x + cell_type.width, y + cell_type.height)
+
+    def center_length_units(self, cell: int) -> Tuple[float, float]:
+        """Cell center in length units (for HPWL)."""
+        design = self.design
+        cell_type = design.cell_type_of(cell)
+        cx = (self.x[cell] + cell_type.width / 2.0) * design.site_width
+        cy = (self.y[cell] + cell_type.height / 2.0) * design.row_height
+        return cx, cy
+
+    def centers_length_units(self) -> List[Tuple[float, float]]:
+        """All cell centers in length units."""
+        return [self.center_length_units(i) for i in range(self.design.num_cells)]
+
+    def displacement(self, cell: int) -> float:
+        """Displacement of ``cell`` from GP, in row-height units (Eq. 1).
+
+        x distance is converted through ``site_width / row_height`` so both
+        axes are measured "in numbers of single row heights" as the paper
+        and the ICCAD-2017 contest specify.
+        """
+        design = self.design
+        dx = abs(self.x[cell] - design.gp_x[cell]) * design.x_unit_rows
+        dy = abs(self.y[cell] - design.gp_y[cell])
+        return dx + dy
+
+    def displacements(self) -> np.ndarray:
+        """Vector of all per-cell displacements in row-height units."""
+        design = self.design
+        x = np.asarray(self.x, dtype=float)
+        y = np.asarray(self.y, dtype=float)
+        dx = np.abs(x - design.gp_x_array) * design.x_unit_rows
+        dy = np.abs(y - design.gp_y_array)
+        return dx + dy
+
+    def total_displacement_sites(self) -> float:
+        """Total Manhattan displacement in *site* units.
+
+        This is the objective used for Table 2 comparisons with prior work
+        (total displacement in sites, unweighted).  y distance converts at
+        ``row_height / site_width`` sites per row.
+        """
+        design = self.design
+        x = np.asarray(self.x, dtype=float)
+        y = np.asarray(self.y, dtype=float)
+        dx = np.abs(x - design.gp_x_array)
+        dy = np.abs(y - design.gp_y_array) * (design.row_height / design.site_width)
+        return float(np.sum(dx + dy))
+
+    def snapshot(self, cells: Optional[Iterable[int]] = None) -> List[CellState]:
+        """Immutable snapshot of (a subset of) cell positions."""
+        indices = range(self.design.num_cells) if cells is None else cells
+        return [CellState(i, self.x[i], self.y[i]) for i in indices]
+
+    def restore(self, states: Iterable[CellState]) -> None:
+        """Undo positions to a previous :meth:`snapshot`."""
+        for state in states:
+            self.x[state.cell] = state.x
+            self.y[state.cell] = state.y
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Placement):
+            return NotImplemented
+        return self.x == other.x and self.y == other.y and self.design is other.design
+
+    def __repr__(self) -> str:
+        return f"Placement({self.design.num_cells} cells)"

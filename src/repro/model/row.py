@@ -1,0 +1,151 @@
+"""Rows and row segments.
+
+The placement area is a stack of rows (row ``r`` spans ``[r, r+1)`` in row
+units).  Each row is partitioned into *segments*: maximal x-intervals of
+usable sites that lie entirely inside one fence region (or the default
+fence) and contain no blockage.  Cells may only occupy sites of segments
+whose fence id matches their own, and multi-row cells need vertically
+aligned segments of the same fence across all spanned rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.model.fence import DEFAULT_FENCE, FenceRegion
+from repro.model.geometry import Interval, Rect, subtract_intervals
+
+
+@dataclass(frozen=True)
+class Row:
+    """One placement row.
+
+    Attributes:
+        index: row index (y coordinate of its bottom edge, in row units).
+        x_lo: first usable site.
+        x_hi: one past the last usable site.
+    """
+
+    index: int
+    x_lo: int
+    x_hi: int
+
+    @property
+    def num_sites(self) -> int:
+        return max(0, self.x_hi - self.x_lo)
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A maximal usable x-interval of one row within one fence region.
+
+    Attributes:
+        row: row index.
+        x_lo: first site of the segment.
+        x_hi: one past the last site.
+        fence_id: fence region owning the segment (0 = default fence).
+    """
+
+    row: int
+    x_lo: int
+    x_hi: int
+    fence_id: int
+
+    @property
+    def width(self) -> int:
+        return max(0, self.x_hi - self.x_lo)
+
+    @property
+    def interval(self) -> Interval:
+        return Interval(self.x_lo, self.x_hi)
+
+    def contains_span(self, x_lo: float, x_hi: float) -> bool:
+        """True when ``[x_lo, x_hi)`` lies inside the segment."""
+        return self.x_lo <= x_lo and x_hi <= self.x_hi
+
+
+def build_row_segments(
+    rows: Sequence[Row],
+    fences: Sequence[FenceRegion],
+    blockages: Sequence[Rect] = (),
+) -> Dict[int, List[Segment]]:
+    """Partition every row into fence-homogeneous, blockage-free segments.
+
+    Args:
+        rows: the placement rows.
+        fences: explicit fence regions; area outside all of them belongs to
+            the default fence (id 0).
+        blockages: unusable rectangles in site/row units.
+
+    Returns:
+        Mapping from row index to its segments sorted by ``x_lo``.
+
+    The segments of one row are disjoint.  Explicit fences are assumed not
+    to overlap each other (checked by the design validator); where a fence
+    rectangle covers only part of a row's span the row is split at the
+    fence's x boundaries so that each segment has a single fence id.
+    """
+    segments: Dict[int, List[Segment]] = {}
+    for row in rows:
+        base = Interval(row.x_lo, row.x_hi)
+        row_band = Interval(row.index, row.index + 1)
+
+        holes = [
+            rect.x_interval
+            for rect in blockages
+            if rect.y_interval.overlaps(row_band) and not rect.x_interval.empty
+        ]
+        free = subtract_intervals(base, holes)
+
+        # Fence rectangles crossing this row, as (interval, fence_id).
+        fence_spans: List[Tuple[Interval, int]] = []
+        for fence in fences:
+            for rect in fence.rects:
+                if rect.y_interval.overlaps(row_band):
+                    fence_spans.append((rect.x_interval, fence.fence_id))
+        fence_spans.sort(key=lambda item: item[0].lo)
+
+        row_segments: List[Segment] = []
+        for piece in free:
+            row_segments.extend(_split_by_fences(row.index, piece, fence_spans))
+        row_segments.sort(key=lambda seg: seg.x_lo)
+        segments[row.index] = row_segments
+    return segments
+
+
+def _split_by_fences(
+    row_index: int,
+    piece: Interval,
+    fence_spans: Sequence[Tuple[Interval, int]],
+) -> List[Segment]:
+    """Split one free interval at fence boundaries.
+
+    Parts covered by a fence rectangle get that fence's id; uncovered parts
+    get the default fence id.
+    """
+    cuts = {piece.lo, piece.hi}
+    for span, _ in fence_spans:
+        clipped = span.intersect(piece)
+        if not clipped.empty:
+            cuts.add(clipped.lo)
+            cuts.add(clipped.hi)
+    ordered = sorted(cuts)
+
+    segments: List[Segment] = []
+    for lo, hi in zip(ordered, ordered[1:]):
+        if hi <= lo:
+            continue
+        mid = (lo + hi) / 2.0
+        fence_id = DEFAULT_FENCE
+        for span, span_fence in fence_spans:
+            if span.contains(mid):
+                fence_id = span_fence
+                break
+        segment = Segment(row_index, int(lo), int(hi), fence_id)
+        if segments and segments[-1].x_hi == segment.x_lo and segments[-1].fence_id == fence_id:
+            # Merge adjacent same-fence pieces created by redundant cuts.
+            segments[-1] = Segment(row_index, segments[-1].x_lo, segment.x_hi, fence_id)
+        else:
+            segments.append(segment)
+    return segments

@@ -1,0 +1,199 @@
+"""Technology description: cell types, pin shapes, and edge-spacing rules.
+
+A :class:`CellType` is the master definition shared by all instances of a
+cell (its footprint in sites/rows, its signal-pin shapes per metal layer,
+and the edge types of its left and right boundaries).  The
+:class:`EdgeSpacingTable` stores the minimum site spacing required between
+two abutting cell edges, mirroring the edge-type rules of the ISPD-2015 /
+ICCAD-2017 contest formats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.model.geometry import Rect
+
+#: Edge type used by cells with no special spacing requirement.
+DEFAULT_EDGE_TYPE = 0
+
+
+@dataclass(frozen=True)
+class PinShape:
+    """A signal-pin rectangle in cell-local coordinates.
+
+    ``rect`` is expressed in the same abstract length unit used by
+    :class:`~repro.model.design.Design` (see ``site_width``/``row_height``),
+    with the cell's lower-left corner at the origin and the cell unflipped.
+
+    Attributes:
+        name: pin name, unique within the cell type.
+        layer: metal layer index (1 = M1, 2 = M2, ...).
+        rect: pin shape relative to the cell origin.
+    """
+
+    name: str
+    layer: int
+    rect: Rect
+
+    def placed(self, x_len: float, y_len: float) -> Rect:
+        """Pin rectangle when the cell origin is at ``(x_len, y_len)``.
+
+        Both arguments are in length units (site index times site width,
+        row index times row height).
+        """
+        return self.rect.translated(x_len, y_len)
+
+
+@dataclass(frozen=True)
+class CellType:
+    """A standard-cell master of a given footprint.
+
+    Attributes:
+        name: unique type name, e.g. ``"INV_X1"`` or ``"FF2_X4"``.
+        width: footprint width in sites.
+        height: footprint height in rows (1 for simple cells, >= 2 for
+            multi-row cells).
+        pins: signal-pin shapes (power pins are modelled by the rail grid,
+            not per cell).
+        left_edge: edge type of the left boundary for edge-spacing rules.
+        right_edge: edge type of the right boundary.
+    """
+
+    name: str
+    width: int
+    height: int
+    pins: Tuple[PinShape, ...] = ()
+    left_edge: int = DEFAULT_EDGE_TYPE
+    right_edge: int = DEFAULT_EDGE_TYPE
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError(f"cell type {self.name!r}: width must be positive")
+        if self.height <= 0:
+            raise ValueError(f"cell type {self.name!r}: height must be positive")
+
+    @property
+    def is_multi_row(self) -> bool:
+        """True for cells spanning more than one row."""
+        return self.height > 1
+
+    @property
+    def parity_constrained(self) -> bool:
+        """True when P/G alignment restricts the bottom-row parity.
+
+        Even-height cells cannot be flipped into alignment, so their bottom
+        row parity is fixed; odd-height cells can always be flipped.
+        """
+        return self.height % 2 == 0
+
+    def pin_named(self, name: str) -> PinShape:
+        """Look up a pin by name.
+
+        Raises:
+            KeyError: when the cell type has no such pin.
+        """
+        for pin in self.pins:
+            if pin.name == name:
+                return pin
+        raise KeyError(f"cell type {self.name!r} has no pin {name!r}")
+
+
+class EdgeSpacingTable:
+    """Minimum spacing (in sites) between pairs of cell edge types.
+
+    The table is symmetric: the spacing between edge types ``(a, b)`` equals
+    the spacing between ``(b, a)``.  Pairs not present in the table require
+    no spacing (0 sites), matching the contest semantics where only listed
+    edge-type pairs carry rules.
+    """
+
+    def __init__(self, rules: Optional[Iterable[Tuple[int, int, int]]] = None):
+        """Create a table from ``(edge_a, edge_b, spacing_sites)`` triples."""
+        self._rules: Dict[Tuple[int, int], int] = {}
+        for edge_a, edge_b, spacing in rules or ():
+            self.set_spacing(edge_a, edge_b, spacing)
+
+    def set_spacing(self, edge_a: int, edge_b: int, spacing: int) -> None:
+        """Set the required spacing between two edge types."""
+        if spacing < 0:
+            raise ValueError("edge spacing must be non-negative")
+        self._rules[self._key(edge_a, edge_b)] = spacing
+
+    def spacing(self, edge_a: int, edge_b: int) -> int:
+        """Required spacing in sites between ``edge_a`` and ``edge_b``."""
+        return self._rules.get(self._key(edge_a, edge_b), 0)
+
+    def max_spacing(self) -> int:
+        """Largest spacing in the table (0 when empty)."""
+        return max(self._rules.values(), default=0)
+
+    def items(self) -> List[Tuple[int, int, int]]:
+        """All rules as sorted ``(edge_a, edge_b, spacing)`` triples."""
+        return sorted((a, b, s) for (a, b), s in self._rules.items())
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EdgeSpacingTable):
+            return NotImplemented
+        return self._rules == other._rules
+
+    @staticmethod
+    def _key(edge_a: int, edge_b: int) -> Tuple[int, int]:
+        return (edge_a, edge_b) if edge_a <= edge_b else (edge_b, edge_a)
+
+
+@dataclass
+class Technology:
+    """The technology library: cell types plus edge-spacing rules.
+
+    Attributes:
+        cell_types: masters indexed implicitly by position; use
+            :meth:`type_named` for name lookup.
+        edge_spacing: pairwise edge-type spacing rules.
+        num_layers: number of routing metal layers modelled (pin access on
+            layer ``k`` checks rails on layer ``k + 1``).
+    """
+
+    cell_types: List[CellType] = field(default_factory=list)
+    edge_spacing: EdgeSpacingTable = field(default_factory=EdgeSpacingTable)
+    num_layers: int = 4
+
+    def __post_init__(self) -> None:
+        self._by_name: Dict[str, CellType] = {}
+        for cell_type in self.cell_types:
+            self._register(cell_type)
+
+    def _register(self, cell_type: CellType) -> None:
+        if cell_type.name in self._by_name:
+            raise ValueError(f"duplicate cell type name {cell_type.name!r}")
+        self._by_name[cell_type.name] = cell_type
+
+    def add_cell_type(self, cell_type: CellType) -> CellType:
+        """Register a new master and return it."""
+        self._register(cell_type)
+        self.cell_types.append(cell_type)
+        return cell_type
+
+    def type_named(self, name: str) -> CellType:
+        """Look up a master by name.
+
+        Raises:
+            KeyError: when no master has that name.
+        """
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"unknown cell type {name!r}") from None
+
+    @property
+    def max_height(self) -> int:
+        """Largest cell height ``H`` in rows (0 for an empty library)."""
+        return max((ct.height for ct in self.cell_types), default=0)
+
+    def heights(self) -> List[int]:
+        """Sorted distinct cell heights present in the library."""
+        return sorted({ct.height for ct in self.cell_types})

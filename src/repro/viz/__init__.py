@@ -1,0 +1,10 @@
+"""Placement visualization (dependency-free SVG writer).
+
+Renders placements in the style of the paper's figures: cell rectangles
+colored by height, fence regions, P/G rail stripes, and the red
+displacement vectors of Fig. 6 connecting cells to their GP positions.
+"""
+
+from repro.viz.svg import render_placement_svg, render_displacement_svg
+
+__all__ = ["render_displacement_svg", "render_placement_svg"]

@@ -1,0 +1,146 @@
+"""SVG rendering of designs and placements.
+
+No plotting library is assumed; the functions emit plain SVG strings.
+Coordinates are mapped so one site is ``pixels_per_site`` px wide and one
+row ``pixels_per_row`` px tall, with y flipped (row 0 at the bottom, as in
+the paper's figures).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.model.placement import Placement
+
+_HEIGHT_COLORS = {
+    1: "#9ecae1",
+    2: "#fdae6b",
+    3: "#a1d99b",
+    4: "#bcbddc",
+}
+_FENCE_COLORS = ["#fee0d2", "#e5f5e0", "#deebf7", "#fff7bc"]
+
+
+class _SvgBuilder:
+    def __init__(self, width: float, height: float):
+        self.width = width
+        self.height = height
+        self.parts: List[str] = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0f}" '
+            f'height="{height:.0f}" viewBox="0 0 {width:.0f} {height:.0f}">',
+            f'<rect x="0" y="0" width="{width:.0f}" height="{height:.0f}" '
+            f'fill="white"/>',
+        ]
+
+    def rect(self, x: float, y: float, w: float, h: float, fill: str,
+             stroke: str = "#555", opacity: float = 1.0, stroke_width: float = 0.5):
+        self.parts.append(
+            f'<rect x="{x:.2f}" y="{y:.2f}" width="{w:.2f}" height="{h:.2f}" '
+            f'fill="{fill}" stroke="{stroke}" stroke-width="{stroke_width}" '
+            f'fill-opacity="{opacity}"/>'
+        )
+
+    def line(self, x1: float, y1: float, x2: float, y2: float, stroke: str,
+             width: float = 1.0):
+        self.parts.append(
+            f'<line x1="{x1:.2f}" y1="{y1:.2f}" x2="{x2:.2f}" y2="{y2:.2f}" '
+            f'stroke="{stroke}" stroke-width="{width}"/>'
+        )
+
+    def text(self, x: float, y: float, content: str, size: float = 10.0):
+        self.parts.append(
+            f'<text x="{x:.2f}" y="{y:.2f}" font-size="{size}" '
+            f'font-family="sans-serif">{content}</text>'
+        )
+
+    def render(self) -> str:
+        return "\n".join(self.parts + ["</svg>"])
+
+
+def render_placement_svg(
+    placement: Placement,
+    pixels_per_site: float = 4.0,
+    pixels_per_row: float = 12.0,
+    show_rails: bool = True,
+    highlight: Optional[Iterable[int]] = None,
+) -> str:
+    """Render a placement: fences, rails, and cells colored by height."""
+    design = placement.design
+    svg = _SvgBuilder(
+        design.num_sites * pixels_per_site, design.num_rows * pixels_per_row
+    )
+
+    def to_px(x_sites: float, y_rows: float):
+        return (
+            x_sites * pixels_per_site,
+            svg.height - y_rows * pixels_per_row,
+        )
+
+    for index, fence in enumerate(design.fences):
+        for rect in fence.rects:
+            x, y = to_px(rect.xlo, rect.yhi)
+            svg.rect(
+                x, y, rect.width * pixels_per_site, rect.height * pixels_per_row,
+                fill=_FENCE_COLORS[index % len(_FENCE_COLORS)],
+                stroke="#c33", stroke_width=1.0,
+            )
+
+    if show_rails:
+        x_scale = pixels_per_site / design.site_width
+        y_scale = pixels_per_row / design.row_height
+        for rail in design.rails.rails:
+            if rail.orientation == "h":
+                for stripe in rail.stripes_in(rail.span.lo, rail.span.hi):
+                    y_px = svg.height - stripe.hi * y_scale
+                    svg.rect(0, y_px, svg.width,
+                             max(1.0, (stripe.hi - stripe.lo) * y_scale),
+                             fill="#e6550d", stroke="none", opacity=0.35)
+            else:
+                for stripe in rail.stripes_in(rail.span.lo, rail.span.hi):
+                    x_px = stripe.lo * x_scale
+                    svg.rect(x_px, 0,
+                             max(1.0, (stripe.hi - stripe.lo) * x_scale),
+                             svg.height, fill="#756bb1", stroke="none",
+                             opacity=0.35)
+
+    chosen = set(highlight or ())
+    for cell in range(design.num_cells):
+        cell_type = design.cell_type_of(cell)
+        rect = placement.rect(cell)
+        x, y = to_px(rect.xlo, rect.yhi)
+        fill = (
+            "#e34a33" if cell in chosen
+            else _HEIGHT_COLORS.get(cell_type.height, "#cccccc")
+        )
+        svg.rect(
+            x, y, rect.width * pixels_per_site, rect.height * pixels_per_row,
+            fill=fill,
+        )
+    return svg.render()
+
+
+def render_displacement_svg(
+    placement: Placement,
+    cells: Optional[Sequence[int]] = None,
+    pixels_per_site: float = 4.0,
+    pixels_per_row: float = 12.0,
+) -> str:
+    """Fig. 6 style: cells plus red lines to their GP positions."""
+    design = placement.design
+    base = render_placement_svg(
+        placement, pixels_per_site, pixels_per_row,
+        show_rails=False, highlight=cells,
+    )
+    lines: List[str] = []
+    height_px = design.num_rows * pixels_per_row
+    for cell in cells if cells is not None else range(design.num_cells):
+        cell_type = design.cell_type_of(cell)
+        cx = (placement.x[cell] + cell_type.width / 2.0) * pixels_per_site
+        cy = height_px - (placement.y[cell] + cell_type.height / 2.0) * pixels_per_row
+        gx = (design.gp_x[cell] + cell_type.width / 2.0) * pixels_per_site
+        gy = height_px - (design.gp_y[cell] + cell_type.height / 2.0) * pixels_per_row
+        lines.append(
+            f'<line x1="{cx:.2f}" y1="{cy:.2f}" x2="{gx:.2f}" y2="{gy:.2f}" '
+            f'stroke="#d62728" stroke-width="1.2" stroke-opacity="0.8"/>'
+        )
+    return base.replace("</svg>", "\n".join(lines) + "\n</svg>")

@@ -1,0 +1,125 @@
+"""Shared fixtures: small deterministic designs used across the suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.model.design import Design
+from repro.model.fence import FenceRegion
+from repro.model.geometry import Rect
+from repro.model.rails import standard_pg_grid
+from repro.model.technology import CellType, EdgeSpacingTable, Technology
+
+
+@pytest.fixture
+def basic_tech() -> Technology:
+    """A mixed-height library without pins or edge rules."""
+    return Technology(
+        cell_types=[
+            CellType("S2", 2, 1),
+            CellType("S3", 3, 1),
+            CellType("S4", 4, 1),
+            CellType("D3", 3, 2),
+            CellType("T3", 3, 3),
+            CellType("Q4", 4, 4),
+        ]
+    )
+
+
+@pytest.fixture
+def edge_tech() -> Technology:
+    """A library with edge-spacing rules."""
+    return Technology(
+        cell_types=[
+            CellType("A", 2, 1, left_edge=1, right_edge=1),
+            CellType("B", 3, 1, left_edge=2, right_edge=2),
+            CellType("C", 4, 2),
+        ],
+        edge_spacing=EdgeSpacingTable([(1, 1, 1), (2, 2, 2), (1, 2, 1)]),
+    )
+
+
+@pytest.fixture
+def empty_design(basic_tech) -> Design:
+    """20 rows x 100 sites, no cells."""
+    return Design(basic_tech, num_rows=20, num_sites=100, name="empty")
+
+
+def fill_random(design: Design, density: float, seed: int = 3,
+                fence_fraction: float = 0.0) -> None:
+    """Populate a design with random cells up to ``density``."""
+    rng = random.Random(seed)
+    fences = design.fences
+    budgets = {
+        f.fence_id: 0.6 * sum(r.area for r in f.rects) for f in fences
+    }
+    target = density * design.num_rows * design.num_sites
+    area = 0.0
+    index = 0
+    while area < target:
+        cell_type = rng.choice(design.technology.cell_types)
+        cell_area = cell_type.width * cell_type.height
+        fence_id = 0
+        if fences and rng.random() < fence_fraction:
+            fence = rng.choice(fences)
+            if budgets[fence.fence_id] >= cell_area:
+                fence_id = fence.fence_id
+                budgets[fence.fence_id] -= cell_area
+        if fence_id:
+            rect = design.fence_region(fence_id).rects[0]
+            gx = rng.uniform(rect.xlo, max(rect.xlo, rect.xhi - cell_type.width))
+            gy = rng.uniform(rect.ylo, max(rect.ylo, rect.yhi - cell_type.height))
+        else:
+            gx = rng.uniform(0, design.num_sites - cell_type.width)
+            gy = rng.uniform(0, design.num_rows - cell_type.height)
+        design.add_cell(f"c{index}", cell_type, gx, gy, fence_id=fence_id)
+        area += cell_area
+        index += 1
+
+
+@pytest.fixture
+def small_design(basic_tech) -> Design:
+    """~55% dense, 20x100, no fences — the workhorse fixture."""
+    design = Design(basic_tech, num_rows=20, num_sites=100, name="small")
+    fill_random(design, 0.55, seed=11)
+    return design
+
+
+@pytest.fixture
+def fence_design(basic_tech) -> Design:
+    """A design with one explicit fence holding ~15% of the cells."""
+    design = Design(basic_tech, num_rows=20, num_sites=100, name="fenced")
+    design.add_fence(FenceRegion(1, "f1", [Rect(20, 4, 60, 14)]))
+    fill_random(design, 0.55, seed=12, fence_fraction=0.3)
+    return design
+
+
+@pytest.fixture
+def rail_design(edge_tech) -> Design:
+    """A design with a P/G grid and pinned cell types."""
+    from repro.model.rails import IOPin
+    from repro.model.technology import PinShape
+
+    pinned = Technology(
+        cell_types=[
+            CellType(
+                "P2", 2, 1,
+                pins=(PinShape("a", 1, Rect(0.05, 0.2, 0.25, 0.5)),
+                      PinShape("z", 2, Rect(0.2, 1.0, 0.35, 1.4))),
+            ),
+            CellType(
+                "P4", 4, 2,
+                pins=(PinShape("a", 1, Rect(0.1, 0.4, 0.3, 0.8)),),
+            ),
+        ]
+    )
+    design = Design(pinned, num_rows=12, num_sites=60, name="rails")
+    design.rails = standard_pg_grid(
+        design.chip_rect_length_units, design.row_height,
+        m2_pitch_rows=4, m3_pitch=4.0,
+    )
+    design.rails.add_io_pin(IOPin("io0", 2, Rect(3.0, 5.0, 3.8, 5.8)))
+    fill_random(design, 0.4, seed=13)
+    return design

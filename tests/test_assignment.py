@@ -1,0 +1,79 @@
+"""Tests for min-cost bipartite assignment."""
+
+import random
+
+import pytest
+
+from repro.flow.assignment import (
+    AssignmentResult,
+    assignment_cost_matrix,
+    min_cost_assignment,
+)
+
+
+class TestMinCostAssignment:
+    def test_identity_optimal(self):
+        costs = [[0, 5], [5, 0]]
+        result = min_cost_assignment(costs)
+        assert result.columns == [0, 1]
+        assert result.cost == 0
+
+    def test_swap_optimal(self):
+        costs = [[5, 0], [0, 5]]
+        result = min_cost_assignment(costs)
+        assert result.columns == [1, 0]
+        assert result.cost == 0
+
+    def test_empty(self):
+        assert min_cost_assignment([]).columns == []
+
+    def test_single(self):
+        result = min_cost_assignment([[7]])
+        assert result.columns == [0]
+        assert result.cost == 7
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            min_cost_assignment([[1, 2], [3]])
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            min_cost_assignment([[1]], backend="nope")
+
+    def test_backends_agree(self):
+        rng = random.Random(5)
+        for _ in range(20):
+            n = rng.randint(1, 8)
+            costs = [[rng.randint(0, 50) for _ in range(n)] for _ in range(n)]
+            scipy_result = min_cost_assignment(costs, backend="scipy")
+            flow_result = min_cost_assignment(costs, backend="flow")
+            assert scipy_result.cost == flow_result.cost
+            # Both are perfect matchings.
+            assert sorted(scipy_result.columns) == list(range(n))
+            assert sorted(flow_result.columns) == list(range(n))
+
+    def test_huge_costs_force_exact_backend(self):
+        # 2**53 + 1 is not representable in float64; auto must pick flow.
+        big = 2**53 + 1
+        costs = [[big, big - 1], [big - 1, big]]
+        result = min_cost_assignment(costs, backend="auto")
+        assert result.columns == [1, 0]
+        assert result.cost == 2 * (big - 1)
+
+    def test_flow_backend_exact_optimum_bruteforce(self):
+        import itertools
+
+        rng = random.Random(9)
+        for _ in range(10):
+            n = rng.randint(2, 5)
+            costs = [[rng.randint(0, 30) for _ in range(n)] for _ in range(n)]
+            best = min(
+                sum(costs[i][p[i]] for i in range(n))
+                for p in itertools.permutations(range(n))
+            )
+            assert min_cost_assignment(costs, backend="flow").cost == best
+
+
+def test_assignment_cost_matrix():
+    matrix = assignment_cost_matrix(3, lambda i, j: 10 * i + j)
+    assert matrix == [[0, 1, 2], [10, 11, 12], [20, 21, 22]]

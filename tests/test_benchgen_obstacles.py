@@ -1,0 +1,114 @@
+"""Tests for generator blockages, macros, and multi-rect fences."""
+
+import pytest
+
+from repro import LegalizerParams, legalize
+from repro.benchgen import SyntheticSpec, generate_design
+from repro.checker import check_legal
+
+
+def rich_spec(**overrides):
+    base = dict(
+        name="rich",
+        cells_by_height={1: 250, 2: 20, 3: 10},
+        density=0.55,
+        seed=17,
+        num_blockages=3,
+        num_macros=3,
+    )
+    base.update(overrides)
+    return SyntheticSpec(**base)
+
+
+class TestBlockages:
+    def test_blockages_created(self):
+        design = generate_design(rich_spec())
+        assert 1 <= len(design.blockages) <= 3
+
+    def test_blockages_split_segments(self):
+        design = generate_design(rich_spec())
+        blockage = design.blockages[0]
+        row = int(blockage.ylo)
+        segments = design.segments_in_row(row)
+        # No segment may cover the blockage interior.
+        mid = (blockage.xlo + blockage.xhi) / 2
+        assert all(not (s.x_lo <= mid < s.x_hi) for s in segments)
+
+    def test_blockages_avoid_fences(self):
+        design = generate_design(rich_spec(num_fences=2))
+        for blockage in design.blockages:
+            for fence in design.fences:
+                assert not fence.overlaps_rect(blockage)
+
+
+class TestMacros:
+    def test_macros_fixed(self):
+        design = generate_design(rich_spec())
+        macros = [c for c in design.cells if c.fixed]
+        assert 1 <= len(macros) <= 3
+        for macro in macros:
+            assert macro.cell_type.name.startswith("MACRO")
+
+    def test_macros_disjoint(self):
+        from repro.model.geometry import Rect
+
+        design = generate_design(rich_spec(num_macros=5))
+        rects = [
+            Rect(c.gp_x, c.gp_y, c.gp_x + c.cell_type.width,
+                 c.gp_y + c.cell_type.height)
+            for c in design.cells if c.fixed
+        ]
+        for i, a in enumerate(rects):
+            for b in rects[i + 1:]:
+                assert not a.overlaps(b)
+
+    def test_legalization_avoids_macros(self):
+        design = generate_design(rich_spec())
+        result = legalize(
+            design, LegalizerParams(routability=False, scheduler_capacity=1)
+        )
+        assert check_legal(result.placement).is_legal
+
+
+class TestMultiRectFences:
+    def test_l_shape_on_big_chip(self):
+        design = generate_design(
+            rich_spec(
+                cells_by_height={1: 900, 2: 60},
+                num_fences=2,
+                multi_rect_fences=True,
+                num_blockages=0,
+                num_macros=0,
+            )
+        )
+        assert any(len(f.rects) == 2 for f in design.fences)
+
+    def test_l_shape_legalizes(self):
+        design = generate_design(
+            rich_spec(
+                cells_by_height={1: 700, 2: 40},
+                num_fences=2,
+                multi_rect_fences=True,
+                num_blockages=0,
+                num_macros=0,
+            )
+        )
+        result = legalize(
+            design, LegalizerParams(routability=False, scheduler_capacity=1)
+        )
+        assert check_legal(result.placement).is_legal
+
+
+def test_everything_together():
+    design = generate_design(
+        rich_spec(
+            num_fences=1,
+            multi_rect_fences=True,
+            with_rails=True,
+            num_io_pins=5,
+            with_edge_rules=True,
+        )
+    )
+    design.validate()
+    result = legalize(design, LegalizerParams(scheduler_capacity=2))
+    assert check_legal(result.placement).is_legal

@@ -1,0 +1,119 @@
+"""Round-trip and parsing tests for the Bookshelf format."""
+
+import pytest
+
+from repro.benchgen import SyntheticSpec, generate_design
+from repro.io.bookshelf import load_bookshelf, save_bookshelf
+from repro.model.placement import Placement
+
+
+@pytest.fixture
+def design():
+    return generate_design(
+        SyntheticSpec(
+            name="bs",
+            cells_by_height={1: 60, 2: 8, 3: 4},
+            density=0.5,
+            seed=12,
+            nets_per_cell=0.6,
+        )
+    )
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self, design, tmp_path):
+        aux = save_bookshelf(design, tmp_path)
+        loaded, placement = load_bookshelf(aux)
+        assert loaded.num_cells == design.num_cells
+        assert loaded.num_rows == design.num_rows
+        assert loaded.num_sites == design.num_sites
+        assert loaded.site_width == design.site_width
+        assert loaded.row_height == design.row_height
+
+    def test_footprints_preserved(self, design, tmp_path):
+        aux = save_bookshelf(design, tmp_path)
+        loaded, _ = load_bookshelf(aux)
+        for original, copy in zip(design.cells, loaded.cells):
+            assert original.name == copy.name
+            assert original.cell_type.width == copy.cell_type.width
+            assert original.cell_type.height == copy.cell_type.height
+            assert original.fixed == copy.fixed
+
+    def test_gp_positions_preserved(self, design, tmp_path):
+        aux = save_bookshelf(design, tmp_path)
+        loaded, _ = load_bookshelf(aux)
+        for cell in range(design.num_cells):
+            assert loaded.gp_x[cell] == pytest.approx(design.gp_x[cell], abs=1e-6)
+            assert loaded.gp_y[cell] == pytest.approx(design.gp_y[cell], abs=1e-6)
+
+    def test_nets_preserved(self, design, tmp_path):
+        aux = save_bookshelf(design, tmp_path)
+        loaded, _ = load_bookshelf(aux)
+        assert len(loaded.netlist) == len(design.netlist)
+        for a, b in zip(design.netlist.nets, loaded.netlist.nets):
+            assert [p.cell for p in a.pins] == [p.cell for p in b.pins]
+
+    def test_placement_export(self, design, tmp_path):
+        placement = Placement.from_gp_rounded(design)
+        placement.move(0, 7, 3)
+        aux = save_bookshelf(design, tmp_path, placement=placement)
+        _, loaded_placement = load_bookshelf(aux)
+        assert loaded_placement.position(0) == (7, 3)
+
+    def test_legalize_after_load(self, design, tmp_path):
+        from repro import LegalizerParams, legalize
+        from repro.checker import check_legal
+
+        aux = save_bookshelf(design, tmp_path)
+        loaded, _ = load_bookshelf(aux)
+        result = legalize(
+            loaded, LegalizerParams(routability=False, scheduler_capacity=1)
+        )
+        assert check_legal(result.placement).is_legal
+
+
+class TestParsingErrors:
+    def test_missing_file_entry(self, tmp_path):
+        aux = tmp_path / "x.aux"
+        aux.write_text("RowBasedPlacement : x.nodes x.pl\n")
+        with pytest.raises(ValueError, match="missing .scl"):
+            load_bookshelf(aux)
+
+    def test_malformed_aux(self, tmp_path):
+        aux = tmp_path / "x.aux"
+        aux.write_text("garbage\n")
+        with pytest.raises(ValueError, match="malformed"):
+            load_bookshelf(aux)
+
+    def test_fractional_footprint_rejected(self, design, tmp_path):
+        aux = save_bookshelf(design, tmp_path)
+        nodes = tmp_path / "bs.nodes"
+        content = nodes.read_text().replace(
+            content_first_cell_line(nodes), rewidth(content_first_cell_line(nodes))
+        )
+        nodes.write_text(content)
+        with pytest.raises(ValueError, match="multiple"):
+            load_bookshelf(aux)
+
+    def test_non_uniform_rows_rejected(self, design, tmp_path):
+        aux = save_bookshelf(design, tmp_path)
+        scl = tmp_path / "bs.scl"
+        text = scl.read_text()
+        text = text.replace("Height : 2", "Height : 3", 1)
+        scl.write_text(text)
+        with pytest.raises(ValueError, match="non-uniform"):
+            load_bookshelf(aux)
+
+
+def content_first_cell_line(nodes_path) -> str:
+    for line in nodes_path.read_text().splitlines():
+        stripped = line.strip()
+        if stripped and not stripped.startswith(("UCLA", "Num")):
+            return line
+    raise AssertionError("no cell line found")
+
+
+def rewidth(line: str) -> str:
+    tokens = line.split()
+    tokens[1] = str(float(tokens[1]) + 0.07)
+    return "  " + " ".join(tokens)

@@ -1,0 +1,204 @@
+"""Tests for the hard-constraint legality checker."""
+
+import pytest
+
+from repro.checker import check_legal
+from repro.model.design import Design
+from repro.model.fence import FenceRegion
+from repro.model.geometry import Rect
+from repro.model.placement import Placement
+from repro.model.technology import CellType, Technology
+
+
+@pytest.fixture
+def design(basic_tech):
+    d = Design(basic_tech, num_rows=8, num_sites=40, name="check")
+    d.add_fence(FenceRegion(1, "f", [Rect(20, 0, 40, 4)]))
+    return d
+
+
+def add(design, type_name, gp=(0.0, 0.0), fence=0, fixed=False):
+    return design.add_cell(
+        f"c{design.num_cells}",
+        design.technology.type_named(type_name),
+        gp[0], gp[1], fence_id=fence, fixed=fixed,
+    )
+
+
+class TestLegal:
+    def test_empty_is_legal(self, design):
+        assert check_legal(Placement(design)).is_legal
+
+    def test_single_cell_legal(self, design):
+        add(design, "S2")
+        placement = Placement(design)
+        placement.move(0, 5, 3)
+        report = check_legal(placement)
+        assert report.is_legal
+        assert report.summary() == "legal"
+
+
+class TestViolations:
+    def test_out_of_bounds(self, design):
+        add(design, "S4")
+        placement = Placement(design)
+        placement.move(0, 38, 0)  # 38+4 > 40
+        report = check_legal(placement)
+        assert report.out_of_bounds
+        assert 0 in report.violating_cells
+
+    def test_negative_position(self, design):
+        add(design, "S2")
+        placement = Placement(design)
+        placement.move(0, -1, 0)
+        assert check_legal(placement).out_of_bounds
+
+    def test_overlap_same_row(self, design):
+        add(design, "S4")
+        add(design, "S4")
+        placement = Placement(design)
+        placement.move(0, 5, 3)
+        placement.move(1, 7, 3)
+        report = check_legal(placement)
+        assert report.overlap_pairs == [(0, 1)]
+
+    def test_overlap_multirow(self, design):
+        add(design, "T3")  # 3 rows tall
+        add(design, "S2")
+        placement = Placement(design)
+        placement.move(0, 5, 2)
+        placement.move(1, 6, 4)  # inside the tall cell's top row
+        report = check_legal(placement)
+        assert report.overlap_pairs == [(0, 1)]
+
+    def test_hidden_overlap_behind_wide_cell(self, design):
+        add(design, "S4")
+        add(design, "S2")
+        add(design, "S2")
+        placement = Placement(design)
+        placement.move(0, 5, 3)   # [5, 9)
+        placement.move(1, 6, 3)   # inside 0
+        placement.move(2, 7, 3)   # inside 0 and overlapping 1
+        report = check_legal(placement)
+        assert set(report.overlap_pairs) == {(0, 1), (0, 2), (1, 2)}
+
+    def test_abutting_is_legal(self, design):
+        add(design, "S4")
+        add(design, "S4")
+        placement = Placement(design)
+        placement.move(0, 5, 3)
+        placement.move(1, 9, 3)
+        assert check_legal(placement).is_legal
+
+    def test_parity_violation(self, design):
+        cell = add(design, "D3")  # even height -> parity 0 required
+        placement = Placement(design)
+        placement.move(cell, 5, 5)
+        report = check_legal(placement)
+        assert report.parity_violations
+
+    def test_odd_height_any_parity(self, design):
+        cell = add(design, "T3")
+        placement = Placement(design)
+        placement.move(cell, 5, 5)
+        assert check_legal(placement).is_legal
+
+    def test_fence_containment(self, design):
+        cell = add(design, "S2", fence=1)
+        placement = Placement(design)
+        placement.move(cell, 5, 1)  # outside fence 1
+        report = check_legal(placement)
+        assert report.segment_violations
+
+    def test_default_cell_inside_fence_rejected(self, design):
+        cell = add(design, "S2", fence=0)
+        placement = Placement(design)
+        placement.move(cell, 25, 1)  # inside fence 1's rect
+        report = check_legal(placement)
+        assert report.segment_violations
+
+    def test_fence_cell_inside_fence_ok(self, design):
+        cell = add(design, "S2", fence=1)
+        placement = Placement(design)
+        placement.move(cell, 25, 1)
+        assert check_legal(placement).is_legal
+
+    def test_blockage_violation(self, basic_tech):
+        d = Design(basic_tech, num_rows=4, num_sites=20, name="blk")
+        d.add_blockage(Rect(5, 0, 10, 4))
+        cell = d.add_cell("c", basic_tech.type_named("S2"), 0, 0)
+        placement = Placement(d)
+        placement.move(cell, 6, 1)
+        assert check_legal(placement).segment_violations
+
+    def test_fixed_cell_moved(self, design):
+        cell = add(design, "S2", gp=(3.0, 2.0), fixed=True)
+        placement = Placement(design)
+        placement.move(cell, 4, 2)
+        report = check_legal(placement)
+        assert report.fixed_moved
+
+    def test_multirow_straddling_fence_boundary(self, design):
+        # Fence 1 covers rows 0..3; a 3-row default cell at rows 2..4
+        # entering the fence x-range must be flagged on rows 2 and 3.
+        cell = add(design, "T3", fence=0)
+        placement = Placement(design)
+        placement.move(cell, 25, 2)
+        report = check_legal(placement)
+        assert report.segment_violations
+
+    def test_summary_counts(self, design):
+        add(design, "S4")
+        add(design, "S4")
+        placement = Placement(design)
+        placement.move(0, 5, 3)
+        placement.move(1, 7, 3)
+        report = check_legal(placement)
+        assert "1 overlap" in report.summary()
+        assert len(report.all_messages()) == 1
+
+
+class TestRegionCheck:
+    def test_region_catches_local_overlap(self, design):
+        from repro.checker import check_legal_region
+
+        add(design, "S4")
+        add(design, "S4")
+        placement = Placement(design)
+        placement.move(0, 5, 3)
+        placement.move(1, 7, 3)
+        report = check_legal_region(placement, [1])
+        assert report.overlap_pairs == [(0, 1)]
+
+    def test_region_ignores_remote_violations(self, design):
+        from repro.checker import check_legal_region
+
+        add(design, "S4")   # cell 0: will overlap cell 1, far from cell 2
+        add(design, "S4")
+        add(design, "S2")
+        placement = Placement(design)
+        placement.move(0, 5, 3)
+        placement.move(1, 7, 3)   # overlap, but not in the region
+        placement.move(2, 30, 6)
+        report = check_legal_region(placement, [2])
+        assert report.is_legal  # the region itself is clean
+
+    def test_region_checks_per_cell_constraints(self, design):
+        from repro.checker import check_legal_region
+
+        cell = add(design, "D3")  # parity-constrained
+        placement = Placement(design)
+        placement.move(cell, 5, 5)  # odd row: violation
+        report = check_legal_region(placement, [cell])
+        assert report.parity_violations
+
+    def test_region_catches_neighbor_in_other_row_band(self, design):
+        from repro.checker import check_legal_region
+
+        tall = add(design, "T3")
+        small = add(design, "S2")
+        placement = Placement(design)
+        placement.move(tall, 5, 2)
+        placement.move(small, 6, 4)  # sits inside the tall cell's top row
+        report = check_legal_region(placement, [small])
+        assert report.overlap_pairs == [(tall, small)]

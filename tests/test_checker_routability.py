@@ -1,0 +1,152 @@
+"""Tests for edge-spacing and pin access/short counting (paper §2, Fig. 1)."""
+
+import pytest
+
+from repro.checker import count_routability_violations, placed_pin_rects
+from repro.checker.routability import cell_is_flipped, required_gap
+from repro.model.design import Design
+from repro.model.geometry import Interval, Rect
+from repro.model.placement import Placement
+from repro.model.rails import HORIZONTAL, IOPin, Rail
+from repro.model.technology import CellType, EdgeSpacingTable, PinShape, Technology
+
+
+def pin_design():
+    """One cell type with an M1 pin and an M2 pin; M2 horizontal rails."""
+    tech = Technology(
+        cell_types=[
+            CellType(
+                "P", 3, 1,
+                pins=(
+                    PinShape("m1", 1, Rect(0.05, 0.2, 0.25, 0.6)),
+                    PinShape("m2", 2, Rect(0.3, 1.0, 0.45, 1.5)),
+                ),
+            ),
+        ]
+    )
+    design = Design(tech, num_rows=8, num_sites=40, name="pins")
+    # One M2 stripe at y in [4.0, 4.3): crosses row 2 (y 4..6).
+    design.rails.add_rail(
+        Rail(2, HORIZONTAL, offset=4.0, pitch=100.0, width=0.3,
+             span=Interval(0, 16), extent=Interval(0, 8))
+    )
+    return design
+
+
+class TestFigureOneSemantics:
+    """The two violation kinds of paper Fig. 1."""
+
+    def test_m1_pin_access_blocked_by_m2_rail(self):
+        design = pin_design()
+        design.add_cell("c", design.technology.type_named("P"), 0, 0)
+        placement = Placement(design)
+        placement.move(0, 5, 2)  # row 2: y band [4, 6); M1 pin y [4.2, 4.6)
+        report = count_routability_violations(placement)
+        assert report.pin_access == 1  # M1 pin under the M2 stripe
+        assert report.pin_short == 0   # M2 pin is above the stripe
+
+    def test_m2_pin_short_with_m2_rail(self):
+        design = pin_design()
+        # Shift the rail up so it crosses the M2 pin instead (y 5.0..5.5).
+        design.rails.rails[0] = Rail(
+            2, HORIZONTAL, offset=5.1, pitch=100.0, width=0.3,
+            span=Interval(0, 16), extent=Interval(0, 8),
+        )
+        design.add_cell("c", design.technology.type_named("P"), 0, 0)
+        placement = Placement(design)
+        placement.move(0, 5, 2)
+        report = count_routability_violations(placement)
+        assert report.pin_short == 1
+        assert report.pin_access == 0
+
+    def test_clean_row_no_violations(self):
+        design = pin_design()
+        design.add_cell("c", design.technology.type_named("P"), 0, 0)
+        placement = Placement(design)
+        placement.move(0, 5, 0)  # rows away from the stripe
+        report = count_routability_violations(placement)
+        assert report.total == 0
+
+    def test_io_pin_blocks(self):
+        design = pin_design()
+        design.rails.rails.clear()
+        design.rails.add_io_pin(IOPin("io", 2, Rect(1.0, 1.0, 1.2, 1.4)))
+        design.add_cell("c", design.technology.type_named("P"), 0, 0)
+        placement = Placement(design)
+        placement.move(0, 5, 0)  # M1 pin at x [1.05, 1.25), y [0.2, 0.6)?
+        # Place so the M2 pin overlaps the IO pin: pin m2 offset (0.3, 1.0).
+        placement.move(0, 4, 0)  # x_len = 0.8; m2 pin x [1.1, 1.25) y [1.0,1.5)
+        report = count_routability_violations(placement)
+        assert report.pin_short >= 1
+
+
+class TestFlipping:
+    def test_odd_height_flips_on_off_parity_row(self):
+        design = pin_design()
+        cell = design.add_cell("c", design.technology.type_named("P"), 0, 0)
+        assert not cell_is_flipped(design, cell, 0)
+        assert cell_is_flipped(design, cell, 1)
+
+    def test_flip_mirrors_pin_geometry(self):
+        design = pin_design()
+        cell = design.add_cell("c", design.technology.type_named("P"), 0, 0)
+        placement = Placement(design)
+        placement.move(cell, 0, 1)  # odd row -> flipped
+        rects = dict(
+            (name, rect) for name, _layer, rect in
+            placed_pin_rects(design, placement, cell)
+        )
+        # Unflipped m1 pin y-range is [0.2, 0.6) within a 2.0 cell; flipped
+        # it becomes [1.4, 1.8) relative to the row base at y=2.0.
+        assert rects["m1"].ylo == pytest.approx(2.0 + 1.4)
+        assert rects["m1"].yhi == pytest.approx(2.0 + 1.8)
+
+
+class TestEdgeSpacing:
+    def test_violation_counted(self, edge_tech):
+        design = Design(edge_tech, num_rows=2, num_sites=30, name="edges")
+        design.add_cell("a", edge_tech.type_named("A"), 0, 0)
+        design.add_cell("b", edge_tech.type_named("A"), 0, 0)
+        placement = Placement(design)
+        placement.move(0, 5, 0)
+        placement.move(1, 7, 0)  # abutting, but rule demands 1 site
+        report = count_routability_violations(placement)
+        assert report.edge_violations == 1
+
+    def test_satisfied_gap_ok(self, edge_tech):
+        design = Design(edge_tech, num_rows=2, num_sites=30, name="edges")
+        design.add_cell("a", edge_tech.type_named("A"), 0, 0)
+        design.add_cell("b", edge_tech.type_named("A"), 0, 0)
+        placement = Placement(design)
+        placement.move(0, 5, 0)
+        placement.move(1, 8, 0)
+        assert count_routability_violations(placement).edge_violations == 0
+
+    def test_unruled_pair_needs_no_gap(self, edge_tech):
+        design = Design(edge_tech, num_rows=2, num_sites=30, name="edges")
+        design.add_cell("a", edge_tech.type_named("A"), 0, 0)
+        design.add_cell("c", edge_tech.type_named("C"), 0, 0)
+        placement = Placement(design)
+        placement.move(0, 5, 0)
+        placement.move(1, 7, 0)
+        assert count_routability_violations(placement).edge_violations == 0
+
+    def test_multirow_pair_counted_once(self, edge_tech):
+        design = Design(edge_tech, num_rows=4, num_sites=30, name="edges")
+        big = CellType("BIG", 3, 2, left_edge=1, right_edge=1)
+        design.technology.add_cell_type(big)
+        design.add_cell("a", big, 0, 0)
+        design.add_cell("b", big, 0, 0)
+        placement = Placement(design)
+        placement.move(0, 5, 0)
+        placement.move(1, 8, 0)  # gap 0 on both rows, rule needs 1
+        report = count_routability_violations(placement)
+        assert report.edge_violations == 1
+
+    def test_required_gap_helper(self, edge_tech):
+        design = Design(edge_tech, num_rows=2, num_sites=30, name="edges")
+        a = design.add_cell("a", edge_tech.type_named("A"), 0, 0)
+        b = design.add_cell("b", edge_tech.type_named("B"), 0, 0)
+        assert required_gap(design, a, b) == 1
+        assert required_gap(design, a, a) == 1
+        assert required_gap(design, b, b) == 2

@@ -1,0 +1,117 @@
+"""Tests for S_am, max displacement, HPWL, and the contest score (Eq. 10)."""
+
+import pytest
+
+from repro.checker.score import (
+    DELTA,
+    average_displacement,
+    contest_score,
+    gp_hpwl,
+    max_displacement,
+)
+from repro.model.design import Design
+from repro.model.netlist import Net, PinRef
+from repro.model.placement import Placement
+from repro.model.technology import CellType, Technology
+
+
+@pytest.fixture
+def mixed_design():
+    tech = Technology(cell_types=[CellType("S", 2, 1), CellType("D", 2, 2)])
+    design = Design(tech, num_rows=8, num_sites=40, name="score")
+    # Two singles, one double; GPs at integer sites.
+    design.add_cell("s1", tech.type_named("S"), 0.0, 0.0)
+    design.add_cell("s2", tech.type_named("S"), 10.0, 0.0)
+    design.add_cell("d1", tech.type_named("D"), 20.0, 2.0)
+    return design
+
+
+class TestAverageDisplacement:
+    def test_height_weighted_mean(self, mixed_design):
+        placement = Placement.from_gp_rounded(mixed_design)
+        # Move s1 by 10 sites (=1 row unit) and d1 by 2 rows.
+        placement.move(0, 10, 0)
+        placement.move(2, 20, 4)
+        # S_am = mean over heights of per-height means:
+        # height 1: (1.0 + 0)/2 = 0.5 ; height 2: 2.0 ; S_am = 1.25.
+        assert average_displacement(placement) == pytest.approx(1.25)
+
+    def test_empty_zero(self, basic_tech):
+        design = Design(basic_tech, num_rows=2, num_sites=10)
+        assert average_displacement(Placement(design)) == 0.0
+
+    def test_eq2_differs_from_plain_mean(self, mixed_design):
+        placement = Placement.from_gp_rounded(mixed_design)
+        placement.move(2, 20, 4)
+        plain_mean = sum(
+            placement.displacement(c) for c in range(3)
+        ) / 3
+        assert average_displacement(placement) != pytest.approx(plain_mean)
+
+
+class TestMaxDisplacement:
+    def test_max(self, mixed_design):
+        placement = Placement.from_gp_rounded(mixed_design)
+        placement.move(0, 30, 0)  # 30 sites = 3 row units
+        assert max_displacement(placement) == pytest.approx(3.0)
+
+    def test_ignores_fixed(self, basic_tech):
+        design = Design(basic_tech, num_rows=4, num_sites=20)
+        design.add_cell("f", basic_tech.type_named("S2"), 0, 0, fixed=True)
+        placement = Placement(design)
+        placement.move(0, 10, 0)  # illegal but fixed cells are not counted
+        assert max_displacement(placement) == 0.0
+
+
+class TestContestScore:
+    def test_score_formula(self, mixed_design):
+        mixed_design.netlist.add_net(Net("n", [PinRef(0), PinRef(1)]))
+        placement = Placement.from_gp_rounded(mixed_design)
+        placement.move(0, 5, 0)
+        report = contest_score(placement)
+        s_am = average_displacement(placement)
+        expected = (
+            (1.0 + report.hpwl_ratio + 0.0)
+            * (1.0 + report.max_displacement / DELTA)
+            * s_am
+        )
+        assert report.score == pytest.approx(expected)
+
+    def test_violations_inflate_score(self, mixed_design):
+        from repro.checker.routability import RoutabilityReport
+
+        placement = Placement.from_gp_rounded(mixed_design)
+        placement.move(0, 5, 0)
+        clean = contest_score(placement, RoutabilityReport())
+        dirty_report = RoutabilityReport(pin_short=3, edge_violations=3)
+        dirty = contest_score(placement, dirty_report)
+        assert dirty.score > clean.score
+        assert dirty.pin_violations == 3
+        assert dirty.edge_violations == 3
+        # (N_p + N_e)/m with m=3 adds 2.0 to the first factor.
+        assert dirty.score / clean.score == pytest.approx(
+            (1.0 + clean.hpwl_ratio + 2.0) / (1.0 + clean.hpwl_ratio)
+        )
+
+    def test_hpwl_ratio(self, mixed_design):
+        mixed_design.netlist.add_net(Net("n", [PinRef(0), PinRef(1)]))
+        placement = Placement.from_gp_rounded(mixed_design)
+        before = gp_hpwl(mixed_design)
+        placement.move(1, 20, 0)  # stretch the net by 10 sites = 2.0 units
+        report = contest_score(placement)
+        assert report.hpwl_before == pytest.approx(before)
+        assert report.hpwl_after == pytest.approx(before + 2.0)
+        assert report.hpwl_ratio == pytest.approx(2.0 / before)
+
+    def test_no_nets_ratio_zero(self, mixed_design):
+        placement = Placement.from_gp_rounded(mixed_design)
+        report = contest_score(placement)
+        assert report.hpwl_ratio == 0.0
+
+    def test_row_dict(self, mixed_design):
+        placement = Placement.from_gp_rounded(mixed_design)
+        row = contest_score(placement).row()
+        assert set(row) == {
+            "avg_disp", "max_disp", "hpwl", "hpwl_ratio",
+            "pin_violations", "edge_violations", "score",
+        }

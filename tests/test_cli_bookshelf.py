@@ -1,0 +1,62 @@
+"""CLI tests for the Bookshelf import/export commands."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def design_file(tmp_path):
+    path = tmp_path / "d.txt"
+    assert main([
+        "generate", "bs_cli", "-o", str(path),
+        "--cells", "1:50", "2:6", "--density", "0.5",
+    ]) == 0
+    return path
+
+
+def test_export_then_import(design_file, tmp_path):
+    out_dir = tmp_path / "bundle"
+    assert main([
+        "export-bookshelf", str(design_file), "-o", str(out_dir),
+    ]) == 0
+    aux = out_dir / "bs_cli.aux"
+    assert aux.exists()
+
+    reimported = tmp_path / "back.txt"
+    assert main([
+        "import-bookshelf", str(aux), "-o", str(reimported),
+    ]) == 0
+    from repro.io import load_design
+
+    original = load_design(design_file)
+    loaded = load_design(reimported)
+    assert loaded.num_cells == original.num_cells
+    assert loaded.num_rows == original.num_rows
+
+
+def test_export_with_placement(design_file, tmp_path):
+    placement_file = tmp_path / "p.txt"
+    assert main([
+        "legalize", str(design_file), "-o", str(placement_file),
+        "--no-routability",
+    ]) == 0
+    out_dir = tmp_path / "bundle"
+    assert main([
+        "export-bookshelf", str(design_file), "-o", str(out_dir),
+        "--placement", str(placement_file),
+    ]) == 0
+    pl_text = (out_dir / "bs_cli.pl").read_text()
+    assert "UCLA pl" in pl_text
+
+
+def test_import_with_placement_output(design_file, tmp_path):
+    out_dir = tmp_path / "bundle"
+    main(["export-bookshelf", str(design_file), "-o", str(out_dir)])
+    placement_out = tmp_path / "imported.pl.txt"
+    assert main([
+        "import-bookshelf", str(out_dir / "bs_cli.aux"),
+        "-o", str(tmp_path / "x.txt"),
+        "--placement", str(placement_out),
+    ]) == 0
+    assert placement_out.exists()

@@ -1,0 +1,155 @@
+"""Tests for displacement curves (paper §3.1, Fig. 4)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.curves import DisplacementCurve, minimize_over_sites, sum_curves
+
+
+def brute_right(cur, gp, off, w, x):
+    return w * abs(max(cur, x + off) - gp)
+
+
+def brute_left(cur, gp, off, w, x):
+    return w * abs(min(cur, x - off) - gp)
+
+
+class TestCurveTypes:
+    """The four Fig. 4 types arise from side x (GP vs current) position."""
+
+    def test_type_a_right_cell_gp_left(self):
+        assert DisplacementCurve.pushed_right(5, 3, 2).curve_type() == "A"
+
+    def test_type_b_left_cell_gp_right(self):
+        assert DisplacementCurve.pushed_left(5, 9, 2).curve_type() == "B"
+
+    def test_type_c_right_cell_gp_right(self):
+        assert DisplacementCurve.pushed_right(5, 9, 2).curve_type() == "C"
+
+    def test_type_d_left_cell_gp_left(self):
+        assert DisplacementCurve.pushed_left(5, 1, 2).curve_type() == "D"
+
+    def test_target_v(self):
+        assert DisplacementCurve.target(4).curve_type() == "V"
+
+    def test_constant(self):
+        assert DisplacementCurve.constant(3.0).curve_type() == "constant"
+
+    def test_mll_reference_collapses_c_to_a(self):
+        """With gp == current (MLL's reference) only types A/B remain."""
+        assert DisplacementCurve.pushed_right(5, 5, 2).curve_type() == "A"
+        assert DisplacementCurve.pushed_left(5, 5, 2).curve_type() == "B"
+
+    def test_types_a_b_convex_c_d_not(self):
+        assert DisplacementCurve.pushed_right(5, 3, 2).is_convex()
+        assert DisplacementCurve.pushed_left(5, 9, 2).is_convex()
+        assert not DisplacementCurve.pushed_left(5, 1, 2).is_convex()
+
+
+class TestEvaluation:
+    def test_target_curve_values(self):
+        curve = DisplacementCurve.target(4.0, weight=2.0)
+        assert curve.value(4.0) == 0.0
+        assert curve.value(6.0) == pytest.approx(4.0)
+        assert curve.value(1.0) == pytest.approx(6.0)
+
+    def test_pushed_right_flat_then_push(self):
+        curve = DisplacementCurve.pushed_right(10.0, 8.0, 3.0)
+        # Below the critical position (10 - 3 = 7) nothing moves.
+        assert curve.value(0.0) == pytest.approx(2.0)
+        assert curve.value(7.0) == pytest.approx(2.0)
+        # Beyond it the cell is pushed right, away from its GP.
+        assert curve.value(9.0) == pytest.approx(4.0)
+
+    def test_pushed_right_type_c_dips_to_zero(self):
+        curve = DisplacementCurve.pushed_right(5.0, 9.0, 2.0)
+        assert curve.value(7.0) == pytest.approx(0.0)  # cell lands on GP
+
+    @given(
+        st.floats(-20, 20), st.floats(-20, 20),
+        st.floats(0, 10), st.floats(0.1, 3), st.floats(-40, 40),
+    )
+    def test_property_right_matches_bruteforce(self, cur, gp, off, w, x):
+        curve = DisplacementCurve.pushed_right(cur, gp, off, w)
+        assert curve.value(x) == pytest.approx(
+            brute_right(cur, gp, off, w, x), abs=1e-9
+        )
+
+    @given(
+        st.floats(-20, 20), st.floats(-20, 20),
+        st.floats(0, 10), st.floats(0.1, 3), st.floats(-40, 40),
+    )
+    def test_property_left_matches_bruteforce(self, cur, gp, off, w, x):
+        curve = DisplacementCurve.pushed_left(cur, gp, off, w)
+        assert curve.value(x) == pytest.approx(
+            brute_left(cur, gp, off, w, x), abs=1e-9
+        )
+
+
+class TestSumAndMinimize:
+    def test_sum_is_pointwise(self):
+        curves = [
+            DisplacementCurve.target(3.0),
+            DisplacementCurve.pushed_right(5.0, 2.0, 1.0),
+            DisplacementCurve.constant(1.5),
+        ]
+        total = sum_curves(curves)
+        for x in (-3.0, 0.0, 2.5, 4.0, 7.0):
+            expected = sum(c.value(x) for c in curves)
+            assert total.value(x) == pytest.approx(expected)
+
+    def test_sum_empty(self):
+        assert sum_curves([]).value(5.0) == 0.0
+
+    def test_minimize_simple_v(self):
+        result = minimize_over_sites([DisplacementCurve.target(4.3)], 0, 10)
+        assert result == (4, pytest.approx(0.3))
+
+    def test_minimize_empty_range(self):
+        assert minimize_over_sites([DisplacementCurve.target(1.0)], 5.2, 5.8) is None
+
+    def test_minimize_tie_prefers_smaller_x(self):
+        # Flat cost everywhere: pick the leftmost site.
+        result = minimize_over_sites([DisplacementCurve.constant(2.0)], 3, 9)
+        assert result[0] == 3
+
+    def test_minimize_respects_bounds(self):
+        result = minimize_over_sites([DisplacementCurve.target(100.0)], 0, 10)
+        assert result[0] == 10  # clamped toward the target
+
+    def test_minimize_matches_bruteforce_random(self):
+        rng = random.Random(2)
+        for _ in range(100):
+            curves = []
+            for _ in range(rng.randint(1, 5)):
+                kind = rng.choice("rlt")
+                cur, gp = rng.uniform(-10, 10), rng.uniform(-10, 10)
+                off, w = rng.uniform(0, 5), rng.uniform(0.1, 2)
+                if kind == "r":
+                    curves.append(DisplacementCurve.pushed_right(cur, gp, off, w))
+                elif kind == "l":
+                    curves.append(DisplacementCurve.pushed_left(cur, gp, off, w))
+                else:
+                    curves.append(DisplacementCurve.target(gp, w))
+            lo = rng.uniform(-20, 0)
+            hi = lo + rng.uniform(0, 25)
+            result = minimize_over_sites(curves, lo, hi)
+            sites = range(math.ceil(lo), math.floor(hi) + 1)
+            if not list(sites):
+                assert result is None
+                continue
+            total = sum_curves(curves)
+            best = min(total.value(x) for x in sites)
+            assert result[1] == pytest.approx(best, abs=1e-9)
+
+
+class TestSlopePattern:
+    def test_target_slopes(self):
+        assert DisplacementCurve.target(0.0, 2.0).slope_pattern() == [-2.0, 2.0]
+
+    def test_type_c_slopes(self):
+        pattern = DisplacementCurve.pushed_right(5, 9, 2, 1.5).slope_pattern()
+        assert pattern == [0.0, -1.5, 1.5]

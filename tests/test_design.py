@@ -1,0 +1,131 @@
+"""Unit tests for the Design container."""
+
+import pytest
+
+from repro.model.design import Design
+from repro.model.fence import FenceRegion
+from repro.model.geometry import Rect
+from repro.model.technology import CellType, Technology
+
+
+class TestConstruction:
+    def test_invalid_dimensions(self, basic_tech):
+        with pytest.raises(ValueError):
+            Design(basic_tech, num_rows=0, num_sites=10)
+        with pytest.raises(ValueError):
+            Design(basic_tech, num_rows=10, num_sites=10, power_parity=2)
+        with pytest.raises(ValueError):
+            Design(basic_tech, num_rows=10, num_sites=10, site_width=0)
+
+    def test_chip_rects(self, empty_design):
+        assert empty_design.chip_rect == Rect(0, 0, 100, 20)
+        length = empty_design.chip_rect_length_units
+        assert length.xhi == pytest.approx(100 * 0.2)
+        assert length.yhi == pytest.approx(20 * 2.0)
+
+    def test_x_unit_rows(self, empty_design):
+        assert empty_design.x_unit_rows == pytest.approx(0.1)
+
+
+class TestCells:
+    def test_add_and_lookup(self, empty_design, basic_tech):
+        index = empty_design.add_cell("a", basic_tech.type_named("S2"), 5.0, 3.0)
+        assert index == 0
+        assert empty_design.cell_type_of(0).name == "S2"
+        assert empty_design.fence_of(0) == 0
+        assert empty_design.gp_x[0] == 5.0
+
+    def test_gp_arrays_track_additions(self, empty_design, basic_tech):
+        empty_design.add_cell("a", basic_tech.type_named("S2"), 1.0, 1.0)
+        assert len(empty_design.gp_x_array) == 1
+        empty_design.add_cell("b", basic_tech.type_named("S2"), 2.0, 2.0)
+        assert len(empty_design.gp_x_array) == 2
+        assert empty_design.gp_x_array[1] == 2.0
+
+    def test_cells_by_height_excludes_fixed(self, empty_design, basic_tech):
+        empty_design.add_cell("a", basic_tech.type_named("S2"), 0, 0)
+        empty_design.add_cell("f", basic_tech.type_named("D3"), 0, 2, fixed=True)
+        groups = empty_design.cells_by_height()
+        assert groups == {1: [0]}
+        assert empty_design.movable_cells() == [0]
+
+
+class TestParity:
+    def test_even_height_parity(self, empty_design, basic_tech):
+        cell = empty_design.add_cell("d", basic_tech.type_named("D3"), 0, 0)
+        assert empty_design.row_parity_ok(cell, 0)
+        assert not empty_design.row_parity_ok(cell, 1)
+
+    def test_odd_height_any_row(self, empty_design, basic_tech):
+        cell = empty_design.add_cell("t", basic_tech.type_named("T3"), 0, 0)
+        assert empty_design.row_parity_ok(cell, 0)
+        assert empty_design.row_parity_ok(cell, 1)
+
+    def test_parity_one_design(self, basic_tech):
+        design = Design(basic_tech, 10, 10, power_parity=1)
+        cell = design.add_cell("d", basic_tech.type_named("D3"), 0, 0)
+        assert not design.row_parity_ok(cell, 0)
+        assert design.row_parity_ok(cell, 1)
+
+
+class TestSegmentsAndFences:
+    def test_segment_at(self, empty_design):
+        seg = empty_design.segment_at(3, 50)
+        assert seg is not None and seg.fence_id == 0
+        assert empty_design.segment_at(25, 50) is None  # row outside chip
+
+    def test_fence_invalidates_cache(self, empty_design):
+        before = empty_design.segments_in_row(5)
+        assert len(before) == 1
+        empty_design.add_fence(FenceRegion(1, "f", [Rect(10, 0, 30, 10)]))
+        after = empty_design.segments_in_row(5)
+        assert len(after) == 3
+
+    def test_duplicate_fence_id_rejected(self, empty_design):
+        empty_design.add_fence(FenceRegion(1, "a", [Rect(0, 0, 5, 5)]))
+        with pytest.raises(ValueError):
+            empty_design.add_fence(FenceRegion(1, "b", [Rect(10, 10, 15, 15)]))
+
+    def test_fence_region_lookup(self, empty_design):
+        fence = FenceRegion(2, "x", [Rect(0, 0, 5, 5)])
+        empty_design.add_fence(fence)
+        assert empty_design.fence_region(2) is fence
+        with pytest.raises(KeyError):
+            empty_design.fence_region(9)
+
+
+class TestValidate:
+    def test_overlapping_fences_rejected(self, empty_design):
+        empty_design.add_fence(FenceRegion(1, "a", [Rect(0, 0, 10, 10)]))
+        empty_design.add_fence(FenceRegion(2, "b", [Rect(5, 5, 15, 15)]))
+        with pytest.raises(ValueError, match="overlap"):
+            empty_design.validate()
+
+    def test_fence_outside_chip_rejected(self, empty_design):
+        empty_design.add_fence(FenceRegion(1, "a", [Rect(90, 0, 120, 5)]))
+        with pytest.raises(ValueError, match="outside chip"):
+            empty_design.validate()
+
+    def test_non_integer_fence_rejected(self, empty_design):
+        empty_design.add_fence(FenceRegion(1, "a", [Rect(0.5, 0, 10, 5)]))
+        with pytest.raises(ValueError, match="non-integer"):
+            empty_design.validate()
+
+    def test_unknown_fence_assignment_rejected(self, empty_design, basic_tech):
+        empty_design.add_cell("a", basic_tech.type_named("S2"), 0, 0, fence_id=7)
+        with pytest.raises(ValueError, match="unknown fence"):
+            empty_design.validate()
+
+    def test_too_tall_cell_rejected(self, basic_tech):
+        design = Design(basic_tech, num_rows=3, num_sites=10)
+        design.add_cell("q", basic_tech.type_named("Q4"), 0, 0)
+        with pytest.raises(ValueError, match="taller"):
+            design.validate()
+
+    def test_valid_design_passes(self, small_design):
+        small_design.validate()
+
+
+def test_density(small_design):
+    # fill_random targets 55%.
+    assert 0.5 < small_design.density() < 0.6

@@ -1,0 +1,64 @@
+"""Unit tests for fence regions."""
+
+import pytest
+
+from repro.model.fence import DEFAULT_FENCE, FenceRegion, fences_overlap
+from repro.model.geometry import Interval, Rect
+
+
+class TestFenceRegion:
+    def test_reserved_id_rejected(self):
+        with pytest.raises(ValueError):
+            FenceRegion(0, "bad")
+        with pytest.raises(ValueError):
+            FenceRegion(-1, "bad")
+
+    def test_contains_rect_single_member(self):
+        fence = FenceRegion(1, "f", [Rect(0, 0, 10, 10)])
+        assert fence.contains_rect(Rect(2, 2, 8, 8))
+        assert not fence.contains_rect(Rect(8, 8, 12, 9))
+
+    def test_contains_rect_needs_single_member(self):
+        fence = FenceRegion(1, "f", [Rect(0, 0, 5, 10), Rect(5, 0, 10, 10)])
+        # Straddles two member rects: not contained by either one.
+        assert not fence.contains_rect(Rect(3, 2, 7, 4))
+
+    def test_overlaps_rect(self):
+        fence = FenceRegion(1, "f", [Rect(0, 0, 10, 10)])
+        assert fence.overlaps_rect(Rect(9, 9, 12, 12))
+        assert not fence.overlaps_rect(Rect(10, 0, 12, 10))
+
+    def test_row_intervals_height(self):
+        fence = FenceRegion(1, "f", [Rect(5, 2, 20, 6)])
+        assert fence.row_intervals(2) == [Interval(5, 20)]
+        assert fence.row_intervals(5) == [Interval(5, 20)]
+        assert fence.row_intervals(6) == []
+        # A 2-row cell with bottom row 5 needs rows 5..6: not covered.
+        assert fence.row_intervals(5, height=2) == []
+        assert fence.row_intervals(4, height=2) == [Interval(5, 20)]
+
+    def test_row_intervals_sorted(self):
+        fence = FenceRegion(1, "f", [Rect(30, 0, 40, 5), Rect(5, 0, 15, 5)])
+        assert fence.row_intervals(1) == [Interval(5, 15), Interval(30, 40)]
+
+    def test_bounding_box(self):
+        fence = FenceRegion(1, "f", [Rect(0, 0, 5, 5), Rect(10, 2, 15, 9)])
+        assert fence.bounding_box == Rect(0, 0, 15, 9)
+
+    def test_bounding_box_empty_raises(self):
+        with pytest.raises(ValueError):
+            FenceRegion(1, "f").bounding_box
+
+
+def test_fences_overlap_detection():
+    f1 = FenceRegion(1, "a", [Rect(0, 0, 10, 10)])
+    f2 = FenceRegion(2, "b", [Rect(5, 5, 15, 15)])
+    f3 = FenceRegion(3, "c", [Rect(20, 0, 30, 10)])
+    assert fences_overlap([f1, f2])
+    assert not fences_overlap([f1, f3])
+    assert not fences_overlap([f1])
+    assert not fences_overlap([])
+
+
+def test_default_fence_constant():
+    assert DEFAULT_FENCE == 0

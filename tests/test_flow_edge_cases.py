@@ -1,0 +1,126 @@
+"""Edge-case tests for the flow solvers and graph utilities."""
+
+import pytest
+
+from repro.flow.graph import INFINITE, FlowGraph
+from repro.flow.network_simplex import (
+    InfeasibleFlowError,
+    NetworkSimplex,
+    solve_min_cost_flow,
+)
+from repro.flow.ssp import solve_ssp
+
+
+class TestNetworkSimplexEdgeCases:
+    def test_single_node_no_edges(self):
+        graph = FlowGraph()
+        graph.add_node()
+        result = solve_min_cost_flow(graph)
+        assert result.flows == []
+        assert result.cost == 0
+
+    def test_zero_capacity_edges_ignored(self):
+        graph = FlowGraph()
+        graph.add_node(supply=1)
+        graph.add_node(supply=-1)
+        graph.add_edge(0, 1, capacity=0, cost=-100)  # tempting but unusable
+        graph.add_edge(0, 1, capacity=1, cost=5)
+        result = solve_min_cost_flow(graph)
+        assert result.flows == [0, 1]
+        assert result.cost == 5
+
+    def test_iteration_counter_advances(self):
+        graph = FlowGraph()
+        graph.add_node(supply=3)
+        graph.add_node(supply=-3)
+        graph.add_edge(0, 1, capacity=3, cost=2)
+        solver = NetworkSimplex(graph)
+        result = solver.solve()
+        assert result.iterations == solver.iterations
+        assert result.iterations >= 1
+
+    def test_iteration_budget_guard(self):
+        graph = FlowGraph()
+        graph.add_node(supply=1)
+        graph.add_node(supply=-1)
+        graph.add_edge(0, 1, capacity=1, cost=0)
+        with pytest.raises(RuntimeError, match="iteration budget"):
+            NetworkSimplex(graph).solve(max_iterations=0)
+
+    def test_potentials_length(self):
+        graph = FlowGraph()
+        for _ in range(4):
+            graph.add_node()
+        graph.add_edge(0, 3, capacity=2, cost=1)
+        result = solve_min_cost_flow(graph)
+        assert len(result.potentials) == 4
+
+    def test_self_balanced_negative_chain(self):
+        # Circulation exploits a profitable cycle through three nodes.
+        graph = FlowGraph()
+        for _ in range(3):
+            graph.add_node()
+        graph.add_edge(0, 1, capacity=4, cost=-5)
+        graph.add_edge(1, 2, capacity=4, cost=1)
+        graph.add_edge(2, 0, capacity=4, cost=1)
+        result = solve_min_cost_flow(graph)
+        assert result.flows == [4, 4, 4]
+        assert result.cost == 4 * (-3)
+
+    def test_disconnected_components(self):
+        graph = FlowGraph()
+        graph.add_node(supply=2)
+        graph.add_node(supply=-2)
+        graph.add_node(supply=1)
+        graph.add_node(supply=-1)
+        graph.add_edge(0, 1, capacity=5, cost=1)
+        graph.add_edge(2, 3, capacity=5, cost=3)
+        result = solve_min_cost_flow(graph)
+        assert result.flows == [2, 1]
+        assert result.cost == 2 + 3
+
+    def test_infeasible_isolated_demand(self):
+        graph = FlowGraph()
+        graph.add_node(supply=1)
+        graph.add_node(supply=-1)
+        graph.add_node()  # isolated
+        with pytest.raises(InfeasibleFlowError):
+            solve_min_cost_flow(graph)
+
+
+class TestSSPEdgeCases:
+    def test_large_supplies_bottleneck(self):
+        graph = FlowGraph()
+        graph.add_node(supply=1000)
+        graph.add_node(supply=-1000)
+        graph.add_edge(0, 1, capacity=INFINITE, cost=1)
+        result = solve_ssp(graph)
+        assert result.flows == [1000]
+        assert result.iterations <= 3  # bulk augmentation, not unit steps
+
+    def test_multi_source_multi_sink(self):
+        graph = FlowGraph()
+        graph.add_node(supply=2)
+        graph.add_node(supply=3)
+        graph.add_node(supply=-4)
+        graph.add_node(supply=-1)
+        for u in (0, 1):
+            for v in (2, 3):
+                graph.add_edge(u, v, capacity=10, cost=u + v)
+        result = solve_ssp(graph)
+        balance = [0, 0, 0, 0]
+        for edge, flow in zip(graph.edges, result.flows):
+            balance[edge.tail] -= flow
+            balance[edge.head] += flow
+        assert balance == [-2, -3, 4, 1]
+
+    def test_expensive_detour_avoided(self):
+        graph = FlowGraph()
+        graph.add_node(supply=1)
+        graph.add_node()
+        graph.add_node(supply=-1)
+        graph.add_edge(0, 2, capacity=1, cost=10)  # direct
+        graph.add_edge(0, 1, capacity=1, cost=1)
+        graph.add_edge(1, 2, capacity=1, cost=2)  # detour total 3
+        result = solve_ssp(graph)
+        assert result.flows == [0, 1, 1]

@@ -1,0 +1,55 @@
+"""Unit tests for the flow-graph representation."""
+
+import pytest
+
+from repro.flow.graph import INFINITE, FlowGraph, edges_by_name
+
+
+class TestFlowGraph:
+    def test_add_node_and_supply(self):
+        graph = FlowGraph()
+        a = graph.add_node(supply=3)
+        b = graph.add_node(supply=-3)
+        assert graph.supplies == [3, -3]
+        graph.add_supply(a, 2)
+        assert graph.supplies[a] == 5
+        assert graph.total_supply_imbalance() == 2
+        assert b == 1
+
+    def test_named_nodes(self):
+        graph = FlowGraph()
+        graph.add_node(name="vz")
+        assert graph.node_named("vz") == 0
+        with pytest.raises(ValueError):
+            graph.add_node(name="vz")
+
+    def test_edge_validation(self):
+        graph = FlowGraph()
+        graph.add_node()
+        with pytest.raises(ValueError):
+            graph.add_edge(0, 5, capacity=1, cost=0)
+        with pytest.raises(ValueError):
+            graph.add_edge(0, 0, capacity=-1, cost=0)
+
+    def test_infinite_capacity_bound(self):
+        graph = FlowGraph()
+        graph.add_node(supply=5)
+        graph.add_node(supply=-5)
+        graph.add_edge(0, 1, capacity=7, cost=1)
+        graph.add_edge(0, 1, capacity=INFINITE, cost=2)
+        bound = graph.infinite_capacity_bound()
+        assert bound == 5 + 5 + 7 + 1
+        assert graph.resolved_capacities() == [7, bound]
+
+    def test_edges_by_name(self):
+        graph = FlowGraph()
+        graph.add_node()
+        graph.add_node()
+        graph.add_edge(0, 1, 1, 0, name="e0")
+        graph.add_edge(1, 0, 1, 0)
+        assert edges_by_name(graph) == {"e0": 0}
+
+    def test_repr(self):
+        graph = FlowGraph()
+        graph.add_node()
+        assert "1 nodes" in repr(graph)

@@ -1,0 +1,66 @@
+"""Tests for flow validation certificates."""
+
+import pytest
+
+from repro.flow.graph import FlowGraph, FlowResult
+from repro.flow.validate import (
+    assert_optimal,
+    check_complementary_slackness,
+    check_feasible_flow,
+    flow_cost,
+)
+
+
+def tiny_graph() -> FlowGraph:
+    graph = FlowGraph()
+    graph.add_node(supply=2)
+    graph.add_node(supply=-2)
+    graph.add_edge(0, 1, capacity=3, cost=4, name="main")
+    return graph
+
+
+class TestFeasibility:
+    def test_valid_flow(self):
+        assert check_feasible_flow(tiny_graph(), [2]) == []
+
+    def test_wrong_length(self):
+        problems = check_feasible_flow(tiny_graph(), [1, 1])
+        assert "entries" in problems[0]
+
+    def test_negative_flow(self):
+        problems = check_feasible_flow(tiny_graph(), [-1])
+        assert any("negative" in p for p in problems)
+
+    def test_over_capacity(self):
+        problems = check_feasible_flow(tiny_graph(), [4])
+        assert any("exceeds capacity" in p for p in problems)
+
+    def test_conservation_violation(self):
+        problems = check_feasible_flow(tiny_graph(), [1])
+        assert any("conservation" in p for p in problems)
+
+    def test_named_edge_in_message(self):
+        problems = check_feasible_flow(tiny_graph(), [4])
+        assert any("main" in p for p in problems)
+
+
+class TestComplementarySlackness:
+    def test_optimal_passes(self):
+        graph = tiny_graph()
+        # flow 2 < cap, so reduced cost must be >= 0 and <= 0 -> exactly 0.
+        result = FlowResult(flows=[2], potentials=[0, 4], cost=8)
+        assert check_complementary_slackness(graph, result) == []
+        assert_optimal(graph, result)
+
+    def test_bad_potentials_fail(self):
+        graph = tiny_graph()
+        result = FlowResult(flows=[2], potentials=[0, 0], cost=8)
+        problems = check_complementary_slackness(graph, result)
+        assert problems
+        with pytest.raises(AssertionError):
+            assert_optimal(graph, result)
+
+
+def test_flow_cost():
+    graph = tiny_graph()
+    assert flow_cost(graph, [2]) == 8

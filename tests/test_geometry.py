@@ -1,0 +1,178 @@
+"""Unit tests for geometry primitives."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.model.geometry import (
+    Interval,
+    Point,
+    Rect,
+    iter_pairs,
+    merge_intervals,
+    subtract_intervals,
+)
+
+
+class TestPoint:
+    def test_manhattan(self):
+        assert Point(0, 0).manhattan(Point(3, 4)) == 7
+
+    def test_manhattan_symmetric(self):
+        a, b = Point(-2, 5), Point(1, -1)
+        assert a.manhattan(b) == b.manhattan(a)
+
+    def test_translated(self):
+        assert Point(1, 2).translated(3, -1) == Point(4, 1)
+
+
+class TestInterval:
+    def test_length(self):
+        assert Interval(2, 5).length == 3
+
+    def test_empty_length_zero(self):
+        assert Interval(5, 2).length == 0
+        assert Interval(5, 2).empty
+
+    def test_contains_half_open(self):
+        iv = Interval(2, 5)
+        assert iv.contains(2)
+        assert iv.contains(4.9)
+        assert not iv.contains(5)
+
+    def test_contains_interval(self):
+        assert Interval(0, 10).contains_interval(Interval(2, 5))
+        assert not Interval(0, 10).contains_interval(Interval(5, 11))
+        assert Interval(0, 1).contains_interval(Interval(7, 3))  # empty
+
+    def test_overlaps(self):
+        assert Interval(0, 5).overlaps(Interval(4, 8))
+        assert not Interval(0, 5).overlaps(Interval(5, 8))  # touching
+
+    def test_intersect(self):
+        assert Interval(0, 5).intersect(Interval(3, 9)) == Interval(3, 5)
+
+    def test_intersect_disjoint_is_empty(self):
+        assert Interval(0, 2).intersect(Interval(5, 7)).empty
+
+    def test_shifted(self):
+        assert Interval(1, 3).shifted(2) == Interval(3, 5)
+
+    def test_clamp(self):
+        iv = Interval(2, 6)
+        assert iv.clamp(0) == 2
+        assert iv.clamp(9) == 6
+        assert iv.clamp(4) == 4
+
+    def test_union_span(self):
+        assert Interval(0, 2).union_span(Interval(5, 7)) == Interval(0, 7)
+
+
+class TestRect:
+    def test_dimensions(self):
+        rect = Rect(1, 2, 4, 7)
+        assert rect.width == 3
+        assert rect.height == 5
+        assert rect.area == 15
+
+    def test_empty(self):
+        assert Rect(3, 0, 3, 5).empty
+        assert not Rect(0, 0, 1, 1).empty
+
+    def test_contains_point_half_open(self):
+        rect = Rect(0, 0, 4, 4)
+        assert rect.contains_point(0, 0)
+        assert not rect.contains_point(4, 2)
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains_rect(Rect(2, 2, 8, 8))
+        assert not outer.contains_rect(Rect(5, 5, 11, 8))
+        assert outer.contains_rect(Rect(20, 20, 20, 20))  # empty
+
+    def test_overlaps_interior_only(self):
+        assert Rect(0, 0, 4, 4).overlaps(Rect(3, 3, 6, 6))
+        assert not Rect(0, 0, 4, 4).overlaps(Rect(4, 0, 6, 4))  # abutting
+
+    def test_intersect(self):
+        hit = Rect(0, 0, 4, 4).intersect(Rect(2, 1, 6, 3))
+        assert hit == Rect(2, 1, 4, 3)
+
+    def test_translated(self):
+        assert Rect(0, 0, 1, 1).translated(2, 3) == Rect(2, 3, 3, 4)
+
+    def test_inflated(self):
+        assert Rect(2, 2, 4, 4).inflated(1) == Rect(1, 1, 5, 5)
+
+    def test_center(self):
+        assert Rect(0, 0, 4, 2).center == Point(2, 1)
+
+    def test_union_span(self):
+        assert Rect(0, 0, 1, 1).union_span(Rect(5, 5, 6, 7)) == Rect(0, 0, 6, 7)
+
+
+class TestSubtractIntervals:
+    def test_no_holes(self):
+        assert subtract_intervals(Interval(0, 10), []) == [Interval(0, 10)]
+
+    def test_middle_hole(self):
+        pieces = subtract_intervals(Interval(0, 10), [Interval(3, 5)])
+        assert pieces == [Interval(0, 3), Interval(5, 10)]
+
+    def test_covering_hole(self):
+        assert subtract_intervals(Interval(2, 5), [Interval(0, 10)]) == []
+
+    def test_multiple_holes(self):
+        pieces = subtract_intervals(
+            Interval(0, 10), [Interval(8, 12), Interval(1, 2), Interval(4, 5)]
+        )
+        assert pieces == [Interval(0, 1), Interval(2, 4), Interval(5, 8)]
+
+    def test_overlapping_holes(self):
+        pieces = subtract_intervals(
+            Interval(0, 10), [Interval(2, 6), Interval(4, 8)]
+        )
+        assert pieces == [Interval(0, 2), Interval(8, 10)]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=50),
+                st.integers(min_value=0, max_value=50),
+            ),
+            max_size=8,
+        )
+    )
+    def test_property_no_hole_point_remains(self, raw_holes):
+        holes = [Interval(min(a, b), max(a, b)) for a, b in raw_holes]
+        pieces = subtract_intervals(Interval(0, 50), holes)
+        # Pieces are disjoint, sorted, inside the base, and avoid holes.
+        for left, right in zip(pieces, pieces[1:]):
+            assert left.hi <= right.lo
+        for piece in pieces:
+            assert 0 <= piece.lo < piece.hi <= 50
+            mid = (piece.lo + piece.hi) / 2
+            assert not any(h.contains(mid) for h in holes)
+        # Total measure is preserved.
+        merged = merge_intervals(holes)
+        hole_measure = sum(
+            max(0.0, min(h.hi, 50) - max(h.lo, 0)) for h in merged
+        )
+        assert sum(p.length for p in pieces) == pytest.approx(50 - hole_measure)
+
+
+class TestMergeIntervals:
+    def test_merges_overlapping(self):
+        merged = merge_intervals([Interval(0, 3), Interval(2, 5), Interval(7, 9)])
+        assert merged == [Interval(0, 5), Interval(7, 9)]
+
+    def test_merges_touching(self):
+        assert merge_intervals([Interval(0, 2), Interval(2, 4)]) == [Interval(0, 4)]
+
+    def test_drops_empty(self):
+        assert merge_intervals([Interval(5, 2)]) == []
+
+
+def test_iter_pairs():
+    assert list(iter_pairs([1, 2, 3])) == [(1, 2), (2, 3)]
+    assert list(iter_pairs([1])) == []
+    assert list(iter_pairs([])) == []

@@ -1,0 +1,71 @@
+"""Tests for the global-move (rip-up-and-reinsert) extension stage."""
+
+import pytest
+
+from repro import LegalizerParams, legalize
+from repro.checker import check_legal
+from repro.core.globalmove import optimize_global_moves
+from repro.core.mgl import MGLegalizer
+
+
+def params_plain(**kw):
+    return LegalizerParams(routability=False, scheduler_capacity=1, **kw)
+
+
+class TestGlobalMoves:
+    def test_never_worsens_total(self, small_design):
+        placement = MGLegalizer(small_design, params_plain()).run()
+        stats = optimize_global_moves(placement, params_plain())
+        assert stats.disp_after <= stats.disp_before + 1e-9
+        assert check_legal(placement).is_legal
+
+    def test_fixes_a_stranded_cell(self, basic_tech):
+        """A cell parked far from its GP must be pulled back when space
+        exists — the case stages 2 (no same-type partner) and 3 (row
+        frozen) cannot fix."""
+        from repro.core.occupancy import Occupancy
+        from repro.model.design import Design
+        from repro.model.placement import Placement
+
+        design = Design(basic_tech, num_rows=8, num_sites=40, name="strand")
+        design.add_cell("a", basic_tech.type_named("S3"), 5.0, 1.0)
+        stranded = design.add_cell("s", basic_tech.type_named("S4"), 10.0, 1.0)
+        placement = Placement(design)
+        placement.move(0, 5, 1)
+        placement.move(stranded, 30, 6)  # far away, wrong row
+        assert check_legal(placement).is_legal
+        stats = optimize_global_moves(placement, params_plain(), fraction=1.0)
+        assert stats.accepted >= 1
+        assert placement.displacement(stranded) < 1.0
+        assert check_legal(placement).is_legal
+
+    def test_stats_counters(self, small_design):
+        placement = MGLegalizer(small_design, params_plain()).run()
+        stats = optimize_global_moves(
+            placement, params_plain(), max_rounds=3, fraction=0.1
+        )
+        assert stats.attempted >= stats.accepted
+        assert 1 <= stats.rounds <= 3
+
+    def test_pipeline_integration(self, small_design):
+        result = legalize(small_design, params_plain(use_global_moves=True))
+        assert result.global_move_stats is not None
+        assert result.after_global_moves is not None
+        assert check_legal(result.placement).is_legal
+        # The extension stage must not regress the flow's output.
+        assert (
+            result.after_global_moves.avg_disp
+            <= result.after_flow.avg_disp + 1e-9
+        )
+
+    def test_disabled_by_default(self, small_design):
+        result = legalize(small_design, params_plain())
+        assert result.global_move_stats is None
+        assert result.after_global_moves is None
+
+    def test_deterministic(self, small_design):
+        a = MGLegalizer(small_design, params_plain()).run()
+        b = a.copy()
+        optimize_global_moves(a, params_plain())
+        optimize_global_moves(b, params_plain())
+        assert a.x == b.x and a.y == b.y

@@ -1,0 +1,97 @@
+"""Tests for the GP substrate (perturbation + quadratic placer)."""
+
+import pytest
+
+from repro.gp import QuadraticPlacer, perturb_placement, quadratic_global_placement
+from repro.model.netlist import Net, PinRef
+from repro.model.placement import Placement
+
+
+class TestPerturb:
+    def test_overwrites_gp(self, small_design):
+        placement = Placement.from_gp_rounded(small_design)
+        old_gp = list(small_design.gp_x)
+        perturb_placement(placement, sigma_rows=2.0, seed=1)
+        assert list(small_design.gp_x) != old_gp
+
+    def test_deterministic(self, small_design):
+        placement = Placement.from_gp_rounded(small_design)
+        perturb_placement(placement, seed=3)
+        first = list(small_design.gp_x)
+        perturb_placement(placement, seed=3)
+        assert list(small_design.gp_x) == first
+
+    def test_zero_sigma_is_identity(self, small_design):
+        placement = Placement.from_gp_rounded(small_design)
+        perturb_placement(placement, sigma_rows=0.0, seed=1)
+        for cell in small_design.movable_cells():
+            assert small_design.gp_x[cell] == placement.x[cell]
+            assert small_design.gp_y[cell] == placement.y[cell]
+
+    def test_clamped_to_chip(self, small_design):
+        placement = Placement.from_gp_rounded(small_design)
+        perturb_placement(placement, sigma_rows=50.0, seed=2)
+        for cell in range(small_design.num_cells):
+            ct = small_design.cell_type_of(cell)
+            assert 0 <= small_design.gp_x[cell] <= small_design.num_sites - ct.width
+            assert 0 <= small_design.gp_y[cell] <= small_design.num_rows - ct.height
+
+    def test_fixed_cells_untouched(self, basic_tech):
+        from repro.model.design import Design
+
+        design = Design(basic_tech, num_rows=4, num_sites=20, name="fx")
+        design.add_cell("f", basic_tech.type_named("S2"), 5, 1, fixed=True)
+        placement = Placement(design)
+        placement.move(0, 5, 1)
+        perturb_placement(placement, sigma_rows=3.0, seed=1)
+        assert design.gp_x[0] == 5 and design.gp_y[0] == 1
+
+
+class TestQuadraticPlacer:
+    def test_connected_cells_attract(self, small_design):
+        small_design.netlist.add_net(Net("n", [PinRef(0), PinRef(1)]))
+        placer = QuadraticPlacer(iterations=60, spread=False, seed=1)
+        xs, ys = placer.place(small_design)
+        # Cells 0 and 1 share a net; they must end closer than two random
+        # unconnected cells on average.
+        connected = abs(xs[0] - xs[1]) + abs(ys[0] - ys[1])
+        unconnected = abs(xs[2] - xs[3]) + abs(ys[2] - ys[3])
+        assert connected < unconnected
+
+    def test_positions_inside_chip(self, small_design):
+        quadratic_global_placement(small_design, seed=2)
+        for cell in range(small_design.num_cells):
+            ct = small_design.cell_type_of(cell)
+            assert 0 <= small_design.gp_x[cell] <= small_design.num_sites - ct.width
+            assert 0 <= small_design.gp_y[cell] <= small_design.num_rows - ct.height
+
+    def test_deterministic(self, small_design):
+        quadratic_global_placement(small_design, seed=5)
+        first = list(small_design.gp_x)
+        quadratic_global_placement(small_design, seed=5)
+        assert list(small_design.gp_x) == first
+
+    def test_spread_fills_chip(self, small_design):
+        for index in range(0, small_design.num_cells - 1, 2):
+            small_design.netlist.add_net(
+                Net(f"n{index}", [PinRef(index), PinRef(index + 1)])
+            )
+        placer = QuadraticPlacer(iterations=40, spread=True, seed=3)
+        xs, ys = placer.place(small_design)
+        assert xs.max() - xs.min() > 0.5 * small_design.num_sites
+        assert ys.max() - ys.min() > 0.5 * small_design.num_rows
+
+    def test_gp_to_legalization_roundtrip(self, small_design):
+        """The examples' pipeline: netlist -> GP -> legal placement."""
+        from repro import LegalizerParams, legalize
+        from repro.checker import check_legal
+
+        for index in range(0, small_design.num_cells - 2, 3):
+            small_design.netlist.add_net(
+                Net(f"n{index}", [PinRef(index), PinRef(index + 1), PinRef(index + 2)])
+            )
+        quadratic_global_placement(small_design, seed=4)
+        result = legalize(
+            small_design, LegalizerParams(routability=False, scheduler_capacity=1)
+        )
+        assert check_legal(result.placement).is_legal

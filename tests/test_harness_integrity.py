@@ -1,0 +1,57 @@
+"""Integrity of the benchmark harness and example scripts.
+
+These guard the deliverables themselves: every bench module must be
+collectable by pytest (the `bench_*.py` pattern is configured in
+pyproject), and every example script must at least compile.
+"""
+
+import ast
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).parent.parent
+
+
+def test_benchmarks_collect():
+    result = subprocess.run(
+        [sys.executable, "-m", "pytest", str(ROOT / "benchmarks"),
+         "--collect-only", "-q"],
+        capture_output=True, text=True, cwd=ROOT,
+    )
+    assert result.returncode == 0, result.stdout[-2000:]
+    # Every table/figure module contributes at least one test.
+    for module in ("bench_table1", "bench_table2", "bench_table3",
+                   "bench_fig1", "bench_fig3", "bench_fig4", "bench_fig5",
+                   "bench_fig6"):
+        assert module in result.stdout, f"{module} not collected"
+
+
+@pytest.mark.parametrize(
+    "script", sorted((ROOT / "examples").glob("*.py")), ids=lambda p: p.name
+)
+def test_examples_compile(script):
+    tree = ast.parse(script.read_text())
+    # Each example is a proper script: module docstring + main guard.
+    assert ast.get_docstring(tree), f"{script.name} missing docstring"
+    assert any(
+        isinstance(node, ast.If) for node in tree.body
+    ), f"{script.name} missing __main__ guard"
+
+
+def test_every_bench_module_documents_its_experiment():
+    for module in sorted((ROOT / "benchmarks").glob("bench_*.py")):
+        tree = ast.parse(module.read_text())
+        doc = ast.get_docstring(tree) or ""
+        assert len(doc) > 80, f"{module.name} needs a real docstring"
+
+
+def test_experiments_doc_covers_every_bench():
+    text = (ROOT / "EXPERIMENTS.md").read_text()
+    for module in sorted((ROOT / "benchmarks").glob("bench_*.py")):
+        stem = module.stem.replace("bench_", "")
+        if stem.startswith("ablation") or stem == "runtime_scaling":
+            continue  # grouped under one section
+        assert module.name in text or stem in text.lower(), module.name

@@ -1,0 +1,66 @@
+"""Structural tests for the HPWL dual graph (supplies, arcs, recovery)."""
+
+import pytest
+
+from repro.core.flowopt import FixedRowOrderProblem
+from repro.core.hpwlopt import HpwlProblem, build_hpwl_dual_graph
+from repro.flow.graph import edges_by_name
+from repro.flow.validate import check_complementary_slackness
+from repro.flow.network_simplex import NetworkSimplex
+
+
+def two_cell_problem():
+    base = FixedRowOrderProblem(
+        cells=[0, 1],
+        weights=[1, 1],
+        widths=[2, 2],
+        gp_x=[5, 15],
+        dy=[0, 0],
+        lower=[0, 0],
+        upper=[28, 28],
+        pairs=[(0, 1, 2)],
+    )
+    problem = HpwlProblem(base=base)
+    problem.nets.append(([(0, 1), (1, 1)], [], 1))
+    return problem
+
+
+class TestGraphStructure:
+    def test_net_nodes_and_supplies(self):
+        problem = two_cell_problem()
+        graph, v_z = build_hpwl_dual_graph(problem, hpwl_weight=10)
+        # 2 cells + v_z + (L, R) per net.
+        assert graph.num_nodes == 5
+        # Net-L carries +K*w, net-R carries -K*w; everything else zero.
+        assert sorted(graph.supplies) == [-10, 0, 0, 0, 10]
+        assert graph.total_supply_imbalance() == 0
+
+    def test_net_arcs(self):
+        problem = two_cell_problem()
+        graph, _ = build_hpwl_dual_graph(problem, hpwl_weight=10)
+        names = edges_by_name(graph)
+        for k in (0, 1):
+            assert f"nl0_{k}" in names
+            assert f"nr0_{k}" in names
+        # Pin offsets become arc costs.
+        assert graph.edges[names["nl0_0"]].cost == 1
+        assert graph.edges[names["nr0_0"]].cost == -1
+
+    def test_terminal_arcs(self):
+        problem = two_cell_problem()
+        problem.nets[0] = (problem.nets[0][0], [20], 1)
+        graph, _ = build_hpwl_dual_graph(problem, hpwl_weight=10)
+        names = edges_by_name(graph)
+        assert "ntl0_20" in names and "ntr0_20" in names
+        assert graph.edges[names["ntl0_20"]].cost == 20
+        assert graph.edges[names["ntr0_20"]].cost == -20
+
+    def test_solution_certified_optimal(self):
+        problem = two_cell_problem()
+        graph, v_z = build_hpwl_dual_graph(problem, hpwl_weight=10)
+        result = NetworkSimplex(graph).solve()
+        assert check_complementary_slackness(graph, result) == []
+        xs = [result.potentials[v_z] - result.potentials[k] for k in (0, 1)]
+        assert problem.base.check_feasible(xs) == []
+        # High HPWL weight: the two cells abut despite their distant GPs.
+        assert xs[1] - xs[0] == 2

@@ -1,0 +1,233 @@
+"""Tests for insertion-point enumeration and exact evaluation."""
+
+import pytest
+
+from repro.core.insertion import InsertionContext
+from repro.core.occupancy import Occupancy
+from repro.model.design import Design
+from repro.model.fence import FenceRegion
+from repro.model.geometry import Rect
+from repro.model.placement import Placement
+from repro.model.technology import CellType, EdgeSpacingTable, Technology
+
+
+def make_design(edge_rules=False, fences=(), rows=6, sites=40):
+    tech = Technology(
+        cell_types=[
+            CellType("W3", 3, 1, left_edge=1 if edge_rules else 0,
+                     right_edge=1 if edge_rules else 0),
+            CellType("W4", 4, 1),
+            CellType("D3", 3, 2),
+        ],
+        edge_spacing=EdgeSpacingTable([(1, 1, 2)]) if edge_rules else
+        EdgeSpacingTable(),
+    )
+    design = Design(tech, num_rows=rows, num_sites=sites, name="ins")
+    for fence in fences:
+        design.add_fence(fence)
+    return design, tech
+
+
+def place(design, placement, occupancy, type_name, x, y, gp_x=None, gp_y=None):
+    tech = design.technology
+    cell = design.add_cell(
+        f"c{design.num_cells}", tech.type_named(type_name),
+        x if gp_x is None else gp_x, y if gp_y is None else gp_y,
+    )
+    placement_growth(placement, design)
+    placement.move(cell, x, y)
+    occupancy.add(cell)
+    return cell
+
+
+def placement_growth(placement, design):
+    while len(placement.x) < design.num_cells:
+        placement.x.append(0)
+        placement.y.append(0)
+
+
+def context_for(design, placement, occupancy, type_name, gp_x, gp_y,
+                window=None, **kwargs):
+    cell = design.add_cell(
+        f"t{design.num_cells}", design.technology.type_named(type_name),
+        gp_x, gp_y,
+    )
+    placement_growth(placement, design)
+    if window is None:
+        window = design.chip_rect
+    return cell, InsertionContext(design, occupancy, cell, window, **kwargs)
+
+
+@pytest.fixture
+def empty_setup():
+    design, _tech = make_design()
+    placement = Placement(design)
+    occupancy = Occupancy(design, placement)
+    return design, placement, occupancy
+
+
+class TestGapEnumeration:
+    def test_empty_row_single_gap(self, empty_setup):
+        design, placement, occupancy = empty_setup
+        _, ctx = context_for(design, placement, occupancy, "W3", 10.0, 2.0)
+        gaps = ctx.gaps_in_row(2)
+        assert len(gaps) == 1
+        gap = gaps[0]
+        assert gap.left_cell is None and gap.right_cell is None
+        assert gap.lo_rough == 0 and gap.hi_rough == 40 - 3
+
+    def test_gaps_around_local_cell(self, empty_setup):
+        design, placement, occupancy = empty_setup
+        place(design, placement, occupancy, "W4", 18, 2)
+        _, ctx = context_for(design, placement, occupancy, "W3", 10.0, 2.0)
+        gaps = ctx.gaps_in_row(2)
+        assert len(gaps) == 2
+        left_gap, right_gap = gaps
+        assert left_gap.right_cell == 0
+        assert right_gap.left_cell == 0
+
+    def test_narrow_segment_skipped(self):
+        design, _ = make_design(sites=10)
+        design.add_blockage(Rect(2, 0, 10, 6))  # leaves only 2 sites
+        placement = Placement(design)
+        occupancy = Occupancy(design, placement)
+        _, ctx = context_for(design, placement, occupancy, "W3", 1.0, 1.0)
+        assert ctx.gaps_in_row(1) == []
+
+    def test_fence_mismatch_skipped(self):
+        fence = FenceRegion(1, "f", [Rect(10, 0, 30, 6)])
+        design, _ = make_design(fences=[fence])
+        placement = Placement(design)
+        occupancy = Occupancy(design, placement)
+        _, ctx = context_for(design, placement, occupancy, "W3", 20.0, 2.0)
+        # Default-fence target: only the two outside segments qualify.
+        rows = ctx.gaps_in_row(2)
+        assert all(g.segment.fence_id == 0 for g in rows)
+        assert len(rows) == 2
+
+    def test_non_local_cell_is_wall(self, empty_setup):
+        design, placement, occupancy = empty_setup
+        wall = place(design, placement, occupancy, "W4", 22, 2)
+        _, ctx = context_for(
+            design, placement, occupancy, "W3", 10.0, 2.0,
+            window=Rect(5, 1, 25, 4),  # wall cell (22..26) pokes out right
+        )
+        gaps = ctx.gaps_in_row(2)
+        # Wall on the right: single gap bounded by the wall's left edge.
+        assert len(gaps) == 1
+        assert gaps[0].right_wall_cell == wall
+        assert gaps[0].right_bound == 22
+
+
+class TestEvaluate:
+    def test_empty_row_places_at_gp(self, empty_setup):
+        design, placement, occupancy = empty_setup
+        _, ctx = context_for(design, placement, occupancy, "W3", 12.0, 2.0)
+        result = ctx.evaluate(2, tuple(ctx.gaps_in_row(2)))
+        assert result is not None
+        assert result.x == 12
+        assert result.cost == pytest.approx(0.0)
+        assert result.moves == []
+
+    def test_push_right_cheaper_than_far_gap(self, empty_setup):
+        design, placement, occupancy = empty_setup
+        blocker = place(design, placement, occupancy, "W4", 12, 2, gp_x=12)
+        _, ctx = context_for(design, placement, occupancy, "W3", 11.0, 2.0)
+        gaps = ctx.gaps_in_row(2)
+        # Insert into the left gap: target wants x=11 but blocker at 12
+        # allows only x <= 8 without pushing... pushing is not possible
+        # leftward for a right gap; evaluate both and take the best.
+        results = [ctx.evaluate(2, (gap,)) for gap in gaps]
+        best = min((r for r in results if r is not None), key=lambda r: r.cost)
+        assert best is not None
+
+    def test_multirow_pushes_fit_both_rows(self, empty_setup):
+        design, placement, occupancy = empty_setup
+        a = place(design, placement, occupancy, "W3", 10, 0, gp_x=10)
+        b = place(design, placement, occupancy, "W3", 10, 1, gp_x=10)
+        _, ctx = context_for(design, placement, occupancy, "D3", 10.0, 0.0)
+        combos = list(ctx.enumerate_insertion_points())
+        evaluations = [ctx.evaluate(r, g) for r, g in combos]
+        best = min((e for e in evaluations if e), key=lambda e: e.cost)
+        # The target lands at its GP and pushes both cells right, or sits
+        # beside them; either way the result must be feasible and cheap.
+        assert best.cost <= 1.0
+
+    def test_infeasible_when_full(self):
+        design, _ = make_design(rows=1, sites=6)
+        placement = Placement(design)
+        occupancy = Occupancy(design, placement)
+        place(design, placement, occupancy, "W3", 0, 0)
+        place(design, placement, occupancy, "W3", 3, 0)
+        _, ctx = context_for(design, placement, occupancy, "W3", 2.0, 0.0)
+        results = [ctx.evaluate(r, g) for r, g in ctx.enumerate_insertion_points()]
+        assert all(r is None for r in results)
+
+    def test_edge_spacing_respected_in_moves(self):
+        design, _ = make_design(edge_rules=True)
+        placement = Placement(design)
+        occupancy = Occupancy(design, placement)
+        blocker = place(design, placement, occupancy, "W3", 10, 2, gp_x=10)
+        cell, ctx = context_for(design, placement, occupancy, "W3", 9.0, 2.0)
+        gaps = ctx.gaps_in_row(2)
+        left_gap = next(g for g in gaps if g.right_cell == blocker)
+        result = ctx.evaluate(2, (left_gap,))
+        assert result is not None
+        # Edge rule W3-W3 needs 2 sites: blocker position must respect it.
+        blocker_new = dict(result.moves).get(blocker, placement.x[blocker])
+        assert blocker_new - (result.x + 3) >= 2
+
+    def test_current_reference_ignores_gp_credit(self, empty_setup):
+        design, placement, occupancy = empty_setup
+        # Local cell sits left of its GP: pushing it right EARNS credit
+        # under the GP reference (type C) but costs movement under
+        # "current" (type A) — the defining MGL/MLL difference.
+        place(design, placement, occupancy, "W4", 10, 2, gp_x=20)
+        cell, ctx_gp = context_for(
+            design, placement, occupancy, "W3", 9.0, 2.0, reference="gp"
+        )
+        ctx_cur = InsertionContext(
+            design, occupancy, cell, design.chip_rect, reference="current"
+        )
+        gap = next(g for g in ctx_gp.gaps_in_row(2) if g.right_cell == 0)
+        result_gp = ctx_gp.evaluate(2, (gap,))
+        gap2 = next(g for g in ctx_cur.gaps_in_row(2) if g.right_cell == 0)
+        result_cur = ctx_cur.evaluate(2, (gap2,))
+        assert result_gp is not None and result_cur is not None
+        # Placing the target at gp=9 pushes cell 0 right toward its GP:
+        # negative cost (credit) for MGL, positive movement cost for MLL.
+        assert result_gp.cost < 0 < result_cur.cost
+
+    def test_invalid_reference_rejected(self, empty_setup):
+        design, placement, occupancy = empty_setup
+        with pytest.raises(ValueError):
+            context_for(
+                design, placement, occupancy, "W3", 0.0, 0.0, reference="xx"
+            )
+
+
+class TestEnumerate:
+    def test_parity_filter(self, empty_setup):
+        design, placement, occupancy = empty_setup
+        _, ctx = context_for(design, placement, occupancy, "D3", 10.0, 1.0)
+        rows = ctx.candidate_rows()
+        assert all(r % 2 == 0 for r in rows)  # even-height cell, parity 0
+
+    def test_rows_sorted_by_gp_proximity(self, empty_setup):
+        design, placement, occupancy = empty_setup
+        _, ctx = context_for(design, placement, occupancy, "W3", 10.0, 3.2)
+        rows = ctx.candidate_rows()
+        assert rows[0] == 3
+
+    def test_lower_bound_is_valid(self, empty_setup):
+        design, placement, occupancy = empty_setup
+        place(design, placement, occupancy, "W4", 12, 2, gp_x=12)
+        _, ctx = context_for(design, placement, occupancy, "W3", 11.0, 2.0)
+        for bottom_row, gaps in ctx.enumerate_insertion_points():
+            result = ctx.evaluate(bottom_row, gaps)
+            if result is None:
+                continue
+            bound = ctx.target_cost_lower_bound(bottom_row, gaps)
+            # The bound covers the target-only part; local-cell deltas are
+            # non-negative here (everyone starts at GP), so it must hold.
+            assert result.cost >= bound - 1e-9

@@ -1,0 +1,100 @@
+"""Tests for the insertion search's caps and pruning machinery."""
+
+import pytest
+
+from repro.core.insertion import InsertionContext
+from repro.core.occupancy import Occupancy
+from repro.model.design import Design
+from repro.model.placement import Placement
+from repro.model.technology import CellType, Technology
+
+
+@pytest.fixture
+def crowded_row():
+    """One row with many alternating cells and gaps."""
+    tech = Technology(cell_types=[CellType("U", 2, 1)])
+    design = Design(tech, num_rows=1, num_sites=120, name="caps")
+    placement = Placement(design)
+    occupancy = Occupancy(design, placement)
+    for index in range(20):
+        cell = design.add_cell(f"c{index}", tech.type_named("U"), 0, 0)
+        placement.x.append(0)
+        placement.y.append(0)
+        placement.move(cell, 5 * index, 0)
+        occupancy.add(cell)
+    target = design.add_cell("t", tech.type_named("U"), 60.0, 0.0)
+    placement.x.append(0)
+    placement.y.append(0)
+    return design, placement, occupancy, target
+
+
+class TestGapCap:
+    def test_cap_limits_gap_count(self, crowded_row):
+        design, placement, occupancy, target = crowded_row
+        limited = InsertionContext(
+            design, occupancy, target, design.chip_rect, max_gaps_per_row=5
+        )
+        unlimited = InsertionContext(
+            design, occupancy, target, design.chip_rect, max_gaps_per_row=1000
+        )
+        assert len(limited.gaps_in_row(0)) == 5
+        assert len(unlimited.gaps_in_row(0)) == 21  # 20 cells -> 21 gaps
+
+    def test_cap_keeps_gaps_near_gp(self, crowded_row):
+        design, placement, occupancy, target = crowded_row
+        context = InsertionContext(
+            design, occupancy, target, design.chip_rect, max_gaps_per_row=3
+        )
+        gaps = context.gaps_in_row(0)
+        # All kept gaps must be reachable near the GP (x = 60).
+        for gap in gaps:
+            distance = max(0.0, gap.lo_rough - 60.0, 60.0 - gap.hi_rough)
+            assert distance <= 30
+
+    def test_max_insertion_points_cap(self, crowded_row):
+        design, placement, occupancy, target = crowded_row
+        context = InsertionContext(
+            design, occupancy, target, design.chip_rect, max_gaps_per_row=1000
+        )
+        few = list(context.enumerate_insertion_points(3))
+        many = list(context.enumerate_insertion_points(1000))
+        assert len(few) == 3
+        assert len(many) > len(few)
+
+
+class TestWindowFiltering:
+    def test_window_excludes_far_runs(self, crowded_row):
+        design, placement, occupancy, target = crowded_row
+        from repro.model.geometry import Rect
+
+        narrow = InsertionContext(
+            design, occupancy, target, Rect(55, 0, 70, 1), max_gaps_per_row=1000
+        )
+        gaps = narrow.gaps_in_row(0)
+        # Only gaps overlapping the window's x-range qualify; the
+        # enumeration must not offer the far-left/far-right free space.
+        for gap in gaps:
+            assert gap.hi_rough >= 50 or gap.lo_rough <= 75
+
+    def test_empty_window_no_gaps(self, crowded_row):
+        design, placement, occupancy, target = crowded_row
+        from repro.model.geometry import Rect
+
+        context = InsertionContext(
+            design, occupancy, target, Rect(0, 0, 0, 0)
+        )
+        assert context.gaps_in_row(0) == []
+
+
+class TestLowerBound:
+    def test_bound_grows_with_row_distance(self, basic_tech):
+        design = Design(basic_tech, num_rows=10, num_sites=40, name="lb")
+        target = design.add_cell("t", basic_tech.type_named("S2"), 10.0, 5.0)
+        placement = Placement(design)
+        occupancy = Occupancy(design, placement)
+        context = InsertionContext(design, occupancy, target, design.chip_rect)
+        bounds = []
+        for bottom_row in (5, 6, 8):
+            gaps = tuple([context.gaps_in_row(bottom_row)[0]])
+            bounds.append(context.target_cost_lower_bound(bottom_row, gaps))
+        assert bounds[0] < bounds[1] < bounds[2]

@@ -1,0 +1,87 @@
+"""Integration tests for the full three-stage pipeline (paper Fig. 2)."""
+
+import pytest
+
+from repro import Legalizer, LegalizerParams, legalize
+from repro.checker import check_legal, contest_score, count_routability_violations
+
+
+class TestPipeline:
+    def test_all_stages_run(self, small_design):
+        result = legalize(
+            small_design, LegalizerParams(routability=False, scheduler_capacity=1)
+        )
+        assert check_legal(result.placement).is_legal
+        assert result.after_matching is not None
+        assert result.after_flow is not None
+        assert result.matching_stats is not None
+        assert result.flow_stats is not None
+        assert result.total_seconds > 0
+
+    def test_stages_can_be_disabled(self, small_design):
+        result = legalize(
+            small_design,
+            LegalizerParams(
+                routability=False, use_matching=False, use_flow_opt=False,
+                scheduler_capacity=1,
+            ),
+        )
+        assert result.after_matching is None
+        assert result.after_flow is None
+        assert check_legal(result.placement).is_legal
+
+    def test_postprocessing_reduces_displacement(self, small_design):
+        """The Table 3 claim: stages 2+3 cut max disp, keep avg steady."""
+        result = legalize(
+            small_design, LegalizerParams(routability=False, scheduler_capacity=1)
+        )
+        assert result.after_flow.max_disp <= result.after_mgl.max_disp + 1e-9
+        # The matching stage may trade a little average for the max; the
+        # final stage keeps the total regression small.
+        assert result.after_flow.avg_disp <= result.after_mgl.avg_disp * 1.10 + 0.05
+
+    def test_fences_respected_end_to_end(self, fence_design):
+        result = legalize(
+            fence_design, LegalizerParams(routability=False, scheduler_capacity=1)
+        )
+        report = check_legal(result.placement)
+        assert report.is_legal
+
+    def test_routability_flow(self, rail_design):
+        params = LegalizerParams(scheduler_capacity=1)
+        result = legalize(rail_design, params)
+        assert check_legal(result.placement).is_legal
+        # The guard steers rows/x away from rails; the violation count
+        # must be small on a 40%-dense design.
+        report = count_routability_violations(result.placement)
+        blind = legalize(
+            rail_design,
+            LegalizerParams(routability=False, scheduler_capacity=1),
+        )
+        blind_report = count_routability_violations(blind.placement)
+        assert report.total <= blind_report.total
+
+    def test_scoring_integration(self, small_design):
+        result = legalize(
+            small_design, LegalizerParams(routability=False, scheduler_capacity=1)
+        )
+        score = contest_score(result.placement)
+        assert score.score > 0
+        assert score.avg_displacement == pytest.approx(
+            result.after_flow.avg_disp, abs=0.3
+        )
+
+    def test_legalizer_validates_design(self, small_design):
+        from repro.model.fence import FenceRegion
+        from repro.model.geometry import Rect
+
+        small_design.add_fence(FenceRegion(1, "bad", [Rect(90, 0, 120, 5)]))
+        with pytest.raises(ValueError):
+            Legalizer(small_design)
+
+    def test_deterministic_end_to_end(self, small_design):
+        params = LegalizerParams(routability=False, scheduler_capacity=4)
+        a = legalize(small_design, params)
+        b = legalize(small_design, params)
+        assert a.placement.x == b.placement.x
+        assert a.placement.y == b.placement.y

@@ -1,0 +1,151 @@
+"""Tests for the max-displacement matching stage (paper §3.2)."""
+
+import pytest
+
+from repro.checker import check_legal, count_routability_violations
+from repro.core.matching import (
+    MatchingStats,
+    adaptive_delta0,
+    optimize_max_displacement,
+    phi,
+    phi_int,
+)
+from repro.core.mgl import MGLegalizer
+from repro.core.params import LegalizerParams
+from repro.model.design import Design
+from repro.model.placement import Placement
+from repro.model.technology import CellType, Technology
+
+
+class TestPhi:
+    def test_linear_below_threshold(self):
+        assert phi(3.0, 5.0) == 3.0
+        assert phi(5.0, 5.0) == 5.0
+
+    def test_quintic_above_threshold(self):
+        assert phi(10.0, 5.0) == pytest.approx(10.0**5 / 5.0**4)
+
+    def test_continuous_at_threshold(self):
+        assert phi(5.0 + 1e-12, 5.0) == pytest.approx(5.0, rel=1e-6)
+
+    def test_strictly_increasing(self):
+        values = [phi(d / 10.0, 3.0) for d in range(0, 100)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_phi_int_matches_scaled_float(self):
+        delta0 = 48  # 3.0 rows at scale 16
+        for delta in (10, 48, 60, 200):
+            expected = phi(delta / 16.0, 3.0) * (16.0 * 48**4)
+            assert phi_int(delta, delta0) == pytest.approx(expected, rel=1e-9)
+
+
+def swap_test_design():
+    """Two same-type cells whose GPs are swapped relative to placement."""
+    tech = Technology(cell_types=[CellType("X", 2, 1)])
+    design = Design(tech, num_rows=4, num_sites=30, name="swap")
+    design.add_cell("a", tech.type_named("X"), 20.0, 0.0)
+    design.add_cell("b", tech.type_named("X"), 2.0, 0.0)
+    return design
+
+
+class TestMatching:
+    def test_swaps_crossed_cells(self):
+        design = swap_test_design()
+        placement = Placement(design)
+        placement.move(0, 2, 0)   # far from its GP (20)
+        placement.move(1, 20, 0)  # far from its GP (2)
+        stats = optimize_max_displacement(placement)
+        assert placement.position(0) == (20, 0)
+        assert placement.position(1) == (2, 0)
+        assert stats.cells_moved == 2
+        assert stats.max_disp_after < stats.max_disp_before
+
+    def test_different_types_not_swapped(self):
+        tech = Technology(cell_types=[CellType("X", 2, 1), CellType("Y", 2, 1)])
+        design = Design(tech, num_rows=2, num_sites=30, name="types")
+        design.add_cell("a", tech.type_named("X"), 20.0, 0.0)
+        design.add_cell("b", tech.type_named("Y"), 2.0, 0.0)
+        placement = Placement(design)
+        placement.move(0, 2, 0)
+        placement.move(1, 20, 0)
+        optimize_max_displacement(placement)
+        assert placement.position(0) == (2, 0)  # unchanged
+
+    def test_different_fences_not_swapped(self):
+        from repro.model.fence import FenceRegion
+        from repro.model.geometry import Rect
+
+        tech = Technology(cell_types=[CellType("X", 2, 1)])
+        design = Design(tech, num_rows=2, num_sites=40, name="fences")
+        design.add_fence(FenceRegion(1, "f", [Rect(0, 0, 10, 2)]))
+        design.add_cell("a", tech.type_named("X"), 30.0, 0.0, fence_id=0)
+        design.add_cell("b", tech.type_named("X"), 2.0, 0.0, fence_id=1)
+        placement = Placement(design)
+        placement.move(0, 12, 0)
+        placement.move(1, 2, 0)
+        optimize_max_displacement(placement)
+        assert placement.position(0) == (12, 0)
+
+    def test_legality_preserved(self, small_design):
+        placement = MGLegalizer(
+            small_design, LegalizerParams(routability=False, scheduler_capacity=1)
+        ).run()
+        assert check_legal(placement).is_legal
+        optimize_max_displacement(placement)
+        assert check_legal(placement).is_legal
+
+    def test_routability_preserved(self, rail_design):
+        params = LegalizerParams(scheduler_capacity=1)
+        placement = MGLegalizer(rail_design, params).run()
+        before = count_routability_violations(placement).total
+        optimize_max_displacement(placement, params)
+        after = count_routability_violations(placement).total
+        assert after == before
+
+    def test_max_displacement_not_increased_much(self, small_design):
+        placement = MGLegalizer(
+            small_design, LegalizerParams(routability=False, scheduler_capacity=1)
+        ).run()
+        before = max(placement.displacements())
+        optimize_max_displacement(placement)
+        after = max(placement.displacements())
+        assert after <= before + 1e-9
+
+    def test_backends_agree_on_cost(self, small_design):
+        params = LegalizerParams(routability=False, scheduler_capacity=1)
+        base = MGLegalizer(small_design, params).run()
+        a = base.copy()
+        b = base.copy()
+        stats_scipy = optimize_max_displacement(a, params, backend="scipy")
+        stats_flow = optimize_max_displacement(b, params, backend="flow")
+        # Costs are computed differently (float vs scaled int) but the
+        # achieved displacement profile must match closely.
+        assert stats_scipy.max_disp_after == pytest.approx(
+            stats_flow.max_disp_after, abs=0.2
+        )
+
+    def test_chunking_large_groups(self):
+        tech = Technology(cell_types=[CellType("X", 1, 1)])
+        design = Design(tech, num_rows=1, num_sites=100, name="big")
+        for index in range(30):
+            design.add_cell(f"c{index}", tech.type_named("X"), float(index), 0.0)
+        placement = Placement(design)
+        for index in range(30):
+            placement.move(index, 29 - index, 0)  # fully reversed
+        params = LegalizerParams(matching_max_group=8)
+        stats = optimize_max_displacement(placement, params)
+        assert stats.groups >= 4  # split into ceil(30/8) chunks
+        assert stats.max_disp_after <= stats.max_disp_before
+
+
+class TestAdaptiveDelta0:
+    def test_p90_of_displacements(self):
+        design = swap_test_design()
+        placement = Placement(design)
+        placement.move(0, 20, 0)
+        placement.move(1, 2, 0)
+        assert adaptive_delta0(placement) == 1.0  # all zero -> floor of 1
+
+    def test_floor_of_one(self, small_design):
+        placement = Placement.from_gp_rounded(small_design)
+        assert adaptive_delta0(placement) >= 1.0

@@ -1,0 +1,104 @@
+"""Small unit tests for corners not covered elsewhere."""
+
+import pytest
+
+from repro.baselines.tetris import _intersect_spans
+from repro.core.occupancy import Occupancy
+from repro.flow.graph import FlowGraph
+from repro.model.design import Design
+from repro.model.placement import Placement
+from repro.model.technology import CellType, Technology
+
+
+class TestIntersectSpans:
+    def test_basic_intersection(self):
+        a = [(0, 10), (20, 30)]
+        b = [(5, 25)]
+        assert _intersect_spans(a, b, width=2) == [(5, 10), (20, 25)]
+
+    def test_width_filter(self):
+        a = [(0, 10)]
+        b = [(8, 12)]
+        assert _intersect_spans(a, b, width=3) == []
+        assert _intersect_spans(a, b, width=2) == [(8, 10)]
+
+    def test_empty_inputs(self):
+        assert _intersect_spans([], [(0, 5)], 1) == []
+        assert _intersect_spans([(0, 5)], [], 1) == []
+
+    def test_unsorted_inputs(self):
+        a = [(20, 30), (0, 10)]
+        b = [(5, 25)]
+        assert _intersect_spans(a, b, width=1) == [(5, 10), (20, 25)]
+
+
+class TestOccupancySameX:
+    def test_cells_at_same_x_in_shared_row(self, basic_tech):
+        """Multi-row cells in different start rows can share (row, x)...
+        they cannot overlap, but two cells may sit at the same x in
+        *different* rows; within one row the index must stay stable."""
+        design = Design(basic_tech, num_rows=6, num_sites=20, name="samex")
+        a = design.add_cell("a", basic_tech.type_named("S2"), 0, 0)
+        b = design.add_cell("b", basic_tech.type_named("S2"), 0, 1)
+        placement = Placement(design)
+        occupancy = Occupancy(design, placement)
+        placement.move(a, 5, 0)
+        occupancy.add(a)
+        placement.move(b, 5, 1)
+        occupancy.add(b)
+        assert occupancy.row_cells(0) == [a]
+        assert occupancy.row_cells(1) == [b]
+        occupancy.remove(a)
+        assert occupancy.row_cells(0) == []
+
+
+class TestFlowGraphSupply:
+    def test_add_supply_accumulates(self):
+        graph = FlowGraph()
+        node = graph.add_node(supply=1)
+        graph.add_supply(node, 2)
+        graph.add_supply(node, -4)
+        assert graph.supplies[node] == -1
+
+
+class TestPlacementSnapshotAll:
+    def test_snapshot_none_covers_everything(self, small_design):
+        placement = Placement(small_design)
+        placement.move(0, 4, 4)
+        states = placement.snapshot()
+        assert len(states) == small_design.num_cells
+        placement.move(0, 9, 9)
+        placement.restore(states)
+        assert placement.position(0) == (4, 4)
+
+
+class TestScoreHpwlBefore:
+    def test_gp_hpwl_uses_centers(self, basic_tech):
+        from repro.checker.score import gp_hpwl
+        from repro.model.netlist import Net, PinRef
+
+        design = Design(basic_tech, num_rows=4, num_sites=40, name="h")
+        design.add_cell("a", basic_tech.type_named("S2"), 0.0, 0.0)
+        design.add_cell("b", basic_tech.type_named("S2"), 10.0, 0.0)
+        design.netlist.add_net(Net("n", [PinRef(0), PinRef(1)]))
+        # Centers differ by 10 sites * 0.2 = 2.0 length units in x only.
+        assert gp_hpwl(design) == pytest.approx(2.0)
+
+
+class TestQuadraticSpreadEdge:
+    def test_empty_input(self):
+        import numpy as np
+
+        from repro.gp.quadratic import _percentile_spread
+
+        result = _percentile_spread(np.array([]), 10.0)
+        assert len(result) == 0
+
+
+class TestVizText:
+    def test_text_element(self):
+        from repro.viz.svg import _SvgBuilder
+
+        svg = _SvgBuilder(100, 50)
+        svg.text(5, 10, "hello")
+        assert "hello" in svg.render()

@@ -1,0 +1,60 @@
+"""Unit tests for the netlist and HPWL."""
+
+import pytest
+
+from repro.model.netlist import Net, Netlist, PinRef, hpwl
+
+
+class TestNetlist:
+    def test_degree(self):
+        net = Net("n", [PinRef(0), PinRef(1)], terminals=[(0.0, 0.0)])
+        assert net.degree == 3
+
+    def test_cell_index(self):
+        netlist = Netlist([
+            Net("a", [PinRef(0), PinRef(1)]),
+            Net("b", [PinRef(1), PinRef(2)]),
+        ])
+        assert netlist.nets_of_cell(1) == [0, 1]
+        assert netlist.nets_of_cell(0) == [0]
+        assert netlist.nets_of_cell(9) == []
+
+    def test_index_invalidated_on_add(self):
+        netlist = Netlist()
+        netlist.add_net(Net("a", [PinRef(0)]))
+        assert netlist.nets_of_cell(0) == [0]
+        netlist.add_net(Net("b", [PinRef(0)]))
+        assert netlist.nets_of_cell(0) == [0, 1]
+
+    def test_len_and_iter(self):
+        netlist = Netlist([Net("a"), Net("b")])
+        assert len(netlist) == 2
+        assert [n.name for n in netlist] == ["a", "b"]
+
+
+class TestHpwl:
+    def test_two_pin_net(self):
+        netlist = Netlist([Net("n", [PinRef(0), PinRef(1)])])
+        positions = [(0.0, 0.0), (3.0, 4.0)]
+        assert hpwl(netlist, positions) == 7.0
+
+    def test_multi_pin_bounding_box(self):
+        netlist = Netlist([Net("n", [PinRef(0), PinRef(1), PinRef(2)])])
+        positions = [(0.0, 0.0), (10.0, 1.0), (5.0, 6.0)]
+        assert hpwl(netlist, positions) == 10.0 + 6.0
+
+    def test_terminals_counted(self):
+        netlist = Netlist([Net("n", [PinRef(0)], terminals=[(5.0, 5.0)])])
+        assert hpwl(netlist, [(1.0, 1.0)]) == 8.0
+
+    def test_degenerate_nets_zero(self):
+        netlist = Netlist([Net("single", [PinRef(0)]), Net("empty")])
+        assert hpwl(netlist, [(3.0, 3.0)]) == 0.0
+
+    def test_sum_over_nets(self):
+        netlist = Netlist([
+            Net("a", [PinRef(0), PinRef(1)]),
+            Net("b", [PinRef(1), PinRef(2)]),
+        ])
+        positions = [(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)]
+        assert hpwl(netlist, positions) == pytest.approx(4.0)

@@ -1,0 +1,137 @@
+"""Tests for the network simplex solver (and cross-checks vs networkx)."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.flow.graph import INFINITE, FlowGraph
+from repro.flow.network_simplex import (
+    InfeasibleFlowError,
+    NetworkSimplex,
+    solve_min_cost_flow,
+)
+from repro.flow.validate import check_complementary_slackness, check_feasible_flow
+
+
+def simple_transport() -> FlowGraph:
+    """source(0) -> {1, 2} -> sink(3), classic transportation instance."""
+    graph = FlowGraph()
+    graph.add_node(supply=4)
+    graph.add_node()
+    graph.add_node()
+    graph.add_node(supply=-4)
+    graph.add_edge(0, 1, capacity=3, cost=1)
+    graph.add_edge(0, 2, capacity=3, cost=4)
+    graph.add_edge(1, 3, capacity=3, cost=1)
+    graph.add_edge(2, 3, capacity=3, cost=1)
+    return graph
+
+
+class TestBasicInstances:
+    def test_transport_optimum(self):
+        result = solve_min_cost_flow(simple_transport())
+        # 3 units via cheap path (cost 2 each), 1 via expensive (cost 5).
+        assert result.cost == 3 * 2 + 1 * 5
+        assert result.flows == [3, 1, 3, 1]
+
+    def test_certificate(self):
+        graph = simple_transport()
+        result = solve_min_cost_flow(graph)
+        assert check_complementary_slackness(graph, result) == []
+
+    def test_negative_cost_cycle_finite_cap_used(self):
+        graph = FlowGraph()
+        graph.add_node()
+        graph.add_node()
+        graph.add_edge(0, 1, capacity=2, cost=-3)
+        graph.add_edge(1, 0, capacity=2, cost=1)
+        result = solve_min_cost_flow(graph)
+        assert result.cost == 2 * (-3) + 2 * 1
+
+    def test_zero_supply_zero_flow(self):
+        graph = FlowGraph()
+        graph.add_node()
+        graph.add_node()
+        graph.add_edge(0, 1, capacity=5, cost=2)
+        result = solve_min_cost_flow(graph)
+        assert result.flows == [0]
+        assert result.cost == 0
+
+    def test_infeasible_detected(self):
+        graph = FlowGraph()
+        graph.add_node(supply=2)
+        graph.add_node(supply=-2)
+        graph.add_edge(0, 1, capacity=1, cost=0)
+        with pytest.raises(InfeasibleFlowError):
+            solve_min_cost_flow(graph)
+
+    def test_imbalanced_supplies_rejected(self):
+        graph = FlowGraph()
+        graph.add_node(supply=1)
+        graph.add_node()
+        with pytest.raises(ValueError):
+            NetworkSimplex(graph)
+
+    def test_infinite_capacity_edge(self):
+        graph = FlowGraph()
+        graph.add_node(supply=10)
+        graph.add_node(supply=-10)
+        graph.add_edge(0, 1, capacity=INFINITE, cost=3)
+        result = solve_min_cost_flow(graph)
+        assert result.flows == [10]
+        assert result.cost == 30
+
+    def test_parallel_edges(self):
+        graph = FlowGraph()
+        graph.add_node(supply=4)
+        graph.add_node(supply=-4)
+        graph.add_edge(0, 1, capacity=2, cost=1)
+        graph.add_edge(0, 1, capacity=2, cost=5)
+        result = solve_min_cost_flow(graph)
+        assert result.flows == [2, 2]
+        assert result.cost == 12
+
+
+class TestRandomizedVsNetworkx:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_networkx(self, seed):
+        rng = random.Random(seed)
+        for _ in range(20):
+            n = rng.randint(2, 10)
+            graph = FlowGraph()
+            for _ in range(n):
+                graph.add_node()
+            for _ in range(rng.randint(1, 25)):
+                u, v = rng.randrange(n), rng.randrange(n)
+                if u == v:
+                    continue
+                graph.add_edge(u, v, capacity=rng.randint(0, 8),
+                               cost=rng.randint(-6, 9))
+            total = 0
+            for node in range(n - 1):
+                supply = rng.randint(-3, 3)
+                graph.supplies[node] = supply
+                total += supply
+            graph.supplies[n - 1] = -total
+
+            reference = nx.MultiDiGraph()
+            for node in range(n):
+                reference.add_node(node, demand=-graph.supplies[node])
+            for edge in graph.edges:
+                reference.add_edge(edge.tail, edge.head,
+                                   capacity=edge.capacity, weight=edge.cost)
+            try:
+                expected = nx.min_cost_flow_cost(reference)
+                feasible = True
+            except nx.NetworkXUnfeasible:
+                feasible = False
+
+            if not feasible:
+                with pytest.raises(InfeasibleFlowError):
+                    solve_min_cost_flow(graph)
+                continue
+            result = solve_min_cost_flow(graph)
+            assert result.cost == expected
+            assert check_complementary_slackness(graph, result) == []
+            assert check_feasible_flow(graph, result.flows) == []

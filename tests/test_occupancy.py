@@ -1,0 +1,119 @@
+"""Tests for the row occupancy structure."""
+
+import pytest
+
+from repro.core.occupancy import Occupancy, build_occupancy
+from repro.model.placement import Placement
+
+
+@pytest.fixture
+def occupied(basic_tech):
+    """Six single-row cells placed on known positions."""
+    from repro.model.design import Design
+
+    design = Design(basic_tech, num_rows=10, num_sites=60, name="occ")
+    s2 = basic_tech.type_named("S2")
+    positions = [(0, 0), (10, 0), (20, 0), (30, 2), (40, 2), (5, 4)]
+    for index, (x, y) in enumerate(positions):
+        design.add_cell(f"c{index}", s2, x, y)
+    placement = Placement(design)
+    occupancy = Occupancy(design, placement)
+    for cell, (x, y) in enumerate(positions):
+        placement.move(cell, x, y)
+        occupancy.add(cell)
+    return placement, occupancy
+
+
+class TestAddRemove:
+    def test_add_registers_all_rows(self, small_design):
+        placement = Placement(small_design)
+        occupancy = Occupancy(small_design, placement)
+        tall = next(
+            c for c in range(small_design.num_cells)
+            if small_design.cell_type_of(c).height >= 2
+        )
+        placement.move(tall, 5, 6)
+        occupancy.add(tall)
+        height = small_design.cell_type_of(tall).height
+        for row in range(6, 6 + height):
+            assert tall in occupancy.row_cells(row)
+        assert tall not in occupancy.row_cells(6 + height)
+
+    def test_double_add_rejected(self, occupied):
+        _, occupancy = occupied
+        with pytest.raises(ValueError):
+            occupancy.add(0)
+
+    def test_remove(self, occupied):
+        _, occupancy = occupied
+        occupancy.remove(1)
+        assert 1 not in occupancy.row_cells(0)
+        assert not occupancy.is_placed(1)
+        with pytest.raises(ValueError):
+            occupancy.remove(1)
+
+    def test_placed_cells(self, occupied):
+        _, occupancy = occupied
+        assert occupancy.placed_cells == {0, 1, 2, 3, 4, 5}
+
+
+class TestQueries:
+    def test_row_cells_sorted(self, occupied):
+        _, occupancy = occupied
+        xs = [occupancy.placement.x[c] for c in occupancy.row_cells(0)]
+        assert xs == sorted(xs)
+
+    def test_cells_in_range(self, occupied):
+        _, occupancy = occupied
+        assert occupancy.cells_in_range(0, 8, 25) == [1, 2]
+
+    def test_cells_in_range_catches_overhang(self, occupied):
+        # Cell 0 at x=0; its width extends past x=0 so a range starting
+        # at x=1 must still include it.
+        _, occupancy = occupied
+        assert 0 in occupancy.cells_in_range(0, 1, 5)
+
+    def test_neighbors(self, occupied):
+        _, occupancy = occupied
+        assert occupancy.left_neighbor(0, 10) == 0
+        assert occupancy.right_neighbor(0, 11) == 2
+        assert occupancy.left_neighbor(0, 0) is None
+        assert occupancy.right_neighbor(0, 50) is None
+
+    def test_neighbor_exclusion(self, occupied):
+        _, occupancy = occupied
+        assert occupancy.right_neighbor(0, 10, exclude=1) == 2
+
+    def test_neighbors_of(self, occupied):
+        _, occupancy = occupied
+        lefts, rights = occupancy.neighbors_of(1)
+        assert lefts == [0]
+        assert rights == [2]
+
+
+class TestUpdateX:
+    def test_shift_preserving_order(self, occupied):
+        placement, occupancy = occupied
+        occupancy.update_x(1, 14)
+        assert placement.x[1] == 14
+        assert occupancy.cells_in_range(0, 13, 15) == [1]
+        occupancy.verify_consistent()
+
+    def test_reorder_detected(self, occupied):
+        _, occupancy = occupied
+        with pytest.raises(AssertionError):
+            occupancy.update_x(1, 25)  # would jump past cell 2 at x=20
+
+    def test_noop_shift(self, occupied):
+        placement, occupancy = occupied
+        occupancy.update_x(1, 10)
+        occupancy.verify_consistent()
+
+
+def test_build_occupancy(small_design):
+    placement = Placement(small_design)
+    placement.move(0, 3, 3)
+    placement.move(1, 9, 9)
+    occupancy = build_occupancy(small_design, placement, [0, 1])
+    assert occupancy.is_placed(0) and occupancy.is_placed(1)
+    assert not occupancy.is_placed(2)

@@ -1,0 +1,168 @@
+"""Direct reproductions of the paper's illustrative figures as tests.
+
+* Fig. 3 — the MLL vs MGL toy: minimizing displacement w.r.t. current
+  positions yields total GP displacement 3, w.r.t. GP positions yields 2;
+* Fig. 4 — the four displacement-curve types;
+* Fig. 5 — the structure of the dual-MCF graph for a 3-cell row pair.
+"""
+
+import pytest
+
+from repro.core.curves import DisplacementCurve
+from repro.core.flowopt import FixedRowOrderProblem, build_dual_graph, solve_mcf
+from repro.core.insertion import InsertionContext
+from repro.core.occupancy import Occupancy
+from repro.model.design import Design
+from repro.model.placement import Placement
+from repro.model.technology import CellType, Technology
+
+
+class TestFigure3:
+    """The MLL-vs-MGL mechanism on a one-row toy (the figure's image is
+    not recoverable from the text, so we use an equivalent instance).
+
+    Already-legalized cells: c0 at x=0 (GP 1, drifted left) and c1 at x=3
+    (GP 4, drifted left); total displacement 2, as in Fig. 3(b).  The
+    target wants x=3 — exactly where c1 sits.
+
+    * MGL measures pushes from GP: inserting at x=3 pushes c1 to 4, ONTO
+      its GP (a type-C credit), final total displacement 1.
+    * MLL measures pushes from current positions: moving c1 costs as much
+      as the target yielding at x=2, so it takes the myopic tie and
+      leaves c1 stranded: final total displacement 3.
+    """
+
+    def build(self):
+        tech = Technology(cell_types=[CellType("U", 1, 1)])
+        design = Design(tech, num_rows=1, num_sites=7, name="fig3")
+        design.add_cell("c0", tech.type_named("U"), 1.0, 0.0)
+        design.add_cell("c1", tech.type_named("U"), 4.0, 0.0)
+        target = design.add_cell("ct", tech.type_named("U"), 3.0, 0.0)
+        placement = Placement(design)
+        occupancy = Occupancy(design, placement)
+        for cell, x in [(0, 0), (1, 3)]:
+            placement.move(cell, x, 0)
+            occupancy.add(cell)
+        # x-distance weighs 1 row per site for this toy.
+        design.site_width = design.row_height
+        return design, placement, occupancy, target
+
+    def total_gp_displacement(self, design, placement):
+        return sum(
+            abs(placement.x[c] - design.gp_x[c]) for c in range(3)
+        )
+
+    def run_reference(self, reference):
+        design, placement, occupancy, target = self.build()
+        context = InsertionContext(
+            design, occupancy, target, design.chip_rect, reference=reference
+        )
+        best = None
+        for bottom_row, gaps in context.enumerate_insertion_points():
+            result = context.evaluate(bottom_row, gaps)
+            if result is None:
+                continue
+            if best is None or result.sort_key() < best.sort_key():
+                best = result
+        assert best is not None
+        for cell, new_x in best.moves:
+            occupancy.update_x(cell, new_x)
+        placement.move(target, best.x, best.y)
+        return self.total_gp_displacement(design, placement)
+
+    def test_starting_displacement_is_two(self):
+        design, placement, _occ, _t = self.build()
+        assert sum(abs(placement.x[c] - design.gp_x[c]) for c in range(2)) == 2
+
+    def test_mgl_beats_mll_on_the_toy(self):
+        mll_total = self.run_reference("current")
+        mgl_total = self.run_reference("gp")
+        assert mgl_total == 1  # target at GP, c1 pushed onto its GP
+        assert mll_total == 3  # myopic choice strands c1 and the target
+        assert mgl_total < mll_total  # the Fig. 3 claim
+
+
+class TestFigure4:
+    """All four local-cell curve types plus their breakpoints."""
+
+    def test_all_types_constructible(self):
+        cases = {
+            "A": DisplacementCurve.pushed_right(current_x=5, gp_x=3, offset=2),
+            "B": DisplacementCurve.pushed_left(current_x=5, gp_x=8, offset=2),
+            "C": DisplacementCurve.pushed_right(current_x=5, gp_x=9, offset=2),
+            "D": DisplacementCurve.pushed_left(current_x=5, gp_x=2, offset=2),
+        }
+        for expected, curve in cases.items():
+            assert curve.curve_type() == expected
+
+    def test_critical_positions(self):
+        """Type A/B breakpoints are MLL's critical positions; C/D add a
+        second breakpoint derived from the GP location."""
+        a = DisplacementCurve.pushed_right(5, 3, 2)
+        assert [x for x, _ in a.breakpoints] == [3]  # current - offset
+        c = DisplacementCurve.pushed_right(5, 9, 2)
+        assert [x for x, _ in c.breakpoints] == [3, 7]  # + (gp - offset)
+        d = DisplacementCurve.pushed_left(5, 2, 2)
+        assert [x for x, _ in d.breakpoints] == [4, 7]  # gp+off, current+off
+
+    def test_type_c_minimum_at_gp_alignment(self):
+        curve = DisplacementCurve.pushed_right(5, 9, 2)
+        assert curve.value(7) == 0.0
+        assert curve.value(6) > 0 and curve.value(8) > 0
+
+
+class TestFigure5:
+    """Three cells (c1, c2 single-row; c3 double-row) on two rows.
+
+    The figure's graph: one node per cell plus v_z (and v_p/v_n with the
+    extension); boundary edges f_l/f_r, neighbor edges f_13/f_23 (c3 is
+    the right neighbor of c1 on row 1 and of c2 on row 2), and the
+    absolute-value pairs f+/f-.
+    """
+
+    def problem(self):
+        return FixedRowOrderProblem(
+            cells=[0, 1, 2],
+            weights=[1, 1, 1],
+            widths=[2, 2, 2],
+            gp_x=[1, 2, 6],
+            dy=[0, 0, 0],
+            lower=[0, 0, 0],
+            upper=[8, 8, 8],
+            pairs=[(0, 2, 2), (1, 2, 2)],  # f_13 and f_23
+        )
+
+    def test_graph_shape_without_extension(self):
+        graph, v_z = build_dual_graph(self.problem(), n0=0)
+        assert graph.num_nodes == 4  # 3 cells + v_z  (m + 1, paper §3.3)
+        # Per cell: f+, f-, f_l, f_r = 12 edges; plus 2 neighbor edges.
+        assert graph.num_edges == 14
+
+    def test_graph_shape_with_extension(self):
+        graph, v_z = build_dual_graph(self.problem(), n0=2)
+        assert graph.num_nodes == 6  # + v_p, v_n
+        # + f_i^p, f_i^n per cell and the f^p, f^n arcs.
+        assert graph.num_edges == 14 + 6 + 2
+
+    def test_edge_costs_match_formulation(self):
+        from repro.flow.graph import edges_by_name
+
+        problem = self.problem()
+        graph, _ = build_dual_graph(problem, n0=2)
+        names = edges_by_name(graph)
+        assert graph.edges[names["f+0"]].cost == 1    # x'_1
+        assert graph.edges[names["f-0"]].cost == -1   # -x'_1
+        assert graph.edges[names["fl0"]].cost == 0    # -l_1
+        assert graph.edges[names["fr0"]].cost == 8    # r_1
+        assert graph.edges[names["fe0_2"]].cost == -2  # -(w_1 + gap)
+        assert graph.edges[names["fp0"]].cost == 1    # x'_1 - dy_1
+        assert graph.edges[names["fn0"]].cost == -1   # -x'_1 - dy_1
+        assert graph.edges[names["fP"]].capacity == 2  # n_0
+        assert graph.edges[names["fN"]].capacity == 2
+
+    def test_solution_recovers_positions(self):
+        problem = self.problem()
+        xs = solve_mcf(problem, 0)
+        # All cells fit at their GP targets here.
+        assert xs == [1, 2, 6]
+        assert problem.check_feasible(xs) == []

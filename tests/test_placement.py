@@ -1,0 +1,98 @@
+"""Unit tests for Placement state and displacement math."""
+
+import numpy as np
+import pytest
+
+from repro.model.placement import CellState, Placement
+
+
+class TestBasics:
+    def test_size_mismatch_rejected(self, small_design):
+        with pytest.raises(ValueError):
+            Placement(small_design, x=[0], y=[0])
+
+    def test_move_and_position(self, small_design):
+        placement = Placement(small_design)
+        placement.move(0, 7, 3)
+        assert placement.position(0) == (7, 3)
+
+    def test_rect(self, small_design):
+        placement = Placement(small_design)
+        placement.move(0, 10, 4)
+        rect = placement.rect(0)
+        cell_type = small_design.cell_type_of(0)
+        assert rect.xlo == 10 and rect.ylo == 4
+        assert rect.width == cell_type.width
+        assert rect.height == cell_type.height
+
+    def test_copy_independent(self, small_design):
+        a = Placement(small_design)
+        b = a.copy()
+        b.move(0, 9, 9)
+        assert a.position(0) == (0, 0)
+        assert a != b
+
+    def test_from_gp_rounded(self, small_design):
+        placement = Placement.from_gp_rounded(small_design)
+        for cell in range(small_design.num_cells):
+            assert placement.x[cell] == int(round(small_design.gp_x[cell]))
+
+
+class TestDisplacement:
+    def test_row_height_units(self, small_design):
+        placement = Placement.from_gp_rounded(small_design)
+        cell = 0
+        gp_x = small_design.gp_x[cell]
+        gp_y = small_design.gp_y[cell]
+        placement.move(cell, int(round(gp_x)) + 10, int(round(gp_y)))
+        expected = abs(int(round(gp_x)) + 10 - gp_x) * 0.1 + abs(
+            int(round(gp_y)) - gp_y
+        )
+        assert placement.displacement(cell) == pytest.approx(expected)
+
+    def test_vector_matches_scalar(self, small_design):
+        placement = Placement.from_gp_rounded(small_design)
+        placement.move(0, placement.x[0] + 5, placement.y[0] + 1)
+        vector = placement.displacements()
+        for cell in range(small_design.num_cells):
+            assert vector[cell] == pytest.approx(placement.displacement(cell))
+
+    def test_total_displacement_sites(self, small_design):
+        placement = Placement.from_gp_rounded(small_design)
+        # Brute-force the definition: |dx| + |dy| * (row_height/site_width).
+        placement.move(0, placement.x[0] + 3, placement.y[0] + 1)
+        expected = sum(
+            abs(placement.x[c] - small_design.gp_x[c])
+            + abs(placement.y[c] - small_design.gp_y[c]) * 10.0
+            for c in range(small_design.num_cells)
+        )
+        assert placement.total_displacement_sites() == pytest.approx(expected)
+
+
+class TestSnapshot:
+    def test_snapshot_restore(self, small_design):
+        placement = Placement(small_design)
+        placement.move(0, 5, 5)
+        saved = placement.snapshot([0, 1])
+        placement.move(0, 9, 9)
+        placement.move(1, 1, 1)
+        placement.restore(saved)
+        assert placement.position(0) == (5, 5)
+        assert placement.position(1) == (0, 0)
+
+    def test_snapshot_is_immutable_states(self, small_design):
+        placement = Placement(small_design)
+        state = placement.snapshot([0])[0]
+        assert isinstance(state, CellState)
+        with pytest.raises(AttributeError):
+            state.x = 3  # frozen dataclass
+
+
+def test_centers_length_units(small_design):
+    placement = Placement(small_design)
+    placement.move(0, 10, 2)
+    cell_type = small_design.cell_type_of(0)
+    cx, cy = placement.center_length_units(0)
+    assert cx == pytest.approx((10 + cell_type.width / 2) * 0.2)
+    assert cy == pytest.approx((2 + cell_type.height / 2) * 2.0)
+    assert placement.centers_length_units()[0] == (cx, cy)

@@ -1,0 +1,144 @@
+"""Hypothesis property tests over the core invariants.
+
+These generate whole random designs/problems and assert the system-level
+invariants the paper relies on:
+
+* MGL always emits legal placements (overlap-free, in-fence, parity-ok);
+* the matching stage is a pure permutation (multiset of positions
+  conserved) and never increases the max displacement;
+* the stage-3 MCF solution is optimal (equals the LP) and feasible;
+* network simplex and SSP agree on random min-cost-flow instances.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.checker import check_legal
+from repro.core.flowopt import FixedRowOrderProblem, solve_lp, solve_mcf
+from repro.core.matching import optimize_max_displacement
+from repro.core.mgl import MGLegalizer
+from repro.core.params import LegalizerParams
+from repro.flow.graph import FlowGraph
+from repro.flow.network_simplex import InfeasibleFlowError, solve_min_cost_flow
+from repro.flow.ssp import solve_ssp
+from repro.model.design import Design
+from repro.model.technology import CellType, Technology
+
+
+def build_design(seed: int, density: float) -> Design:
+    rng = random.Random(seed)
+    tech = Technology(
+        cell_types=[
+            CellType("S2", 2, 1),
+            CellType("S3", 3, 1),
+            CellType("D2", 2, 2),
+            CellType("T3", 3, 3),
+        ]
+    )
+    rows = rng.choice([8, 12, 16])
+    sites = rng.choice([40, 60])
+    design = Design(tech, num_rows=rows, num_sites=sites, name=f"prop{seed}")
+    target = density * rows * sites
+    area = 0
+    index = 0
+    while area < target:
+        cell_type = rng.choice(tech.cell_types)
+        design.add_cell(
+            f"c{index}",
+            cell_type,
+            rng.uniform(0, sites - cell_type.width),
+            rng.uniform(0, rows - cell_type.height),
+        )
+        area += cell_type.width * cell_type.height
+        index += 1
+    return design
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 10_000), density=st.floats(0.2, 0.7))
+def test_mgl_always_legal(seed, density):
+    design = build_design(seed, density)
+    placement = MGLegalizer(
+        design, LegalizerParams(routability=False, scheduler_capacity=1)
+    ).run()
+    assert check_legal(placement).is_legal
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 10_000))
+def test_matching_is_position_permutation(seed):
+    design = build_design(seed, 0.5)
+    placement = MGLegalizer(
+        design, LegalizerParams(routability=False, scheduler_capacity=1)
+    ).run()
+    before_positions = sorted(zip(placement.x, placement.y))
+    before_max = max(placement.displacements())
+    optimize_max_displacement(placement)
+    after_positions = sorted(zip(placement.x, placement.y))
+    assert after_positions == before_positions  # pure permutation
+    assert max(placement.displacements()) <= before_max + 1e-9
+    assert check_legal(placement).is_legal
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 100_000),
+    n=st.integers(1, 10),
+    n0=st.integers(0, 5),
+)
+def test_flowopt_mcf_matches_lp_on_random_chains(seed, n, n0):
+    rng = random.Random(seed)
+    gps = sorted(rng.randint(0, 50) for _ in range(n))
+    widths = [rng.randint(1, 4) for _ in range(n)]
+    dys = [rng.randint(0, 4) for _ in range(n)]
+    weights = [rng.randint(1, 3) for _ in range(n)]
+    problem = FixedRowOrderProblem(
+        cells=list(range(n)),
+        weights=weights,
+        widths=widths,
+        gp_x=gps,
+        dy=dys,
+        lower=[0] * n,
+        upper=[70 - w for w in widths],
+        pairs=[(i, i + 1, widths[i]) for i in range(n - 1)],
+    )
+    mcf = solve_mcf(problem, n0)
+    lp = solve_lp(problem, n0)
+    assert problem.check_feasible(mcf) == []
+    assert problem.objective(mcf, n0) == problem.objective(lp, n0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_solvers_agree_on_random_flows(seed):
+    rng = random.Random(seed)
+    n = rng.randint(2, 8)
+    graph = FlowGraph()
+    for _ in range(n):
+        graph.add_node()
+    for _ in range(rng.randint(1, 16)):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            graph.add_edge(u, v, capacity=rng.randint(0, 6),
+                           cost=rng.randint(-5, 8))
+    total = 0
+    for node in range(n - 1):
+        supply = rng.randint(-2, 2)
+        graph.supplies[node] = supply
+        total += supply
+    graph.supplies[n - 1] = -total
+
+    try:
+        ns = solve_min_cost_flow(graph)
+    except InfeasibleFlowError:
+        ns = None
+    try:
+        ssp = solve_ssp(graph)
+    except InfeasibleFlowError:
+        ssp = None
+    assert (ns is None) == (ssp is None)
+    if ns is not None:
+        assert ns.cost == ssp.cost

@@ -1,0 +1,60 @@
+"""Public-API hygiene: exports exist, version consistent, imports clean."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.model",
+    "repro.flow",
+    "repro.checker",
+    "repro.core",
+    "repro.baselines",
+    "repro.benchgen",
+    "repro.gp",
+    "repro.io",
+    "repro.viz",
+    "repro.cli",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_package_imports(name):
+    importlib.import_module(name)
+
+
+@pytest.mark.parametrize("name", PACKAGES[:-1])
+def test_all_exports_resolve(name):
+    module = importlib.import_module(name)
+    for symbol in getattr(module, "__all__", []):
+        assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+
+def test_version_matches_pyproject():
+    import re
+    from pathlib import Path
+
+    import repro
+
+    pyproject = Path(repro.__file__).parents[2] / "pyproject.toml"
+    match = re.search(r'version = "([^"]+)"', pyproject.read_text())
+    assert match and match.group(1) == repro.__version__
+
+
+def test_top_level_convenience():
+    import repro
+
+    assert callable(repro.legalize)
+    assert repro.LegalizerParams().window_width > 0
+
+
+def test_module_docstrings_everywhere():
+    """Every public module carries a real docstring (release hygiene)."""
+    import pkgutil
+
+    import repro
+
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        module = importlib.import_module(info.name)
+        assert module.__doc__ and len(module.__doc__.strip()) > 20, info.name

@@ -1,0 +1,75 @@
+"""Tests for the placement quality report."""
+
+import pytest
+
+from repro.checker import build_report, format_report, placement_report
+from repro.core.mgl import MGLegalizer
+from repro.core.params import LegalizerParams
+from repro.model.placement import Placement
+
+
+@pytest.fixture
+def legal_placement(fence_design):
+    params = LegalizerParams(routability=False, scheduler_capacity=1)
+    return MGLegalizer(fence_design, params).run()
+
+
+class TestBuildReport:
+    def test_basic_fields(self, legal_placement):
+        report = build_report(legal_placement)
+        assert report.legal
+        assert report.avg_displacement >= 0
+        assert report.max_displacement >= report.avg_displacement
+
+    def test_height_stats_cover_all_heights(self, legal_placement):
+        design = legal_placement.design
+        report = build_report(legal_placement)
+        expected = sorted(design.cells_by_height())
+        assert [s.height for s in report.height_stats] == expected
+        total = sum(s.count for s in report.height_stats)
+        assert total == len(design.movable_cells())
+
+    def test_height_stats_ordering(self, legal_placement):
+        report = build_report(legal_placement)
+        for stats in report.height_stats:
+            assert stats.p50 <= stats.p90 <= stats.max
+
+    def test_histogram_sums_to_movable(self, legal_placement):
+        report = build_report(legal_placement)
+        assert sum(report.histogram) == len(
+            legal_placement.design.movable_cells()
+        )
+        assert len(report.histogram_edges) == len(report.histogram) + 1
+
+    def test_fence_stats(self, legal_placement):
+        report = build_report(legal_placement)
+        assert len(report.fence_stats) == 1
+        fence = report.fence_stats[0]
+        assert fence.cells > 0
+        assert 0 < fence.utilization <= 1.0
+
+    def test_illegal_placement_reported(self, fence_design):
+        placement = Placement(fence_design)  # everyone at (0, 0): overlaps
+        report = build_report(placement)
+        assert not report.legal
+        assert "overlap" in report.legality_summary
+
+
+class TestFormat:
+    def test_contains_sections(self, legal_placement):
+        text = format_report(build_report(legal_placement))
+        assert "legality" in text
+        assert "per-height displacement" in text
+        assert "displacement histogram" in text
+        assert "fences:" in text
+
+    def test_one_call(self, legal_placement):
+        assert "score" in placement_report(legal_placement)
+
+    def test_histogram_bars_scaled(self, legal_placement):
+        report = build_report(legal_placement)
+        text = format_report(report, width=20)
+        longest = max(
+            line.count("#") for line in text.splitlines() if "#" in line
+        )
+        assert longest <= 20 + 1

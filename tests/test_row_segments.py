@@ -1,0 +1,90 @@
+"""Unit tests for row segmentation by fences and blockages."""
+
+from repro.model.fence import DEFAULT_FENCE, FenceRegion
+from repro.model.geometry import Rect
+from repro.model.row import Row, Segment, build_row_segments
+
+
+def rows(n=4, width=50):
+    return [Row(i, 0, width) for i in range(n)]
+
+
+class TestSegment:
+    def test_width_and_interval(self):
+        seg = Segment(0, 5, 15, 0)
+        assert seg.width == 10
+        assert seg.interval.lo == 5
+
+    def test_contains_span(self):
+        seg = Segment(0, 5, 15, 0)
+        assert seg.contains_span(5, 15)
+        assert seg.contains_span(7, 10)
+        assert not seg.contains_span(4, 10)
+        assert not seg.contains_span(10, 16)
+
+
+class TestBuildRowSegments:
+    def test_no_fences_no_blockages(self):
+        segments = build_row_segments(rows(2), [])
+        assert segments[0] == [Segment(0, 0, 50, DEFAULT_FENCE)]
+        assert segments[1] == [Segment(1, 0, 50, DEFAULT_FENCE)]
+
+    def test_blockage_splits_row(self):
+        segments = build_row_segments(rows(2), [], [Rect(10, 0, 20, 1)])
+        assert segments[0] == [
+            Segment(0, 0, 10, DEFAULT_FENCE),
+            Segment(0, 20, 50, DEFAULT_FENCE),
+        ]
+        # Row 1 untouched (blockage only covers row 0).
+        assert segments[1] == [Segment(1, 0, 50, DEFAULT_FENCE)]
+
+    def test_fence_partitions_row(self):
+        fence = FenceRegion(1, "f", [Rect(10, 0, 30, 2)])
+        segments = build_row_segments(rows(3), [fence])
+        assert segments[0] == [
+            Segment(0, 0, 10, DEFAULT_FENCE),
+            Segment(0, 10, 30, 1),
+            Segment(0, 30, 50, DEFAULT_FENCE),
+        ]
+        assert segments[2] == [Segment(2, 0, 50, DEFAULT_FENCE)]
+
+    def test_fence_at_row_edge(self):
+        fence = FenceRegion(1, "f", [Rect(0, 0, 20, 1)])
+        segments = build_row_segments(rows(1), [fence])
+        assert segments[0] == [
+            Segment(0, 0, 20, 1),
+            Segment(0, 20, 50, DEFAULT_FENCE),
+        ]
+
+    def test_fence_and_blockage(self):
+        fence = FenceRegion(1, "f", [Rect(10, 0, 40, 1)])
+        segments = build_row_segments(rows(1), [fence], [Rect(20, 0, 25, 1)])
+        assert segments[0] == [
+            Segment(0, 0, 10, DEFAULT_FENCE),
+            Segment(0, 10, 20, 1),
+            Segment(0, 25, 40, 1),
+            Segment(0, 40, 50, DEFAULT_FENCE),
+        ]
+
+    def test_two_fences_same_row(self):
+        fences = [
+            FenceRegion(1, "a", [Rect(5, 0, 15, 1)]),
+            FenceRegion(2, "b", [Rect(25, 0, 35, 1)]),
+        ]
+        segments = build_row_segments(rows(1), fences)
+        ids = [seg.fence_id for seg in segments[0]]
+        assert ids == [0, 1, 0, 2, 0]
+
+    def test_adjacent_fence_rects_merge_within_same_fence(self):
+        fence = FenceRegion(1, "f", [Rect(5, 0, 15, 1), Rect(15, 0, 25, 1)])
+        segments = build_row_segments(rows(1), [fence])
+        assert Segment(0, 5, 25, 1) in segments[0]
+
+    def test_segments_disjoint_and_sorted(self):
+        fence = FenceRegion(1, "f", [Rect(8, 0, 30, 3)])
+        segments = build_row_segments(
+            rows(3), [fence], [Rect(0, 0, 3, 3), Rect(40, 1, 45, 2)]
+        )
+        for row_segments in segments.values():
+            for a, b in zip(row_segments, row_segments[1:]):
+                assert a.x_hi <= b.x_lo

@@ -1,0 +1,87 @@
+"""Tests for the successive-shortest-paths reference solver."""
+
+import random
+
+import pytest
+
+from repro.flow.graph import FlowGraph
+from repro.flow.network_simplex import InfeasibleFlowError, solve_min_cost_flow
+from repro.flow.ssp import solve_ssp
+from repro.flow.validate import check_complementary_slackness
+
+
+class TestSSP:
+    def test_simple_path(self):
+        graph = FlowGraph()
+        graph.add_node(supply=2)
+        graph.add_node()
+        graph.add_node(supply=-2)
+        graph.add_edge(0, 1, capacity=5, cost=1)
+        graph.add_edge(1, 2, capacity=5, cost=2)
+        result = solve_ssp(graph)
+        assert result.cost == 6
+        assert result.flows == [2, 2]
+
+    def test_chooses_cheaper_path(self):
+        graph = FlowGraph()
+        graph.add_node(supply=1)
+        graph.add_node(supply=-1)
+        graph.add_edge(0, 1, capacity=1, cost=10)
+        graph.add_edge(0, 1, capacity=1, cost=3)
+        result = solve_ssp(graph)
+        assert result.flows == [0, 1]
+
+    def test_negative_edges_saturated_correctly(self):
+        graph = FlowGraph()
+        graph.add_node()
+        graph.add_node()
+        graph.add_edge(0, 1, capacity=3, cost=-2)
+        graph.add_edge(1, 0, capacity=3, cost=1)
+        result = solve_ssp(graph)
+        # The -2/+1 cycle is profitable: circulate all 3 units.
+        assert result.flows == [3, 3]
+        assert result.cost == -3
+
+    def test_infeasible(self):
+        graph = FlowGraph()
+        graph.add_node(supply=1)
+        graph.add_node(supply=-1)
+        with pytest.raises(InfeasibleFlowError):
+            solve_ssp(graph)
+
+    def test_imbalance_rejected(self):
+        graph = FlowGraph()
+        graph.add_node(supply=1)
+        with pytest.raises(ValueError):
+            solve_ssp(graph)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_agrees_with_network_simplex(self, seed):
+        rng = random.Random(100 + seed)
+        for _ in range(15):
+            n = rng.randint(2, 9)
+            graph = FlowGraph()
+            for _ in range(n):
+                graph.add_node()
+            for _ in range(rng.randint(1, 20)):
+                u, v = rng.randrange(n), rng.randrange(n)
+                if u == v:
+                    continue
+                graph.add_edge(u, v, capacity=rng.randint(0, 6),
+                               cost=rng.randint(-5, 8))
+            total = 0
+            for node in range(n - 1):
+                supply = rng.randint(-2, 2)
+                graph.supplies[node] = supply
+                total += supply
+            graph.supplies[n - 1] = -total
+
+            try:
+                ns_cost = solve_min_cost_flow(graph).cost
+            except InfeasibleFlowError:
+                with pytest.raises(InfeasibleFlowError):
+                    solve_ssp(graph)
+                continue
+            result = solve_ssp(graph)
+            assert result.cost == ns_cost
+            assert check_complementary_slackness(graph, result) == []

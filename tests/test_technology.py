@@ -1,0 +1,96 @@
+"""Unit tests for cell types and edge-spacing rules."""
+
+import pytest
+
+from repro.model.geometry import Rect
+from repro.model.technology import (
+    CellType,
+    EdgeSpacingTable,
+    PinShape,
+    Technology,
+)
+
+
+class TestCellType:
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            CellType("bad", 0, 1)
+        with pytest.raises(ValueError):
+            CellType("bad", 2, -1)
+
+    def test_multi_row_flag(self):
+        assert CellType("d", 2, 2).is_multi_row
+        assert not CellType("s", 2, 1).is_multi_row
+
+    def test_parity_constraint_even_heights_only(self):
+        assert CellType("h2", 2, 2).parity_constrained
+        assert CellType("h4", 2, 4).parity_constrained
+        assert not CellType("h1", 2, 1).parity_constrained
+        assert not CellType("h3", 2, 3).parity_constrained
+
+    def test_pin_lookup(self):
+        pin = PinShape("a", 1, Rect(0, 0, 0.2, 0.3))
+        cell_type = CellType("p", 2, 1, pins=(pin,))
+        assert cell_type.pin_named("a") is pin
+        with pytest.raises(KeyError):
+            cell_type.pin_named("nope")
+
+    def test_pin_placed_translation(self):
+        pin = PinShape("a", 1, Rect(0.1, 0.2, 0.3, 0.4))
+        assert pin.placed(1.0, 2.0) == Rect(1.1, 2.2, 1.3, 2.4)
+
+
+class TestEdgeSpacingTable:
+    def test_default_zero(self):
+        assert EdgeSpacingTable().spacing(1, 2) == 0
+
+    def test_symmetry(self):
+        table = EdgeSpacingTable([(1, 2, 3)])
+        assert table.spacing(1, 2) == 3
+        assert table.spacing(2, 1) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            EdgeSpacingTable([(1, 1, -1)])
+
+    def test_max_spacing(self):
+        table = EdgeSpacingTable([(1, 1, 1), (2, 2, 4)])
+        assert table.max_spacing() == 4
+        assert EdgeSpacingTable().max_spacing() == 0
+
+    def test_items_sorted(self):
+        table = EdgeSpacingTable([(2, 1, 3), (1, 1, 1)])
+        assert table.items() == [(1, 1, 1), (1, 2, 3)]
+
+    def test_equality(self):
+        assert EdgeSpacingTable([(1, 2, 3)]) == EdgeSpacingTable([(2, 1, 3)])
+        assert EdgeSpacingTable([(1, 2, 3)]) != EdgeSpacingTable()
+
+    def test_len(self):
+        assert len(EdgeSpacingTable([(1, 2, 3), (2, 1, 5)])) == 1  # overwritten
+
+
+class TestTechnology:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Technology(cell_types=[CellType("x", 1, 1), CellType("x", 2, 1)])
+
+    def test_type_named(self):
+        tech = Technology(cell_types=[CellType("x", 1, 1)])
+        assert tech.type_named("x").width == 1
+        with pytest.raises(KeyError):
+            tech.type_named("y")
+
+    def test_add_cell_type(self):
+        tech = Technology()
+        tech.add_cell_type(CellType("new", 2, 3))
+        assert tech.type_named("new").height == 3
+        assert tech.max_height == 3
+
+    def test_max_height_and_heights(self, basic_tech):
+        assert basic_tech.max_height == 4
+        assert basic_tech.heights() == [1, 2, 3, 4]
+
+    def test_empty_library(self):
+        assert Technology().max_height == 0
+        assert Technology().heights() == []

@@ -1,0 +1,130 @@
+"""Empirical verification of the paper's Theorem 1.
+
+    "If all the cells in S are originally placed at optimal positions
+    (total displacement is the smallest under the fixed row & fixed order
+    constraint) w.r.t. their GP positions, the displacement curve ...
+    obtained by adding up the displacement curves of all the cells in S
+    is convex and piecewise linear."
+
+The paper skips the proof; we verify the statement empirically: generate
+random rows of cells, move them to their stage-3 optimum (our exact MCF),
+build MGL's summed displacement curve for a virtual insertion, and check
+convexity.  A counter-check shows that *without* the optimality
+precondition the sum can be non-convex (which is exactly why the
+implementation evaluates every breakpoint instead of relying on
+convexity — §3.1's closing remark).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.curves import DisplacementCurve, sum_curves
+from repro.core.flowopt import FixedRowOrderProblem, solve_mcf
+
+
+def build_row(rng, n):
+    """Random single-row instance: GPs, widths, generous bounds."""
+    gps = sorted(rng.randint(0, 8 * n) for _ in range(n))
+    widths = [rng.randint(1, 4) for _ in range(n)]
+    return FixedRowOrderProblem(
+        cells=list(range(n)),
+        weights=[1] * n,
+        widths=widths,
+        gp_x=gps,
+        dy=[0] * n,
+        lower=[0] * n,
+        upper=[10 * n - w for w in widths],
+        pairs=[(i, i + 1, widths[i]) for i in range(n - 1)],
+    )
+
+
+def curves_for_insertion(problem, xs, split, target_width=2):
+    """MGL curves for inserting a target between cells split-1 and split."""
+    curves = []
+    # Right side: cells split..n-1, chain offsets from the target.
+    offset = target_width
+    for k in range(split, len(xs)):
+        curves.append(
+            DisplacementCurve.pushed_right(xs[k], problem.gp_x[k], offset)
+        )
+        offset += problem.widths[k]
+    # Left side: cells split-1..0.
+    offset = 0
+    for k in range(split - 1, -1, -1):
+        offset += problem.widths[k]
+        curves.append(
+            DisplacementCurve.pushed_left(xs[k], problem.gp_x[k], offset)
+        )
+    return curves
+
+
+def is_convex_on(curve: DisplacementCurve, lo: float, hi: float) -> bool:
+    """Convexity restricted to [lo, hi] (slopes non-decreasing there)."""
+    if hi <= lo:
+        return True
+    xs = [lo] + [x for x, _ in curve.breakpoints if lo < x < hi] + [hi]
+    values = [curve.value(x) for x in xs]
+    slopes = [
+        (b - a) / (x2 - x1)
+        for a, b, x1, x2 in zip(values, values[1:], xs, xs[1:])
+    ]
+    return all(b >= a - 1e-9 for a, b in zip(slopes, slopes[1:]))
+
+
+class TestTheorem1:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 100_000), n=st.integers(2, 12))
+    def test_sum_convex_at_optimal_positions(self, seed, n):
+        """Convexity on the *feasible* insertion interval.
+
+        Outside it the curves model pushes that would violate the row
+        bounds, where convexity need not (and does not) hold.
+        """
+        rng = random.Random(seed)
+        problem = build_row(rng, n)
+        xs = solve_mcf(problem, 0)  # the Theorem's precondition
+        split = rng.randint(0, n)
+        target_width = 2
+        lo = sum(problem.widths[:split])  # left chain fully compressed
+        hi = (10 * n - target_width) - sum(problem.widths[split:])
+        total = sum_curves(
+            curves_for_insertion(problem, xs, split, target_width)
+        )
+        assert is_convex_on(total, lo, hi), (seed, n, split)
+
+    def test_nonoptimal_positions_can_break_convexity(self):
+        """The precondition matters: a deliberately bad placement yields a
+        non-convex sum (two type-C cells with separated dips)."""
+        curves = [
+            DisplacementCurve.pushed_right(0, 30, 2),   # far left of GP
+            DisplacementCurve.pushed_right(5, 100, 4),  # far left of GP
+        ]
+        total = sum_curves(curves)
+        # Two separated type-C dips make the slope decrease somewhere
+        # inside the feasible span.
+        assert not is_convex_on(total, -10, 120)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_breakpoint_evaluation_finds_global_min_anyway(self, seed):
+        """Even when convexity fails, evaluating every breakpoint (the
+        implementation's choice) finds the global optimum."""
+        from repro.core.curves import minimize_over_sites
+
+        rng = random.Random(seed)
+        curves = []
+        for _ in range(rng.randint(2, 8)):
+            cur = rng.uniform(0, 60)
+            gp = rng.uniform(0, 60)
+            off = rng.uniform(1, 6)
+            maker = (
+                DisplacementCurve.pushed_right
+                if rng.random() < 0.5 else DisplacementCurve.pushed_left
+            )
+            curves.append(maker(cur, gp, off))
+        best = minimize_over_sites(curves, 0, 60)
+        total = sum_curves(curves)
+        dense = min(total.value(x) for x in range(61))
+        assert best[1] == pytest.approx(dense, abs=1e-9)

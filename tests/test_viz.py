@@ -1,0 +1,58 @@
+"""Tests for the SVG renderer."""
+
+import xml.etree.ElementTree as ET
+
+from repro.model.placement import Placement
+from repro.viz import render_displacement_svg, render_placement_svg
+
+
+def parse(svg: str):
+    return ET.fromstring(svg)
+
+
+class TestRenderPlacement:
+    def test_valid_xml(self, small_design):
+        placement = Placement.from_gp_rounded(small_design)
+        root = parse(render_placement_svg(placement))
+        assert root.tag.endswith("svg")
+
+    def test_one_rect_per_cell(self, small_design):
+        placement = Placement.from_gp_rounded(small_design)
+        svg = render_placement_svg(placement, show_rails=False)
+        root = parse(svg)
+        rects = [el for el in root.iter() if el.tag.endswith("rect")]
+        # background + cells (no fences in small_design)
+        assert len(rects) == 1 + small_design.num_cells
+
+    def test_fences_rendered(self, fence_design):
+        placement = Placement.from_gp_rounded(fence_design)
+        svg = render_placement_svg(placement, show_rails=False)
+        assert "#c33" in svg  # fence stroke color
+
+    def test_rails_rendered(self, rail_design):
+        placement = Placement.from_gp_rounded(rail_design)
+        with_rails = render_placement_svg(placement, show_rails=True)
+        without = render_placement_svg(placement, show_rails=False)
+        assert len(with_rails) > len(without)
+
+    def test_highlight(self, small_design):
+        placement = Placement.from_gp_rounded(small_design)
+        svg = render_placement_svg(placement, highlight=[0, 1])
+        assert svg.count("#e34a33") == 2
+
+
+class TestRenderDisplacement:
+    def test_red_lines_per_cell(self, small_design):
+        placement = Placement.from_gp_rounded(small_design)
+        svg = render_displacement_svg(placement, cells=[0, 1, 2])
+        root = parse(svg)
+        lines = [
+            el for el in root.iter()
+            if el.tag.endswith("line") and el.get("stroke") == "#d62728"
+        ]
+        assert len(lines) == 3
+
+    def test_all_cells_default(self, small_design):
+        placement = Placement.from_gp_rounded(small_design)
+        svg = render_displacement_svg(placement)
+        assert svg.count("#d62728") == small_design.num_cells
