@@ -15,7 +15,7 @@ and every fixed cell is exactly at its input position.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.model.placement import Placement
 
@@ -76,7 +76,7 @@ def check_legal(placement: Placement) -> LegalityReport:
     return _check(placement, range(placement.design.num_cells), full=True)
 
 
-def check_legal_region(placement: Placement, cells) -> LegalityReport:
+def check_legal_region(placement: Placement, cells: Iterable[int]) -> LegalityReport:
     """Check only the constraints touching ``cells`` (ECO verification).
 
     Per-cell constraints (bounds, parity, segments, fixedness) are checked
@@ -88,7 +88,9 @@ def check_legal_region(placement: Placement, cells) -> LegalityReport:
     return _check(placement, list(cells), full=False)
 
 
-def _check(placement: Placement, cells, full: bool) -> LegalityReport:
+def _check(
+    placement: Placement, cells: Sequence[int], full: bool
+) -> LegalityReport:
     design = placement.design
     report = LegalityReport()
     flagged = set()

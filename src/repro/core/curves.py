@@ -29,6 +29,8 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from repro.model.approx import approx_eq, is_zero
+
 
 @dataclass(frozen=True)
 class DisplacementCurve:
@@ -162,7 +164,7 @@ class DisplacementCurve:
     def curve_type(self) -> str:
         """Classify per Fig. 4 ('A', 'B', 'C', 'D'), 'V', or 'other'."""
         pattern = self.slope_pattern()
-        signs = [0 if s == 0 else (1 if s > 0 else -1) for s in pattern]
+        signs = [0 if is_zero(s) else (1 if s > 0 else -1) for s in pattern]
         if signs == [0, 1]:
             return "A"
         if signs == [-1, 0]:
@@ -193,11 +195,13 @@ def sum_curves(curves: Sequence[DisplacementCurve]) -> DisplacementCurve:
     for curve in curves:
         merged.extend(curve.breakpoints)
     merged.sort()
-    # Coalesce equal-x breakpoints.
+    # Coalesce equal-x breakpoints (epsilon-tolerant: breakpoints derive
+    # from float GP coordinates, so on-paper-equal x values can differ by
+    # rounding; keeping them distinct would split one kink into two).
     coalesced: List[Tuple[float, float]] = []
     for bp_x, delta in merged:
-        if coalesced and coalesced[-1][0] == bp_x:
-            coalesced[-1] = (bp_x, coalesced[-1][1] + delta)
+        if coalesced and approx_eq(coalesced[-1][0], bp_x):
+            coalesced[-1] = (coalesced[-1][0], coalesced[-1][1] + delta)
         else:
             coalesced.append((bp_x, delta))
     return DisplacementCurve(anchor_x, anchor_value, initial_slope, tuple(coalesced))

@@ -180,7 +180,7 @@ def solve_hpwl_lp(problem: HpwlProblem, hpwl_weight: int) -> List[int]:
     vals: List[float] = []
     rhs: List[float] = []
 
-    def constraint(entries, bound):
+    def constraint(entries: List[Tuple[int, float]], bound: float) -> None:
         row_id = len(rhs)
         for col, val in entries:
             rows.append(row_id)

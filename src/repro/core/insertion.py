@@ -21,6 +21,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tupl
 
 from repro.core.curves import DisplacementCurve, minimize_over_sites, sum_curves
 from repro.core.occupancy import Occupancy
+from repro.core.refine import RoutabilityGuard
 from repro.model.design import Design
 from repro.model.geometry import Rect
 from repro.model.row import Segment
@@ -92,7 +93,7 @@ class InsertionContext:
         target: int,
         window: Rect,
         weight_of: Optional[Callable[[int], float]] = None,
-        guard=None,
+        guard: Optional[RoutabilityGuard] = None,
         reference: str = "gp",
         max_gaps_per_row: int = 12,
     ):
@@ -102,7 +103,7 @@ class InsertionContext:
         self.occupancy = occupancy
         self.target = target
         self.window = window
-        self.weight_of = weight_of or (lambda _cell: 1.0)
+        self.weight_of: Callable[[int], float] = weight_of or (lambda _cell: 1.0)
         self.guard = guard
         self.reference = reference
         self.max_gaps_per_row = max_gaps_per_row
@@ -131,20 +132,20 @@ class InsertionContext:
         self._local_cache[cell] = result
         return result
 
-    def edge_gap(self, left_cell: Optional[int], right_cell: Optional[int]) -> int:
+    def edge_gap(self, left_cell: int, right_cell: int) -> int:
         """Required filler sites between two cells (-1 means the target)."""
-        key = (left_cell, right_cell)  # type: ignore[assignment]
+        key = (left_cell, right_cell)
         cached = self._gap_cache.get(key)
         if cached is not None:
             return cached
         table = self.design.technology.edge_spacing
         left_type = (
             self.target_type if left_cell == -1
-            else self.design.cell_type_of(left_cell)  # type: ignore[arg-type]
+            else self.design.cell_type_of(left_cell)
         )
         right_type = (
             self.target_type if right_cell == -1
-            else self.design.cell_type_of(right_cell)  # type: ignore[arg-type]
+            else self.design.cell_type_of(right_cell)
         )
         gap = table.spacing(left_type.right_edge, right_type.left_edge)
         self._gap_cache[key] = gap
@@ -220,18 +221,19 @@ class InsertionContext:
             outside_end = (
                 placement.x[outside_left] + self.cell_width(outside_left)
             )
-            if outside_end >= segment.x_lo:
-                left_bound = max(
-                    left_bound, outside_end + self.edge_gap(outside_left, -1)
-                )
+            # Unconditional: the rule reaches across the boundary even
+            # when the outside cell stops short of it (no-op when it is
+            # further away than the required gap).
+            left_bound = max(
+                left_bound, outside_end + self.edge_gap(outside_left, -1)
+            )
         right_cap = segment.x_hi
         outside_right = occupancy.right_neighbor(row, segment.x_hi)
         if outside_right is not None:
             outside_x = placement.x[outside_right]
-            if outside_x <= segment.x_hi:
-                right_cap = min(
-                    right_cap, outside_x - self.edge_gap(-1, outside_right)
-                )
+            right_cap = min(
+                right_cap, outside_x - self.edge_gap(-1, outside_right)
+            )
         left_wall_cell: Optional[int] = None
         local_run: List[int] = []
         for cell in cells:
@@ -528,7 +530,7 @@ class InsertionContext:
         # compute it once (this dominates the evaluation cost).
         neighbor_info: Dict[int, List[Tuple[int, Optional[int], Optional[Segment]]]] = {}
 
-        def info(cell: int):
+        def info(cell: int) -> List[Tuple[int, Optional[int], Optional[Segment]]]:
             cached = neighbor_info.get(cell)
             if cached is None:
                 cached = self._segment_neighbors(cell, side)
@@ -606,9 +608,9 @@ class InsertionContext:
                     else:
                         limit = segment.x_hi
                         outside = self.occupancy.right_neighbor(row, segment.x_hi)
-                        if outside is not None and (
-                            placement.x[outside] <= segment.x_hi
-                        ):
+                        if outside is not None:
+                            # Edge rules reach across the segment boundary
+                            # (no-op when the outside cell is far enough).
                             limit = min(
                                 limit,
                                 placement.x[outside]
@@ -635,11 +637,11 @@ class InsertionContext:
                             outside_end = (
                                 placement.x[outside] + self.cell_width(outside)
                             )
-                            if outside_end >= segment.x_lo:
-                                limit = max(
-                                    limit,
-                                    outside_end + self.edge_gap(outside, cell),
-                                )
+                            # Unconditional, matching the gap bounds above.
+                            limit = max(
+                                limit,
+                                outside_end + self.edge_gap(outside, cell),
+                            )
                         bounds.append(limit)
             extreme[cell] = min(bounds) if side > 0 else max(bounds)
             if side > 0 and extreme[cell] < placement.x[cell] - 1e-9:

@@ -49,7 +49,7 @@ def mgl_cell_order(design: Design, params: LegalizerParams) -> List[int]:
     if params.seed_order == "gp_x":
         return sorted(cells, key=lambda c: (design.gp_x[c], design.gp_y[c], c))
     # "height_area_x"
-    def key(cell: int) -> Tuple:
+    def key(cell: int) -> Tuple[int, int, float, float, int]:
         cell_type = design.cell_type_of(cell)
         return (
             -cell_type.height,
@@ -86,7 +86,7 @@ class MGLegalizer:
         if guard is None and self.params.routability:
             guard = RoutabilityGuard(design, self.params)
         self.guard = guard
-        self.weight_of = (
+        self.weight_of: Callable[[int], float] = (
             height_weights(design) if self.params.height_weighted else (lambda _c: 1.0)
         )
         self.stats: Dict[str, int] = {
@@ -123,14 +123,20 @@ class MGLegalizer:
             min(chip.yhi, cy + half_h),
         )
 
-    def try_insert(
+    def evaluate_insert(
         self,
         occupancy: Occupancy,
         cell: int,
         window: Rect,
         exhaustive: bool = False,
-    ) -> Optional[EvaluatedInsertion]:
+    ) -> Tuple[Optional[EvaluatedInsertion], int]:
         """Best feasible insertion of ``cell`` within ``window`` (unapplied).
+
+        Returns the best evaluated insertion (or None) plus the number of
+        insertion points evaluated.  This is the *pure* evaluation path:
+        it mutates neither the legalizer nor the occupancy, which is what
+        makes submitting it to the scheduler's thread pool safe (§3.5).
+        Stats aggregation lives in :meth:`try_insert`.
 
         ``exhaustive`` lifts the per-row gap and combination caps and
         drops the routability guard — used by the final chip-window
@@ -152,6 +158,7 @@ class MGLegalizer:
             ),
         )
         best: Optional[EvaluatedInsertion] = None
+        evaluated_points = 0
         margin = self.params.prune_margin
         max_points = (
             1 << 30 if exhaustive else self.params.max_insertion_points
@@ -164,11 +171,30 @@ class MGLegalizer:
             ):
                 continue  # Cannot beat the incumbent even before pushes.
             evaluated = context.evaluate(bottom_row, gaps)
-            self.stats["insertions_evaluated"] += 1
+            evaluated_points += 1
             if evaluated is None:
                 continue
             if best is None or evaluated.sort_key() < best.sort_key():
                 best = evaluated
+        return best, evaluated_points
+
+    def try_insert(
+        self,
+        occupancy: Occupancy,
+        cell: int,
+        window: Rect,
+        exhaustive: bool = False,
+    ) -> Optional[EvaluatedInsertion]:
+        """Serial-path wrapper of :meth:`evaluate_insert` that records stats.
+
+        Never submit this to a thread pool — the stats update is a
+        read-modify-write on shared state (repro-lint C001); submit
+        :meth:`evaluate_insert` and aggregate the counts serially instead.
+        """
+        best, evaluated_points = self.evaluate_insert(
+            occupancy, cell, window, exhaustive=exhaustive
+        )
+        self.stats["insertions_evaluated"] += evaluated_points
         return best
 
     def apply_insertion(

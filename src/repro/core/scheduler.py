@@ -143,11 +143,16 @@ class WindowScheduler:
                 legalizer.try_insert(self.occupancy, cell, window)
                 for cell, _scale, _attempts, window in batch
             ]
+        # Submit the pure evaluation (not try_insert: its stats update is
+        # a shared-state write) and fold the counts back in serially.
         futures = [
-            pool.submit(legalizer.try_insert, self.occupancy, cell, window)
+            pool.submit(legalizer.evaluate_insert, self.occupancy, cell, window)
             for cell, _scale, _attempts, window in batch
         ]
-        return [future.result() for future in futures]
+        results = [future.result() for future in futures]
+        for _best, evaluated_points in results:
+            legalizer.stats["insertions_evaluated"] += evaluated_points
+        return [best for best, _evaluated_points in results]
 
     def _still_valid(self, target: int, insertion: EvaluatedInsertion) -> bool:
         """Check the evaluated moves against the *current* occupancy.

@@ -1,0 +1,28 @@
+"""Epsilon-tolerant float comparisons (repro-lint D003 companions).
+
+Geometry and occupancy stay in exact integer site/row units, but the
+displacement-curve machinery (§3.1) works in floats: slopes are sums of
+±weights and breakpoints derive from GP coordinates, so values that are
+equal on paper can differ by accumulated rounding.  Comparing them with
+bare ``==`` makes curve classification and breakpoint coalescing depend
+on summation order — these helpers pin a single tolerance instead.
+
+The tolerance is absolute: curve quantities live in site units and
+per-cell weights (Eq. 2) are bounded well away from 1e-9, so relative
+scaling would only add failure modes near zero.
+"""
+
+from __future__ import annotations
+
+#: Absolute tolerance for curve slopes/breakpoints, in site units.
+EPSILON: float = 1e-9
+
+
+def approx_eq(a: float, b: float, eps: float = EPSILON) -> bool:
+    """True when ``a`` and ``b`` differ by at most ``eps``."""
+    return abs(a - b) <= eps
+
+
+def is_zero(value: float, eps: float = EPSILON) -> bool:
+    """True when ``value`` is within ``eps`` of zero."""
+    return abs(value) <= eps

@@ -9,9 +9,10 @@ blockages, and the netlist.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.model.fence import DEFAULT_FENCE, FenceRegion, fences_overlap
 from repro.model.geometry import Rect
@@ -87,8 +88,8 @@ class Design:
         self.netlist: Netlist = Netlist()
 
         self._segments_cache: Optional[Dict[int, List[Segment]]] = None
-        self._gp_x_array: Optional[np.ndarray] = None
-        self._gp_y_array: Optional[np.ndarray] = None
+        self._gp_x_array: Optional[npt.NDArray[np.float64]] = None
+        self._gp_y_array: Optional[npt.NDArray[np.float64]] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -169,24 +170,28 @@ class Design:
         raise KeyError(f"no fence region with id {fence_id}")
 
     @property
-    def gp_x_array(self) -> np.ndarray:
+    def gp_x_array(self) -> npt.NDArray[np.float64]:
         if self._gp_x_array is None or len(self._gp_x_array) != self.num_cells:
-            self._gp_x_array = np.array([c.gp_x for c in self.cells], dtype=float)
+            self._gp_x_array = np.array(
+                [c.gp_x for c in self.cells], dtype=np.float64
+            )
         return self._gp_x_array
 
     @property
-    def gp_y_array(self) -> np.ndarray:
+    def gp_y_array(self) -> npt.NDArray[np.float64]:
         if self._gp_y_array is None or len(self._gp_y_array) != self.num_cells:
-            self._gp_y_array = np.array([c.gp_y for c in self.cells], dtype=float)
+            self._gp_y_array = np.array(
+                [c.gp_y for c in self.cells], dtype=np.float64
+            )
         return self._gp_y_array
 
     @property
-    def gp_x(self) -> Sequence[float]:
+    def gp_x(self) -> npt.NDArray[np.float64]:
         """Per-cell GP x positions (site units)."""
         return self.gp_x_array
 
     @property
-    def gp_y(self) -> Sequence[float]:
+    def gp_y(self) -> npt.NDArray[np.float64]:
         """Per-cell GP y positions (row units)."""
         return self.gp_y_array
 
@@ -303,5 +308,5 @@ class Design:
 
 def _require_integral_rect(rect: Rect, what: str) -> None:
     for value in (rect.xlo, rect.ylo, rect.xhi, rect.yhi):
-        if float(value) != int(value):
+        if not float(value).is_integer():
             raise ValueError(f"{what} rectangle {rect} has non-integer coordinates")

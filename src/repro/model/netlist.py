@@ -9,7 +9,7 @@ owning cell's type and current placement.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 
 @dataclass(frozen=True)
@@ -73,7 +73,7 @@ class Netlist:
     def __len__(self) -> int:
         return len(self.nets)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Net]:
         return iter(self.nets)
 
 

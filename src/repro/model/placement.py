@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.model.geometry import Rect
 
@@ -105,11 +106,11 @@ class Placement:
         dy = abs(self.y[cell] - design.gp_y[cell])
         return dx + dy
 
-    def displacements(self) -> np.ndarray:
+    def displacements(self) -> npt.NDArray[np.float64]:
         """Vector of all per-cell displacements in row-height units."""
         design = self.design
-        x = np.asarray(self.x, dtype=float)
-        y = np.asarray(self.y, dtype=float)
+        x = np.asarray(self.x, dtype=np.float64)
+        y = np.asarray(self.y, dtype=np.float64)
         dx = np.abs(x - design.gp_x_array) * design.x_unit_rows
         dy = np.abs(y - design.gp_y_array)
         return dx + dy

@@ -1,0 +1,20 @@
+"""Fixture: thread-pool submissions that write shared state (C001)."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+
+class Worker:
+    def __init__(self):
+        self.count = 0
+        self.log = []
+
+    def work(self, item):
+        self.count += 1             # read-modify-write on shared self
+        self.log.append(item)       # mutating call on shared self.log
+        return item * 2
+
+    def run(self, items, callbacks):
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            futures = [pool.submit(self.work, item) for item in items]
+            extra = pool.submit(callbacks[0], items)   # unresolvable target
+        return [future.result() for future in futures] + [extra.result()]

@@ -1,0 +1,21 @@
+"""Fixture: pure evaluation on the pool, serial aggregation (C001-clean)."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+
+class Evaluator:
+    def __init__(self):
+        self.total = 0
+
+    def evaluate(self, item):
+        squares = []                # fresh, thread-local container
+        squares.append(item * item)
+        return sum(squares)
+
+    def run(self, items):
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            futures = [pool.submit(self.evaluate, item) for item in items]
+            results = [future.result() for future in futures]
+        for value in results:
+            self.total += value     # aggregation happens serially
+        return self.total

@@ -1,0 +1,22 @@
+"""Fixture: every statement here trips D001 (unseeded randomness)."""
+
+import random
+
+import numpy as np
+from random import randint
+
+
+def shuffle_order(values):
+    random.shuffle(values)          # global-state module call
+    return randint(0, 9)            # from-imported module call
+
+
+def noise():
+    return np.random.normal()       # legacy numpy global RandomState
+
+
+def make_generators():
+    a = random.Random()             # unseeded constructor
+    b = np.random.default_rng()     # unseeded constructor
+    c = random.SystemRandom(7)      # entropy-based, never reproducible
+    return a, b, c

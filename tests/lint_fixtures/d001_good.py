@@ -1,0 +1,16 @@
+"""Fixture: seeded randomness only — D001 must stay silent."""
+
+import random
+
+import numpy as np
+
+
+def shuffle_order(values, seed):
+    rng = random.Random(seed)
+    rng.shuffle(values)
+    return rng.randint(0, 9)
+
+
+def noise(seed: int) -> float:
+    gen = np.random.default_rng(seed)
+    return float(gen.normal())

@@ -1,0 +1,12 @@
+"""Fixture: unordered iteration — each loop/comprehension trips D002."""
+
+
+def process(mapping, items):
+    for key in mapping.keys():          # dict.keys() view
+        print(key)
+    for value in {1, 2, 3}:             # set literal
+        print(value)
+    tags = set(items)
+    for tag in tags:                    # name bound to a set
+        print(tag)
+    return [key for key in mapping.keys()]  # comprehension over keys()

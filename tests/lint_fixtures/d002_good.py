@@ -1,0 +1,14 @@
+"""Fixture: pinned iteration order — D002 must stay silent."""
+
+
+def process(mapping, items):
+    for key in sorted(mapping.keys()):
+        print(key)
+    for value in sorted({1, 2, 3}):
+        print(value)
+    ordered = sorted(set(items))
+    for tag in ordered:
+        print(tag)
+    for element in [3, 1, 2]:
+        print(element)
+    return [key for key in sorted(mapping)]

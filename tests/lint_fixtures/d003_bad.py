@@ -1,0 +1,14 @@
+"""Fixture: float equality — each comparison trips D003."""
+
+
+def same_slope(a: float, b: float) -> bool:
+    return a == b                       # float-annotated parameters
+
+
+def is_quarter(width, total):
+    ratio = width / total               # true division -> float
+    return ratio == 0.25
+
+
+def non_integral(value):
+    return float(value) != int(value)   # float() call on the left

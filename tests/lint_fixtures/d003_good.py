@@ -1,0 +1,19 @@
+"""Fixture: integer/epsilon comparisons — D003 must stay silent."""
+
+import math
+
+
+def same_site(a: int, b: int) -> bool:
+    return a == b                       # exact integer compare is fine
+
+
+def same_slope(a: float, b: float) -> bool:
+    return math.isclose(a, b, abs_tol=1e-9)
+
+
+def non_integral(value) -> bool:
+    return not float(value).is_integer()
+
+
+def before(a: float, b: float) -> bool:
+    return a < b                        # inequalities are fine

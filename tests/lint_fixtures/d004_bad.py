@@ -1,0 +1,12 @@
+"""Fixture: wall-clock reads — each call trips D004."""
+
+import time
+from datetime import datetime
+
+
+def stamp_result(result):
+    started = time.time()               # wall clock
+    result["started"] = started
+    result["when"] = datetime.now()     # wall clock
+    result["label"] = time.ctime()      # wall clock
+    return result

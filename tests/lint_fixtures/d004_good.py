@@ -1,0 +1,11 @@
+"""Fixture: monotonic duration probes — D004 must stay silent."""
+
+import time
+
+
+def timed(fn):
+    start = time.perf_counter()
+    value = fn()
+    elapsed = time.perf_counter() - start
+    idle = time.monotonic()
+    return value, elapsed, idle

@@ -1,0 +1,13 @@
+"""Fixture: suppression comments silence known violations."""
+# repro-lint: disable=D004
+
+import random
+import time
+
+
+def jitter():
+    return random.random()  # repro-lint: disable-line=D001
+
+
+def stamp():
+    return time.time()      # covered by the file-wide D004 disable

@@ -1,0 +1,7 @@
+"""``python -m tools.repro_lint`` entry point."""
+
+import sys
+
+from tools.repro_lint.cli import main
+
+sys.exit(main())

@@ -1,0 +1,62 @@
+"""Command-line entry point: ``python -m tools.repro_lint src tests ...``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from tools.repro_lint.config import load_config
+from tools.repro_lint.engine import run_lint
+from tools.repro_lint.rules import all_rules
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based determinism & invariant analyzer for the "
+            "mixed-cell-height legalization reproduction "
+            "(see docs/STATIC_ANALYSIS.md)"
+        ),
+    )
+    parser.add_argument(
+        "targets", nargs="*", default=["src"],
+        help="files or directories to lint (relative to --root)",
+    )
+    parser.add_argument(
+        "--root", default=".",
+        help="repository root holding pyproject.toml (default: cwd)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.summary}")
+        return 0
+
+    root = Path(args.root).resolve()
+    missing = [t for t in args.targets if not (root / t).exists()]
+    if missing:
+        print(
+            f"repro-lint: no such target(s): {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        return 2
+    config = load_config(root)
+    violations = run_lint(root, args.targets, config)
+    for violation in violations:
+        print(violation.render())
+    if violations:
+        print(f"repro-lint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,112 @@
+"""Configuration for repro-lint.
+
+Rule scopes are path prefixes relative to the repository root (POSIX
+separators).  Defaults below encode this codebase's layout; they can be
+overridden from ``pyproject.toml``::
+
+    [tool.repro-lint]
+    ordering-sensitive = ["src/repro/core/", "src/repro/flow/"]
+    float-sensitive = ["src/repro/model/", "src/repro/core/"]
+    algorithm-modules = ["src/repro/core/", ...]
+    scheduler-modules = ["src/repro/core/scheduler.py"]
+    exclude = ["tests/lint_fixtures/"]
+
+``tomllib`` (Python >= 3.11) or ``tomli`` is used when available; on
+interpreters with neither, the built-in defaults — which match the
+checked-in pyproject section — apply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+#: Paths skipped entirely, on top of per-rule scoping.
+DEFAULT_EXCLUDE: Tuple[str, ...] = (
+    "tests/lint_fixtures/",
+    "benchmarks/out/",
+)
+
+#: D002: modules where iteration order feeds algorithm decisions.
+DEFAULT_ORDERING_SENSITIVE: Tuple[str, ...] = (
+    "src/repro/core/",
+    "src/repro/flow/",
+)
+
+#: D003: geometry/occupancy modules that must use site-integer math.
+DEFAULT_FLOAT_SENSITIVE: Tuple[str, ...] = (
+    "src/repro/model/",
+    "src/repro/core/",
+)
+
+#: D004: algorithm modules where wall-clock reads are banned.
+DEFAULT_ALGORITHM_MODULES: Tuple[str, ...] = (
+    "src/repro/core/",
+    "src/repro/flow/",
+    "src/repro/gp/",
+    "src/repro/baselines/",
+    "src/repro/benchgen/",
+    "src/repro/checker/",
+    "src/repro/model/",
+)
+
+#: C001: modules whose thread-pool submissions are race-checked.
+DEFAULT_SCHEDULER_MODULES: Tuple[str, ...] = (
+    "src/repro/core/scheduler.py",
+)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Resolved rule scopes (path prefixes relative to the repo root)."""
+
+    exclude: Tuple[str, ...] = DEFAULT_EXCLUDE
+    ordering_sensitive: Tuple[str, ...] = DEFAULT_ORDERING_SENSITIVE
+    float_sensitive: Tuple[str, ...] = DEFAULT_FLOAT_SENSITIVE
+    algorithm_modules: Tuple[str, ...] = DEFAULT_ALGORITHM_MODULES
+    scheduler_modules: Tuple[str, ...] = DEFAULT_SCHEDULER_MODULES
+
+    @staticmethod
+    def in_scope(rel_path: str, prefixes: Tuple[str, ...]) -> bool:
+        """True when ``rel_path`` falls under any scope prefix."""
+        return any(rel_path.startswith(prefix) for prefix in prefixes)
+
+
+def _load_toml(path: Path) -> Optional[Dict[str, Any]]:
+    try:
+        import tomllib  # Python >= 3.11
+    except ImportError:  # pragma: no cover - version-dependent
+        try:
+            import tomli as tomllib  # type: ignore[no-redef]
+        except ImportError:
+            return None
+    try:
+        with open(path, "rb") as handle:
+            return tomllib.load(handle)
+    except (OSError, ValueError):
+        return None
+
+
+def load_config(root: Path) -> LintConfig:
+    """Build the config from ``<root>/pyproject.toml`` (or defaults)."""
+    data = _load_toml(root / "pyproject.toml")
+    if data is None:
+        return LintConfig()
+    section = data.get("tool", {}).get("repro-lint", {})
+    if not isinstance(section, dict):
+        return LintConfig()
+
+    def read(key: str, default: Tuple[str, ...]) -> Tuple[str, ...]:
+        value = section.get(key)
+        if isinstance(value, list) and all(isinstance(v, str) for v in value):
+            return tuple(value)
+        return default
+
+    return LintConfig(
+        exclude=read("exclude", DEFAULT_EXCLUDE),
+        ordering_sensitive=read("ordering-sensitive", DEFAULT_ORDERING_SENSITIVE),
+        float_sensitive=read("float-sensitive", DEFAULT_FLOAT_SENSITIVE),
+        algorithm_modules=read("algorithm-modules", DEFAULT_ALGORITHM_MODULES),
+        scheduler_modules=read("scheduler-modules", DEFAULT_SCHEDULER_MODULES),
+    )

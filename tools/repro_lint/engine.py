@@ -1,0 +1,86 @@
+"""Linting engine: collect files, run rules, apply suppressions."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+from tools.repro_lint.config import LintConfig
+from tools.repro_lint.project import Project, parse_source
+from tools.repro_lint.rules import all_rules
+from tools.repro_lint.violations import Violation
+
+_SKIP_DIRS = {"__pycache__", ".git", ".mypy_cache", ".pytest_cache", "build",
+              "dist"}
+
+
+def collect_files(root: Path, targets: Iterable[str],
+                  config: LintConfig) -> List[Path]:
+    """Python files under each target, minus excluded/skipped paths."""
+    files: List[Path] = []
+    seen = set()
+    for target in targets:
+        path = (root / target).resolve() if not Path(target).is_absolute() \
+            else Path(target)
+        if path.is_file() and path.suffix == ".py":
+            candidates = [path]
+        elif path.is_dir():
+            candidates = sorted(
+                p for p in path.rglob("*.py")
+                if not (_SKIP_DIRS & set(p.parts))
+                and not any(part.endswith(".egg-info") for part in p.parts)
+            )
+        else:
+            continue
+        for candidate in candidates:
+            try:
+                rel = candidate.relative_to(root).as_posix()
+            except ValueError:
+                rel = candidate.as_posix()
+            if LintConfig.in_scope(rel, config.exclude):
+                continue
+            if candidate not in seen:
+                seen.add(candidate)
+                files.append(candidate)
+    return files
+
+
+def build_project(root: Path, files: Iterable[Path]) -> Tuple[Project, List[Violation]]:
+    """Parse everything; syntax errors become E999 violations."""
+    project = Project()
+    errors: List[Violation] = []
+    for path in files:
+        try:
+            rel = path.relative_to(root).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        try:
+            text = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            errors.append(Violation(rel, 1, 0, "E999", f"unreadable: {exc}"))
+            continue
+        try:
+            project.add(parse_source(rel, text))
+        except SyntaxError as exc:
+            errors.append(Violation(
+                rel, exc.lineno or 1, (exc.offset or 1) - 1, "E999",
+                f"syntax error: {exc.msg}",
+            ))
+    return project, errors
+
+
+def run_lint(root: Path, targets: Iterable[str],
+             config: LintConfig) -> List[Violation]:
+    """Lint ``targets`` (paths relative to ``root``); sorted violations."""
+    files = collect_files(root, targets, config)
+    project, violations = build_project(root, files)
+    rules = all_rules()
+    for source in project.files:
+        for rule in rules:
+            for violation in rule.check_file(source, project, config):
+                if source.suppressions.is_suppressed(
+                    violation.rule, violation.line
+                ):
+                    continue
+                violations.append(violation)
+    return sorted(violations)

@@ -1,0 +1,79 @@
+"""Parsed-source containers shared by all rules.
+
+A :class:`SourceFile` is one parsed module plus its suppression state; a
+:class:`Project` is the whole scanned file set with a cross-module method
+index, which the concurrency rule (C001) uses to resolve callables
+submitted to thread pools.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from tools.repro_lint.suppress import Suppressions, parse_suppressions
+
+
+@dataclass
+class SourceFile:
+    """One parsed Python module."""
+
+    rel_path: str  # repo-relative POSIX path
+    text: str
+    tree: ast.Module
+    suppressions: Suppressions
+
+
+@dataclass
+class MethodInfo:
+    """Where one function/method definition lives."""
+
+    rel_path: str
+    class_name: Optional[str]  # None for module-level functions
+    node: ast.FunctionDef
+
+
+@dataclass
+class Project:
+    """All scanned files plus a (class, method)-name index."""
+
+    files: List[SourceFile] = field(default_factory=list)
+    # method name -> definitions across the project (module-level functions
+    # and class methods alike).
+    methods: Dict[str, List[MethodInfo]] = field(default_factory=dict)
+    # (class name, method name) -> definition, for self.<m>() resolution.
+    class_methods: Dict[Tuple[str, str], MethodInfo] = field(default_factory=dict)
+
+    def add(self, source: SourceFile) -> None:
+        self.files.append(source)
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if isinstance(item, ast.FunctionDef):
+                        info = MethodInfo(source.rel_path, node.name, item)
+                        self.methods.setdefault(item.name, []).append(info)
+                        self.class_methods[(node.name, item.name)] = info
+            elif isinstance(node, ast.Module):
+                for item in node.body:
+                    if isinstance(item, ast.FunctionDef):
+                        info = MethodInfo(source.rel_path, None, item)
+                        self.methods.setdefault(item.name, []).append(info)
+
+    def resolve_unique(self, method_name: str) -> Optional[MethodInfo]:
+        """The definition of ``method_name`` when the project has exactly one."""
+        candidates = self.methods.get(method_name, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+
+def parse_source(rel_path: str, text: str) -> SourceFile:
+    """Parse one module (raises :class:`SyntaxError` on bad input)."""
+    tree = ast.parse(text, filename=rel_path)
+    return SourceFile(
+        rel_path=rel_path,
+        text=text,
+        tree=tree,
+        suppressions=parse_suppressions(text),
+    )

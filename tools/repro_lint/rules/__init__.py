@@ -1,0 +1,46 @@
+"""Rule registry.
+
+Every rule is a class with a ``code``, a one-line ``summary``, and a
+``check_file`` hook returning :class:`~tools.repro_lint.violations.Violation`
+instances.  The engine applies suppressions and scoping around the rules.
+"""
+
+from __future__ import annotations
+
+from typing import List, Type
+
+from tools.repro_lint.config import LintConfig
+from tools.repro_lint.project import Project, SourceFile
+from tools.repro_lint.violations import Violation
+
+
+class Rule:
+    """Base class: one statically checkable determinism/invariant hazard."""
+
+    code: str = ""
+    summary: str = ""
+
+    def check_file(
+        self, source: SourceFile, project: Project, config: LintConfig
+    ) -> List[Violation]:
+        raise NotImplementedError
+
+
+def all_rules() -> List[Rule]:
+    """Instantiate the full rule set."""
+    from tools.repro_lint.rules.concurrency import SchedulerRaceRule
+    from tools.repro_lint.rules.determinism import (
+        FloatEqualityRule,
+        UnorderedIterationRule,
+        UnseededRandomRule,
+        WallClockRule,
+    )
+
+    classes: List[Type[Rule]] = [
+        UnseededRandomRule,
+        UnorderedIterationRule,
+        FloatEqualityRule,
+        WallClockRule,
+        SchedulerRaceRule,
+    ]
+    return [cls() for cls in classes]

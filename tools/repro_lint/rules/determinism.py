@@ -1,0 +1,492 @@
+"""Determinism rules D001-D004.
+
+These encode the reproduction's standing invariants (docs/STATIC_ANALYSIS.md):
+
+* **D001** — all randomness flows through an explicitly seeded
+  ``random.Random`` / ``numpy.random.Generator`` instance; module-level RNG
+  calls (global hidden state) are banned everywhere.
+* **D002** — ordering-sensitive modules (``core/``, ``flow/``) must not
+  iterate bare sets or ``dict.keys()`` views without ``sorted(...)``:
+  set order depends on hash seeds and insertion history, which silently
+  breaks the §3.5 any-thread-count-identical-result guarantee.
+* **D003** — geometry/occupancy code must not compare floats with
+  ``==``/``!=``; use site-integer math or the epsilon helpers in
+  :mod:`repro.model.approx`.
+* **D004** — algorithm modules must not read the wall clock
+  (``time.time``, ``datetime.now``, ...): results must be a pure function
+  of the inputs.  Monotonic duration probes (``perf_counter`` etc.) are
+  allowed — they measure stages without steering them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from tools.repro_lint.config import LintConfig
+from tools.repro_lint.project import Project, SourceFile
+from tools.repro_lint.rules import Rule
+from tools.repro_lint.violations import Violation
+
+# ----------------------------------------------------------------------
+# Shared import-alias tracking
+# ----------------------------------------------------------------------
+
+
+class ImportAliases:
+    """Maps local names back to the modules/attributes they came from."""
+
+    def __init__(self, tree: ast.Module):
+        # local alias -> imported module path, e.g. {"np": "numpy"}.
+        self.modules: Dict[str, str] = {}
+        # local name -> (module path, original name) for from-imports,
+        # e.g. {"shuffle": ("random", "shuffle")}.
+        self.names: Dict[str, Tuple[str, str]] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    self.modules[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.names[local] = (node.module, alias.name)
+
+    def call_target(self, func: ast.expr) -> Optional[Tuple[str, str]]:
+        """Resolve a call's function to ``(module path, attribute)``.
+
+        Handles ``module.attr(...)``, ``pkg.sub.attr(...)`` and
+        from-imported ``attr(...)``; returns None for anything else
+        (methods on objects, locals, ...).
+        """
+        if isinstance(func, ast.Name):
+            return self.names.get(func.id)
+        if isinstance(func, ast.Attribute):
+            parts: List[str] = [func.attr]
+            value = func.value
+            while isinstance(value, ast.Attribute):
+                parts.append(value.attr)
+                value = value.value
+            if not isinstance(value, ast.Name):
+                return None
+            root = value.id
+            parts_rev = list(reversed(parts))
+            if root in self.modules:
+                module = ".".join([self.modules[root]] + parts_rev[:-1])
+                return module, parts_rev[-1]
+            if root in self.names:
+                base_module, base_name = self.names[root]
+                module = ".".join([base_module, base_name] + parts_rev[:-1])
+                return module, parts_rev[-1]
+        return None
+
+
+# ----------------------------------------------------------------------
+# D001 — unseeded module-level randomness
+# ----------------------------------------------------------------------
+
+#: Module-level functions of ``random`` that use the hidden global RNG.
+RANDOM_MODULE_FUNCS = {
+    "betavariate", "choice", "choices", "expovariate", "gammavariate",
+    "gauss", "getrandbits", "lognormvariate", "normalvariate",
+    "paretovariate", "randbytes", "randint", "random", "randrange",
+    "sample", "seed", "shuffle", "triangular", "uniform", "vonmisesvariate",
+    "weibullvariate",
+}
+
+#: ``numpy.random`` module-level functions (legacy global RandomState).
+NUMPY_RANDOM_FUNCS = {
+    "beta", "binomial", "bytes", "chisquare", "choice", "dirichlet",
+    "exponential", "gamma", "geometric", "gumbel", "laplace", "logistic",
+    "lognormal", "multinomial", "multivariate_normal", "normal",
+    "permutation", "poisson", "rand", "randint", "randn", "random",
+    "random_integers", "random_sample", "ranf", "rayleigh", "sample",
+    "seed", "shuffle", "standard_cauchy", "standard_exponential",
+    "standard_gamma", "standard_normal", "standard_t", "uniform",
+    "weibull", "zipf",
+}
+
+#: Constructors that are only deterministic when given an explicit seed.
+SEEDED_CONSTRUCTORS = {
+    ("random", "Random"),
+    ("random", "SystemRandom"),  # never acceptable, seeded or not
+    ("numpy.random", "default_rng"),
+    ("numpy.random", "RandomState"),
+    ("numpy.random", "Generator"),
+}
+
+
+class UnseededRandomRule(Rule):
+    code = "D001"
+    summary = "module-level / unseeded RNG use"
+
+    def check_file(
+        self, source: SourceFile, project: Project, config: LintConfig
+    ) -> List[Violation]:
+        aliases = ImportAliases(source.tree)
+        violations: List[Violation] = []
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = aliases.call_target(node.func)
+            if target is None:
+                continue
+            module, attr = target
+            if module == "random" and attr in RANDOM_MODULE_FUNCS:
+                violations.append(self._hit(
+                    source, node,
+                    f"call to global-state 'random.{attr}'; route all "
+                    f"randomness through a seeded random.Random instance",
+                ))
+            elif module == "numpy.random" and attr in NUMPY_RANDOM_FUNCS:
+                violations.append(self._hit(
+                    source, node,
+                    f"call to global-state 'numpy.random.{attr}'; use a "
+                    f"seeded numpy.random.Generator (default_rng(seed))",
+                ))
+            elif (module, attr) in SEEDED_CONSTRUCTORS:
+                if attr == "SystemRandom":
+                    violations.append(self._hit(
+                        source, node,
+                        "SystemRandom is entropy-based and never "
+                        "reproducible",
+                    ))
+                elif not node.args and not node.keywords:
+                    violations.append(self._hit(
+                        source, node,
+                        f"'{attr}()' without an explicit seed is "
+                        f"time/entropy-seeded and not reproducible",
+                    ))
+        return violations
+
+    def _hit(self, source: SourceFile, node: ast.AST, message: str) -> Violation:
+        return Violation(
+            source.rel_path, node.lineno, node.col_offset, self.code, message
+        )
+
+
+# ----------------------------------------------------------------------
+# D002 — iteration over unordered collections
+# ----------------------------------------------------------------------
+
+_SET_BINOPS = (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+
+
+class _UnorderedTracker:
+    """Per-scope tracking of names bound to unordered (set-like) values."""
+
+    def __init__(self, outer: Optional["_UnorderedTracker"] = None):
+        self.unordered: Set[str] = set(outer.unordered) if outer else set()
+
+    def classify(self, node: ast.expr) -> bool:
+        """True when ``node`` evaluates to an unordered iterable."""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.unordered
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_BINOPS):
+            return self.classify(node.left) or self.classify(node.right)
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name):
+                if func.id in ("set", "frozenset"):
+                    return True
+                # list(s)/tuple(s)/iter(s)/reversed(s) preserve the
+                # (unordered) input order; sorted(s) repairs it.
+                if func.id in ("list", "tuple", "iter", "reversed") and node.args:
+                    return self.classify(node.args[0])
+                return False
+            if isinstance(func, ast.Attribute):
+                if func.attr == "keys" and not node.args:
+                    return True
+                if func.attr in ("union", "intersection", "difference",
+                                 "symmetric_difference"):
+                    return self.classify(func.value)
+                if func.attr == "copy":
+                    return self.classify(func.value)
+        return False
+
+    def bind(self, target: ast.expr, value: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            if self.classify(value):
+                self.unordered.add(target.id)
+            else:
+                self.unordered.discard(target.id)
+
+
+class UnorderedIterationRule(Rule):
+    code = "D002"
+    summary = "iteration over bare set/dict.keys() in ordering-sensitive module"
+
+    def check_file(
+        self, source: SourceFile, project: Project, config: LintConfig
+    ) -> List[Violation]:
+        if not LintConfig.in_scope(source.rel_path, config.ordering_sensitive):
+            return []
+        violations: List[Violation] = []
+        self._check_scope(source, source.tree.body, _UnorderedTracker(), violations)
+        return violations
+
+    def _check_scope(
+        self,
+        source: SourceFile,
+        body: List[ast.stmt],
+        tracker: _UnorderedTracker,
+        violations: List[Violation],
+    ) -> None:
+        for stmt in body:
+            self._check_stmt(source, stmt, tracker, violations)
+
+    def _check_stmt(
+        self,
+        source: SourceFile,
+        stmt: ast.stmt,
+        tracker: _UnorderedTracker,
+        violations: List[Violation],
+    ) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._check_scope(
+                source, stmt.body, _UnorderedTracker(tracker), violations
+            )
+            return
+        if isinstance(stmt, ast.ClassDef):
+            self._check_scope(source, stmt.body, _UnorderedTracker(tracker), violations)
+            return
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                tracker.bind(target, stmt.value)
+            self._check_expr_tree(source, stmt.value, tracker, violations)
+            return
+        if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            tracker.bind(stmt.target, stmt.value)
+            self._check_expr_tree(source, stmt.value, tracker, violations)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            if tracker.classify(stmt.iter):
+                violations.append(Violation(
+                    source.rel_path, stmt.iter.lineno, stmt.iter.col_offset,
+                    self.code,
+                    "iterating an unordered set/dict.keys() view; wrap in "
+                    "sorted(...) to pin the order",
+                ))
+            self._check_expr_tree(source, stmt.iter, tracker, violations)
+            self._check_scope(source, stmt.body, tracker, violations)
+            self._check_scope(source, stmt.orelse, tracker, violations)
+            return
+        # Generic statement: recurse into sub-statements and expressions.
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                self._check_stmt(source, child, tracker, violations)
+            elif isinstance(child, ast.expr):
+                self._check_expr_tree(source, child, tracker, violations)
+            elif isinstance(child, (ast.excepthandler, ast.withitem)):
+                for sub in ast.iter_child_nodes(child):
+                    if isinstance(sub, ast.stmt):
+                        self._check_stmt(source, sub, tracker, violations)
+                    elif isinstance(sub, ast.expr):
+                        self._check_expr_tree(source, sub, tracker, violations)
+
+    def _check_expr_tree(
+        self,
+        source: SourceFile,
+        expr: ast.expr,
+        tracker: _UnorderedTracker,
+        violations: List[Violation],
+    ) -> None:
+        for node in ast.walk(expr):
+            if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                 ast.GeneratorExp)):
+                for generator in node.generators:
+                    if tracker.classify(generator.iter):
+                        violations.append(Violation(
+                            source.rel_path,
+                            generator.iter.lineno,
+                            generator.iter.col_offset,
+                            self.code,
+                            "comprehension over an unordered set/dict.keys() "
+                            "view; wrap in sorted(...) to pin the order",
+                        ))
+
+
+# ----------------------------------------------------------------------
+# D003 — float equality in geometry/occupancy code
+# ----------------------------------------------------------------------
+
+
+class _FloatTracker:
+    """Local inference of float-typed expressions within one function."""
+
+    def __init__(self) -> None:
+        self.float_names: Set[str] = set()
+
+    @staticmethod
+    def _is_float_annotation(annotation: Optional[ast.expr]) -> bool:
+        return isinstance(annotation, ast.Name) and annotation.id == "float"
+
+    def seed_function(self, node: ast.FunctionDef) -> None:
+        args = list(node.args.posonlyargs) + list(node.args.args) + list(
+            node.args.kwonlyargs
+        )
+        for arg in args:
+            if self._is_float_annotation(arg.annotation):
+                self.float_names.add(arg.arg)
+
+    def is_floatish(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, float)
+        if isinstance(node, ast.Name):
+            return node.id in self.float_names
+        if isinstance(node, ast.UnaryOp):
+            return self.is_floatish(node.operand)
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, ast.Div):
+                return True  # true division always yields a float
+            return self.is_floatish(node.left) or self.is_floatish(node.right)
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "float":
+                return True
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "math"
+                and func.attr not in ("floor", "ceil", "isqrt", "comb",
+                                      "factorial", "gcd", "lcm", "perm")
+            ):
+                return True
+        return False
+
+    def bind(self, target: ast.expr, value: Optional[ast.expr],
+             annotation: Optional[ast.expr] = None) -> None:
+        if not isinstance(target, ast.Name):
+            return
+        if self._is_float_annotation(annotation) or (
+            value is not None and self.is_floatish(value)
+        ):
+            self.float_names.add(target.id)
+
+
+class FloatEqualityRule(Rule):
+    code = "D003"
+    summary = "float ==/!= comparison in geometry/occupancy module"
+
+    def check_file(
+        self, source: SourceFile, project: Project, config: LintConfig
+    ) -> List[Violation]:
+        if not LintConfig.in_scope(source.rel_path, config.float_sensitive):
+            return []
+        violations: List[Violation] = []
+        module_tracker = _FloatTracker()
+        self._scan_body(source, source.tree.body, module_tracker, violations)
+        return violations
+
+    def _scan_body(
+        self,
+        source: SourceFile,
+        body: List[ast.stmt],
+        tracker: _FloatTracker,
+        violations: List[Violation],
+    ) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.FunctionDef):
+                inner = _FloatTracker()
+                inner.float_names |= tracker.float_names
+                inner.seed_function(stmt)
+                self._scan_body(source, stmt.body, inner, violations)
+                continue
+            if isinstance(stmt, ast.ClassDef):
+                class_tracker = _FloatTracker()
+                # Dataclass-style annotated fields seed attribute *names*
+                # so `x == other.x` patterns are not missed entirely; only
+                # bare-name comparisons use this (conservative).
+                self._scan_body(source, stmt.body, class_tracker, violations)
+                continue
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    tracker.bind(target, stmt.value)
+            elif isinstance(stmt, ast.AnnAssign):
+                tracker.bind(stmt.target, stmt.value, stmt.annotation)
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Compare):
+                    self._check_compare(source, node, tracker, violations)
+            # Recurse into nested statements for function defs inside
+            # control flow.
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, (ast.FunctionDef, ast.ClassDef)):
+                    self._scan_body(source, [child], tracker, violations)
+
+    def _check_compare(
+        self,
+        source: SourceFile,
+        node: ast.Compare,
+        tracker: _FloatTracker,
+        violations: List[Violation],
+    ) -> None:
+        operands = [node.left] + list(node.comparators)
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if tracker.is_floatish(left) or tracker.is_floatish(right):
+                violations.append(Violation(
+                    source.rel_path, node.lineno, node.col_offset, self.code,
+                    "float ==/!= is unstable under rounding; use "
+                    "site-integer math or repro.model.approx helpers",
+                ))
+                return
+
+
+# ----------------------------------------------------------------------
+# D004 — wall-clock reads in algorithm modules
+# ----------------------------------------------------------------------
+
+#: Wall-clock reads whose values depend on when the code runs.
+WALL_CLOCK_TIME_FUNCS = {
+    "time", "time_ns", "localtime", "gmtime", "ctime", "asctime",
+    "strftime", "mktime",
+}
+
+#: Monotonic duration probes: allowed (they time stages, not steer them).
+MONOTONIC_TIME_FUNCS = {
+    "perf_counter", "perf_counter_ns", "monotonic", "monotonic_ns",
+    "process_time", "process_time_ns", "thread_time", "thread_time_ns",
+}
+
+DATETIME_CLASS_FUNCS = {"now", "today", "utcnow", "fromtimestamp"}
+
+
+class WallClockRule(Rule):
+    code = "D004"
+    summary = "wall-clock read inside algorithm module"
+
+    def check_file(
+        self, source: SourceFile, project: Project, config: LintConfig
+    ) -> List[Violation]:
+        if not LintConfig.in_scope(source.rel_path, config.algorithm_modules):
+            return []
+        aliases = ImportAliases(source.tree)
+        violations: List[Violation] = []
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = aliases.call_target(node.func)
+            if target is None:
+                continue
+            module, attr = target
+            if module == "time" and attr in WALL_CLOCK_TIME_FUNCS:
+                violations.append(Violation(
+                    source.rel_path, node.lineno, node.col_offset, self.code,
+                    f"'time.{attr}' reads the wall clock; algorithm results "
+                    f"must not depend on when they run "
+                    f"(perf_counter/monotonic are fine for durations)",
+                ))
+            elif (
+                module in ("datetime", "datetime.datetime", "datetime.date")
+                and attr in DATETIME_CLASS_FUNCS
+            ):
+                violations.append(Violation(
+                    source.rel_path, node.lineno, node.col_offset, self.code,
+                    f"'{module}.{attr}' reads the wall clock; algorithm "
+                    f"results must not depend on when they run",
+                ))
+        return violations

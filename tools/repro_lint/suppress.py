@@ -1,0 +1,55 @@
+"""Suppression comments.
+
+Two forms are recognized (see docs/STATIC_ANALYSIS.md):
+
+* ``# repro-lint: disable=D001`` — disables the listed rule(s) for the
+  whole file, wherever the comment appears (conventionally near the top).
+* ``# repro-lint: disable-line=D003`` — disables the listed rule(s) for
+  the physical line carrying the comment only.
+
+Multiple codes are comma-separated: ``# repro-lint: disable=D001,D004``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Set
+
+_PATTERN = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable(?:-line)?)\s*=\s*"
+    r"(?P<codes>[A-Z]\d{3}(?:\s*,\s*[A-Z]\d{3})*)"
+)
+
+
+@dataclass
+class Suppressions:
+    """Parsed suppression state of one file."""
+
+    file_rules: FrozenSet[str] = frozenset()
+    line_rules: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        if rule in self.file_rules:
+            return True
+        return rule in self.line_rules.get(line, frozenset())
+
+
+def parse_suppressions(text: str) -> Suppressions:
+    """Scan source text for repro-lint suppression comments."""
+    file_rules: Set[str] = set()
+    line_rules: Dict[int, FrozenSet[str]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if "repro-lint" not in line:
+            continue
+        match = _PATTERN.search(line)
+        if match is None:
+            continue
+        codes = frozenset(
+            code.strip() for code in match.group("codes").split(",")
+        )
+        if match.group("kind") == "disable":
+            file_rules |= codes
+        else:
+            line_rules[lineno] = line_rules.get(lineno, frozenset()) | codes
+    return Suppressions(file_rules=frozenset(file_rules), line_rules=line_rules)

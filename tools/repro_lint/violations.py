@@ -1,0 +1,29 @@
+"""Violation record shared by all repro-lint rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One rule hit at one source location.
+
+    Attributes:
+        path: path of the offending file, as given to the engine
+            (repo-relative POSIX form).
+        line: 1-based line number.
+        col: 0-based column offset.
+        rule: rule code, e.g. ``"D001"``.
+        message: human-readable description of the hazard.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        """Standard ``path:line:col: CODE message`` form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
