@@ -1,0 +1,186 @@
+"""MGL hot-path benchmark: wall time, throughput, and determinism hashes.
+
+Runs the synthetic ICCAD-2017 suite through bare MGL (the stage this
+repo's perf work targets) at three sizes and writes ``BENCH_mgl.json``
+with, per run: wall time, cells/second, insertion points evaluated,
+window expansions, and the gap-cache hit rate — plus a placement hash so
+two runs (or two revisions) can be diffed for determinism drift.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf.py            # full: 3 scales
+    PYTHONPATH=src python benchmarks/bench_perf.py --quick    # CI smoke
+
+``--quick`` runs the smallest scale on a case subset, additionally
+cross-checks ``candidate_order=best_first`` against ``linear`` and
+capacity 1 against its own replay (placements must be bit-identical),
+and exits non-zero on any mismatch.  CI runs it twice and fails when the
+two reports' hashes differ.
+
+The consistency self-checks (``Occupancy.verify_consistent``) are
+disabled so measured time is the algorithm, not the checks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.benchgen.suites import iccad2017_suite
+from repro.core.mgl import MGLegalizer
+from repro.core.occupancy import set_expensive_checks
+from repro.core.params import LegalizerParams
+from repro.model.placement import Placement
+from repro.perf import PerfRecorder
+
+SCALES = [0.004, 0.01, 0.02]
+QUICK_SCALE = 0.004
+QUICK_CASES = ["des_perf_b_md2", "fft_a_md2", "pci_bridge32_b_md3"]
+
+RunRecord = Dict[str, Union[str, int, float]]
+
+
+def placement_hash(placement: Placement) -> str:
+    """Order-stable digest of all cell positions."""
+    payload = repr(list(zip(placement.x, placement.y))).encode()
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+def run_mgl(
+    design_name: str,
+    scale: float,
+    params: LegalizerParams,
+) -> RunRecord:
+    """Legalize one suite case with bare MGL and collect the record."""
+    case = next(
+        c for c in iccad2017_suite(scale=scale, names=[design_name])
+    )
+    design = case.build()
+    recorder = PerfRecorder()
+    legalizer = MGLegalizer(design, params)
+    start = time.perf_counter()
+    with recorder.stage("mgl"):
+        placement = legalizer.run()
+    seconds = time.perf_counter() - start
+    recorder.merge_counters(legalizer.stats, prefix="mgl.")
+    hits = legalizer.stats.get("gap_cache_hits", 0)
+    misses = legalizer.stats.get("gap_cache_misses", 0)
+    lookups = hits + misses
+    return {
+        "name": design_name,
+        "scale": scale,
+        "cells": design.num_cells,
+        "seconds": round(seconds, 4),
+        "cells_per_sec": round(design.num_cells / seconds, 1),
+        "insertions_evaluated": legalizer.stats["insertions_evaluated"],
+        "window_expansions": legalizer.stats["window_expansions"],
+        "gap_cache_hits": hits,
+        "gap_cache_misses": misses,
+        "gap_cache_hit_rate": round(hits / lookups, 4) if lookups else 0.0,
+        "candidate_order": params.candidate_order,
+        "scheduler_capacity": params.scheduler_capacity,
+        "placement_hash": placement_hash(placement),
+    }
+
+
+def quick_determinism_checks(report: List[RunRecord]) -> List[str]:
+    """Cross-mode equivalence checks on the quick subset.
+
+    For each quick case: ``linear`` must reproduce ``best_first``
+    exactly, the gap cache must not change the result, and capacity 8
+    must match its own re-run.  Returns human-readable failures.
+    """
+    failures: List[str] = []
+    for name in QUICK_CASES:
+        base = next(r for r in report if r["name"] == name)
+        linear = run_mgl(
+            name, QUICK_SCALE, LegalizerParams(candidate_order="linear")
+        )
+        if linear["placement_hash"] != base["placement_hash"]:
+            failures.append(f"{name}: linear != best_first placement")
+        if (
+            int(linear["insertions_evaluated"])
+            < int(base["insertions_evaluated"])
+        ):
+            failures.append(f"{name}: best_first evaluated more than linear")
+        nocache = run_mgl(
+            name, QUICK_SCALE, LegalizerParams(use_gap_cache=False)
+        )
+        if nocache["placement_hash"] != base["placement_hash"]:
+            failures.append(f"{name}: gap cache changed the placement")
+        cap8_a = run_mgl(
+            name, QUICK_SCALE, LegalizerParams(scheduler_capacity=8)
+        )
+        cap8_b = run_mgl(
+            name,
+            QUICK_SCALE,
+            LegalizerParams(scheduler_capacity=8, scheduler_threads=4),
+        )
+        if cap8_a["placement_hash"] != cap8_b["placement_hash"]:
+            failures.append(f"{name}: capacity-8 threaded run diverged")
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: smallest scale, case subset, "
+                             "equivalence cross-checks")
+    parser.add_argument("--scales", type=float, nargs="+", default=None,
+                        help=f"cell-count scales to run (default {SCALES})")
+    parser.add_argument("--cases", nargs="+", default=None,
+                        help="suite case names (default: whole suite)")
+    parser.add_argument("-o", "--output", default="BENCH_mgl.json",
+                        help="report path (default BENCH_mgl.json)")
+    args = parser.parse_args(argv)
+
+    set_expensive_checks(False)
+    scales = args.scales or ([QUICK_SCALE] if args.quick else SCALES)
+    if args.cases is not None:
+        names = args.cases
+    elif args.quick:
+        names = QUICK_CASES
+    else:
+        names = [case.name for case in iccad2017_suite(scale=QUICK_SCALE)]
+
+    report: List[RunRecord] = []
+    for scale in scales:
+        for name in names:
+            record = run_mgl(name, scale, LegalizerParams())
+            report.append(record)
+            print(
+                f"{name:20s} scale={scale:<6g} cells={record['cells']:>6} "
+                f"{record['seconds']:>8.3f}s {record['cells_per_sec']:>8.1f} c/s "
+                f"evals={record['insertions_evaluated']:>8} "
+                f"cache={100 * float(record['gap_cache_hit_rate']):.1f}% "
+                f"hash={record['placement_hash']}"
+            )
+
+    failures: List[str] = []
+    if args.quick:
+        failures = quick_determinism_checks(report)
+        for failure in failures:
+            print(f"DETERMINISM FAILURE: {failure}", file=sys.stderr)
+        if not failures:
+            print("quick determinism checks: OK")
+
+    payload = {
+        "suite": "iccad2017_synthetic",
+        "scales": scales,
+        "runs": report,
+        "hashes": {
+            f"{r['name']}@{r['scale']}": r["placement_hash"] for r in report
+        },
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"report written to {args.output}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

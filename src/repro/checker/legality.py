@@ -15,7 +15,7 @@ and every fixed cell is exactly at its input position.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.model.placement import Placement
 
@@ -93,7 +93,7 @@ def _check(
 ) -> LegalityReport:
     design = placement.design
     report = LegalityReport()
-    flagged = set()
+    flagged: Set[int] = set()
 
     for cell in cells:
         instance = design.cells[cell]
@@ -148,8 +148,8 @@ def _check(
 def _check_overlaps(
     placement: Placement,
     report: LegalityReport,
-    flagged: set,
-    focus: "set | None" = None,
+    flagged: Set[int],
+    focus: Optional[Set[int]] = None,
 ) -> None:
     """Sweep each row for overlapping cell spans.
 
@@ -158,7 +158,7 @@ def _check_overlaps(
     skipped entirely.
     """
     design = placement.design
-    focus_rows = None
+    focus_rows: Optional[Set[int]] = None
     if focus is not None:
         focus_rows = set()
         for cell in focus:
@@ -175,7 +175,7 @@ def _check_overlaps(
                 continue
             by_row.setdefault(row, []).append((x, x + cell_type.width, cell))
 
-    seen_pairs = set()
+    seen_pairs: Set[Tuple[int, int]] = set()
     for row, spans in by_row.items():
         spans.sort()
         # Active list of spans whose right edge is beyond the sweep point;

@@ -18,7 +18,7 @@ frame; the checker models that.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.model.design import Design
 from repro.model.geometry import Rect
@@ -135,7 +135,7 @@ def _count_edge_violations(
         for row in range(y, y + cell_type.height):
             by_row.setdefault(row, []).append((x, x + cell_type.width, cell))
 
-    seen_pairs = set()
+    seen_pairs: Set[Tuple[int, int]] = set()
     for row, spans in sorted(by_row.items()):
         spans.sort()
         for (x_lo, x_hi, left), (next_lo, _, right) in zip(spans, spans[1:]):

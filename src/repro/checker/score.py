@@ -14,7 +14,7 @@ as ``S = (1 + S_hpwl + (N_p + N_e)/m) * (1 + max_disp/Delta) * S_am`` with
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.checker.routability import RoutabilityReport, count_routability_violations
 from repro.model.design import Design
@@ -52,7 +52,7 @@ def max_displacement(placement: Placement) -> float:
 
 def gp_hpwl(design: Design) -> float:
     """HPWL of the global-placement input, in length units."""
-    centers = []
+    centers: List[Tuple[float, float]] = []
     for cell in range(design.num_cells):
         cell_type = design.cell_type_of(cell)
         cx = (design.gp_x[cell] + cell_type.width / 2.0) * design.site_width

@@ -79,8 +79,13 @@ def cmd_generate(args: argparse.Namespace) -> int:
 def cmd_legalize(args: argparse.Namespace) -> int:
     design = load_design(args.design)
     params = _params_from(args)
+    recorder = None
+    if args.profile is not None:
+        from repro.perf import PerfRecorder
+
+        recorder = PerfRecorder()
     start = time.perf_counter()
-    result = legalize(design, params)
+    result = legalize(design, params, recorder=recorder)
     elapsed = time.perf_counter() - start
     save_placement(result.placement, args.output)
     final = result.after_flow or result.after_matching or result.after_mgl
@@ -88,6 +93,11 @@ def cmd_legalize(args: argparse.Namespace) -> int:
     print(f"avg disp {final.avg_disp:.3f}  max disp {final.max_disp:.2f} "
           f"(row heights)")
     print(f"placement written to {args.output}")
+    if recorder is not None:
+        print(recorder.summary())
+        if args.profile:  # a path was given, not the bare flag
+            recorder.write_json(args.profile)
+            print(f"perf profile written to {args.profile}")
     return 0
 
 
@@ -213,6 +223,10 @@ def build_parser() -> argparse.ArgumentParser:
     leg = sub.add_parser("legalize", help="legalize a design file")
     leg.add_argument("design")
     leg.add_argument("-o", "--output", required=True)
+    leg.add_argument("--profile", nargs="?", const="", default=None,
+                     metavar="JSON",
+                     help="collect per-stage timings and counters; print a "
+                          "summary, and write JSON when a path is given")
     _add_param_flags(leg)
     leg.set_defaults(func=cmd_legalize)
 

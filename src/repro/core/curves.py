@@ -26,8 +26,12 @@ range is found by a linear sweep over the merged breakpoints.
 from __future__ import annotations
 
 import math
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+import numpy.typing as npt
 
 from repro.model.approx import approx_eq, is_zero
 
@@ -241,3 +245,180 @@ def minimize_over_sites(
             best_x = x
     assert best_x is not None
     return best_x, best_cost
+
+
+class CurveSet:
+    """A summed curve compiled for fast repeated evaluation.
+
+    :meth:`DisplacementCurve.value` re-walks every breakpoint from the
+    anchor on each call, which makes the MGL hot path — one minimization
+    plus up to ``2 * guard_max_shift`` guard probes per insertion point —
+    quadratic in the breakpoint count.  ``CurveSet`` runs ``sum_curves``
+    once and replays the forward and backward sweeps a single time,
+    checkpointing the running ``(total, slope, position)`` state at every
+    breakpoint into NumPy arrays; evaluating at ``x`` is then a binary
+    search plus one multiply-add.
+
+    Bit-exactness contract: each checkpoint is produced by the *same
+    sequence of float operations* the reference walk performs up to that
+    breakpoint, and the final multiply-add is the reference's last step,
+    so ``CurveSet(curves).value(x) == sum_curves(curves).value(x)`` to
+    the last bit, and :meth:`minimize` returns exactly what
+    :func:`minimize_over_sites` would (property-tested in
+    tests/test_perf_equivalence.py).  This is what lets the insertion
+    engine switch to the compiled path without perturbing placements.
+    """
+
+    def __init__(self, curves: Sequence[DisplacementCurve]):
+        total = sum_curves(curves)
+        self.total = total
+        anchor_x = total.anchor_x
+        slope = total._slope_at_anchor()
+        # Forward sweep (x >= anchor): state after fully crossing the
+        # k-th breakpoint right of the anchor.
+        fwd_x: List[float] = []
+        fwd_total: List[float] = [total.anchor_value]
+        fwd_slope: List[float] = [slope]
+        fwd_pos: List[float] = [anchor_x]
+        running = total.anchor_value
+        position = anchor_x
+        for bp_x, delta in total.breakpoints:
+            if bp_x <= anchor_x:
+                continue
+            running = running + slope * (bp_x - position)
+            position = bp_x
+            slope = slope + delta
+            fwd_x.append(bp_x)
+            fwd_total.append(running)
+            fwd_slope.append(slope)
+            fwd_pos.append(position)
+        # Backward sweep (x < anchor): the reference first crosses any
+        # breakpoints sitting exactly on the anchor (slope-only), then
+        # subtracts one full segment per strictly-left breakpoint.  The
+        # k-th checkpoint is the state after k full segments.
+        slope = total._slope_at_anchor()
+        running = total.anchor_value
+        position = anchor_x
+        bwd_x: List[float] = []  # descending mover breakpoints
+        bwd_total: List[float] = []
+        bwd_slope: List[float] = []
+        bwd_pos: List[float] = []
+        for bp_x, delta in reversed(total.breakpoints):
+            if bp_x > anchor_x:
+                continue
+            if bp_x >= position:
+                slope = slope - delta
+                continue
+            if not bwd_x:
+                bwd_total.append(running)
+                bwd_slope.append(slope)
+                bwd_pos.append(position)
+            running = running - slope * (position - bp_x)
+            position = bp_x
+            slope = slope - delta
+            bwd_x.append(bp_x)
+            bwd_total.append(running)
+            bwd_slope.append(slope)
+            bwd_pos.append(position)
+        if not bwd_x:
+            bwd_total.append(running)
+            bwd_slope.append(slope)
+            bwd_pos.append(position)
+
+        self._anchor_x = anchor_x
+        self._fwd_x = fwd_x
+        self._fwd_total = fwd_total
+        self._fwd_slope = fwd_slope
+        self._fwd_pos = fwd_pos
+        self._bwd_x_asc = bwd_x[::-1]  # ascending, for bisect
+        self._bwd_count = len(bwd_x)
+        self._bwd_total = bwd_total
+        self._bwd_slope = bwd_slope
+        self._bwd_pos = bwd_pos
+        # NumPy mirrors of the checkpoint tables, built on first use:
+        # scalar probes (the guard's adjust_x walk) stay on the plain
+        # lists, batch queries amortize the array construction.
+        self._arrays: Optional[
+            Tuple[
+                npt.NDArray[np.float64],
+                npt.NDArray[np.float64],
+                npt.NDArray[np.float64],
+                npt.NDArray[np.float64],
+                npt.NDArray[np.float64],
+                npt.NDArray[np.float64],
+                npt.NDArray[np.float64],
+                npt.NDArray[np.float64],
+            ]
+        ] = None
+
+    def value(self, x: float) -> float:
+        """Evaluate the summed curve at ``x`` (bit-equal to the reference)."""
+        if x >= self._anchor_x:
+            j = bisect_left(self._fwd_x, x)
+            return float(
+                self._fwd_total[j] + self._fwd_slope[j] * (x - self._fwd_pos[j])
+            )
+        k = self._bwd_count - bisect_right(self._bwd_x_asc, x)
+        return float(
+            self._bwd_total[k] - self._bwd_slope[k] * (self._bwd_pos[k] - x)
+        )
+
+    def values(self, xs: Sequence[float]) -> npt.NDArray[np.float64]:
+        """Vectorized :meth:`value` over many positions at once.
+
+        Small batches take the scalar path (the array round-trip costs
+        more than it saves below a few dozen points); both paths perform
+        the identical IEEE-754 multiply-add per point, so the results are
+        bit-equal regardless of which is taken.
+        """
+        if len(xs) < 32:
+            return np.array([self.value(x) for x in xs], dtype=np.float64)
+        if self._arrays is None:
+            self._arrays = (
+                np.asarray(self._fwd_x),
+                np.asarray(self._fwd_total),
+                np.asarray(self._fwd_slope),
+                np.asarray(self._fwd_pos),
+                np.asarray(self._bwd_x_asc),
+                np.asarray(self._bwd_total),
+                np.asarray(self._bwd_slope),
+                np.asarray(self._bwd_pos),
+            )
+        fwd_x, fwd_total, fwd_slope, fwd_pos, bwd_x, bwd_total, bwd_slope, bwd_pos = (
+            self._arrays
+        )
+        points = np.asarray(xs, dtype=np.float64)
+        forward = points >= self._anchor_x
+        out = np.empty(points.shape, dtype=np.float64)
+        if forward.any():
+            fx = points[forward]
+            js = np.searchsorted(fwd_x, fx, side="left")
+            out[forward] = fwd_total[js] + fwd_slope[js] * (fx - fwd_pos[js])
+        backward = ~forward
+        if backward.any():
+            bx = points[backward]
+            ks = self._bwd_count - np.searchsorted(bwd_x, bx, side="right")
+            out[backward] = bwd_total[ks] - bwd_slope[ks] * (bwd_pos[ks] - bx)
+        return out
+
+    def minimize(self, lo: float, hi: float) -> Optional[Tuple[int, float]]:
+        """Exactly :func:`minimize_over_sites`, using the compiled tables."""
+        lo_site = math.ceil(lo)
+        hi_site = math.floor(hi)
+        if lo_site > hi_site:
+            return None
+        candidates = {lo_site, hi_site}
+        for bp_x, _ in self.total.breakpoints:
+            for candidate in (math.floor(bp_x), math.ceil(bp_x)):
+                if lo_site <= candidate <= hi_site:
+                    candidates.add(candidate)
+        ordered = sorted(candidates)
+        costs = self.values(ordered)
+        best_x: Optional[int] = None
+        best_cost = math.inf
+        for x, cost in zip(ordered, costs):
+            if cost < best_cost - 1e-12:
+                best_cost = float(cost)
+                best_x = x
+        assert best_x is not None
+        return best_x, best_cost

@@ -17,9 +17,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from heapq import heappop, heappush
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
-from repro.core.curves import DisplacementCurve, minimize_over_sites, sum_curves
+from repro.core.curves import CurveSet, DisplacementCurve
 from repro.core.occupancy import Occupancy
 from repro.core.refine import RoutabilityGuard
 from repro.model.design import Design
@@ -66,6 +67,60 @@ class EvaluatedInsertion:
         return (self.cost, self.y, self.x)
 
 
+class GapCache:
+    """Memoized per-row gap enumeration, invalidated by occupancy versions.
+
+    Entries are keyed ``(row, profile)`` where the *profile* captures every
+    target-side input of :meth:`InsertionContext.gaps_in_row` — cell type,
+    fence, GP x, window rectangle, and the per-row gap cap — while the
+    occupancy side is covered by :meth:`Occupancy.row_version`: the
+    occupancy bumps a row's version whenever ``add``/``update_x``/``remove``
+    touches a cell spanning that row, which is exactly the set of mutations
+    that can change the row's gap list.  A cached entry is served only
+    while its recorded version is still current, so cached and uncached
+    enumeration are indistinguishable (tests/test_perf_equivalence.py).
+
+    The main reuse is the h-fold bottom-row overlap of multi-row targets
+    (row ``r`` is re-enumerated for bottom rows ``r-h+1 .. r``) and the
+    §3.5 scheduler's re-evaluation of unchanged windows.  The cache is
+    bound to one occupancy at a time; a lookup against a different
+    occupancy object clears and rebinds it.  Returned lists are shared —
+    callers must treat them as immutable.
+    """
+
+    def __init__(self, max_entries: int = 4096):
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._occupancy: Optional[Occupancy] = None
+        self._entries: Dict[
+            Tuple[int, Tuple[object, ...]], Tuple[int, List[Gap]]
+        ] = {}
+
+    def gaps_in_row(self, context: "InsertionContext", row: int) -> List[Gap]:
+        """Cached equivalent of ``context._compute_gaps_in_row(row)``."""
+        occupancy = context.occupancy
+        if occupancy is not self._occupancy:
+            self._entries.clear()
+            self._occupancy = occupancy
+        version = occupancy.row_version(row)
+        key = (row, context.profile)
+        entry = self._entries.get(key)
+        if entry is not None and entry[0] == version:
+            self.hits += 1
+            return entry[1]
+        self.misses += 1
+        gaps = context._compute_gaps_in_row(row)
+        if len(self._entries) >= self.max_entries:
+            self._entries.clear()
+        self._entries[key] = (version, gaps)
+        return gaps
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._occupancy = None
+
+
 class InsertionContext:
     """Shared state for enumerating/evaluating insertions of one target.
 
@@ -84,6 +139,10 @@ class InsertionContext:
             positions (MGL, the paper's method); ``"current"`` measures
             from the cells' current positions (MLL [12], reproduced as a
             baseline) — this collapses curve types C/D back into A/B.
+        gap_cache: optional shared :class:`GapCache`; per-row gap lists
+            are looked up there instead of recomputed.  Must only be
+            shared between contexts querying the same occupancy from a
+            single thread (the scheduler's thread-pool path passes None).
     """
 
     def __init__(
@@ -96,6 +155,7 @@ class InsertionContext:
         guard: Optional[RoutabilityGuard] = None,
         reference: str = "gp",
         max_gaps_per_row: int = 12,
+        gap_cache: Optional[GapCache] = None,
     ):
         if reference not in ("gp", "current"):
             raise ValueError(f"unknown displacement reference {reference!r}")
@@ -107,14 +167,32 @@ class InsertionContext:
         self.guard = guard
         self.reference = reference
         self.max_gaps_per_row = max_gaps_per_row
+        self.gap_cache = gap_cache
 
         self.target_type = design.cell_type_of(target)
         self.fence = design.fence_of(target)
         self.gp_x = design.gp_x[target]
         self.gp_y = design.gp_y[target]
         self.x_unit = design.x_unit_rows
+        #: Everything (besides the occupancy) that a row's gap list depends
+        #: on; two contexts with equal profiles enumerate identical gaps.
+        self.profile: Tuple[object, ...] = (
+            self.target_type.name,
+            self.fence,
+            self.gp_x,
+            window,
+            max_gaps_per_row,
+        )
+        self._widths = design.cell_widths
+        self._heights = design.cell_heights
         self._local_cache: Dict[int, bool] = {}
         self._gap_cache: Dict[Tuple[int, int], int] = {}
+        # Per-(cell, side) segment-neighbor info; the occupancy is frozen
+        # for the context's lifetime, and push sets of different insertion
+        # points overlap heavily, so this is shared across evaluations.
+        self._neighbor_cache: Dict[
+            Tuple[int, int], List[Tuple[int, Optional[int], Optional[Segment]]]
+        ] = {}
 
     # ------------------------------------------------------------------
     # Locality and spacing helpers
@@ -128,7 +206,18 @@ class InsertionContext:
         if self.design.cells[cell].fixed:
             result = False
         else:
-            result = self.window.contains_rect(self.occupancy.placement.rect(cell))
+            # Inlined window.contains_rect(placement.rect(cell)): cell
+            # rects are never empty, so the bounds test alone decides.
+            placement = self.occupancy.placement
+            x = placement.x[cell]
+            y = placement.y[cell]
+            window = self.window
+            result = (
+                window.xlo <= x
+                and x + self._widths[cell] <= window.xhi
+                and window.ylo <= y
+                and y + self._heights[cell] <= window.yhi
+            )
         self._local_cache[cell] = result
         return result
 
@@ -152,7 +241,7 @@ class InsertionContext:
         return gap
 
     def cell_width(self, cell: int) -> int:
-        return self.design.cell_type_of(cell).width
+        return self._widths[cell]
 
     # ------------------------------------------------------------------
     # Gap enumeration
@@ -181,7 +270,15 @@ class InsertionContext:
         At most ``max_gaps_per_row`` gaps are kept, preferring those whose
         achievable x-range is nearest the target's GP x; distant gaps are
         dominated in cost and only inflate the combination search.
+
+        Served from :attr:`gap_cache` when one is attached; the returned
+        list is shared in that case and must not be mutated.
         """
+        if self.gap_cache is not None:
+            return self.gap_cache.gaps_in_row(self, row)
+        return self._compute_gaps_in_row(row)
+
+    def _compute_gaps_in_row(self, row: int) -> List[Gap]:
         gaps: List[Gap] = []
         for segment in self.design.segments_in_row(row):
             if segment.fence_id != self.fence:
@@ -338,34 +435,164 @@ class InsertionContext:
         already fail to intersect; at most ``max_points_per_row_set``
         combinations are yielded per bottom row.
         """
-        height = self.target_type.height
         for bottom_row in self.candidate_rows():
-            per_row = [self.gaps_in_row(bottom_row + i) for i in range(height)]
-            if any(not gaps for gaps in per_row):
+            for gaps in self.row_combinations(bottom_row, max_points_per_row_set):
+                yield bottom_row, gaps
+
+    def row_combinations(
+        self, bottom_row: int, max_points: int = 128
+    ) -> Iterator[Tuple[Gap, ...]]:
+        """The per-row-gap combinations of one bottom row (see above)."""
+        height = self.target_type.height
+        per_row = [self.gaps_in_row(bottom_row + i) for i in range(height)]
+        if any(not gaps for gaps in per_row):
+            return
+        # Try gaps nearest the GP x first (stack => reverse order).  Each
+        # row is sorted once, up front; the DFS below revisits a depth for
+        # every partial combination, and the order never changes.
+        per_row_desc = [
+            sorted(
+                gaps,
+                key=lambda g: abs(
+                    (g.lo_rough + g.hi_rough) / 2.0 - self.gp_x
+                ),
+                reverse=True,
+            )
+            for gaps in per_row
+        ]
+        yielded = 0
+        stack: List[Tuple[int, Tuple[Gap, ...], float, float]] = [
+            (0, (), -math.inf, math.inf)
+        ]
+        while stack and yielded < max_points:
+            depth, chosen, lo, hi = stack.pop()
+            if depth == height:
+                yield chosen
+                yielded += 1
                 continue
-            yielded = 0
-            stack: List[Tuple[int, Tuple[Gap, ...], float, float]] = [
-                (0, (), -math.inf, math.inf)
-            ]
-            while stack and yielded < max_points_per_row_set:
-                depth, chosen, lo, hi = stack.pop()
-                if depth == height:
-                    yield bottom_row, chosen
-                    yielded += 1
-                    continue
-                # Try gaps nearest the GP x first (stack => reverse order).
-                options = sorted(
-                    per_row[depth],
-                    key=lambda g: abs(
-                        (g.lo_rough + g.hi_rough) / 2.0 - self.gp_x
-                    ),
-                    reverse=True,
-                )
-                for gap in options:
-                    new_lo = max(lo, gap.lo_rough)
-                    new_hi = min(hi, gap.hi_rough)
-                    if new_lo <= new_hi:
-                        stack.append((depth + 1, chosen + (gap,), new_lo, new_hi))
+            for gap in per_row_desc[depth]:
+                new_lo = max(lo, gap.lo_rough)
+                new_hi = min(hi, gap.hi_rough)
+                if new_lo <= new_hi:
+                    stack.append((depth + 1, chosen + (gap,), new_lo, new_hi))
+
+    # ------------------------------------------------------------------
+    # Candidate traversal strategies
+    # ------------------------------------------------------------------
+    #
+    # Both strategies compute the same order-independent winner: walk the
+    # candidates by ``(lower bound, enumeration ordinal)``, stop once a
+    # bound exceeds the incumbent cost plus ``margin``, and keep the
+    # minimum ``(cost, y, x, ordinal)``.  The stop rule is exact in bound
+    # order — after the first failing candidate the incumbent can no
+    # longer change (nothing further is evaluated), so every later
+    # candidate fails the same test — which is what makes the lazy heap
+    # traversal and the exhaustive replay provably identical.
+
+    def evaluate_best_first(
+        self, max_points: int, margin: float
+    ) -> Tuple[Optional[EvaluatedInsertion], int]:
+        """Lazy bound-ordered evaluation with row-level short-circuits.
+
+        Candidates enter a min-heap keyed ``(lower bound, ordinal)`` one
+        bottom row at a time and are popped while the heap minimum cannot
+        be undercut by any not-yet-enumerated row: every candidate of row
+        ``r`` has bound >= weight * |r - gp_y| (its *floor*), and
+        :meth:`candidate_rows` is sorted by that distance, so the next
+        row's floor is a valid drain threshold.  Pops therefore occur in
+        global ``(bound, ordinal)`` order.  Rows whose floor already
+        exceeds the incumbent cost plus the margin are never enumerated
+        at all — their candidates would fail the stop-rule test at every
+        later point of the walk too, since the incumbent only tightens.
+        """
+        weight = self.weight_of(self.target)
+        rows = self.candidate_rows()
+        heap: List[Tuple[float, int, int, Tuple[Gap, ...]]] = []
+        best: Optional[EvaluatedInsertion] = None
+        best_key: Optional[Tuple[float, int, int, int]] = None
+        evaluated_points = 0
+        seq = 0
+        num_rows = len(rows)
+        for index, bottom_row in enumerate(rows):
+            if (
+                best is not None
+                and weight * abs(bottom_row - self.gp_y) > best.cost + margin
+            ):
+                break  # This row's floor fails; later rows' floors are higher.
+            for gaps in self.row_combinations(bottom_row, max_points):
+                bound = self.target_cost_lower_bound(bottom_row, gaps)
+                heappush(heap, (bound, seq, bottom_row, gaps))
+                seq += 1
+            if index + 1 < num_rows:
+                threshold = weight * abs(rows[index + 1] - self.gp_y)
+            else:
+                threshold = math.inf
+            best, best_key, evaluated_points = self._drain_heap(
+                heap, threshold, margin, best, best_key, evaluated_points
+            )
+        best, best_key, evaluated_points = self._drain_heap(
+            heap, math.inf, margin, best, best_key, evaluated_points
+        )
+        return best, evaluated_points
+
+    def _drain_heap(
+        self,
+        heap: List[Tuple[float, int, int, Tuple[Gap, ...]]],
+        threshold: float,
+        margin: float,
+        best: Optional[EvaluatedInsertion],
+        best_key: Optional[Tuple[float, int, int, int]],
+        evaluated_points: int,
+    ) -> Tuple[
+        Optional[EvaluatedInsertion],
+        Optional[Tuple[float, int, int, int]],
+        int,
+    ]:
+        """Pop and evaluate heap entries whose bound is within ``threshold``."""
+        while heap and heap[0][0] <= threshold:
+            bound, order, bottom_row, gaps = heappop(heap)
+            if best is not None and bound > best.cost + margin:
+                # Bound-ordered: every remaining entry fails the same test
+                # (the incumbent cannot improve without evaluations).
+                heap.clear()
+                break
+            result = self.evaluate(bottom_row, gaps)
+            evaluated_points += 1
+            if result is None:
+                continue
+            key = (result.cost, result.y, result.x, order)
+            if best_key is None or key < best_key:
+                best = result
+                best_key = key
+        return best, best_key, evaluated_points
+
+    def evaluate_linear(
+        self, max_points: int, margin: float
+    ) -> Tuple[Optional[EvaluatedInsertion], int]:
+        """Reference evaluation: cost every candidate, then select.
+
+        Evaluates the full enumeration in its natural order (no pruning,
+        so the evaluated count covers every candidate) and replays the
+        bound-ordered stop rule over the known costs, yielding the exact
+        winner :meth:`evaluate_best_first` converges to.
+        """
+        entries: List[Tuple[float, int, Optional[EvaluatedInsertion]]] = []
+        for bottom_row, gaps in self.enumerate_insertion_points(max_points):
+            bound = self.target_cost_lower_bound(bottom_row, gaps)
+            entries.append((bound, len(entries), self.evaluate(bottom_row, gaps)))
+        entries.sort(key=lambda entry: (entry[0], entry[1]))
+        best: Optional[EvaluatedInsertion] = None
+        best_key: Optional[Tuple[float, int, int, int]] = None
+        for bound, order, result in entries:
+            if best is not None and bound > best.cost + margin:
+                break
+            if result is None:
+                continue
+            key = (result.cost, result.y, result.x, order)
+            if best_key is None or key < best_key:
+                best = result
+                best_key = key
+        return best, len(entries)
 
     def target_cost_lower_bound(
         self, bottom_row: int, gaps: Sequence[Gap]
@@ -445,22 +672,25 @@ class InsertionContext:
         if baseline:
             curves.append(DisplacementCurve.constant(-baseline))
 
-        best = minimize_over_sites(curves, lo, hi)
+        # One compiled curve set serves both the site minimization and the
+        # guard's repeated cost probes; its value() performs bit-identical
+        # arithmetic to DisplacementCurve.value on the summed curve.
+        compiled = CurveSet(curves)
+        best = compiled.minimize(lo, hi)
         if best is None:
             return None
         best_x, best_cost = best
 
         if self.guard is not None:
-            total = sum_curves(curves)
             best_x, extra = self.guard.adjust_x(
                 self.target_type,
                 bottom_row,
                 best_x,
                 int(math.ceil(lo)),
                 int(math.floor(hi)),
-                total.value,
+                compiled.value,
             )
-            best_cost = total.value(best_x) + extra
+            best_cost = compiled.value(best_x) + extra
 
         moves: List[Tuple[int, int]] = []
         for cell, offset in right_offsets.items():
@@ -526,15 +756,17 @@ class InsertionContext:
         placement = self.occupancy.placement
         width_t = self.target_type.width
 
-        # Per-cell neighbor info is needed by all three passes below;
-        # compute it once (this dominates the evaluation cost).
-        neighbor_info: Dict[int, List[Tuple[int, Optional[int], Optional[Segment]]]] = {}
+        # Per-cell neighbor info is needed by all three passes below and
+        # by every other insertion point whose push set includes the cell;
+        # compute it once per (cell, side) for the context's lifetime
+        # (this dominates the evaluation cost).
+        neighbor_cache = self._neighbor_cache
 
         def info(cell: int) -> List[Tuple[int, Optional[int], Optional[Segment]]]:
-            cached = neighbor_info.get(cell)
+            cached = neighbor_cache.get((cell, side))
             if cached is None:
                 cached = self._segment_neighbors(cell, side)
-                neighbor_info[cell] = cached
+                neighbor_cache[(cell, side)] = cached
             return cached
 
         # 1. Collect the push set by BFS through local, same-segment

@@ -23,6 +23,7 @@ from repro.core.params import LegalizerParams
 from repro.core.refine import RoutabilityGuard
 from repro.model.design import Design
 from repro.model.placement import Placement
+from repro.perf import PerfRecorder
 
 
 @dataclass
@@ -70,7 +71,12 @@ def _snapshot(placement: Placement, seconds: float) -> StageMetrics:
 class Legalizer:
     """The complete legalization pipeline for one design."""
 
-    def __init__(self, design: Design, params: Optional[LegalizerParams] = None):
+    def __init__(
+        self,
+        design: Design,
+        params: Optional[LegalizerParams] = None,
+        recorder: Optional[PerfRecorder] = None,
+    ):
         design.validate()
         self.design = design
         self.params = params or LegalizerParams()
@@ -78,6 +84,12 @@ class Legalizer:
         self.guard = (
             RoutabilityGuard(design, self.params) if self.params.routability else None
         )
+        #: Optional perf instrumentation; stages record into it when set.
+        self.recorder = recorder
+
+    def _record_stage(self, name: str, seconds: float) -> None:
+        if self.recorder is not None:
+            self.recorder.record(name, seconds)
 
     def run(self) -> LegalizationResult:
         """Run all enabled stages and return placement plus metrics."""
@@ -86,11 +98,15 @@ class Legalizer:
         start = time.perf_counter()
         mgl = MGLegalizer(self.design, params, guard=self.guard)
         placement = mgl.run()
+        mgl_seconds = time.perf_counter() - start
         result = LegalizationResult(
             placement=placement,
-            after_mgl=_snapshot(placement, time.perf_counter() - start),
+            after_mgl=_snapshot(placement, mgl_seconds),
             mgl_stats=dict(mgl.stats),
         )
+        self._record_stage("mgl", mgl_seconds)
+        if self.recorder is not None:
+            self.recorder.merge_counters(mgl.stats, prefix="mgl.")
 
         if params.use_matching:
             start = time.perf_counter()
@@ -98,6 +114,7 @@ class Legalizer:
             result.after_matching = _snapshot(
                 placement, time.perf_counter() - start
             )
+            self._record_stage("matching", result.after_matching.seconds)
 
         if params.use_flow_opt:
             start = time.perf_counter()
@@ -105,6 +122,7 @@ class Legalizer:
                 placement, params, guard=self.guard
             )
             result.after_flow = _snapshot(placement, time.perf_counter() - start)
+            self._record_stage("flow_opt", result.after_flow.seconds)
 
         if params.use_global_moves:
             start = time.perf_counter()
@@ -114,12 +132,15 @@ class Legalizer:
             result.after_global_moves = _snapshot(
                 placement, time.perf_counter() - start
             )
+            self._record_stage("global_moves", result.after_global_moves.seconds)
 
         return result
 
 
 def legalize(
-    design: Design, params: Optional[LegalizerParams] = None
+    design: Design,
+    params: Optional[LegalizerParams] = None,
+    recorder: Optional[PerfRecorder] = None,
 ) -> LegalizationResult:
     """Legalize ``design`` with the paper's full flow.
 
@@ -128,5 +149,9 @@ def legalize(
         from repro import legalize
         result = legalize(design)
         placement = result.placement
+
+    Pass a :class:`repro.perf.PerfRecorder` to collect per-stage wall
+    times and the legalizer's counters (``repro legalize --profile``
+    from the CLI).
     """
-    return Legalizer(design, params).run()
+    return Legalizer(design, params, recorder=recorder).run()

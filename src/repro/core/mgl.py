@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.core.insertion import EvaluatedInsertion, InsertionContext
+from repro.core.insertion import EvaluatedInsertion, GapCache, InsertionContext
 from repro.core.occupancy import Occupancy
 from repro.core.params import LegalizerParams
 from repro.core.refine import RoutabilityGuard
@@ -93,7 +93,14 @@ class MGLegalizer:
             "insertions_evaluated": 0,
             "window_expansions": 0,
             "cells_placed": 0,
+            "gap_cache_hits": 0,
+            "gap_cache_misses": 0,
         }
+        # Shared per-row gap cache for the serial evaluation paths; the
+        # scheduler's thread pool bypasses it (evaluate_insert stays pure).
+        self.gap_cache: Optional[GapCache] = (
+            GapCache() if self.params.use_gap_cache else None
+        )
 
     # ------------------------------------------------------------------
 
@@ -129,6 +136,7 @@ class MGLegalizer:
         cell: int,
         window: Rect,
         exhaustive: bool = False,
+        cache: Optional[GapCache] = None,
     ) -> Tuple[Optional[EvaluatedInsertion], int]:
         """Best feasible insertion of ``cell`` within ``window`` (unapplied).
 
@@ -136,7 +144,19 @@ class MGLegalizer:
         insertion points evaluated.  This is the *pure* evaluation path:
         it mutates neither the legalizer nor the occupancy, which is what
         makes submitting it to the scheduler's thread pool safe (§3.5).
-        Stats aggregation lives in :meth:`try_insert`.
+        Stats aggregation lives in :meth:`try_insert`, which also passes
+        the legalizer's shared gap cache; pool submissions must leave
+        ``cache`` as None so no shared state is written.
+
+        The winner is defined order-independently: walk candidates by
+        ``(lower bound, enumeration ordinal)``, stop once the bound
+        exceeds the incumbent cost plus ``prune_margin``, and keep the
+        minimum ``(cost, y, x, ordinal)``.  ``candidate_order=best_first``
+        computes this lazily through a heap with row-level short-circuits
+        (fast); ``linear`` evaluates every enumerated candidate and then
+        applies the identical selection rule (slow, for validation) — the
+        two are provably placement-identical (see
+        tests/test_perf_equivalence.py).
 
         ``exhaustive`` lifts the per-row gap and combination caps and
         drops the routability guard — used by the final chip-window
@@ -156,27 +176,15 @@ class MGLegalizer:
             max_gaps_per_row=(
                 1 << 30 if exhaustive else self.params.max_gaps_per_row
             ),
+            gap_cache=cache,
         )
-        best: Optional[EvaluatedInsertion] = None
-        evaluated_points = 0
         margin = self.params.prune_margin
         max_points = (
             1 << 30 if exhaustive else self.params.max_insertion_points
         )
-        for bottom_row, gaps in context.enumerate_insertion_points(max_points):
-            if (
-                best is not None
-                and context.target_cost_lower_bound(bottom_row, gaps)
-                > best.cost + margin
-            ):
-                continue  # Cannot beat the incumbent even before pushes.
-            evaluated = context.evaluate(bottom_row, gaps)
-            evaluated_points += 1
-            if evaluated is None:
-                continue
-            if best is None or evaluated.sort_key() < best.sort_key():
-                best = evaluated
-        return best, evaluated_points
+        if self.params.candidate_order == "linear":
+            return context.evaluate_linear(max_points, margin)
+        return context.evaluate_best_first(max_points, margin)
 
     def try_insert(
         self,
@@ -188,11 +196,13 @@ class MGLegalizer:
         """Serial-path wrapper of :meth:`evaluate_insert` that records stats.
 
         Never submit this to a thread pool — the stats update is a
-        read-modify-write on shared state (repro-lint C001); submit
-        :meth:`evaluate_insert` and aggregate the counts serially instead.
+        read-modify-write on shared state (repro-lint C001), and the gap
+        cache is not thread-safe; submit :meth:`evaluate_insert` (with
+        its default ``cache=None``) and aggregate the counts serially
+        instead.
         """
         best, evaluated_points = self.evaluate_insert(
-            occupancy, cell, window, exhaustive=exhaustive
+            occupancy, cell, window, exhaustive=exhaustive, cache=self.gap_cache
         )
         self.stats["insertions_evaluated"] += evaluated_points
         return best
@@ -268,4 +278,7 @@ class MGLegalizer:
         else:
             for cell in mgl_cell_order(design, self.params):
                 self.legalize_cell(occupancy, cell)
+        if self.gap_cache is not None:
+            self.stats["gap_cache_hits"] = self.gap_cache.hits
+            self.stats["gap_cache_misses"] = self.gap_cache.misses
         return placement

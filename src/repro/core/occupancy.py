@@ -9,11 +9,31 @@ obstacles.
 
 from __future__ import annotations
 
+import os
 from bisect import bisect_left
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.model.design import Design
 from repro.model.placement import Placement
+
+#: Gate for the O(total entries) consistency sweep below.  Tests leave it
+#: on (the default); benchmark harnesses turn it off so measured MGL time
+#: is the algorithm, not the self-checks.  ``REPRO_EXPENSIVE_CHECKS=0``
+#: disables it for whole processes (e.g. CI bench smoke runs).
+_expensive_checks = os.environ.get("REPRO_EXPENSIVE_CHECKS", "1") != "0"
+
+
+def set_expensive_checks(enabled: bool) -> bool:
+    """Enable/disable :meth:`Occupancy.verify_consistent`; returns the old value."""
+    global _expensive_checks
+    previous = _expensive_checks
+    _expensive_checks = enabled
+    return previous
+
+
+def expensive_checks_enabled() -> bool:
+    """Whether :meth:`Occupancy.verify_consistent` actually runs."""
+    return _expensive_checks
 
 
 class Occupancy:
@@ -32,6 +52,14 @@ class Occupancy:
         self._xs: List[List[int]] = [[] for _ in range(design.num_rows)]
         self._cells: List[List[int]] = [[] for _ in range(design.num_rows)]
         self._placed: Set[int] = set()
+        # Monotone per-row mutation counters: every add/update_x/remove
+        # bumps the counter of each row the cell spans.  Caches derived
+        # from a row's contents (e.g. repro.core.insertion.GapCache) stay
+        # valid exactly while the version they recorded is current.
+        self._row_versions: List[int] = [0] * design.num_rows
+        self._placed_view: Optional[FrozenSet[int]] = None
+        self._widths = design.cell_widths
+        self._heights = design.cell_heights
 
     # ------------------------------------------------------------------
     # Mutation
@@ -41,25 +69,34 @@ class Occupancy:
         """Register ``cell`` at its current placement position."""
         if cell in self._placed:
             raise ValueError(f"cell {cell} is already placed")
+        if cell >= len(self._heights):
+            # Cells were added to the design after this occupancy was
+            # built; re-fetch the (design-cached) dimension arrays.
+            self._widths = self.design.cell_widths
+            self._heights = self.design.cell_heights
         x, y = self.placement.x[cell], self.placement.y[cell]
-        height = self.design.cell_type_of(cell).height
+        height = self._heights[cell]
         for row in range(y, y + height):
             index = self._insert_index(row, x, cell)
             self._xs[row].insert(index, x)
             self._cells[row].insert(index, cell)
+            self._row_versions[row] += 1
         self._placed.add(cell)
+        self._placed_view = None
 
     def remove(self, cell: int) -> None:
         """Unregister ``cell`` (its placement position is left untouched)."""
         if cell not in self._placed:
             raise ValueError(f"cell {cell} is not placed")
         x, y = self.placement.x[cell], self.placement.y[cell]
-        height = self.design.cell_type_of(cell).height
+        height = self._heights[cell]
         for row in range(y, y + height):
             index = self._find_index(row, x, cell)
             del self._xs[row][index]
             del self._cells[row][index]
+            self._row_versions[row] += 1
         self._placed.discard(cell)
+        self._placed_view = None
 
     def update_x(self, cell: int, new_x: int) -> None:
         """Shift ``cell`` horizontally, preserving its order in every row.
@@ -71,7 +108,7 @@ class Occupancy:
         if new_x == old_x:
             return
         y = self.placement.y[cell]
-        height = self.design.cell_type_of(cell).height
+        height = self._heights[cell]
         for row in range(y, y + height):
             index = self._find_index(row, old_x, cell)
             xs = self._xs[row]
@@ -84,14 +121,27 @@ class Occupancy:
                 raise AssertionError(
                     f"update_x would reorder row {row} (cell {cell})"
                 )
+            self._row_versions[row] += 1
         self.placement.x[cell] = new_x
 
     def is_placed(self, cell: int) -> bool:
         return cell in self._placed
 
     @property
-    def placed_cells(self) -> Set[int]:
-        return set(self._placed)
+    def placed_cells(self) -> FrozenSet[int]:
+        """Read-only view of the placed cell ids.
+
+        The frozenset is cached and rebuilt lazily after the next
+        :meth:`add`/:meth:`remove`, so repeated reads cost O(1) instead
+        of copying the whole set on every access.
+        """
+        if self._placed_view is None:
+            self._placed_view = frozenset(self._placed)
+        return self._placed_view
+
+    def row_version(self, row: int) -> int:
+        """Mutation counter of ``row`` (see ``_row_versions`` above)."""
+        return self._row_versions[row]
 
     # ------------------------------------------------------------------
     # Queries
@@ -110,8 +160,7 @@ class Occupancy:
         # The cell just left of x_lo may still reach into the range.
         if index > 0:
             cell = cells[index - 1]
-            width = self.design.cell_type_of(cell).width
-            if xs[index - 1] + width > x_lo:
+            if xs[index - 1] + self._widths[cell] > x_lo:
                 result.append(cell)
         while index < len(xs) and xs[index] < x_hi:
             result.append(cells[index])
@@ -143,7 +192,7 @@ class Occupancy:
     def neighbors_of(self, cell: int) -> Tuple[List[int], List[int]]:
         """Immediate (left, right) neighbor cells of ``cell`` over its rows."""
         x, y = self.placement.x[cell], self.placement.y[cell]
-        height = self.design.cell_type_of(cell).height
+        height = self._heights[cell]
         lefts: List[int] = []
         rights: List[int] = []
         for row in range(y, y + height):
@@ -155,7 +204,14 @@ class Occupancy:
         return lefts, rights
 
     def verify_consistent(self) -> None:
-        """Internal consistency check used by tests (O(total entries))."""
+        """Internal consistency check used by tests (O(total entries)).
+
+        A no-op while the module-level gate is off (see
+        :func:`set_expensive_checks`): benchmark paths disable it so the
+        sweep never contaminates timing measurements.
+        """
+        if not _expensive_checks:
+            return
         for row in range(self.design.num_rows):
             xs = self._xs[row]
             cells = self._cells[row]
@@ -166,7 +222,7 @@ class Occupancy:
                     f"row {row}: cell {cell} stale position"
                 )
                 y = self.placement.y[cell]
-                height = self.design.cell_type_of(cell).height
+                height = self._heights[cell]
                 assert y <= row < y + height, f"cell {cell} in wrong row {row}"
 
     # ------------------------------------------------------------------

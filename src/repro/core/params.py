@@ -64,6 +64,21 @@ class LegalizerParams:
             or without threads; see repro.core.scheduler.
         seed_order: cell-ordering strategy for MGL
             ("height_area_x" | "gp_x" | "input").
+        candidate_order: insertion-point evaluation strategy inside
+            ``MGLegalizer.evaluate_insert``.  ``"best_first"`` pushes the
+            enumerated ``(bottom_row, gaps)`` combinations through a
+            lower-bound-ordered heap so the incumbent tightens early and
+            the bound prunes most exact evaluations; ``"linear"``
+            evaluates every enumerated candidate and then applies the
+            identical bound-ordered selection rule.  Both produce
+            bit-identical placements (see
+            tests/test_perf_equivalence.py); best_first is simply
+            faster.
+        use_gap_cache: memoize per-row gap enumeration across the
+            overlapping bottom rows of multi-row targets and across
+            scheduler re-evaluations, invalidated by occupancy row
+            versions (see repro.core.insertion.GapCache).  Results are
+            identical with or without the cache.
     """
 
     window_width: int = 40
@@ -88,6 +103,8 @@ class LegalizerParams:
     scheduler_capacity: int = 1
     scheduler_threads: int = 0
     seed_order: str = "height_area_x"
+    candidate_order: str = "best_first"
+    use_gap_cache: bool = True
 
     def validate(self) -> None:
         """Raise :class:`ValueError` on out-of-range settings."""
@@ -105,3 +122,5 @@ class LegalizerParams:
             raise ValueError(f"unknown seed_order {self.seed_order!r}")
         if self.scheduler_capacity < 1:
             raise ValueError("scheduler_capacity must be at least 1")
+        if self.candidate_order not in ("best_first", "linear"):
+            raise ValueError(f"unknown candidate_order {self.candidate_order!r}")

@@ -34,6 +34,9 @@ class RoutabilityGuard:
         self.params = params or LegalizerParams()
         self._row_ok_cache: Dict[Tuple[str, int], bool] = {}
         self._x_blocked_cache: Dict[Tuple[str, bool, int], bool] = {}
+        self._io_pairs_cache: Dict[
+            Tuple[str, int], List[Tuple[float, float, float, float]]
+        ] = {}
         # The x_blocked cache drops the row when every vertical stripe
         # runs the chip's full height (the standard grid does).
         chip_y = design.chip_rect_length_units.y_interval
@@ -132,15 +135,57 @@ class RoutabilityGuard:
             self._x_blocked_cache[key] = blocked
         return blocked
 
+    def _io_pairs(
+        self, cell_type: CellType, row: int
+    ) -> List[Tuple[float, float, float, float]]:
+        """(pin, IO pin) pairs that can overlap at ``row``, x-precomputed.
+
+        The layer and y-overlap tests of :meth:`io_penalty_at` depend
+        only on the cell type and row, so they are resolved once here;
+        what remains per query is the x test on the surviving pairs,
+        stored as ``(pin_xlo, pin_xhi, io_xlo, io_xhi)`` in length units.
+        The x test applies the same "translate then compare" arithmetic
+        as ``Rect.overlaps`` on ``rect.translated(x_len, y_len)``, so
+        counts are bit-identical to the pairwise reference.
+        """
+        key = (cell_type.name, row)
+        cached = self._io_pairs_cache.get(key)
+        if cached is not None:
+            return cached
+        design = self.design
+        y_len = row * design.row_height
+        height_len = cell_type.height * design.row_height
+        flipped = self._is_flipped(cell_type, row)
+        pairs: List[Tuple[float, float, float, float]] = []
+        for pin in cell_type.pins:
+            rect = pin.rect
+            if flipped:
+                rect = Rect(
+                    rect.xlo, height_len - rect.yhi, rect.xhi, height_len - rect.ylo
+                )
+            ylo = rect.ylo + y_len
+            yhi = rect.yhi + y_len
+            for io_pin in design.rails.io_pins:
+                if io_pin.layer not in (pin.layer, pin.layer + 1):
+                    continue
+                if not (io_pin.rect.ylo < yhi and ylo < io_pin.rect.yhi):
+                    continue
+                pairs.append((rect.xlo, rect.xhi, io_pin.rect.xlo, io_pin.rect.xhi))
+        self._io_pairs_cache[key] = pairs
+        return pairs
+
     def io_penalty_at(self, cell_type: CellType, row: int, x: int) -> float:
         """Penalty for IO-pin overlaps of any pin at ``(x, row)``."""
         if not cell_type.pins:
             return 0.0
+        pairs = self._io_pairs(cell_type, row)
+        if not pairs:
+            return 0.0
+        x_len = x * self.design.site_width
         count = 0
-        for layer, rect in self.pin_rects_at(cell_type, row, x):
-            for io_pin in self.design.rails.io_pins:
-                if io_pin.layer in (layer, layer + 1) and io_pin.rect.overlaps(rect):
-                    count += 1
+        for pin_xlo, pin_xhi, io_xlo, io_xhi in pairs:
+            if io_xlo < pin_xhi + x_len and pin_xlo + x_len < io_xhi:
+                count += 1
         return count * self.params.io_penalty
 
     def adjust_x(

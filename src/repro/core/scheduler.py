@@ -103,6 +103,8 @@ class WindowScheduler:
                         waiting.appendleft(
                             (cell, scale * params.window_expand, attempts)
                         )
+            legalizer.stats["scheduler_batches"] = self.batches_run
+            legalizer.stats["scheduler_reevaluations"] = self.reevaluations
         finally:
             if pool is not None:
                 pool.shutdown(wait=False)

@@ -90,6 +90,8 @@ class Design:
         self._segments_cache: Optional[Dict[int, List[Segment]]] = None
         self._gp_x_array: Optional[npt.NDArray[np.float64]] = None
         self._gp_y_array: Optional[npt.NDArray[np.float64]] = None
+        self._cell_widths: Optional[List[int]] = None
+        self._cell_heights: Optional[List[int]] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -110,6 +112,8 @@ class Design:
         )
         self._gp_x_array = None
         self._gp_y_array = None
+        self._cell_widths = None
+        self._cell_heights = None
         return len(self.cells) - 1
 
     def add_fence(self, fence: FenceRegion) -> FenceRegion:
@@ -153,6 +157,20 @@ class Design:
 
     def cell_type_of(self, cell: int) -> CellType:
         return self.cells[cell].cell_type
+
+    @property
+    def cell_widths(self) -> List[int]:
+        """Per-cell widths in sites (cached; rebuilt after add_cell)."""
+        if self._cell_widths is None or len(self._cell_widths) != self.num_cells:
+            self._cell_widths = [c.cell_type.width for c in self.cells]
+        return self._cell_widths
+
+    @property
+    def cell_heights(self) -> List[int]:
+        """Per-cell heights in rows (cached; rebuilt after add_cell)."""
+        if self._cell_heights is None or len(self._cell_heights) != self.num_cells:
+            self._cell_heights = [c.cell_type.height for c in self.cells]
+        return self._cell_heights
 
     def fence_of(self, cell: int) -> int:
         return self.cells[cell].fence_id

@@ -1,0 +1,20 @@
+"""Performance instrumentation for the legalization flow.
+
+Pass a :class:`PerfRecorder` to :func:`repro.legalize` (or build one
+yourself around any code block) to collect per-stage wall times and the
+legalizer's counters, then emit them as JSON::
+
+    from repro.perf import PerfRecorder
+
+    recorder = PerfRecorder()
+    result = legalize(design, params, recorder=recorder)
+    recorder.write_json("perf.json")
+
+The CLI exposes the same through ``repro legalize --profile [FILE]``,
+and ``benchmarks/bench_perf.py`` builds its ``BENCH_mgl.json`` report on
+top of it.
+"""
+
+from repro.perf.recorder import PerfRecorder, PerfValue
+
+__all__ = ["PerfRecorder", "PerfValue"]

@@ -1,0 +1,112 @@
+"""Lightweight wall-time and counter instrumentation.
+
+A :class:`PerfRecorder` collects named stage timings (via the
+:meth:`~PerfRecorder.stage` context manager) and integer counters, and
+renders them as JSON or a human-readable summary.  It is injected
+explicitly — there is no module-global recorder — so un-instrumented
+runs pay nothing and instrumented runs stay easy to reason about:
+recording happens only in the serial orchestration layers
+(:class:`repro.core.legalizer.Legalizer`, the CLI, benchmark drivers),
+never inside the pure evaluation paths the scheduler's thread pool may
+execute.
+
+Timings are wall-clock and therefore non-deterministic; they live only
+in perf reports and never feed back into any placement decision.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Mapping, Union
+
+PerfValue = Union[int, float, str]
+
+
+class PerfRecorder:
+    """Accumulates per-stage wall times and named integer counters.
+
+    Attributes:
+        timings: seconds per stage name; repeated stages accumulate.
+        stage_calls: how many times each stage ran.
+        counters: named integer counters (merged legalizer stats etc.).
+    """
+
+    def __init__(self) -> None:
+        self.timings: Dict[str, float] = {}
+        self.stage_calls: Dict[str, int] = {}
+        self.counters: Dict[str, int] = {}
+
+    # -- recording -----------------------------------------------------
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time a ``with``-block under ``name`` (accumulating)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.timings[name] = self.timings.get(name, 0.0) + elapsed
+            self.stage_calls[name] = self.stage_calls.get(name, 0) + 1
+
+    def record(self, name: str, seconds: float) -> None:
+        """Record an externally measured stage duration (accumulating)."""
+        self.timings[name] = self.timings.get(name, 0.0) + seconds
+        self.stage_calls[name] = self.stage_calls.get(name, 0) + 1
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to the counter ``name``."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def merge_counters(
+        self, counters: Mapping[str, int], prefix: str = ""
+    ) -> None:
+        """Fold a stats mapping (e.g. ``MGLegalizer.stats``) into ours."""
+        for name, value in counters.items():
+            self.count(prefix + name, value)
+
+    # -- reporting -----------------------------------------------------
+
+    def as_dict(self) -> Dict[str, Dict[str, PerfValue]]:
+        """JSON-ready snapshot: ``{"timings": ..., "counters": ...}``."""
+        return {
+            "timings": {name: round(t, 6) for name, t in self.timings.items()},
+            "stage_calls": dict(self.stage_calls),
+            "counters": dict(self.counters),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_json() + "\n")
+
+    def summary(self) -> str:
+        """Human-readable report, stages by descending time."""
+        lines = ["perf summary"]
+        total = sum(self.timings.values())
+        for name, seconds in sorted(
+            self.timings.items(), key=lambda item: -item[1]
+        ):
+            share = 100.0 * seconds / total if total > 0 else 0.0
+            lines.append(f"  {name:24s} {seconds:9.3f}s  {share:5.1f}%")
+        if self.counters:
+            lines.append("counters")
+            for name in sorted(self.counters):
+                lines.append(f"  {name:32s} {self.counters[name]:>12d}")
+        hits = self.counters.get("mgl.gap_cache_hits", 0)
+        misses = self.counters.get("mgl.gap_cache_misses", 0)
+        if hits + misses > 0:
+            lines.append(
+                f"  gap cache hit rate: {100.0 * hits / (hits + misses):.1f}%"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"PerfRecorder({len(self.timings)} stages, "
+            f"{len(self.counters)} counters)"
+        )

@@ -56,6 +56,45 @@ class TestAddRemove:
         _, occupancy = occupied
         assert occupancy.placed_cells == {0, 1, 2, 3, 4, 5}
 
+    def test_placed_cells_view_is_cached_and_refreshed(self, occupied):
+        _, occupancy = occupied
+        view = occupancy.placed_cells
+        assert isinstance(view, frozenset)
+        assert occupancy.placed_cells is view  # no mutation → same object
+        occupancy.remove(5)
+        assert occupancy.placed_cells == {0, 1, 2, 3, 4}
+        occupancy.add(5)
+        assert occupancy.placed_cells == {0, 1, 2, 3, 4, 5}
+
+    def test_row_versions_bump_on_every_mutation(self, occupied):
+        _, occupancy = occupied
+        before = occupancy.row_version(0)
+        untouched = occupancy.row_version(4)
+        occupancy.update_x(1, 12)
+        assert occupancy.row_version(0) == before + 1
+        occupancy.remove(1)
+        assert occupancy.row_version(0) == before + 2
+        assert occupancy.row_version(4) == untouched
+
+    def test_expensive_checks_gate(self, occupied):
+        from repro.core.occupancy import (
+            expensive_checks_enabled,
+            set_expensive_checks,
+        )
+
+        _, occupancy = occupied
+        occupancy._xs[0][0] = 999  # corrupt: x array out of sync
+        previous = set_expensive_checks(False)
+        try:
+            assert not expensive_checks_enabled()
+            occupancy.verify_consistent()  # gated off: no error
+            set_expensive_checks(True)
+            with pytest.raises(AssertionError):
+                occupancy.verify_consistent()
+        finally:
+            set_expensive_checks(previous)
+            occupancy._xs[0][0] = 0
+
 
 class TestQueries:
     def test_row_cells_sorted(self, occupied):
