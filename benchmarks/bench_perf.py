@@ -17,6 +17,14 @@ capacity 1 against its own replay (placements must be bit-identical),
 and exits non-zero on any mismatch.  CI runs it twice and fails when the
 two reports' hashes differ.
 
+Both modes also run a **serial-vs-workers** section: the largest case is
+legalized with ``scheduler_workers=0`` and with a process pool at the
+same capacity; the report records the wall-clock speedup and the run
+*fails* if the two placements are not bit-identical.  The speedup is
+informational by default (it depends on the host's core count; this is
+~1x on a single-core box) — pass ``--require-speedup X`` to enforce a
+floor on capable machines.
+
 The consistency self-checks (``Occupancy.verify_consistent``) are
 disabled so measured time is the algorithm, not the checks.
 """
@@ -26,6 +34,7 @@ from __future__ import annotations
 import argparse
 import hashlib
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -88,6 +97,41 @@ def run_mgl(
     }
 
 
+def run_parallel_section(
+    name: str, scale: float, workers: int, capacity: int
+) -> Dict[str, Union[str, int, float, bool]]:
+    """Serial vs. process-pool comparison at a fixed scheduler capacity.
+
+    Both runs use the same ``scheduler_capacity`` so the only variable
+    is *where* evaluations execute; the placements must therefore be
+    bit-identical (that assertion is the determinism gate CI relies on),
+    and the wall-clock ratio is the measured multicore speedup.
+    """
+    serial = run_mgl(
+        name, scale, LegalizerParams(scheduler_capacity=capacity)
+    )
+    parallel = run_mgl(
+        name,
+        scale,
+        LegalizerParams(scheduler_capacity=capacity, scheduler_workers=workers),
+    )
+    return {
+        "name": name,
+        "scale": scale,
+        "capacity": capacity,
+        "workers": workers,
+        "cpu_count": os.cpu_count() or 1,
+        "serial_seconds": serial["seconds"],
+        "parallel_seconds": parallel["seconds"],
+        "speedup": round(
+            float(serial["seconds"]) / max(float(parallel["seconds"]), 1e-9), 3
+        ),
+        "serial_hash": serial["placement_hash"],
+        "parallel_hash": parallel["placement_hash"],
+        "hashes_match": serial["placement_hash"] == parallel["placement_hash"],
+    }
+
+
 def quick_determinism_checks(report: List[RunRecord]) -> List[str]:
     """Cross-mode equivalence checks on the quick subset.
 
@@ -137,6 +181,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="suite case names (default: whole suite)")
     parser.add_argument("-o", "--output", default="BENCH_mgl.json",
                         help="report path (default BENCH_mgl.json)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool size for the serial-vs-workers "
+                             "section (default: 4, or 2 with --quick)")
+    parser.add_argument("--parallel-capacity", type=int, default=None,
+                        help="scheduler capacity for that section "
+                             "(default: 32, or 8 with --quick)")
+    parser.add_argument("--require-speedup", type=float, default=None,
+                        metavar="X",
+                        help="fail unless the parallel section reaches X "
+                             "speedup (use on machines with enough cores)")
+    parser.add_argument("--no-parallel-section", action="store_true",
+                        help="skip the serial-vs-workers comparison")
     args = parser.parse_args(argv)
 
     set_expensive_checks(False)
@@ -169,10 +225,47 @@ def main(argv: Optional[List[str]] = None) -> int:
         if not failures:
             print("quick determinism checks: OK")
 
+    parallel_section: Optional[Dict[str, Union[str, int, float, bool]]] = None
+    if not args.no_parallel_section:
+        workers = args.workers or (2 if args.quick else 4)
+        capacity = args.parallel_capacity or (8 if args.quick else 32)
+        # The largest case benchmarked above: most cells at the top scale.
+        largest = max(
+            report, key=lambda r: (float(r["scale"]), int(r["cells"]))
+        )
+        parallel_section = run_parallel_section(
+            str(largest["name"]), float(largest["scale"]), workers, capacity
+        )
+        print(
+            f"parallel: {parallel_section['name']} cap={capacity} "
+            f"workers={workers}  serial {parallel_section['serial_seconds']}s "
+            f"vs {parallel_section['parallel_seconds']}s  "
+            f"speedup {parallel_section['speedup']}x "
+            f"(on {parallel_section['cpu_count']} cpus)  "
+            f"hashes_match={parallel_section['hashes_match']}"
+        )
+        if not parallel_section["hashes_match"]:
+            failures.append(
+                f"{parallel_section['name']}: {workers}-worker placement "
+                f"diverged from the serial run"
+            )
+            print(f"DETERMINISM FAILURE: {failures[-1]}", file=sys.stderr)
+        if (
+            args.require_speedup is not None
+            and float(parallel_section["speedup"]) < args.require_speedup
+        ):
+            failures.append(
+                f"{parallel_section['name']}: speedup "
+                f"{parallel_section['speedup']}x below the required "
+                f"{args.require_speedup}x"
+            )
+            print(f"PERF FAILURE: {failures[-1]}", file=sys.stderr)
+
     payload = {
         "suite": "iccad2017_synthetic",
         "scales": scales,
         "runs": report,
+        "parallel": parallel_section,
         "hashes": {
             f"{r['name']}@{r['scale']}": r["placement_hash"] for r in report
         },

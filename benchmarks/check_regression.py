@@ -1,0 +1,148 @@
+"""Bench regression gate: compare a fresh BENCH_mgl.json to a baseline.
+
+CI generates a fresh report with ``bench_perf.py`` and compares it to the
+committed ``BENCH_mgl.json``.  Two classes of failure:
+
+* **Hash change** (always fatal): any benchmark case present in both
+  reports whose placement hash differs.  The legalizer is deterministic
+  across machines and Python versions, so a hash change means the
+  algorithm's output changed — which must be a deliberate, reviewed
+  baseline update, never an accident.
+* **Wall-time regression** (tolerance-gated): a case slower than
+  ``baseline * (1 + --max-regression)``.  Times are noisy across
+  machines, so only cases whose *baseline* time is at least
+  ``--min-seconds`` participate, and the threshold is generous by
+  default (25%).  Machines slower than the baseline recorder would
+  false-positive here; CI runners are faster than the recording box, so
+  in practice this only trips on genuine algorithmic slowdowns.
+
+Usage::
+
+    python benchmarks/check_regression.py BENCH_mgl.json fresh.json
+    python benchmarks/check_regression.py baseline.json fresh.json \
+        --max-regression 0.25 --min-seconds 0.5
+
+Exit status 0 when clean, 1 on any failure (each printed to stderr).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+
+def load_report(path: str) -> Dict[str, object]:
+    with open(path) as handle:
+        data: Dict[str, object] = json.load(handle)
+    return data
+
+
+def compare_hashes(
+    baseline: Dict[str, object], fresh: Dict[str, object]
+) -> List[str]:
+    """Fatal mismatches among cases present in both reports."""
+    base_hashes = baseline.get("hashes")
+    fresh_hashes = fresh.get("hashes")
+    if not isinstance(base_hashes, dict) or not isinstance(fresh_hashes, dict):
+        return ["missing 'hashes' section in one of the reports"]
+    failures = []
+    common = sorted(set(base_hashes) & set(fresh_hashes))
+    if not common:
+        failures.append("no common benchmark cases between the reports")
+    for key in common:
+        if base_hashes[key] != fresh_hashes[key]:
+            failures.append(
+                f"{key}: placement hash changed "
+                f"{base_hashes[key]} -> {fresh_hashes[key]}"
+            )
+    return failures
+
+
+def compare_times(
+    baseline: Dict[str, object],
+    fresh: Dict[str, object],
+    max_regression: float,
+    min_seconds: float,
+) -> List[str]:
+    """Wall-time regressions beyond tolerance, on comparable cases."""
+    def runs_by_key(report: Dict[str, object]) -> Dict[str, float]:
+        runs = report.get("runs")
+        if not isinstance(runs, list):
+            return {}
+        return {
+            f"{r['name']}@{r['scale']}": float(r["seconds"])
+            for r in runs
+            if isinstance(r, dict)
+        }
+
+    base_runs = runs_by_key(baseline)
+    fresh_runs = runs_by_key(fresh)
+    failures = []
+    for key in sorted(set(base_runs) & set(fresh_runs)):
+        base_s = base_runs[key]
+        if base_s < min_seconds:
+            continue  # Too fast to measure reliably across machines.
+        fresh_s = fresh_runs[key]
+        if fresh_s > base_s * (1.0 + max_regression):
+            failures.append(
+                f"{key}: {fresh_s:.3f}s vs baseline {base_s:.3f}s "
+                f"(+{100.0 * (fresh_s / base_s - 1.0):.0f}%, "
+                f"limit +{100.0 * max_regression:.0f}%)"
+            )
+    return failures
+
+
+def check_parallel_section(fresh: Dict[str, object]) -> List[str]:
+    """The fresh report's serial-vs-workers hashes must agree."""
+    section = fresh.get("parallel")
+    if section is None:
+        return []  # Section skipped (--no-parallel-section).
+    if not isinstance(section, dict):
+        return ["malformed 'parallel' section in the fresh report"]
+    if not section.get("hashes_match", False):
+        return [
+            f"{section.get('name')}: parallel placement hash "
+            f"{section.get('parallel_hash')} diverged from serial "
+            f"{section.get('serial_hash')}"
+        ]
+    return []
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed baseline report")
+    parser.add_argument("fresh", help="freshly generated report")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        metavar="FRAC",
+                        help="allowed fractional wall-time growth "
+                             "(default 0.25 = +25%%)")
+    parser.add_argument("--min-seconds", type=float, default=0.5,
+                        help="skip the time check for baseline runs "
+                             "faster than this (default 0.5s)")
+    parser.add_argument("--no-time-check", action="store_true",
+                        help="only enforce the hash gates")
+    args = parser.parse_args(argv)
+
+    baseline = load_report(args.baseline)
+    fresh = load_report(args.fresh)
+
+    failures = compare_hashes(baseline, fresh)
+    failures += check_parallel_section(fresh)
+    if not args.no_time_check:
+        failures += compare_times(
+            baseline, fresh, args.max_regression, args.min_seconds
+        )
+
+    for failure in failures:
+        print(f"REGRESSION: {failure}", file=sys.stderr)
+    if not failures:
+        base_hashes = baseline.get("hashes")
+        count = len(base_hashes) if isinstance(base_hashes, dict) else 0
+        print(f"regression gate clean ({count} baseline cases)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.flowopt import build_problem
+from repro.core.flowopt import FixedRowOrderProblem, build_problem
 from repro.core.params import LegalizerParams
 from repro.model.design import Design
 from repro.model.placement import Placement
@@ -112,7 +112,10 @@ class LCPLegalizer:
             placement.x[cell] = snapped[k]
 
     def _snap_to_sites(
-        self, problem, xs: List[float], seed: List[int]
+        self,
+        problem: FixedRowOrderProblem,
+        xs: List[float],
+        seed: List[int],
     ) -> List[int]:
         """Project the continuous solution to sites, staying feasible.
 

@@ -14,13 +14,13 @@ comparisons.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.benchgen.synthetic import SyntheticSpec, generate_design
 from repro.model.design import Design
 
 #: Table 1 rows: name -> (cells per height 1..4, density).
-_ICCAD2017_ROWS: Dict[str, tuple] = {
+_ICCAD2017_ROWS: Dict[str, Tuple[Tuple[int, int, int, int], float]] = {
     "des_perf_1": ((112644, 0, 0, 0), 0.906),
     "des_perf_a_md1": ((103589, 4699, 0, 0), 0.551),
     "des_perf_a_md2": ((105030, 1086, 1086, 1086), 0.559),
@@ -40,7 +40,7 @@ _ICCAD2017_ROWS: Dict[str, tuple] = {
 }
 
 #: Table 2 rows: name -> (total cells, density).
-_ISPD2015_ROWS: Dict[str, tuple] = {
+_ISPD2015_ROWS: Dict[str, Tuple[int, float]] = {
     "des_perf_1": (112644, 0.9058),
     "des_perf_a": (108292, 0.4290),
     "des_perf_b": (112644, 0.4971),
@@ -69,7 +69,7 @@ PAPER_TABLE2_TOTALS: Dict[str, Dict[str, float]] = {
 }
 
 #: Paper Table 1 normalized averages (ours = 1.00), for shape checks.
-PAPER_TABLE1_NORMS = {
+PAPER_TABLE1_NORMS: Dict[str, float] = {
     "avg_disp_first": 1.18,  # champion avg disp / ours
     "max_disp_first": 1.12,
     "score_first": 1.26,
@@ -89,7 +89,9 @@ class BenchmarkCase:
         return generate_design(self.spec)
 
 
-def _scaled_counts(counts, scale: float, minimum: int = 8) -> Dict[int, int]:
+def _scaled_counts(
+    counts: Sequence[int], scale: float, minimum: int = 8
+) -> Dict[int, int]:
     result: Dict[int, int] = {}
     for height, count in enumerate(counts, start=1):
         if count > 0:

@@ -92,7 +92,7 @@ def _pin_shapes(
     placeable in any row); a small fraction of pins violate that — those
     are the cells whose rows the routability guard must steer (§3.4).
     """
-    pins = []
+    pins: List[PinShape] = []
     count = rng.randint(2, 3)
     for index in range(count):
         layer = 1 if index < count - 1 else 2
@@ -123,6 +123,7 @@ def build_library(spec: SyntheticSpec, rng: random.Random,
     """Cell masters covering every height in the spec."""
     cell_types: List[CellType] = []
     for height in sorted(spec.cells_by_height):
+        widths: Tuple[int, ...]
         if height == 1:
             widths = _SINGLE_ROW_WIDTHS
         elif spec.double_height_halved:

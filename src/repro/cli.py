@@ -17,11 +17,16 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import List, Optional
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING, Tuple, cast
 
 from repro import LegalizerParams, legalize
 from repro.checker import check_legal, contest_score, count_routability_violations
 from repro.io import load_design, load_placement, save_design, save_placement
+
+if TYPE_CHECKING:
+    from repro.model.design import Design
+    from repro.model.placement import Placement
+    from repro.perf import PerfRecorder
 
 
 def _add_param_flags(parser: argparse.ArgumentParser) -> None:
@@ -34,17 +39,28 @@ def _add_param_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--window", type=int, nargs=2, metavar=("W", "H"),
                         help="initial MGL window (sites rows)")
     parser.add_argument("--capacity", type=int, default=1,
-                        help="scheduler L_p capacity (default 1)")
+                        help="scheduler L_p capacity (default 1; implied "
+                             "4*workers when --workers is set)")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="evaluation worker processes for the MGL "
+                             "scheduler (default 0 = in-process); "
+                             "placements are bit-identical for any value")
     parser.add_argument("--height-weighted", action="store_true",
                         help="use Eq. 2 height weights during MGL")
 
 
 def _params_from(args: argparse.Namespace) -> LegalizerParams:
+    capacity = args.capacity
+    if args.workers > 0 and capacity == 1:
+        # A process pool needs multi-window batches to bite; give it a
+        # sensible L_p capacity unless the user pinned one explicitly.
+        capacity = max(8, 4 * args.workers)
     params = LegalizerParams(
         routability=not args.no_routability,
         use_matching=not args.no_matching,
         use_flow_opt=not args.no_flow_opt,
-        scheduler_capacity=args.capacity,
+        scheduler_capacity=capacity,
+        scheduler_workers=args.workers,
         height_weighted=args.height_weighted,
     )
     if args.window:
@@ -55,7 +71,7 @@ def _params_from(args: argparse.Namespace) -> LegalizerParams:
 def cmd_generate(args: argparse.Namespace) -> int:
     from repro.benchgen import SyntheticSpec, generate_design
 
-    cells = {}
+    cells: Dict[int, int] = {}
     for item in args.cells:
         height, _, count = item.partition(":")
         cells[int(height)] = int(count)
@@ -79,7 +95,7 @@ def cmd_generate(args: argparse.Namespace) -> int:
 def cmd_legalize(args: argparse.Namespace) -> int:
     design = load_design(args.design)
     params = _params_from(args)
-    recorder = None
+    recorder: Optional["PerfRecorder"] = None
     if args.profile is not None:
         from repro.perf import PerfRecorder
 
@@ -94,6 +110,10 @@ def cmd_legalize(args: argparse.Namespace) -> int:
           f"(row heights)")
     print(f"placement written to {args.output}")
     if recorder is not None:
+        stats = result.mgl_stats
+        print(f"scheduler: {stats.get('scheduler_batches', 0)} batches, "
+              f"{stats.get('scheduler_reevaluations', 0)} re-evaluations, "
+              f"{stats.get('scheduler_workers_spawned', 0)} workers")
         print(recorder.summary())
         if args.profile:  # a path was given, not the bare flag
             recorder.write_json(args.profile)
@@ -135,7 +155,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
     design = load_design(args.design)
 
-    def ours(d):
+    def ours(d: "Design") -> "Placement":
         params = LegalizerParams(
             routability=False, use_matching=False, scheduler_capacity=1
         )
@@ -143,7 +163,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
         optimize_fixed_row_order(placement, params)
         return placement
 
-    algos = [
+    algos: List[Tuple[str, Callable[["Design"], "Placement"]]] = [
         ("tetris", legalize_tetris),
         ("mll", legalize_mll),
         ("abacus", legalize_abacus),
@@ -271,7 +291,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    return cast(int, args.func(args))
 
 
 if __name__ == "__main__":

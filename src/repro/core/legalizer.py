@@ -96,7 +96,9 @@ class Legalizer:
         params = self.params
 
         start = time.perf_counter()
-        mgl = MGLegalizer(self.design, params, guard=self.guard)
+        mgl = MGLegalizer(
+            self.design, params, guard=self.guard, recorder=self.recorder
+        )
         placement = mgl.run()
         mgl_seconds = time.perf_counter() - start
         result = LegalizationResult(

@@ -10,7 +10,7 @@ feasible insertion point exists.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING, Tuple
 
 from repro.core.insertion import EvaluatedInsertion, GapCache, InsertionContext
 from repro.core.occupancy import Occupancy
@@ -19,6 +19,9 @@ from repro.core.refine import RoutabilityGuard
 from repro.model.design import Design
 from repro.model.geometry import Rect
 from repro.model.placement import Placement
+
+if TYPE_CHECKING:
+    from repro.perf import PerfRecorder
 
 
 class LegalizationError(Exception):
@@ -70,6 +73,8 @@ class MGLegalizer:
         params: tunables; see :class:`LegalizerParams`.
         guard: routability guard, built automatically when
             ``params.routability`` is set and the design has rails/pins.
+        recorder: optional perf instrumentation, forwarded to the
+            scheduler's parallel backend for per-worker timers.
     """
 
     def __init__(
@@ -78,11 +83,13 @@ class MGLegalizer:
         params: Optional[LegalizerParams] = None,
         guard: Optional[RoutabilityGuard] = None,
         reference: str = "gp",
+        recorder: Optional["PerfRecorder"] = None,
     ):
         self.design = design
         self.params = params or LegalizerParams()
         self.params.validate()
         self.reference = reference
+        self.recorder = recorder
         if guard is None and self.params.routability:
             guard = RoutabilityGuard(design, self.params)
         self.guard = guard
@@ -95,6 +102,11 @@ class MGLegalizer:
             "cells_placed": 0,
             "gap_cache_hits": 0,
             "gap_cache_misses": 0,
+            # Scheduler counters: stay 0 on the plain sequential path
+            # (scheduler_capacity == 1) so profile reports always carry
+            # the keys (see `repro legalize --profile`).
+            "scheduler_batches": 0,
+            "scheduler_reevaluations": 0,
         }
         # Shared per-row gap cache for the serial evaluation paths; the
         # scheduler's thread pool bypasses it (evaluate_insert stays pure).

@@ -16,6 +16,13 @@ from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 from repro.model.design import Design
 from repro.model.placement import Placement
 
+#: One occupancy mutation, as recorded in a :attr:`Occupancy.journal` and
+#: shipped to parallel workers (see repro.core.parallel).  The op codes
+#: are ``"a"`` (add: cell, x, y), ``"m"`` (move: cell, new_x, 0) and
+#: ``"r"`` (remove: cell, 0, 0); the fixed 4-tuple shape keeps the
+#: pickled delta stream compact and trivially versioned.
+DeltaOp = Tuple[str, int, int, int]
+
 #: Gate for the O(total entries) consistency sweep below.  Tests leave it
 #: on (the default); benchmark harnesses turn it off so measured MGL time
 #: is the algorithm, not the self-checks.  ``REPRO_EXPENSIVE_CHECKS=0``
@@ -60,6 +67,15 @@ class Occupancy:
         self._placed_view: Optional[FrozenSet[int]] = None
         self._widths = design.cell_widths
         self._heights = design.cell_heights
+        #: Optional mutation log: while attached (see :meth:`set_journal`),
+        #: every add/update_x/remove appends one :data:`DeltaOp`.  The
+        #: parallel scheduler drains it to ship compact occupancy deltas
+        #: to worker processes instead of full snapshots.
+        self.journal: Optional[List[DeltaOp]] = None
+
+    def set_journal(self, journal: Optional[List[DeltaOp]]) -> None:
+        """Attach (or detach, with None) a mutation journal."""
+        self.journal = journal
 
     # ------------------------------------------------------------------
     # Mutation
@@ -83,6 +99,8 @@ class Occupancy:
             self._row_versions[row] += 1
         self._placed.add(cell)
         self._placed_view = None
+        if self.journal is not None:
+            self.journal.append(("a", cell, x, y))
 
     def remove(self, cell: int) -> None:
         """Unregister ``cell`` (its placement position is left untouched)."""
@@ -97,6 +115,8 @@ class Occupancy:
             self._row_versions[row] += 1
         self._placed.discard(cell)
         self._placed_view = None
+        if self.journal is not None:
+            self.journal.append(("r", cell, 0, 0))
 
     def update_x(self, cell: int, new_x: int) -> None:
         """Shift ``cell`` horizontally, preserving its order in every row.
@@ -123,6 +143,8 @@ class Occupancy:
                 )
             self._row_versions[row] += 1
         self.placement.x[cell] = new_x
+        if self.journal is not None:
+            self.journal.append(("m", cell, new_x, 0))
 
     def is_placed(self, cell: int) -> bool:
         return cell in self._placed

@@ -62,6 +62,12 @@ class LegalizerParams:
         scheduler_threads: thread-pool size for the scheduler's
             evaluation phase (0/1 = no pool).  Results are identical with
             or without threads; see repro.core.scheduler.
+        scheduler_workers: *process*-pool size for the scheduler's
+            evaluation phase (0 = in-process).  Unlike the GIL-bound
+            thread pool this buys real wall-clock speedup on multicore
+            hardware; placements are bit-identical to the in-process
+            path for any worker count (see repro.core.parallel).  Takes
+            precedence over ``scheduler_threads`` when both are set.
         seed_order: cell-ordering strategy for MGL
             ("height_area_x" | "gp_x" | "input").
         candidate_order: insertion-point evaluation strategy inside
@@ -102,6 +108,7 @@ class LegalizerParams:
     prune_margin: float = 2.0
     scheduler_capacity: int = 1
     scheduler_threads: int = 0
+    scheduler_workers: int = 0
     seed_order: str = "height_area_x"
     candidate_order: str = "best_first"
     use_gap_cache: bool = True
@@ -122,5 +129,9 @@ class LegalizerParams:
             raise ValueError(f"unknown seed_order {self.seed_order!r}")
         if self.scheduler_capacity < 1:
             raise ValueError("scheduler_capacity must be at least 1")
+        if self.scheduler_threads < 0:
+            raise ValueError("scheduler_threads must be non-negative")
+        if self.scheduler_workers < 0:
+            raise ValueError("scheduler_workers must be non-negative")
         if self.candidate_order not in ("best_first", "linear"):
             raise ValueError(f"unknown candidate_order {self.candidate_order!r}")

@@ -10,26 +10,31 @@ thread count once the ``L_p`` capacity is fixed.
 Our reproduction keeps exactly that structure.  Batch members are
 pairwise non-overlapping; their insertions are **evaluated** against the
 frozen batch-start occupancy — optionally on a thread pool
-(``scheduler_threads``), which is safe because evaluation never mutates
-state — and then **applied** serially in selection order.  Since pushes
-may exit a window (up to the nearest wall), each application first
-verifies the evaluated moves are still conflict-free and silently
-re-evaluates when an earlier batch member interfered.  The result is
-therefore a pure function of the batch order — deterministic regardless
-of thread timing, the property the paper claims (Python's GIL means the
-thread pool is about structure, not wall-clock speedup).
+(``scheduler_threads``) or, for real wall-clock speedup, on a process
+pool (``scheduler_workers``; see :mod:`repro.core.parallel`) — and then
+**applied** serially in selection order.  Since pushes may exit a window
+(up to the nearest wall), each application first verifies the evaluated
+moves are still conflict-free and silently re-evaluates when an earlier
+batch member interfered.  The result is therefore a pure function of
+the batch order — deterministic regardless of thread/process timing,
+the property the paper claims.  Python's GIL means the *thread* pool is
+about structure, not speed; the *process* pool is the one that scales
+with cores, at bit-identical placements.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, TYPE_CHECKING, Tuple
 
 from repro.core.insertion import EvaluatedInsertion
 from repro.core.mgl import LegalizationError, MGLegalizer, mgl_cell_order
 from repro.core.occupancy import Occupancy
 from repro.model.geometry import Rect
+
+if TYPE_CHECKING:
+    from repro.core.parallel import ParallelEvaluator
 
 
 class WindowScheduler:
@@ -40,8 +45,12 @@ class WindowScheduler:
         self.occupancy = occupancy
         self.capacity = legalizer.params.scheduler_capacity
         self.threads = legalizer.params.scheduler_threads
+        self.workers = legalizer.params.scheduler_workers
         self.batches_run = 0
         self.reevaluations = 0
+        #: Live process-pool backend, when ``scheduler_workers`` >= 1
+        #: and the pool came up (see :meth:`run`).
+        self.parallel: Optional["ParallelEvaluator"] = None
 
     def run(self) -> None:
         """Process every movable cell to completion.
@@ -56,9 +65,25 @@ class WindowScheduler:
             (cell, 1.0, 0) for cell in mgl_cell_order(legalizer.design, params)
         )
         pool: Optional[ThreadPoolExecutor] = (
-            ThreadPoolExecutor(max_workers=self.threads) if self.threads > 1
+            ThreadPoolExecutor(max_workers=self.threads)
+            if self.threads > 1 and self.workers == 0
             else None
         )
+        parallel = None
+        if self.workers >= 1:
+            from repro.core.parallel import ParallelEvaluator, ParallelUnavailable
+
+            try:
+                parallel = ParallelEvaluator(
+                    legalizer,
+                    self.occupancy,
+                    self.workers,
+                    recorder=legalizer.recorder,
+                )
+            except ParallelUnavailable:
+                # Degrade to the (identical-output) in-process path.
+                parallel = None
+        self.parallel = parallel
 
         try:
             while waiting:
@@ -108,6 +133,8 @@ class WindowScheduler:
         finally:
             if pool is not None:
                 pool.shutdown(wait=False)
+            if parallel is not None:
+                parallel.close()
 
     # ------------------------------------------------------------------
 
@@ -140,6 +167,14 @@ class WindowScheduler:
     ) -> List[Optional[EvaluatedInsertion]]:
         """Evaluate all members against the frozen batch-start state."""
         legalizer = self.legalizer
+        parallel = self.parallel
+        if parallel is not None and len(batch) > 1:
+            if parallel.active:
+                return parallel.evaluate_batch(batch)
+            # Every worker failed earlier; continue serially for the
+            # rest of the run (identical placements either way).
+            parallel.close()
+            self.parallel = None
         if pool is None or len(batch) <= 1:
             return [
                 legalizer.try_insert(self.occupancy, cell, window)

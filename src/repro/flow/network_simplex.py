@@ -19,7 +19,7 @@ All arithmetic is exact integer arithmetic.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Set, Tuple
 
 from repro.flow.graph import FlowGraph, FlowResult
 
@@ -258,7 +258,7 @@ class NetworkSimplex:
         self._parent_edge[attach] = entering
         self._rebuild_subtree(attach, detached)
 
-    def _collect_component(self, seed: int, avoid: int) -> set:
+    def _collect_component(self, seed: int, avoid: int) -> Set[int]:
         """Nodes reachable from ``seed`` over basic arcs, skipping ``avoid``."""
         seen = {seed}
         stack = [seed]
@@ -273,7 +273,7 @@ class NetworkSimplex:
                     stack.append(other)
         return seen
 
-    def _rebuild_subtree(self, attach: int, component: set) -> None:
+    def _rebuild_subtree(self, attach: int, component: Set[int]) -> None:
         """Recompute parent/depth/potentials inside ``component``.
 
         ``attach`` already has its parent/parent_edge set to the entering

@@ -16,8 +16,11 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.model.design import Design
+
+FloatArray = npt.NDArray[np.float64]
 
 
 @dataclass
@@ -38,7 +41,7 @@ class QuadraticPlacer:
     spread: bool = True
     seed: int = 7
 
-    def place(self, design: Design) -> Tuple[np.ndarray, np.ndarray]:
+    def place(self, design: Design) -> Tuple[FloatArray, FloatArray]:
         """Compute GP coordinates; returns (x_sites, y_rows) arrays."""
         n = design.num_cells
         rng = random.Random(self.seed)
@@ -62,8 +65,10 @@ class QuadraticPlacer:
                 cell_nets[cell].append(net_index)
 
         for _sweep in range(self.iterations):
-            centroids_x = np.array([xs[m].mean() for m in nets]) if nets else None
-            centroids_y = np.array([ys[m].mean() for m in nets]) if nets else None
+            # Both arrays are empty when there are no nets; they are only
+            # indexed for cells with at least one net, so that is safe.
+            centroids_x = np.array([xs[m].mean() for m in nets], dtype=float)
+            centroids_y = np.array([ys[m].mean() for m in nets], dtype=float)
             for cell in range(n):
                 if design.cells[cell].fixed or not cell_nets[cell]:
                     continue
@@ -96,7 +101,7 @@ class QuadraticPlacer:
         design._gp_y_array = None
 
 
-def _percentile_spread(values: np.ndarray, extent: float) -> np.ndarray:
+def _percentile_spread(values: FloatArray, extent: float) -> FloatArray:
     """Map values monotonically so their ranks cover ``[0, extent)``.
 
     Equal-rank spreading removes the quadratic model's central clump

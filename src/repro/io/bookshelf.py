@@ -153,7 +153,6 @@ def load_bookshelf(aux_path: PathLike) -> Tuple[Design, Placement]:
         name=aux_path.stem,
     )
     name_to_index: Dict[str, int] = {}
-    placement = None  # built after cells exist
 
     xs: List[int] = []
     ys: List[int] = []
@@ -198,7 +197,7 @@ def _as_multiple(value: float, unit: float, what: str) -> int:
 
 
 def _data_lines(path: Path) -> List[str]:
-    lines = []
+    lines: List[str] = []
     for raw in path.read_text().splitlines():
         line = raw.split("#", 1)[0].strip()
         if line and not line.startswith("UCLA"):

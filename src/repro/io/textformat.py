@@ -102,7 +102,7 @@ def load_design(path: PathLike) -> Design:
     design: Design = None  # type: ignore[assignment]
     technology = Technology()
     pending_pins: Dict[str, List[PinShape]] = {}
-    raw_types: Dict[str, Dict] = {}
+    raw_types: Dict[str, Dict[str, int]] = {}
 
     def finalize_types() -> None:
         for name, fields in raw_types.items():

@@ -8,7 +8,7 @@ the paper's figures).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.model.placement import Placement
 
@@ -33,7 +33,8 @@ class _SvgBuilder:
         ]
 
     def rect(self, x: float, y: float, w: float, h: float, fill: str,
-             stroke: str = "#555", opacity: float = 1.0, stroke_width: float = 0.5):
+             stroke: str = "#555", opacity: float = 1.0,
+             stroke_width: float = 0.5) -> None:
         self.parts.append(
             f'<rect x="{x:.2f}" y="{y:.2f}" width="{w:.2f}" height="{h:.2f}" '
             f'fill="{fill}" stroke="{stroke}" stroke-width="{stroke_width}" '
@@ -41,13 +42,13 @@ class _SvgBuilder:
         )
 
     def line(self, x1: float, y1: float, x2: float, y2: float, stroke: str,
-             width: float = 1.0):
+             width: float = 1.0) -> None:
         self.parts.append(
             f'<line x1="{x1:.2f}" y1="{y1:.2f}" x2="{x2:.2f}" y2="{y2:.2f}" '
             f'stroke="{stroke}" stroke-width="{width}"/>'
         )
 
-    def text(self, x: float, y: float, content: str, size: float = 10.0):
+    def text(self, x: float, y: float, content: str, size: float = 10.0) -> None:
         self.parts.append(
             f'<text x="{x:.2f}" y="{y:.2f}" font-size="{size}" '
             f'font-family="sans-serif">{content}</text>'
@@ -70,7 +71,7 @@ def render_placement_svg(
         design.num_sites * pixels_per_site, design.num_rows * pixels_per_row
     )
 
-    def to_px(x_sites: float, y_rows: float):
+    def to_px(x_sites: float, y_rows: float) -> Tuple[float, float]:
         return (
             x_sites * pixels_per_site,
             svg.height - y_rows * pixels_per_row,
