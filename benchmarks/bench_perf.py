@@ -32,7 +32,6 @@ disabled so measured time is the algorithm, not the checks.
 from __future__ import annotations
 
 import argparse
-import hashlib
 import json
 import os
 import sys
@@ -45,6 +44,8 @@ from repro.core.mgl import MGLegalizer
 from repro.core.occupancy import set_expensive_checks
 from repro.core.params import LegalizerParams
 from repro.model.placement import Placement
+from repro.obs.manifest import build_manifest, placement_digest, write_manifest
+from repro.obs.tracer import SpanTracer
 from repro.perf import PerfRecorder
 
 SCALES = [0.004, 0.01, 0.02]
@@ -55,9 +56,8 @@ RunRecord = Dict[str, Union[str, int, float]]
 
 
 def placement_hash(placement: Placement) -> str:
-    """Order-stable digest of all cell positions."""
-    payload = repr(list(zip(placement.x, placement.y))).encode()
-    return hashlib.sha256(payload).hexdigest()[:16]
+    """Order-stable digest of all cell positions (manifest-compatible)."""
+    return placement_digest(placement)
 
 
 def run_mgl(
@@ -132,6 +132,65 @@ def run_parallel_section(
     }
 
 
+def run_trace_determinism_section(
+    name: str,
+    scale: float,
+    workers: int,
+    capacity: int,
+    trace_dir: Optional[Path] = None,
+) -> Dict[str, Union[str, int, float, bool]]:
+    """Trace-structure determinism: workers 0 vs N at equal capacity.
+
+    Both runs record a span tree; their *structure* hashes (names,
+    attributes, children — timestamps excluded) and their placements
+    must be bit-identical.  This is the CI gate for the repro.obs
+    determinism contract.  When ``trace_dir`` is given, the serial run's
+    Chrome trace and manifest are written there as build artifacts.
+    """
+    case = next(c for c in iccad2017_suite(scale=scale, names=[name]))
+    tracers: Dict[int, SpanTracer] = {}
+    placements: Dict[int, Placement] = {}
+    for worker_count in (0, workers):
+        design = case.build()
+        params = LegalizerParams(
+            scheduler_capacity=capacity, scheduler_workers=worker_count
+        )
+        tracer = SpanTracer()
+        placements[worker_count] = MGLegalizer(
+            design, params, tracer=tracer
+        ).run()
+        tracers[worker_count] = tracer
+    serial_structure = tracers[0].structure_hash()
+    parallel_structure = tracers[workers].structure_hash()
+    if trace_dir is not None:
+        trace_dir.mkdir(parents=True, exist_ok=True)
+        tracers[0].write_chrome_trace(str(trace_dir / "trace.json"))
+        tracers[0].write_jsonl(str(trace_dir / "trace.jsonl"))
+        design = case.build()
+        write_manifest(
+            build_manifest(
+                design,
+                LegalizerParams(scheduler_capacity=capacity),
+                placements[0],
+                trace_structure_hash=serial_structure,
+            ),
+            trace_dir / "manifest.json",
+        )
+    return {
+        "name": name,
+        "scale": scale,
+        "capacity": capacity,
+        "workers": workers,
+        "span_count": tracers[0].span_count(),
+        "serial_structure_hash": serial_structure,
+        "parallel_structure_hash": parallel_structure,
+        "structure_match": serial_structure == parallel_structure,
+        "hashes_match": (
+            placement_hash(placements[0]) == placement_hash(placements[workers])
+        ),
+    }
+
+
 def quick_determinism_checks(report: List[RunRecord]) -> List[str]:
     """Cross-mode equivalence checks on the quick subset.
 
@@ -193,6 +252,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "speedup (use on machines with enough cores)")
     parser.add_argument("--no-parallel-section", action="store_true",
                         help="skip the serial-vs-workers comparison")
+    parser.add_argument("--trace-dir", default=None, metavar="DIR",
+                        help="write the trace-determinism section's Chrome "
+                             "trace, JSONL stream, and run manifest to DIR "
+                             "(CI uploads these as artifacts)")
+    parser.add_argument("--no-trace-section", action="store_true",
+                        help="skip the trace-structure determinism check")
     args = parser.parse_args(argv)
 
     set_expensive_checks(False)
@@ -261,11 +326,43 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
             print(f"PERF FAILURE: {failures[-1]}", file=sys.stderr)
 
+    trace_section: Optional[Dict[str, Union[str, int, float, bool]]] = None
+    if not args.no_trace_section:
+        trace_workers = args.workers or 2
+        trace_capacity = args.parallel_capacity or 8
+        trace_section = run_trace_determinism_section(
+            names[0],
+            scales[0],
+            trace_workers,
+            trace_capacity,
+            trace_dir=Path(args.trace_dir) if args.trace_dir else None,
+        )
+        print(
+            f"trace: {trace_section['name']} cap={trace_capacity} "
+            f"workers=0 vs {trace_workers}  "
+            f"spans={trace_section['span_count']}  "
+            f"structure_match={trace_section['structure_match']}  "
+            f"hashes_match={trace_section['hashes_match']}"
+        )
+        if not trace_section["structure_match"]:
+            failures.append(
+                f"{trace_section['name']}: trace structure differs between "
+                f"workers 0 and {trace_workers}"
+            )
+            print(f"DETERMINISM FAILURE: {failures[-1]}", file=sys.stderr)
+        if not trace_section["hashes_match"]:
+            failures.append(
+                f"{trace_section['name']}: traced {trace_workers}-worker "
+                f"placement diverged from the traced serial run"
+            )
+            print(f"DETERMINISM FAILURE: {failures[-1]}", file=sys.stderr)
+
     payload = {
         "suite": "iccad2017_synthetic",
         "scales": scales,
         "runs": report,
         "parallel": parallel_section,
+        "trace_determinism": trace_section,
         "hashes": {
             f"{r['name']}@{r['scale']}": r["placement_hash"] for r in report
         },

@@ -16,6 +16,13 @@ committed ``BENCH_mgl.json``.  Two classes of failure:
   false-positive here; CI runners are faster than the recording box, so
   in practice this only trips on genuine algorithmic slowdowns.
 
+Alongside the gates, the script prints **counter deltas** (insertion
+points evaluated, window expansions, gap-cache hit rate) for every
+common case whose counters moved — machine-independent early warning
+that the search explored differently even when hashes and times pass —
+and an explicit ``WARNING`` for every case present in only one report,
+so a shrunken fresh run can't silently pass against a full baseline.
+
 Usage::
 
     python benchmarks/check_regression.py BENCH_mgl.json fresh.json
@@ -58,6 +65,90 @@ def compare_hashes(
                 f"{base_hashes[key]} -> {fresh_hashes[key]}"
             )
     return failures
+
+
+def one_sided_cases(
+    baseline: Dict[str, object], fresh: Dict[str, object]
+) -> List[str]:
+    """Warnings for cases present in only one of the two reports.
+
+    Not fatal — quick mode legitimately runs a subset of the full
+    baseline — but always surfaced, so a fresh report that silently
+    dropped cases can't masquerade as a clean full run.
+    """
+    base_hashes = baseline.get("hashes")
+    fresh_hashes = fresh.get("hashes")
+    if not isinstance(base_hashes, dict) or not isinstance(fresh_hashes, dict):
+        return []
+    warnings = []
+    only_base = sorted(set(base_hashes) - set(fresh_hashes))
+    only_fresh = sorted(set(fresh_hashes) - set(base_hashes))
+    if only_base:
+        warnings.append(
+            f"{len(only_base)} baseline case(s) missing from the fresh "
+            f"report (not compared): {', '.join(only_base[:5])}"
+            + (" ..." if len(only_base) > 5 else "")
+        )
+    if only_fresh:
+        warnings.append(
+            f"{len(only_fresh)} fresh case(s) absent from the baseline "
+            f"(not compared): {', '.join(only_fresh[:5])}"
+            + (" ..." if len(only_fresh) > 5 else "")
+        )
+    return warnings
+
+
+COUNTER_FIELDS = (
+    "insertions_evaluated", "window_expansions", "gap_cache_hit_rate",
+)
+
+
+def compare_counters(
+    baseline: Dict[str, object], fresh: Dict[str, object]
+) -> List[str]:
+    """Informational counter deltas for common cases whose work changed.
+
+    A moved counter with an unchanged hash means the search explored
+    differently but converged to the same placement — worth a look, not
+    a failure.  Counters are machine-independent, so unlike wall time
+    these deltas are exact.
+    """
+    def runs_by_key(report: Dict[str, object]) -> Dict[str, Dict[str, object]]:
+        runs = report.get("runs")
+        if not isinstance(runs, list):
+            return {}
+        return {
+            f"{r['name']}@{r['scale']}": r
+            for r in runs
+            if isinstance(r, dict)
+        }
+
+    base_runs = runs_by_key(baseline)
+    fresh_runs = runs_by_key(fresh)
+    deltas = []
+    for key in sorted(set(base_runs) & set(fresh_runs)):
+        base_run, fresh_run = base_runs[key], fresh_runs[key]
+        moved = []
+        for metric in COUNTER_FIELDS:
+            if metric not in base_run or metric not in fresh_run:
+                continue
+            base_v = float(base_run[metric])  # type: ignore[arg-type]
+            fresh_v = float(fresh_run[metric])  # type: ignore[arg-type]
+            if base_v == fresh_v:
+                continue
+            if metric == "gap_cache_hit_rate":
+                moved.append(
+                    f"{metric} {100 * base_v:.1f}% -> {100 * fresh_v:.1f}%"
+                )
+            else:
+                sign = "+" if fresh_v > base_v else ""
+                moved.append(
+                    f"{metric} {int(base_v)} -> {int(fresh_v)} "
+                    f"({sign}{int(fresh_v - base_v)})"
+                )
+        if moved:
+            deltas.append(f"{key}: " + ", ".join(moved))
+    return deltas
 
 
 def compare_times(
@@ -110,6 +201,29 @@ def check_parallel_section(fresh: Dict[str, object]) -> List[str]:
     return []
 
 
+def check_trace_section(fresh: Dict[str, object]) -> List[str]:
+    """The fresh report's trace-structure determinism gate must hold."""
+    section = fresh.get("trace_determinism")
+    if section is None:
+        return []  # Section skipped (--no-trace-section) or old report.
+    if not isinstance(section, dict):
+        return ["malformed 'trace_determinism' section in the fresh report"]
+    failures = []
+    if not section.get("structure_match", False):
+        failures.append(
+            f"{section.get('name')}: trace structure hash "
+            f"{section.get('parallel_structure_hash')} ({section.get('workers')}"
+            f" workers) diverged from serial "
+            f"{section.get('serial_structure_hash')}"
+        )
+    if not section.get("hashes_match", False):
+        failures.append(
+            f"{section.get('name')}: traced parallel placement diverged "
+            f"from the traced serial run"
+        )
+    return failures
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", help="committed baseline report")
@@ -130,10 +244,21 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     failures = compare_hashes(baseline, fresh)
     failures += check_parallel_section(fresh)
+    failures += check_trace_section(fresh)
     if not args.no_time_check:
         failures += compare_times(
             baseline, fresh, args.max_regression, args.min_seconds
         )
+
+    for warning in one_sided_cases(baseline, fresh):
+        print(f"WARNING: {warning}", file=sys.stderr)
+    deltas = compare_counters(baseline, fresh)
+    if deltas:
+        print("counter deltas on common cases:")
+        for delta in deltas:
+            print(f"  {delta}")
+    else:
+        print("counter deltas on common cases: none")
 
     for failure in failures:
         print(f"REGRESSION: {failure}", file=sys.stderr)

@@ -6,27 +6,37 @@ Subcommands::
     repro legalize  — legalize a design, write the placement
     repro check     — verify legality/routability and print the score
     repro compare   — run all legalizers on a design (Table-2 style)
+    repro report    — render one run's artifacts, or diff two runs
     repro svg       — render a placement to SVG
 
 Designs and placements use the text format of :mod:`repro.io`.
 Run ``repro <command> --help`` for options.
+
+Computed results (scores, summaries, tables) go to stdout; diagnostics
+("wrote X") go through :mod:`repro.obs.log` to stderr, tunable with the
+global ``--log-level`` flag — so piping ``repro`` output stays clean.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, TYPE_CHECKING, Tuple, cast
 
 from repro import LegalizerParams, legalize
 from repro.checker import check_legal, contest_score, count_routability_violations
 from repro.io import load_design, load_placement, save_design, save_placement
+from repro.obs.clock import monotonic
+from repro.obs.log import LEVELS, get_logger, setup_logging
 
 if TYPE_CHECKING:
     from repro.model.design import Design
     from repro.model.placement import Placement
+    from repro.obs.tracer import SpanTracer
     from repro.perf import PerfRecorder
+
+log = get_logger("cli")
 
 
 def _add_param_flags(parser: argparse.ArgumentParser) -> None:
@@ -88,27 +98,62 @@ def cmd_generate(args: argparse.Namespace) -> int:
         )
     )
     save_design(design, args.output)
-    print(f"wrote {design} to {args.output}")
+    log.info("wrote %s to %s", design, args.output)
     return 0
 
 
 def cmd_legalize(args: argparse.Namespace) -> int:
+    from repro.obs.manifest import (
+        build_manifest,
+        manifest_path_for,
+        write_manifest,
+    )
+
     design = load_design(args.design)
     params = _params_from(args)
+    run_dir: Optional[Path] = Path(args.run_dir) if args.run_dir else None
+    if run_dir is not None:
+        run_dir.mkdir(parents=True, exist_ok=True)
     recorder: Optional["PerfRecorder"] = None
-    if args.profile is not None:
+    if args.profile is not None or run_dir is not None:
         from repro.perf import PerfRecorder
 
         recorder = PerfRecorder()
-    start = time.perf_counter()
-    result = legalize(design, params, recorder=recorder)
-    elapsed = time.perf_counter() - start
+    tracer: Optional["SpanTracer"] = None
+    if args.trace is not None or run_dir is not None:
+        from repro.obs.tracer import SpanTracer
+
+        tracer = SpanTracer()
+    start = monotonic()
+    result = legalize(design, params, recorder=recorder, tracer=tracer)
+    elapsed = monotonic() - start
     save_placement(result.placement, args.output)
     final = result.after_flow or result.after_matching or result.after_mgl
     print(f"legalized {design.num_cells} cells in {elapsed:.1f}s")
     print(f"avg disp {final.avg_disp:.3f}  max disp {final.max_disp:.2f} "
           f"(row heights)")
-    print(f"placement written to {args.output}")
+    log.info("placement written to %s", args.output)
+
+    manifest = build_manifest(
+        design,
+        params,
+        result.placement,
+        trace_structure_hash=(
+            tracer.structure_hash() if tracer is not None else None
+        ),
+    )
+    if tracer is not None:
+        if args.trace:
+            tracer.write_chrome_trace(args.trace)
+            write_manifest(manifest, manifest_path_for(args.trace))
+            log.info(
+                "trace written to %s (%d spans; load at "
+                "https://ui.perfetto.dev)",
+                args.trace, tracer.span_count(),
+            )
+        if run_dir is not None:
+            tracer.write_chrome_trace(str(run_dir / "trace.json"))
+            tracer.write_jsonl(str(run_dir / "trace.jsonl"))
     if recorder is not None:
         stats = result.mgl_stats
         print(f"scheduler: {stats.get('scheduler_batches', 0)} batches, "
@@ -117,7 +162,27 @@ def cmd_legalize(args: argparse.Namespace) -> int:
         print(recorder.summary())
         if args.profile:  # a path was given, not the bare flag
             recorder.write_json(args.profile)
-            print(f"perf profile written to {args.profile}")
+            write_manifest(manifest, manifest_path_for(args.profile))
+            log.info("perf profile written to %s", args.profile)
+        if run_dir is not None:
+            recorder.write_json(str(run_dir / "profile.json"))
+    if run_dir is not None:
+        write_manifest(manifest, run_dir / "manifest.json")
+        log.info("run artifacts written to %s", run_dir)
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import load_run, render_diff, render_run
+
+    if len(args.runs) > 2:
+        log.error("report takes one run (render) or two (diff), got %d",
+                  len(args.runs))
+        return 2
+    if len(args.runs) == 1:
+        print(render_run(load_run(args.runs[0])))
+        return 0
+    print(render_diff(load_run(args.runs[0]), load_run(args.runs[1])))
     return 0
 
 
@@ -172,9 +237,9 @@ def cmd_compare(args: argparse.Namespace) -> int:
     ]
     print(f"{'algorithm':10s} {'total_disp':>12s} {'time':>8s}")
     for tag, algorithm in algos:
-        start = time.perf_counter()
+        start = monotonic()
         placement = algorithm(design)
-        elapsed = time.perf_counter() - start
+        elapsed = monotonic() - start
         assert check_legal(placement).is_legal, tag
         print(f"{tag:10s} {placement.total_displacement_sites():12.0f} "
               f"{elapsed:7.1f}s")
@@ -186,10 +251,10 @@ def cmd_import_bookshelf(args: argparse.Namespace) -> int:
 
     design, placement = load_bookshelf(args.aux)
     save_design(design, args.output)
-    print(f"imported {design} from {args.aux}")
+    log.info("imported %s from %s", design, args.aux)
     if args.placement:
         save_placement(placement, args.placement)
-        print(f"placement written to {args.placement}")
+        log.info("placement written to %s", args.placement)
     return 0
 
 
@@ -201,7 +266,7 @@ def cmd_export_bookshelf(args: argparse.Namespace) -> int:
         load_placement(design, args.placement) if args.placement else None
     )
     aux = save_bookshelf(design, args.output, placement=placement)
-    print(f"wrote Bookshelf bundle: {aux}")
+    log.info("wrote Bookshelf bundle: %s", aux)
     return 0
 
 
@@ -216,7 +281,7 @@ def cmd_svg(args: argparse.Namespace) -> int:
         svg = render_placement_svg(placement, show_rails=not args.no_rails)
     with open(args.output, "w") as handle:
         handle.write(svg)
-    print(f"wrote {args.output}")
+    log.info("wrote %s", args.output)
     return 0
 
 
@@ -225,6 +290,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Mixed-cell-height legalization (DAC 2018 reproduction)",
     )
+    parser.add_argument("--log-level", choices=LEVELS, default="info",
+                        help="diagnostic verbosity on stderr (default info); "
+                             "results always print to stdout")
     sub = parser.add_subparsers(dest="command", required=True)
 
     gen = sub.add_parser("generate", help="build a synthetic design")
@@ -246,7 +314,15 @@ def build_parser() -> argparse.ArgumentParser:
     leg.add_argument("--profile", nargs="?", const="", default=None,
                      metavar="JSON",
                      help="collect per-stage timings and counters; print a "
-                          "summary, and write JSON when a path is given")
+                          "summary, and write JSON (plus a run manifest) "
+                          "when a path is given")
+    leg.add_argument("--trace", metavar="JSON",
+                     help="record the span tree and write Chrome trace-event "
+                          "JSON (Perfetto-loadable) plus a run manifest")
+    leg.add_argument("--run-dir", metavar="DIR",
+                     help="write the full artifact trio — profile.json, "
+                          "manifest.json, trace.json (+ trace.jsonl) — "
+                          "into DIR, for `repro report`")
     _add_param_flags(leg)
     leg.set_defaults(func=cmd_legalize)
 
@@ -261,6 +337,15 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_parser = sub.add_parser("compare", help="run all legalizers")
     cmp_parser.add_argument("design")
     cmp_parser.set_defaults(func=cmd_compare)
+
+    rep = sub.add_parser(
+        "report",
+        help="render one run's profile/manifest, or diff two runs",
+    )
+    rep.add_argument("runs", nargs="+", metavar="RUN",
+                     help="a --run-dir directory or a profile JSON path; "
+                          "give two to diff them")
+    rep.set_defaults(func=cmd_report)
 
     imp = sub.add_parser("import-bookshelf",
                          help="convert a Bookshelf .aux bundle to a design file")
@@ -291,7 +376,16 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return cast(int, args.func(args))
+    setup_logging(args.log_level)
+    try:
+        return cast(int, args.func(args))
+    except BrokenPipeError:
+        # Downstream closed the pipe (`repro report … | head`); redirect
+        # stdout to devnull so the interpreter's final flush stays quiet.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 1
 
 
 if __name__ == "__main__":

@@ -11,7 +11,6 @@
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -23,6 +22,9 @@ from repro.core.params import LegalizerParams
 from repro.core.refine import RoutabilityGuard
 from repro.model.design import Design
 from repro.model.placement import Placement
+from repro.obs.clock import monotonic
+from repro.obs.metrics import DISPLACEMENT_BUCKETS
+from repro.obs.tracer import NULL_TRACER, NullTracer
 from repro.perf import PerfRecorder
 
 
@@ -76,6 +78,7 @@ class Legalizer:
         design: Design,
         params: Optional[LegalizerParams] = None,
         recorder: Optional[PerfRecorder] = None,
+        tracer: Optional[NullTracer] = None,
     ):
         design.validate()
         self.design = design
@@ -86,56 +89,126 @@ class Legalizer:
         )
         #: Optional perf instrumentation; stages record into it when set.
         self.recorder = recorder
+        #: Span tracer; the shared zero-overhead null tracer by default.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def _record_stage(self, name: str, seconds: float) -> None:
         if self.recorder is not None:
             self.recorder.record(name, seconds)
 
+    def _observe_final_metrics(self, placement: Placement) -> None:
+        """Record the final per-height-class displacement histograms.
+
+        One ``disp.h<height>`` histogram per cell height class, in
+        row-height units — the distribution behind the S_am (Eq. 2) and
+        max-disp quality numbers; plus the gap-cache hit-rate gauge.
+        """
+        if self.recorder is None:
+            return
+        registry = self.recorder.registry
+        design = self.design
+        for cell in design.movable_cells():
+            height = design.cell_type_of(cell).height
+            registry.observe(
+                f"disp.h{height}",
+                placement.displacement(cell),
+                DISPLACEMENT_BUCKETS,
+            )
+        hits = registry.counters.get("mgl.gap_cache_hits", 0)
+        misses = registry.counters.get("mgl.gap_cache_misses", 0)
+        if hits + misses > 0:
+            registry.set_gauge(
+                "mgl.gap_cache_hit_rate", 100.0 * hits / (hits + misses)
+            )
+
     def run(self) -> LegalizationResult:
         """Run all enabled stages and return placement plus metrics."""
         params = self.params
+        tracer = self.tracer
 
-        start = time.perf_counter()
-        mgl = MGLegalizer(
-            self.design, params, guard=self.guard, recorder=self.recorder
-        )
-        placement = mgl.run()
-        mgl_seconds = time.perf_counter() - start
-        result = LegalizationResult(
-            placement=placement,
-            after_mgl=_snapshot(placement, mgl_seconds),
-            mgl_stats=dict(mgl.stats),
-        )
-        self._record_stage("mgl", mgl_seconds)
-        if self.recorder is not None:
-            self.recorder.merge_counters(mgl.stats, prefix="mgl.")
-
-        if params.use_matching:
-            start = time.perf_counter()
-            result.matching_stats = optimize_max_displacement(placement, params)
-            result.after_matching = _snapshot(
-                placement, time.perf_counter() - start
+        with tracer.span("legalize") as root:
+            if tracer.enabled:
+                root.set(
+                    design=self.design.name, cells=self.design.num_cells
+                )
+            start = monotonic()
+            with tracer.span("mgl") as mgl_span:
+                mgl = MGLegalizer(
+                    self.design, params, guard=self.guard,
+                    recorder=self.recorder, tracer=tracer,
+                )
+                placement = mgl.run()
+                if tracer.enabled:
+                    # Only worker-count-invariant stats become span
+                    # attrs; cache/parallel counters depend on where
+                    # each evaluation happened to run.
+                    mgl_span.set(
+                        cells_placed=mgl.stats["cells_placed"],
+                        window_expansions=mgl.stats["window_expansions"],
+                        scheduler_batches=mgl.stats["scheduler_batches"],
+                        scheduler_reevaluations=mgl.stats[
+                            "scheduler_reevaluations"
+                        ],
+                    )
+            mgl_seconds = monotonic() - start
+            result = LegalizationResult(
+                placement=placement,
+                after_mgl=_snapshot(placement, mgl_seconds),
+                mgl_stats=dict(mgl.stats),
             )
-            self._record_stage("matching", result.after_matching.seconds)
+            self._record_stage("mgl", mgl_seconds)
+            if self.recorder is not None:
+                self.recorder.merge_counters(mgl.stats, prefix="mgl.")
 
-        if params.use_flow_opt:
-            start = time.perf_counter()
-            result.flow_stats = optimize_fixed_row_order(
-                placement, params, guard=self.guard
-            )
-            result.after_flow = _snapshot(placement, time.perf_counter() - start)
-            self._record_stage("flow_opt", result.after_flow.seconds)
+            if params.use_matching:
+                start = monotonic()
+                with tracer.span("matching") as span:
+                    result.matching_stats = optimize_max_displacement(
+                        placement, params
+                    )
+                    result.after_matching = _snapshot(
+                        placement, monotonic() - start
+                    )
+                    if tracer.enabled:
+                        span.set(
+                            avg_disp=result.after_matching.avg_disp,
+                            max_disp=result.after_matching.max_disp,
+                        )
+                self._record_stage("matching", result.after_matching.seconds)
 
-        if params.use_global_moves:
-            start = time.perf_counter()
-            result.global_move_stats = optimize_global_moves(
-                placement, params, guard=self.guard
-            )
-            result.after_global_moves = _snapshot(
-                placement, time.perf_counter() - start
-            )
-            self._record_stage("global_moves", result.after_global_moves.seconds)
+            if params.use_flow_opt:
+                start = monotonic()
+                with tracer.span("flow_opt") as span:
+                    result.flow_stats = optimize_fixed_row_order(
+                        placement, params, guard=self.guard
+                    )
+                    result.after_flow = _snapshot(placement, monotonic() - start)
+                    if tracer.enabled:
+                        span.set(
+                            avg_disp=result.after_flow.avg_disp,
+                            max_disp=result.after_flow.max_disp,
+                        )
+                self._record_stage("flow_opt", result.after_flow.seconds)
 
+            if params.use_global_moves:
+                start = monotonic()
+                with tracer.span("global_moves") as span:
+                    result.global_move_stats = optimize_global_moves(
+                        placement, params, guard=self.guard
+                    )
+                    result.after_global_moves = _snapshot(
+                        placement, monotonic() - start
+                    )
+                    if tracer.enabled:
+                        span.set(
+                            avg_disp=result.after_global_moves.avg_disp,
+                            max_disp=result.after_global_moves.max_disp,
+                        )
+                self._record_stage(
+                    "global_moves", result.after_global_moves.seconds
+                )
+
+            self._observe_final_metrics(placement)
         return result
 
 
@@ -143,6 +216,7 @@ def legalize(
     design: Design,
     params: Optional[LegalizerParams] = None,
     recorder: Optional[PerfRecorder] = None,
+    tracer: Optional[NullTracer] = None,
 ) -> LegalizationResult:
     """Legalize ``design`` with the paper's full flow.
 
@@ -154,6 +228,8 @@ def legalize(
 
     Pass a :class:`repro.perf.PerfRecorder` to collect per-stage wall
     times and the legalizer's counters (``repro legalize --profile``
-    from the CLI).
+    from the CLI), and/or a :class:`repro.obs.SpanTracer` to record the
+    span tree (``repro legalize --trace``); neither perturbs the
+    placement.
     """
-    return Legalizer(design, params, recorder=recorder).run()
+    return Legalizer(design, params, recorder=recorder, tracer=tracer).run()

@@ -19,6 +19,9 @@ from repro.core.refine import RoutabilityGuard
 from repro.model.design import Design
 from repro.model.geometry import Rect
 from repro.model.placement import Placement
+from repro.obs.clock import monotonic
+from repro.obs.metrics import EXPANSION_BUCKETS
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, SpanPayload
 
 if TYPE_CHECKING:
     from repro.perf import PerfRecorder
@@ -26,6 +29,42 @@ if TYPE_CHECKING:
 
 class LegalizationError(Exception):
     """Raised when a cell cannot be placed anywhere in its fence region."""
+
+
+def evaluation_span_payload(
+    evaluated: int,
+    best: Optional[EvaluatedInsertion],
+    *,
+    reeval: bool = False,
+    exhaustive: bool = False,
+    duration: Optional[float] = None,
+    worker: Optional[int] = None,
+) -> SpanPayload:
+    """The wire/trace form of one window evaluation (an ``evaluate`` span).
+
+    Every structural attribute is a pure function of the evaluation
+    inputs, so a payload built by a worker process and one built by the
+    parent's in-process fallback for the same task are identical —
+    which is what keeps :func:`repro.obs.tracer.structure_hash` stable
+    across ``scheduler_workers`` values.  ``duration`` and ``worker``
+    ride along as non-structural extras.
+    """
+    payload: SpanPayload = {
+        "name": "evaluate",
+        "attrs": {
+            "evaluated": evaluated,
+            "found": best is not None,
+            "cost": best.cost if best is not None else None,
+            "reeval": reeval,
+            "exhaustive": exhaustive,
+        },
+        "children": [],
+    }
+    if duration is not None:
+        payload["duration"] = duration
+    if worker is not None:
+        payload["worker"] = worker
+    return payload
 
 
 def height_weights(design: Design) -> Callable[[int], float]:
@@ -75,6 +114,8 @@ class MGLegalizer:
             ``params.routability`` is set and the design has rails/pins.
         recorder: optional perf instrumentation, forwarded to the
             scheduler's parallel backend for per-worker timers.
+        tracer: optional span tracer; the shared zero-overhead
+            :data:`repro.obs.tracer.NULL_TRACER` when omitted.
     """
 
     def __init__(
@@ -84,12 +125,14 @@ class MGLegalizer:
         guard: Optional[RoutabilityGuard] = None,
         reference: str = "gp",
         recorder: Optional["PerfRecorder"] = None,
+        tracer: Optional[NullTracer] = None,
     ):
         self.design = design
         self.params = params or LegalizerParams()
         self.params.validate()
         self.reference = reference
         self.recorder = recorder
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         if guard is None and self.params.routability:
             guard = RoutabilityGuard(design, self.params)
         self.guard = guard
@@ -213,11 +256,102 @@ class MGLegalizer:
         its default ``cache=None``) and aggregate the counts serially
         instead.
         """
+        best, _evaluated_points = self.evaluate_and_count(
+            occupancy, cell, window, exhaustive=exhaustive
+        )
+        return best
+
+    def evaluate_and_count(
+        self,
+        occupancy: Occupancy,
+        cell: int,
+        window: Rect,
+        exhaustive: bool = False,
+    ) -> Tuple[Optional[EvaluatedInsertion], int]:
+        """:meth:`try_insert`'s computation, also returning the point count.
+
+        The count feeds ``evaluate`` span payloads; callers that don't
+        need it use :meth:`try_insert` (which tests may monkeypatch as
+        the serial-evaluation seam).
+        """
         best, evaluated_points = self.evaluate_insert(
             occupancy, cell, window, exhaustive=exhaustive, cache=self.gap_cache
         )
         self.stats["insertions_evaluated"] += evaluated_points
+        return best, evaluated_points
+
+    def traced_evaluate(
+        self,
+        occupancy: Occupancy,
+        cell: int,
+        window: Rect,
+        exhaustive: bool = False,
+        reeval: bool = False,
+    ) -> Optional[EvaluatedInsertion]:
+        """Serial evaluation that records an ``evaluate`` span when tracing.
+
+        With the :class:`NullTracer` this is exactly :meth:`try_insert`
+        (including the monkeypatch seam); with a recording tracer it
+        attaches the same payload a worker process would have produced
+        for this evaluation, keeping the trace structure worker-count
+        independent.
+        """
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self.try_insert(occupancy, cell, window, exhaustive=exhaustive)
+        started = monotonic()
+        best, evaluated_points = self.evaluate_and_count(
+            occupancy, cell, window, exhaustive=exhaustive
+        )
+        tracer.attach_payloads([
+            evaluation_span_payload(
+                evaluated_points,
+                best,
+                reeval=reeval,
+                exhaustive=exhaustive,
+                duration=monotonic() - started,
+            )
+        ])
         return best
+
+    def finish_window_span(
+        self,
+        span: Span,
+        cell: int,
+        window: Rect,
+        expansions: int,
+        insertion: EvaluatedInsertion,
+        placement: Placement,
+        exhaustive: bool = False,
+    ) -> None:
+        """Stamp a completed ``window`` span with its structural attrs.
+
+        All values are pure functions of the legalization inputs (the
+        resulting displacement comes from the just-applied placement),
+        so they are safe under the structure-hash determinism contract.
+        """
+        if not self.tracer.enabled:
+            return
+        span.set(
+            cell=cell,
+            expansions=expansions,
+            window_xlo=window.xlo,
+            window_ylo=window.ylo,
+            window_xhi=window.xhi,
+            window_yhi=window.yhi,
+            x=insertion.x,
+            y=insertion.y,
+            cost=insertion.cost,
+            disp=placement.displacement(cell),
+            exhaustive=exhaustive,
+        )
+
+    def observe_expansions(self, depth: int) -> None:
+        """Record one cell's window-expansion depth in the metrics registry."""
+        if self.recorder is not None:
+            self.recorder.registry.observe(
+                "mgl.expansion_depth", float(depth), EXPANSION_BUCKETS
+            )
 
     def apply_insertion(
         self, occupancy: Occupancy, cell: int, insertion: EvaluatedInsertion
@@ -248,21 +382,34 @@ class MGLegalizer:
                 the final (chip-sized) window.
         """
         scale = 1.0
-        for attempt in range(self.params.max_expansions):
-            window = self.initial_window(cell, scale)
-            insertion = self.try_insert(occupancy, cell, window)
+        with self.tracer.span("window") as span:
+            for attempt in range(self.params.max_expansions):
+                window = self.initial_window(cell, scale)
+                insertion = self.traced_evaluate(occupancy, cell, window)
+                if insertion is not None:
+                    self.apply_insertion(occupancy, cell, insertion)
+                    self.finish_window_span(
+                        span, cell, window, attempt, insertion,
+                        occupancy.placement,
+                    )
+                    self.observe_expansions(attempt)
+                    return insertion
+                self.stats["window_expansions"] += 1
+                scale *= self.params.window_expand
+            # Last resort: the whole chip as the window, with all caps
+            # lifted.
+            insertion = self.traced_evaluate(
+                occupancy, cell, self.design.chip_rect, exhaustive=True
+            )
             if insertion is not None:
                 self.apply_insertion(occupancy, cell, insertion)
+                self.finish_window_span(
+                    span, cell, self.design.chip_rect,
+                    self.params.max_expansions, insertion,
+                    occupancy.placement, exhaustive=True,
+                )
+                self.observe_expansions(self.params.max_expansions)
                 return insertion
-            self.stats["window_expansions"] += 1
-            scale *= self.params.window_expand
-        # Last resort: the whole chip as the window, with all caps lifted.
-        insertion = self.try_insert(
-            occupancy, cell, self.design.chip_rect, exhaustive=True
-        )
-        if insertion is not None:
-            self.apply_insertion(occupancy, cell, insertion)
-            return insertion
         raise LegalizationError(
             f"cell {cell} ({self.design.cells[cell].name!r}) cannot be placed; "
             f"fence {self.design.fence_of(cell)} appears over-full"

@@ -37,7 +37,6 @@ from __future__ import annotations
 import math
 import multiprocessing
 import pickle
-import time
 from dataclasses import dataclass
 from multiprocessing.connection import Connection
 from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
@@ -47,6 +46,8 @@ from repro.core.occupancy import DeltaOp, Occupancy
 from repro.core.params import LegalizerParams
 from repro.model.geometry import Rect
 from repro.model.placement import Placement
+from repro.obs.clock import monotonic
+from repro.obs.tracer import SpanPayload
 
 if TYPE_CHECKING:
     from multiprocessing.context import ForkContext, SpawnContext
@@ -65,8 +66,13 @@ WORKER_TIMEOUT = 300.0
 #: the window spans — the exact occupancy state the evaluation reads.
 TaskSpec = Tuple[int, int, Rect, Tuple[Tuple[int, int], ...]]
 
-#: One evaluation response: (slot, best insertion or None, points evaluated).
-ResultSpec = Tuple[int, Optional[EvaluatedInsertion], int]
+#: One evaluation response: (slot, best insertion or None, points
+#: evaluated, ``evaluate`` span payload or None).  The payload — built by
+#: :func:`repro.core.mgl.evaluation_span_payload`, a pure function of the
+#: task — is only populated when the batch message asked for spans.
+ResultSpec = Tuple[
+    int, Optional[EvaluatedInsertion], int, Optional[SpanPayload]
+]
 
 
 class ParallelUnavailable(RuntimeError):
@@ -112,16 +118,17 @@ def worker_main(conn: Connection) -> None:
     * receive ``("init", design, params, reference, placed, versions)``
       once — build the legalizer and the occupancy mirror, reply
       ``("ready",)``;
-    * then repeatedly receive ``("batch", ops_blob, tasks)`` — apply the
-      pickled journal slice, verify row-version tags, evaluate every
-      task, reply ``("results", results, busy_seconds)``;
+    * then repeatedly receive ``("batch", ops_blob, tasks, want_spans)``
+      — apply the pickled journal slice, verify row-version tags,
+      evaluate every task (building ``evaluate`` span payloads when
+      ``want_spans``), reply ``("results", results, busy_seconds)``;
     * ``("stop",)`` ends the loop.
 
     Any exception is reported as ``("error", message)`` and kills the
     worker: its mirror can no longer be trusted, and the parent falls
     back to in-process evaluation for its share of the work.
     """
-    from repro.core.mgl import MGLegalizer
+    from repro.core.mgl import MGLegalizer, evaluation_span_payload
 
     try:
         message = conn.recv()
@@ -150,10 +157,10 @@ def worker_main(conn: Connection) -> None:
                 break
             if message[0] != "batch":  # pragma: no cover - protocol guard
                 raise RuntimeError(f"expected batch, got {message[0]!r}")
-            _tag, ops_blob, tasks = message
+            _tag, ops_blob, tasks, want_spans = message
             _apply_ops(occupancy, placement, pickle.loads(ops_blob))
             results: List[ResultSpec] = []
-            busy_start = time.perf_counter()
+            busy_start = monotonic()
             for slot, cell, window, row_tags in tasks:
                 for row, version in row_tags:
                     mirrored = occupancy.row_version(row) + offsets[row]
@@ -162,8 +169,16 @@ def worker_main(conn: Connection) -> None:
                             f"occupancy mirror out of sync: row {row} at "
                             f"version {mirrored}, parent at {version}"
                         )
+                eval_start = monotonic()
                 best, points = legalizer.evaluate_insert(
                     occupancy, cell, window, cache=legalizer.gap_cache
+                )
+                payload = (
+                    evaluation_span_payload(
+                        points, best, duration=monotonic() - eval_start
+                    )
+                    if want_spans
+                    else None
                 )
                 if best is not None:
                     # Strip the Gap tuple: the parent only needs the
@@ -172,8 +187,8 @@ def worker_main(conn: Connection) -> None:
                     best = EvaluatedInsertion(
                         x=best.x, y=best.y, cost=best.cost, moves=best.moves
                     )
-                results.append((slot, best, points))
-            conn.send(("results", results, time.perf_counter() - busy_start))
+                results.append((slot, best, points, payload))
+            conn.send(("results", results, monotonic() - busy_start))
     except EOFError:
         pass  # Parent went away; nothing to report to.
     except Exception as error:  # noqa: BLE001 - forwarded to the parent
@@ -301,8 +316,10 @@ class ParallelEvaluator:
         return any(worker.alive for worker in self.workers)
 
     def evaluate_batch(
-        self, batch: Sequence[Tuple[int, float, int, Rect]]
-    ) -> List[Optional[EvaluatedInsertion]]:
+        self,
+        batch: Sequence[Tuple[int, float, int, Rect]],
+        want_payloads: bool = False,
+    ) -> List[Tuple[Optional[EvaluatedInsertion], Optional[SpanPayload]]]:
         """Evaluate one scheduler batch on the pool.
 
         Tasks are striped over the live workers; each worker receives
@@ -310,11 +327,19 @@ class ParallelEvaluator:
         sends exactly one reply.  Shares of workers that fail at any
         point are evaluated in-process against the live occupancy —
         which still holds the batch-start state, so results are
-        identical.  The returned list is aligned with ``batch``.
+        identical.  The returned list is aligned with ``batch``; each
+        entry pairs the insertion with its ``evaluate`` span payload
+        when ``want_payloads`` (None otherwise).  Fallback evaluations
+        build the identical payload in-process, so worker failures never
+        change the trace structure.
         """
+        from repro.core.mgl import evaluation_span_payload
+
         legalizer = self.legalizer
         stats = legalizer.stats
-        results: List[Optional[EvaluatedInsertion]] = [None] * len(batch)
+        results: List[
+            Tuple[Optional[EvaluatedInsertion], Optional[SpanPayload]]
+        ] = [(None, None)] * len(batch)
         alive = [worker for worker in self.workers if worker.alive]
         fallback: List[TaskSpec] = []
         if alive:
@@ -334,7 +359,7 @@ class ParallelEvaluator:
                 ops = self._journal[worker.position - self._base :]
                 try:
                     blob = pickle.dumps(ops, protocol=pickle.HIGHEST_PROTOCOL)
-                    worker.conn.send(("batch", blob, tasks))
+                    worker.conn.send(("batch", blob, tasks, want_payloads))
                 except Exception:  # noqa: BLE001 - retire, evaluate locally
                     self._retire(worker)
                     fallback.extend(tasks)
@@ -356,8 +381,11 @@ class ParallelEvaluator:
                         self.recorder.record(
                             f"parallel.worker{worker.index}", busy_seconds
                         )
-                    for slot, best, points in worker_results:
-                        results[slot] = best
+                    for slot, best, points, payload in worker_results:
+                        if payload is not None:
+                            # Which worker ran it is non-structural meta.
+                            payload["worker"] = worker.index
+                        results[slot] = (best, payload)
                         stats["insertions_evaluated"] += points
                 except Exception:  # noqa: BLE001 - retire, evaluate locally
                     self._retire(worker)
@@ -373,9 +401,20 @@ class ParallelEvaluator:
             # In-process re-evaluation: the live occupancy still holds
             # the batch-start state (applies happen after evaluation),
             # so this is the exact computation the worker would have
-            # produced.
+            # produced — including the span payload, whose structural
+            # attrs are a pure function of the task.
             stats["parallel_fallbacks"] += 1
-            results[slot] = legalizer.try_insert(self.occupancy, cell, window)
+            if want_payloads:
+                best, points = legalizer.evaluate_and_count(
+                    self.occupancy, cell, window
+                )
+                results[slot] = (
+                    best, evaluation_span_payload(points, best)
+                )
+            else:
+                results[slot] = (
+                    legalizer.try_insert(self.occupancy, cell, window), None
+                )
         return results
 
     def close(self) -> None:

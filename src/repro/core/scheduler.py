@@ -29,12 +29,23 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Deque, Dict, List, Optional, TYPE_CHECKING, Tuple
 
 from repro.core.insertion import EvaluatedInsertion
-from repro.core.mgl import LegalizationError, MGLegalizer, mgl_cell_order
+from repro.core.mgl import (
+    LegalizationError,
+    MGLegalizer,
+    evaluation_span_payload,
+    mgl_cell_order,
+)
 from repro.core.occupancy import Occupancy
 from repro.model.geometry import Rect
+from repro.obs.metrics import BATCH_OCCUPANCY_BUCKETS
+from repro.obs.tracer import SpanPayload
 
 if TYPE_CHECKING:
     from repro.core.parallel import ParallelEvaluator
+
+#: One batch member's evaluation: the insertion (or None) plus, when a
+#: tracer is enabled, the ``evaluate`` span payload that produced it.
+EvalOutcome = Tuple[Optional[EvaluatedInsertion], Optional[SpanPayload]]
 
 
 class WindowScheduler:
@@ -85,49 +96,83 @@ class WindowScheduler:
                 parallel = None
         self.parallel = parallel
 
+        tracer = legalizer.tracer
         try:
             while waiting:
                 batch, waiting = self._select_batch(waiting)
                 self.batches_run += 1
-                evaluations = self._evaluate_batch(batch, pool)
-                for (cell, scale, attempts, window), insertion in zip(
-                    batch, evaluations
-                ):
-                    if insertion is not None and not self._still_valid(
-                        cell, insertion
-                    ):
-                        # An earlier batch member's spread interfered;
-                        # redo this one against the current state.
-                        self.reevaluations += 1
-                        insertion = legalizer.try_insert(
-                            self.occupancy, cell, window
-                        )
-                    if insertion is not None:
-                        legalizer.apply_insertion(self.occupancy, cell, insertion)
-                        continue
-                    legalizer.stats["window_expansions"] += 1
-                    attempts += 1
-                    if attempts >= params.max_expansions:
-                        # Final attempt at chip scale, synchronously and
-                        # exhaustively.
-                        insertion = legalizer.try_insert(
-                            self.occupancy, cell, legalizer.design.chip_rect,
-                            exhaustive=True,
-                        )
-                        if insertion is None:
-                            raise LegalizationError(
-                                f"cell {cell} cannot be placed; fence "
-                                f"{legalizer.design.fence_of(cell)} appears "
-                                f"over-full"
-                            )
-                        legalizer.apply_insertion(self.occupancy, cell, insertion)
-                    else:
-                        # Re-queue at the front: a failed (usually large)
-                        # cell must not fall behind the small cells that
-                        # would otherwise fragment its remaining space.
-                        waiting.appendleft(
-                            (cell, scale * params.window_expand, attempts)
-                        )
+                if legalizer.recorder is not None:
+                    legalizer.recorder.registry.observe(
+                        "scheduler.batch_occupancy",
+                        float(len(batch)),
+                        BATCH_OCCUPANCY_BUCKETS,
+                    )
+                with tracer.span("batch") as batch_span:
+                    if tracer.enabled:
+                        batch_span.set(size=len(batch))
+                    evaluations = self._evaluate_batch(batch, pool)
+                    for (cell, scale, attempts, window), (
+                        insertion, payload
+                    ) in zip(batch, evaluations):
+                        with tracer.span("window") as span:
+                            if payload is not None:
+                                tracer.attach_payloads([payload])
+                            if insertion is not None and not self._still_valid(
+                                cell, insertion
+                            ):
+                                # An earlier batch member's spread
+                                # interfered; redo this one against the
+                                # current state.
+                                self.reevaluations += 1
+                                insertion = legalizer.traced_evaluate(
+                                    self.occupancy, cell, window, reeval=True
+                                )
+                            if insertion is not None:
+                                legalizer.apply_insertion(
+                                    self.occupancy, cell, insertion
+                                )
+                                legalizer.finish_window_span(
+                                    span, cell, window, attempts, insertion,
+                                    self.occupancy.placement,
+                                )
+                                legalizer.observe_expansions(attempts)
+                                continue
+                            legalizer.stats["window_expansions"] += 1
+                            attempts += 1
+                            if attempts >= params.max_expansions:
+                                # Final attempt at chip scale,
+                                # synchronously and exhaustively.
+                                chip = legalizer.design.chip_rect
+                                insertion = legalizer.traced_evaluate(
+                                    self.occupancy, cell, chip,
+                                    exhaustive=True,
+                                )
+                                if insertion is None:
+                                    raise LegalizationError(
+                                        f"cell {cell} cannot be placed; "
+                                        f"fence "
+                                        f"{legalizer.design.fence_of(cell)} "
+                                        f"appears over-full"
+                                    )
+                                legalizer.apply_insertion(
+                                    self.occupancy, cell, insertion
+                                )
+                                legalizer.finish_window_span(
+                                    span, cell, chip, attempts, insertion,
+                                    self.occupancy.placement, exhaustive=True,
+                                )
+                                legalizer.observe_expansions(attempts)
+                            else:
+                                # Re-queue at the front: a failed (usually
+                                # large) cell must not fall behind the
+                                # small cells that would otherwise fragment
+                                # its remaining space.
+                                if tracer.enabled:
+                                    span.set(cell=cell, requeued=True)
+                                waiting.appendleft(
+                                    (cell, scale * params.window_expand,
+                                     attempts)
+                                )
             legalizer.stats["scheduler_batches"] = self.batches_run
             legalizer.stats["scheduler_reevaluations"] = self.reevaluations
         finally:
@@ -164,22 +209,39 @@ class WindowScheduler:
         self,
         batch: List[Tuple[int, float, int, Rect]],
         pool: Optional[ThreadPoolExecutor],
-    ) -> List[Optional[EvaluatedInsertion]]:
-        """Evaluate all members against the frozen batch-start state."""
+    ) -> List[EvalOutcome]:
+        """Evaluate all members against the frozen batch-start state.
+
+        Returns one ``(insertion, payload)`` pair per batch member; the
+        payload is the member's ``evaluate`` span and stays None when no
+        tracer is enabled.  Whichever backend runs the evaluation —
+        worker process, thread pool, or in-process — the payload is the
+        same pure function of the task, so the trace structure never
+        depends on the backend.
+        """
         legalizer = self.legalizer
+        traced = legalizer.tracer.enabled
         parallel = self.parallel
         if parallel is not None and len(batch) > 1:
             if parallel.active:
-                return parallel.evaluate_batch(batch)
+                return parallel.evaluate_batch(batch, want_payloads=traced)
             # Every worker failed earlier; continue serially for the
             # rest of the run (identical placements either way).
             parallel.close()
             self.parallel = None
         if pool is None or len(batch) <= 1:
-            return [
-                legalizer.try_insert(self.occupancy, cell, window)
-                for cell, _scale, _attempts, window in batch
-            ]
+            if not traced:
+                return [
+                    (legalizer.try_insert(self.occupancy, cell, window), None)
+                    for cell, _scale, _attempts, window in batch
+                ]
+            outcomes: List[EvalOutcome] = []
+            for cell, _scale, _attempts, window in batch:
+                best, points = legalizer.evaluate_and_count(
+                    self.occupancy, cell, window
+                )
+                outcomes.append((best, evaluation_span_payload(points, best)))
+            return outcomes
         # Submit the pure evaluation (not try_insert: its stats update is
         # a shared-state write) and fold the counts back in serially.
         futures = [
@@ -189,7 +251,13 @@ class WindowScheduler:
         results = [future.result() for future in futures]
         for _best, evaluated_points in results:
             legalizer.stats["insertions_evaluated"] += evaluated_points
-        return [best for best, _evaluated_points in results]
+        return [
+            (
+                best,
+                evaluation_span_payload(points, best) if traced else None,
+            )
+            for best, points in results
+        ]
 
     def _still_valid(self, target: int, insertion: EvaluatedInsertion) -> bool:
         """Check the evaluated moves against the *current* occupancy.

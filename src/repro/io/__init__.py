@@ -8,6 +8,7 @@ placers — geometry, fixed cells, and nets; no fences/rails).
 
 from repro.io.bookshelf import load_bookshelf, save_bookshelf
 from repro.io.textformat import (
+    design_to_text,
     load_design,
     load_placement,
     save_design,
@@ -15,6 +16,7 @@ from repro.io.textformat import (
 )
 
 __all__ = [
+    "design_to_text",
     "load_bookshelf",
     "load_design",
     "load_placement",

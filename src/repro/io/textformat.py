@@ -37,8 +37,13 @@ from repro.model.technology import CellType, PinShape, Technology
 PathLike = Union[str, Path]
 
 
-def save_design(design: Design, path: PathLike) -> None:
-    """Serialize a complete design to ``path``."""
+def design_to_text(design: Design) -> str:
+    """Canonical text serialization of a complete design.
+
+    This string is the content identity of a design: it feeds both
+    :func:`save_design` and :func:`repro.obs.manifest.design_digest`, so
+    a manifest's digest matches what a saved file would hash to.
+    """
     lines: List[str] = [
         "# repro design v1",
         f"design {design.name} rows {design.num_rows} sites {design.num_sites} "
@@ -90,7 +95,12 @@ def save_design(design: Design, path: PathLike) -> None:
     for net in design.netlist.nets:
         members = " ".join(str(pin.cell) for pin in net.pins)
         lines.append(f"net {net.name} {members}")
-    Path(path).write_text("\n".join(lines) + "\n")
+    return "\n".join(lines) + "\n"
+
+
+def save_design(design: Design, path: PathLike) -> None:
+    """Serialize a complete design to ``path``."""
+    Path(path).write_text(design_to_text(design))
 
 
 def load_design(path: PathLike) -> Design:

@@ -68,12 +68,15 @@ class Rail:
         hi = min(hi, self.span.hi)
         if hi <= lo:
             return False
-        # First stripe index whose high edge is past lo.
+        # First stripe index whose high edge is past lo.  The division can
+        # round onto an exact integer when lo sits on a stripe edge, which
+        # would skip a stripe still grazing lo — so test `first - 1` too.
         first = math.floor((lo - self.offset - self.width) / self.pitch) + 1
-        stripe_lo = self.offset + first * self.pitch
-        # The stripe overlaps [lo, hi) iff stripe_lo < hi (its high edge is
-        # already known to exceed lo by choice of `first`).
-        return stripe_lo < hi and stripe_lo + self.width > lo
+        for index in (first - 1, first):
+            stripe_lo = self.offset + index * self.pitch
+            if stripe_lo < hi and stripe_lo + self.width > lo:
+                return True
+        return False
 
     def overlaps_rect(self, rect: Rect) -> bool:
         """True when some stripe of this family intersects ``rect``."""
@@ -93,8 +96,10 @@ class Rail:
         hi_eff = min(hi, self.span.hi)
         if hi_eff <= lo_eff:
             return
+        # Start one index early: the same edge-rounding case as in
+        # overlaps_interval; non-intersecting stripes are filtered below.
         first = math.floor((lo_eff - self.offset - self.width) / self.pitch) + 1
-        index = first
+        index = first - 1
         while True:
             stripe_lo = self.offset + index * self.pitch
             if stripe_lo >= hi_eff:

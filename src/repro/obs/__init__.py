@@ -1,0 +1,43 @@
+"""Observability: span tracing, metrics, run manifests, logging.
+
+Import surface is deliberately light — tracer, metrics, clock, and log
+only, so ``repro.obs`` can be imported from anywhere in the package
+(including :mod:`repro.core`) without cycles.  Manifests and the report
+renderer import model/io types and live behind explicit
+``repro.obs.manifest`` / ``repro.obs.report`` imports.
+"""
+
+from repro.obs.clock import monotonic
+from repro.obs.log import get_logger, setup_logging
+from repro.obs.metrics import (
+    BATCH_OCCUPANCY_BUCKETS,
+    DISPLACEMENT_BUCKETS,
+    EXPANSION_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanPayload,
+    SpanTracer,
+    structure_hash,
+)
+
+__all__ = [
+    "BATCH_OCCUPANCY_BUCKETS",
+    "DISPLACEMENT_BUCKETS",
+    "EXPANSION_BUCKETS",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "SpanPayload",
+    "SpanTracer",
+    "get_logger",
+    "monotonic",
+    "setup_logging",
+    "structure_hash",
+]

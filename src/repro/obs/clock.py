@@ -1,0 +1,34 @@
+"""The one sanctioned monotonic clock of the observability layer.
+
+The reproduction's standing invariant (repro-lint **D004**,
+docs/STATIC_ANALYSIS.md) is that algorithm results are a pure function
+of their inputs: algorithm modules must never read the *wall* clock.
+Monotonic duration probes are permitted — they measure stages without
+steering them — but scattering ``time.perf_counter()`` calls through the
+codebase makes that boundary hard to audit.  This module confines the
+monotonic clock to one place: every timestamp recorded by
+:mod:`repro.obs` (span start/end, stage timers, worker busy time) is
+read through :func:`monotonic`, and nothing here ever exposes calendar
+time.
+
+Timestamps read from this clock are **non-structural** by definition:
+they are stripped before any determinism comparison (see
+:func:`repro.obs.tracer.structure_hash`) and never feed back into a
+placement decision.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["monotonic"]
+
+
+def monotonic() -> float:
+    """Monotonic seconds since an arbitrary origin (``perf_counter``).
+
+    The only clock observability code may read.  Differences are
+    meaningful; absolute values are not, carry no calendar information,
+    and are not comparable across processes.
+    """
+    return time.perf_counter()

@@ -1,0 +1,45 @@
+"""Stdlib-logging setup for the CLI and other entry points.
+
+Diagnostics ("wrote X", "imported Y") go through the ``repro`` logger
+hierarchy to **stderr**; computed results (scores, summaries, tables)
+stay on stdout, so pipelines consuming ``repro`` output never see
+logging noise.  Library code only ever calls :func:`get_logger` —
+:func:`setup_logging` is for executables, which own the handler policy
+(the CLI wires it to ``--log-level``).
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, TextIO
+
+__all__ = ["get_logger", "setup_logging"]
+
+LEVELS = ("debug", "info", "warning", "error")
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (``repro.<name>``)."""
+    return logging.getLogger(f"repro.{name}" if name else "repro")
+
+
+def setup_logging(
+    level: str = "info", stream: Optional[TextIO] = None
+) -> logging.Logger:
+    """Configure the ``repro`` logger tree; idempotent.
+
+    Replaces any handlers previously installed here (repeat CLI
+    invocations in one process, e.g. the test suite, must not stack
+    duplicates) and never touches the root logger, so embedding
+    applications keep their own logging untouched.
+    """
+    if level.lower() not in LEVELS:
+        raise ValueError(f"unknown log level {level!r}; pick one of {LEVELS}")
+    logger = get_logger()
+    logger.setLevel(getattr(logging, level.upper()))
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+    logger.handlers[:] = [handler]
+    logger.propagate = False
+    return logger

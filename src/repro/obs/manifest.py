@@ -1,0 +1,162 @@
+"""Run manifests: what exactly produced an artifact, and on what.
+
+A manifest is a small JSON document emitted beside every profile/trace
+that pins down the run completely: the design (name, size, content
+digest), every legalizer parameter, the worker count, the resulting
+placement hash, the trace structure hash when tracing was on, and the
+software environment (package/Python version, platform).  Two runs with
+equal design digest, params, and placement hash computed the same
+answer — on any machine, at any worker count; when they disagree,
+:func:`diff_manifests` names exactly which knob or environment fact
+differs.  ``repro report`` renders and diffs manifests from the CLI.
+
+Digest conventions match ``benchmarks/bench_perf.py``: 16 hex chars of
+SHA-256 over a canonical text serialization, so bench reports, CI
+artifacts, and manifests are directly comparable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.core.params import LegalizerParams
+from repro.model.design import Design
+from repro.model.placement import Placement
+
+__all__ = [
+    "MANIFEST_VERSION",
+    "build_manifest",
+    "design_digest",
+    "diff_manifests",
+    "load_manifest",
+    "manifest_path_for",
+    "placement_digest",
+    "write_manifest",
+]
+
+MANIFEST_VERSION = 1
+
+#: Manifests are plain JSON objects; nesting is design/params sections.
+Manifest = Dict[str, Any]
+
+PathLike = Union[str, Path]
+
+
+def design_digest(design: Design) -> str:
+    """Content digest of a design via its canonical text serialization."""
+    from repro.io.textformat import design_to_text
+
+    return hashlib.sha256(design_to_text(design).encode()).hexdigest()[:16]
+
+
+def placement_digest(placement: Placement) -> str:
+    """Order-stable digest of all cell positions (bench-report compatible)."""
+    payload = repr(list(zip(placement.x, placement.y))).encode()
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+def build_manifest(
+    design: Design,
+    params: LegalizerParams,
+    placement: Optional[Placement] = None,
+    *,
+    seed: Optional[int] = None,
+    trace_structure_hash: Optional[str] = None,
+) -> Manifest:
+    """Assemble the manifest for one run.
+
+    ``seed`` is the synthetic-generation seed when the caller knows it
+    (designs loaded from files carry none).  Environment fields record
+    where the run happened; they are expected to differ across machines
+    and are reported separately by :func:`diff_manifests`.
+    """
+    import repro
+
+    return {
+        "manifest_version": MANIFEST_VERSION,
+        "design": {
+            "name": design.name,
+            "cells": design.num_cells,
+            "rows": design.num_rows,
+            "sites": design.num_sites,
+            "digest": design_digest(design),
+        },
+        "params": asdict(params),
+        "seed": seed,
+        "workers": params.scheduler_workers,
+        "placement_hash": (
+            placement_digest(placement) if placement is not None else None
+        ),
+        "trace_structure_hash": trace_structure_hash,
+        "package_version": repro.__version__,
+        "python_version": platform.python_version(),
+        "platform": platform.platform(),
+    }
+
+
+def manifest_path_for(artifact_path: PathLike) -> Path:
+    """The conventional manifest location beside an artifact.
+
+    ``out/profile.json`` -> ``out/profile.manifest.json``;
+    ``run.trace.json`` -> ``run.trace.manifest.json``.
+    """
+    path = Path(artifact_path)
+    stem = path.name[:-5] if path.name.endswith(".json") else path.name
+    return path.with_name(stem + ".manifest.json")
+
+
+def write_manifest(manifest: Manifest, path: PathLike) -> None:
+    Path(path).write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+    )
+
+
+def load_manifest(path: PathLike) -> Manifest:
+    with open(path) as handle:
+        manifest: Manifest = json.load(handle)
+    return manifest
+
+
+#: Fields describing the machine/software, not the computation.  A
+#: mismatch here explains *why* results could differ; a mismatch in any
+#: other field means the runs were not the same experiment.
+ENVIRONMENT_FIELDS = ("package_version", "python_version", "platform")
+
+
+def _flatten(manifest: Manifest, prefix: str = "") -> Dict[str, object]:
+    flat: Dict[str, object] = {}
+    for key in sorted(manifest):
+        value = manifest[key]
+        dotted = f"{prefix}{key}"
+        if isinstance(value, dict):
+            flat.update(_flatten(value, dotted + "."))
+        else:
+            flat[dotted] = value
+    return flat
+
+
+def diff_manifests(a: Manifest, b: Manifest) -> List[str]:
+    """Human-readable mismatch lines, configuration before environment.
+
+    Empty means the manifests agree on every field.
+    """
+    flat_a, flat_b = _flatten(a), _flatten(b)
+    config: List[str] = []
+    environment: List[str] = []
+    for key in sorted(set(flat_a) | set(flat_b)):
+        if key not in flat_a:
+            config.append(f"{key}: <absent> != {flat_b[key]!r}")
+        elif key not in flat_b:
+            config.append(f"{key}: {flat_a[key]!r} != <absent>")
+        elif flat_a[key] != flat_b[key]:
+            line = f"{key}: {flat_a[key]!r} != {flat_b[key]!r}"
+            if key in ENVIRONMENT_FIELDS:
+                environment.append(f"{line} (environment)")
+            else:
+                config.append(line)
+    return config + environment

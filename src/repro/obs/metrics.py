@@ -1,0 +1,183 @@
+"""Deterministic metrics registry: counters, gauges, and histograms.
+
+One :class:`MetricsRegistry` collects everything a run observes:
+
+* **counters** — monotone integer totals (insertions evaluated, cache
+  hits, scheduler re-evaluations);
+* **gauges** — last-write-wins floats (gap-cache hit ratio);
+* **timings** — accumulated stage seconds plus call counts (the
+  :class:`repro.perf.PerfRecorder` stage timers live here);
+* **histograms** — fixed-bucket distributions: per-height-class
+  displacement in row-height units (the distribution behind S_am /
+  Eq. 2 and max-disp), window expansion depth, scheduler batch
+  occupancy.
+
+Everything except the timings is a pure function of the legalization
+inputs, and serialization (:meth:`MetricsRegistry.as_dict` with
+``sort_keys`` at dump time) is deterministic: two runs of the same
+design at any worker count produce byte-identical counter/gauge/
+histogram sections.  The registry is injected explicitly (usually via a
+:class:`repro.perf.PerfRecorder`); un-instrumented runs never touch it.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "BATCH_OCCUPANCY_BUCKETS",
+    "DISPLACEMENT_BUCKETS",
+    "EXPANSION_BUCKETS",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: Displacement buckets in row-height units.  Well-legalized cells land
+#: in the first few; the tail is the max-disp story the §3.2 matching
+#: stage exists to crush.
+DISPLACEMENT_BUCKETS: Tuple[float, ...] = (
+    0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0,
+)
+
+#: MGL window expansion depth per cell (0 = first window fit).
+EXPANSION_BUCKETS: Tuple[float, ...] = (
+    0.0, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0,
+)
+
+#: Scheduler batch occupancy (windows actually packed into one L_p batch).
+BATCH_OCCUPANCY_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0,
+)
+
+
+class Histogram:
+    """A fixed-bucket histogram with inclusive upper bounds.
+
+    A value ``v`` lands in the first bucket whose bound satisfies
+    ``v <= bound``; values above every bound land in the implicit
+    overflow bucket, so ``len(counts) == len(bounds) + 1`` always.
+    Bounds are fixed at construction — merged or diffed histograms never
+    need re-bucketing.
+    """
+
+    __slots__ = ("bounds", "counts", "total", "sum")
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        cleaned = tuple(float(bound) for bound in bounds)
+        if not cleaned or list(cleaned) != sorted(set(cleaned)):
+            raise ValueError(
+                f"histogram bounds must be strictly increasing: {bounds!r}"
+            )
+        self.bounds = cleaned
+        self.counts: List[int] = [0] * (len(cleaned) + 1)
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.total += 1
+        self.sum += value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot (floats rounded for stable text output)."""
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.total,
+            "sum": round(self.sum, 6),
+            "mean": round(self.mean, 6),
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({len(self.bounds)} buckets, {self.total} samples)"
+
+
+class MetricsRegistry:
+    """Counters, gauges, timings, and histograms for one run."""
+
+    def __init__(self) -> None:
+        self.timings: Dict[str, float] = {}
+        self.stage_calls: Dict[str, int] = {}
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # -- recording -----------------------------------------------------
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to the counter ``name``."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def record_time(self, name: str, seconds: float) -> None:
+        """Accumulate a stage duration (and its call count)."""
+        self.timings[name] = self.timings.get(name, 0.0) + seconds
+        self.stage_calls[name] = self.stage_calls.get(name, 0) + 1
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set a last-write-wins gauge."""
+        self.gauges[name] = value
+
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        """Fetch (or create, given ``bounds``) the histogram ``name``.
+
+        Bounds are part of a histogram's identity: re-registering an
+        existing name with different bounds raises.
+        """
+        existing = self.histograms.get(name)
+        if existing is not None:
+            if bounds is not None and tuple(
+                float(bound) for bound in bounds
+            ) != existing.bounds:
+                raise ValueError(
+                    f"histogram {name!r} already registered with bounds "
+                    f"{existing.bounds}"
+                )
+            return existing
+        if bounds is None:
+            raise KeyError(f"histogram {name!r} not registered")
+        created = Histogram(bounds)
+        self.histograms[name] = created
+        return created
+
+    def observe(self, name: str, value: float, bounds: Sequence[float]) -> None:
+        """One-call convenience: register-if-needed and record a sample."""
+        self.histogram(name, bounds).observe(value)
+
+    # -- reporting -----------------------------------------------------
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot of every section (sorted at dump time)."""
+        return {
+            "timings": {
+                name: round(seconds, 6)
+                for name, seconds in self.timings.items()
+            },
+            "stage_calls": dict(self.stage_calls),
+            "counters": dict(self.counters),
+            "gauges": {
+                name: round(value, 6) for name, value in self.gauges.items()
+            },
+            "histograms": {
+                name: histogram.as_dict()
+                for name, histogram in self.histograms.items()
+            },
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry({len(self.timings)} stages, "
+            f"{len(self.counters)} counters, {len(self.gauges)} gauges, "
+            f"{len(self.histograms)} histograms)"
+        )

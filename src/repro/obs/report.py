@@ -1,0 +1,273 @@
+"""Render and diff run artifacts (``repro report``).
+
+A *run* is located either by a directory holding the conventional
+``profile.json`` / ``manifest.json`` / ``trace.json`` trio (what
+``repro legalize --run-dir`` writes) or by a profile JSON path whose
+manifest sits beside it per
+:func:`repro.obs.manifest.manifest_path_for`.  One run renders as a
+readable summary; two runs render as a diff: manifest mismatches,
+counter/timing deltas, histogram drift, and an explicit list of metrics
+present in only one run (never silently skipped).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.obs.manifest import diff_manifests, load_manifest, manifest_path_for
+
+__all__ = ["RunArtifacts", "load_run", "render_diff", "render_run"]
+
+PathLike = Union[str, Path]
+
+JsonDict = Dict[str, Any]
+
+
+@dataclass
+class RunArtifacts:
+    """Everything found for one run; absent artifacts stay None."""
+
+    root: Path
+    profile: Optional[JsonDict] = None
+    manifest: Optional[JsonDict] = None
+    trace_path: Optional[Path] = None
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def label(self) -> str:
+        return str(self.root)
+
+
+def _read_json(path: Path) -> JsonDict:
+    with open(path) as handle:
+        data: JsonDict = json.load(handle)
+    return data
+
+
+def load_run(path: PathLike) -> RunArtifacts:
+    """Locate a run's artifacts from a directory or a profile path."""
+    root = Path(path)
+    run = RunArtifacts(root=root)
+    if root.is_dir():
+        profile_path = root / "profile.json"
+        manifest_path = root / "manifest.json"
+        trace_path = root / "trace.json"
+    elif root.exists():
+        profile_path = root
+        manifest_path = manifest_path_for(root)
+        trace_path = Path()  # No sidecar-trace convention for bare files.
+    else:
+        run.problems.append(f"{root}: no such run directory or profile")
+        return run
+    if profile_path.is_file():
+        run.profile = _read_json(profile_path)
+    else:
+        run.problems.append(f"{root}: no profile ({profile_path.name} missing)")
+    if manifest_path.is_file():
+        run.manifest = load_manifest(manifest_path)
+    else:
+        run.problems.append(
+            f"{root}: no manifest ({manifest_path.name} missing)"
+        )
+    if trace_path.is_file():
+        run.trace_path = trace_path
+    return run
+
+
+# ----------------------------------------------------------------------
+# Single-run rendering
+# ----------------------------------------------------------------------
+
+
+def _section(profile: Optional[JsonDict], key: str) -> JsonDict:
+    if not profile:
+        return {}
+    section = profile.get(key)
+    return section if isinstance(section, dict) else {}
+
+
+def _render_manifest(manifest: JsonDict, lines: List[str]) -> None:
+    design = manifest.get("design") or {}
+    lines.append("manifest")
+    lines.append(
+        f"  design          {design.get('name')} "
+        f"({design.get('cells')} cells, {design.get('rows')} rows, "
+        f"digest {design.get('digest')})"
+    )
+    lines.append(
+        f"  run             workers={manifest.get('workers')} "
+        f"seed={manifest.get('seed')} "
+        f"placement_hash={manifest.get('placement_hash')}"
+    )
+    if manifest.get("trace_structure_hash"):
+        lines.append(
+            f"  trace           structure_hash="
+            f"{manifest.get('trace_structure_hash')}"
+        )
+    lines.append(
+        f"  environment     repro {manifest.get('package_version')}, "
+        f"Python {manifest.get('python_version')}, "
+        f"{manifest.get('platform')}"
+    )
+    params = manifest.get("params") or {}
+    if params:
+        rendered = " ".join(
+            f"{key}={params[key]}" for key in sorted(params)
+        )
+        lines.append(f"  params          {rendered}")
+
+
+def _render_histogram(name: str, data: JsonDict, lines: List[str]) -> None:
+    counts = data.get("counts") or []
+    bounds = data.get("bounds") or []
+    lines.append(
+        f"  {name}: count={data.get('count')} mean={data.get('mean')}"
+    )
+    peak = max((int(count) for count in counts), default=0)
+    labels = [f"<={bound:g}" for bound in bounds] + ["inf"]
+    for label, count in zip(labels, counts):
+        if not count:
+            continue
+        bar = "#" * max(1, round(24 * int(count) / peak)) if peak else ""
+        lines.append(f"    {label:>8s} {int(count):>8d} {bar}")
+
+
+def render_run(run: RunArtifacts) -> str:
+    """Human-readable summary of one run."""
+    lines = [f"run: {run.label}"]
+    for problem in run.problems:
+        lines.append(f"  warning: {problem}")
+    if run.manifest:
+        _render_manifest(run.manifest, lines)
+    timings = _section(run.profile, "timings")
+    if timings:
+        lines.append("timings")
+        total = sum(float(seconds) for seconds in timings.values())
+        for name in sorted(timings, key=lambda key: -float(timings[key])):
+            seconds = float(timings[name])
+            share = 100.0 * seconds / total if total > 0 else 0.0
+            lines.append(f"  {name:24s} {seconds:9.3f}s  {share:5.1f}%")
+    counters = _section(run.profile, "counters")
+    if counters:
+        lines.append("counters")
+        for name in sorted(counters):
+            lines.append(f"  {name:32s} {int(counters[name]):>12d}")
+    gauges = _section(run.profile, "gauges")
+    if gauges:
+        lines.append("gauges")
+        for name in sorted(gauges):
+            lines.append(f"  {name:32s} {float(gauges[name]):>12.4f}")
+    histograms = _section(run.profile, "histograms")
+    if histograms:
+        lines.append("histograms")
+        for name in sorted(histograms):
+            _render_histogram(name, histograms[name], lines)
+    if run.trace_path is not None:
+        lines.append(f"trace: {run.trace_path} (load at https://ui.perfetto.dev)")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Two-run diff
+# ----------------------------------------------------------------------
+
+
+def _fmt_delta(old: float, new: float) -> str:
+    if old == new:
+        return "unchanged"
+    if old == 0:
+        return f"{old:g} -> {new:g}"
+    return f"{old:g} -> {new:g} ({100.0 * (new / old - 1.0):+.1f}%)"
+
+
+def _diff_numeric_section(
+    a: JsonDict, b: JsonDict, title: str, lines: List[str]
+) -> None:
+    common = sorted(set(a) & set(b))
+    changed = [key for key in common if a[key] != b[key]]
+    only_a = sorted(set(a) - set(b))
+    only_b = sorted(set(b) - set(a))
+    if not changed and not only_a and not only_b:
+        return
+    lines.append(title)
+    for key in changed:
+        lines.append(
+            f"  {key:32s} {_fmt_delta(float(a[key]), float(b[key]))}"
+        )
+    if only_a:
+        lines.append(f"  only in first:  {', '.join(only_a)}")
+    if only_b:
+        lines.append(f"  only in second: {', '.join(only_b)}")
+
+
+def _diff_histograms(a: JsonDict, b: JsonDict, lines: List[str]) -> None:
+    names = sorted(set(a) | set(b))
+    rendered: List[str] = []
+    for name in names:
+        if name not in a or name not in b:
+            where = "first" if name in a else "second"
+            rendered.append(f"  {name}: only in {where}")
+            continue
+        ha, hb = a[name], b[name]
+        if ha == hb:
+            continue
+        rendered.append(
+            f"  {name}: count {_fmt_delta(float(ha.get('count', 0)), float(hb.get('count', 0)))}, "
+            f"mean {_fmt_delta(float(ha.get('mean', 0.0)), float(hb.get('mean', 0.0)))}"
+        )
+        bounds = ha.get("bounds") or []
+        labels = [f"<={bound:g}" for bound in bounds] + ["inf"]
+        counts_a = ha.get("counts") or []
+        counts_b = hb.get("counts") or []
+        for label, count_a, count_b in zip(labels, counts_a, counts_b):
+            if count_a != count_b:
+                rendered.append(
+                    f"    {label:>8s} {int(count_a)} -> {int(count_b)}"
+                )
+    if rendered:
+        lines.append("histogram drift")
+        lines.extend(rendered)
+
+
+def render_diff(a: RunArtifacts, b: RunArtifacts) -> str:
+    """Diff of two runs: manifests, timings, counters, gauges, histograms."""
+    lines = [f"diff: {a.label}  vs  {b.label}"]
+    for run in (a, b):
+        for problem in run.problems:
+            lines.append(f"  warning: {problem}")
+    if a.manifest and b.manifest:
+        mismatches = diff_manifests(a.manifest, b.manifest)
+        if mismatches:
+            lines.append("manifest diff")
+            lines.extend(f"  {line}" for line in mismatches)
+        else:
+            lines.append("manifests agree")
+    _diff_numeric_section(
+        _section(a.profile, "timings"),
+        _section(b.profile, "timings"),
+        "timing deltas (seconds)",
+        lines,
+    )
+    _diff_numeric_section(
+        _section(a.profile, "counters"),
+        _section(b.profile, "counters"),
+        "counter deltas",
+        lines,
+    )
+    _diff_numeric_section(
+        _section(a.profile, "gauges"),
+        _section(b.profile, "gauges"),
+        "gauge deltas",
+        lines,
+    )
+    _diff_histograms(
+        _section(a.profile, "histograms"),
+        _section(b.profile, "histograms"),
+        lines,
+    )
+    if len(lines) == 1:
+        lines.append("no differences found")
+    return "\n".join(lines)

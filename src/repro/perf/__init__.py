@@ -13,8 +13,14 @@ legalizer's counters, then emit them as JSON::
 The CLI exposes the same through ``repro legalize --profile [FILE]``,
 and ``benchmarks/bench_perf.py`` builds its ``BENCH_mgl.json`` report on
 top of it.
+
+Since the ``repro.obs`` subsystem landed, the recorder is a thin shim
+over :class:`repro.obs.metrics.MetricsRegistry` — gauges and histograms
+recorded there (displacement distributions, expansion depth, batch
+occupancy) fold into the same profile JSON.
 """
 
+from repro.obs.metrics import MetricsRegistry
 from repro.perf.recorder import PerfRecorder, PerfValue
 
-__all__ = ["PerfRecorder", "PerfValue"]
+__all__ = ["MetricsRegistry", "PerfRecorder", "PerfValue"]

@@ -1,14 +1,18 @@
 """Lightweight wall-time and counter instrumentation.
 
-A :class:`PerfRecorder` collects named stage timings (via the
-:meth:`~PerfRecorder.stage` context manager) and integer counters, and
-renders them as JSON or a human-readable summary.  It is injected
-explicitly — there is no module-global recorder — so un-instrumented
-runs pay nothing and instrumented runs stay easy to reason about:
-recording happens only in the serial orchestration layers
-(:class:`repro.core.legalizer.Legalizer`, the CLI, benchmark drivers),
-never inside the pure evaluation paths the scheduler's thread pool may
-execute.
+A :class:`PerfRecorder` is now a thin shim over
+:class:`repro.obs.metrics.MetricsRegistry`: stage timings, counters,
+gauges, and histograms all live in the registry, and the recorder keeps
+the original recording/reporting API (``stage``/``record``/``count``/
+``as_dict``/``summary``) on top of it.  Code holding a recorder can
+reach the richer registry via :attr:`PerfRecorder.registry`.
+
+The recorder is injected explicitly — there is no module-global
+recorder — so un-instrumented runs pay nothing and instrumented runs
+stay easy to reason about: recording happens only in the serial
+orchestration layers (:class:`repro.core.legalizer.Legalizer`, the CLI,
+benchmark drivers), never inside the pure evaluation paths the
+scheduler's thread pool may execute.
 
 Timings are wall-clock and therefore non-deterministic; they live only
 in perf reports and never feed back into any placement decision.
@@ -17,9 +21,11 @@ in perf reports and never feed back into any placement decision.
 from __future__ import annotations
 
 import json
-import time
 from contextlib import contextmanager
-from typing import Dict, Iterator, Mapping, Union
+from typing import Dict, Iterator, Mapping, Optional, Union
+
+from repro.obs.clock import monotonic
+from repro.obs.metrics import MetricsRegistry
 
 PerfValue = Union[int, float, str]
 
@@ -28,54 +34,77 @@ class PerfRecorder:
     """Accumulates per-stage wall times and named integer counters.
 
     Attributes:
+        registry: the backing :class:`MetricsRegistry`.
         timings: seconds per stage name; repeated stages accumulate.
         stage_calls: how many times each stage ran.
         counters: named integer counters (merged legalizer stats etc.).
     """
 
-    def __init__(self) -> None:
-        self.timings: Dict[str, float] = {}
-        self.stage_calls: Dict[str, int] = {}
-        self.counters: Dict[str, int] = {}
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+
+    # The legacy attribute surface stays live views into the registry.
+
+    @property
+    def timings(self) -> Dict[str, float]:
+        return self.registry.timings
+
+    @property
+    def stage_calls(self) -> Dict[str, int]:
+        return self.registry.stage_calls
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        return self.registry.counters
 
     # -- recording -----------------------------------------------------
 
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
         """Time a ``with``-block under ``name`` (accumulating)."""
-        start = time.perf_counter()
+        start = monotonic()
         try:
             yield
         finally:
-            elapsed = time.perf_counter() - start
-            self.timings[name] = self.timings.get(name, 0.0) + elapsed
-            self.stage_calls[name] = self.stage_calls.get(name, 0) + 1
+            self.registry.record_time(name, monotonic() - start)
 
     def record(self, name: str, seconds: float) -> None:
         """Record an externally measured stage duration (accumulating)."""
-        self.timings[name] = self.timings.get(name, 0.0) + seconds
-        self.stage_calls[name] = self.stage_calls.get(name, 0) + 1
+        self.registry.record_time(name, seconds)
 
     def count(self, name: str, amount: int = 1) -> None:
         """Add ``amount`` to the counter ``name``."""
-        self.counters[name] = self.counters.get(name, 0) + amount
+        self.registry.count(name, amount)
 
     def merge_counters(
         self, counters: Mapping[str, int], prefix: str = ""
     ) -> None:
         """Fold a stats mapping (e.g. ``MGLegalizer.stats``) into ours."""
         for name, value in counters.items():
-            self.count(prefix + name, value)
+            self.registry.count(prefix + name, value)
 
     # -- reporting -----------------------------------------------------
 
-    def as_dict(self) -> Dict[str, Dict[str, PerfValue]]:
-        """JSON-ready snapshot: ``{"timings": ..., "counters": ...}``."""
-        return {
-            "timings": {name: round(t, 6) for name, t in self.timings.items()},
-            "stage_calls": dict(self.stage_calls),
-            "counters": dict(self.counters),
+    def derived(self) -> Dict[str, float]:
+        """Rates computed from counters, kept out of the raw sections.
+
+        Currently: ``gap_cache_hit_rate`` (percent), when any gap-cache
+        traffic was counted.
+        """
+        rates: Dict[str, float] = {}
+        hits = self.registry.counters.get("mgl.gap_cache_hits", 0)
+        misses = self.registry.counters.get("mgl.gap_cache_misses", 0)
+        if hits + misses > 0:
+            rates["gap_cache_hit_rate"] = 100.0 * hits / (hits + misses)
+        return rates
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot of every registry section plus derived rates."""
+        payload = self.registry.as_dict()
+        payload["derived"] = {
+            name: round(value, 6) for name, value in self.derived().items()
         }
+        return payload
 
     def to_json(self) -> str:
         return json.dumps(self.as_dict(), indent=2, sort_keys=True)
@@ -85,28 +114,42 @@ class PerfRecorder:
             handle.write(self.to_json() + "\n")
 
     def summary(self) -> str:
-        """Human-readable report, stages by descending time."""
+        """Human-readable report, stages by descending time.
+
+        Derived rates render in their own ``derived`` section rather than
+        being mixed into the raw counter listing.
+        """
         lines = ["perf summary"]
-        total = sum(self.timings.values())
+        timings = self.registry.timings
+        total = sum(timings.values())
         for name, seconds in sorted(
-            self.timings.items(), key=lambda item: -item[1]
+            timings.items(), key=lambda item: -item[1]
         ):
             share = 100.0 * seconds / total if total > 0 else 0.0
             lines.append(f"  {name:24s} {seconds:9.3f}s  {share:5.1f}%")
-        if self.counters:
+        if self.registry.counters:
             lines.append("counters")
-            for name in sorted(self.counters):
-                lines.append(f"  {name:32s} {self.counters[name]:>12d}")
-        hits = self.counters.get("mgl.gap_cache_hits", 0)
-        misses = self.counters.get("mgl.gap_cache_misses", 0)
-        if hits + misses > 0:
-            lines.append(
-                f"  gap cache hit rate: {100.0 * hits / (hits + misses):.1f}%"
-            )
+            for name in sorted(self.registry.counters):
+                lines.append(
+                    f"  {name:32s} {self.registry.counters[name]:>12d}"
+                )
+        if self.registry.gauges:
+            lines.append("gauges")
+            for name in sorted(self.registry.gauges):
+                lines.append(
+                    f"  {name:32s} {self.registry.gauges[name]:>12.4f}"
+                )
+        derived = self.derived()
+        if derived:
+            lines.append("derived")
+            if "gap_cache_hit_rate" in derived:
+                lines.append(
+                    f"  gap cache hit rate: {derived['gap_cache_hit_rate']:.1f}%"
+                )
         return "\n".join(lines)
 
     def __repr__(self) -> str:
         return (
-            f"PerfRecorder({len(self.timings)} stages, "
-            f"{len(self.counters)} counters)"
+            f"PerfRecorder({len(self.registry.timings)} stages, "
+            f"{len(self.registry.counters)} counters)"
         )

@@ -1,0 +1,185 @@
+"""Tests for benchmarks/check_regression.py: gates, warnings, deltas."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[1]
+
+spec = importlib.util.spec_from_file_location(
+    "check_regression", ROOT / "benchmarks" / "check_regression.py"
+)
+check_regression = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(check_regression)
+
+
+def make_run(name, scale=0.004, seconds=1.0, evals=100, expansions=5,
+             hit_rate=0.25, placement_hash="aaaa"):
+    return {
+        "name": name,
+        "scale": scale,
+        "cells": 100,
+        "seconds": seconds,
+        "insertions_evaluated": evals,
+        "window_expansions": expansions,
+        "gap_cache_hit_rate": hit_rate,
+        "placement_hash": placement_hash,
+    }
+
+
+def make_report(runs, parallel=None, trace=None):
+    return {
+        "suite": "test",
+        "runs": runs,
+        "parallel": parallel,
+        "trace_determinism": trace,
+        "hashes": {
+            f"{r['name']}@{r['scale']}": r["placement_hash"] for r in runs
+        },
+    }
+
+
+def run_main(tmp_path, baseline, fresh, *extra):
+    base_path = tmp_path / "baseline.json"
+    fresh_path = tmp_path / "fresh.json"
+    base_path.write_text(json.dumps(baseline))
+    fresh_path.write_text(json.dumps(fresh))
+    return check_regression.main(
+        [str(base_path), str(fresh_path), *extra]
+    )
+
+
+class TestHashGate:
+    def test_clean_when_identical(self, tmp_path, capsys):
+        report = make_report([make_run("a"), make_run("b")])
+        assert run_main(tmp_path, report, report) == 0
+        assert "regression gate clean" in capsys.readouterr().out
+
+    def test_hash_change_is_fatal(self, tmp_path, capsys):
+        baseline = make_report([make_run("a", placement_hash="aaaa")])
+        fresh = make_report([make_run("a", placement_hash="bbbb")])
+        assert run_main(tmp_path, baseline, fresh) == 1
+        err = capsys.readouterr().err
+        assert "placement hash changed" in err
+
+    def test_no_common_cases_is_fatal(self, tmp_path):
+        baseline = make_report([make_run("a")])
+        fresh = make_report([make_run("z")])
+        assert run_main(tmp_path, baseline, fresh) == 1
+
+
+class TestOneSidedWarnings:
+    def test_subset_fresh_run_warns_but_passes(self, tmp_path, capsys):
+        baseline = make_report([make_run("a"), make_run("b"), make_run("c")])
+        fresh = make_report([make_run("a")])
+        assert run_main(tmp_path, baseline, fresh) == 0
+        err = capsys.readouterr().err
+        assert "WARNING" in err
+        assert "2 baseline case(s) missing from the fresh report" in err
+        assert "b@0.004" in err
+
+    def test_extra_fresh_cases_warn_too(self, tmp_path, capsys):
+        baseline = make_report([make_run("a")])
+        fresh = make_report([make_run("a"), make_run("new")])
+        assert run_main(tmp_path, baseline, fresh) == 0
+        err = capsys.readouterr().err
+        assert "1 fresh case(s) absent from the baseline" in err
+        assert "new@0.004" in err
+
+
+class TestCounterDeltas:
+    def test_unchanged_counters_report_none(self, tmp_path, capsys):
+        report = make_report([make_run("a")])
+        run_main(tmp_path, report, report)
+        assert "counter deltas on common cases: none" in (
+            capsys.readouterr().out
+        )
+
+    def test_moved_counters_printed_with_signs(self, tmp_path, capsys):
+        baseline = make_report(
+            [make_run("a", evals=100, expansions=5, hit_rate=0.25)]
+        )
+        fresh = make_report(
+            [make_run("a", evals=90, expansions=7, hit_rate=0.5)]
+        )
+        assert run_main(tmp_path, baseline, fresh) == 0
+        out = capsys.readouterr().out
+        assert "insertions_evaluated 100 -> 90 (-10)" in out
+        assert "window_expansions 5 -> 7 (+2)" in out
+        assert "gap_cache_hit_rate 25.0% -> 50.0%" in out
+
+
+class TestTimeGate:
+    def test_slow_case_beyond_tolerance_fails(self, tmp_path, capsys):
+        baseline = make_report([make_run("a", seconds=1.0)])
+        fresh = make_report([make_run("a", seconds=1.5)])
+        assert run_main(tmp_path, baseline, fresh) == 1
+        assert "vs baseline" in capsys.readouterr().err
+
+    def test_fast_baseline_cases_skipped(self, tmp_path):
+        baseline = make_report([make_run("a", seconds=0.1)])
+        fresh = make_report([make_run("a", seconds=0.4)])
+        assert run_main(tmp_path, baseline, fresh) == 0
+
+    def test_no_time_check_flag(self, tmp_path):
+        baseline = make_report([make_run("a", seconds=1.0)])
+        fresh = make_report([make_run("a", seconds=9.0)])
+        assert run_main(tmp_path, baseline, fresh, "--no-time-check") == 0
+
+
+class TestSectionGates:
+    def test_parallel_divergence_fails(self, tmp_path, capsys):
+        report = make_report(
+            [make_run("a")],
+            parallel={"name": "a", "hashes_match": False,
+                      "serial_hash": "x", "parallel_hash": "y"},
+        )
+        assert run_main(tmp_path, report, report) == 1
+        assert "diverged from serial" in capsys.readouterr().err
+
+    def test_trace_structure_divergence_fails(self, tmp_path, capsys):
+        report = make_report(
+            [make_run("a")],
+            trace={"name": "a", "workers": 2, "structure_match": False,
+                   "hashes_match": True, "serial_structure_hash": "s",
+                   "parallel_structure_hash": "p"},
+        )
+        assert run_main(tmp_path, report, report) == 1
+        assert "trace structure hash" in capsys.readouterr().err
+
+    def test_traced_placement_divergence_fails(self, tmp_path, capsys):
+        report = make_report(
+            [make_run("a")],
+            trace={"name": "a", "workers": 2, "structure_match": True,
+                   "hashes_match": False},
+        )
+        assert run_main(tmp_path, report, report) == 1
+        assert "traced parallel placement" in capsys.readouterr().err
+
+    def test_sections_optional_for_old_reports(self, tmp_path):
+        report = make_report([make_run("a")])
+        del report["parallel"]
+        del report["trace_determinism"]
+        assert run_main(tmp_path, report, report) == 0
+
+    def test_trace_gate_passes_when_consistent(self, tmp_path):
+        report = make_report(
+            [make_run("a")],
+            trace={"name": "a", "workers": 2, "structure_match": True,
+                   "hashes_match": True},
+        )
+        assert run_main(tmp_path, report, report) == 0
+
+
+class TestAgainstRealArtifacts:
+    """The committed BENCH_mgl.json must satisfy its own gate."""
+
+    def test_committed_baseline_self_compares_clean(self, tmp_path):
+        baseline = json.loads((ROOT / "BENCH_mgl.json").read_text())
+        path = tmp_path / "copy.json"
+        path.write_text(json.dumps(baseline))
+        assert check_regression.main(
+            [str(ROOT / "BENCH_mgl.json"), str(path)]
+        ) == 0

@@ -1,0 +1,118 @@
+"""Tests for repro.obs.manifest: digests, round-trip, and diffing."""
+
+import hashlib
+
+import repro
+from repro.core.mgl import MGLegalizer
+from repro.core.params import LegalizerParams
+from repro.obs.manifest import (
+    MANIFEST_VERSION,
+    build_manifest,
+    design_digest,
+    diff_manifests,
+    load_manifest,
+    manifest_path_for,
+    placement_digest,
+    write_manifest,
+)
+
+
+class TestDigests:
+    def test_design_digest_stable_and_content_sensitive(
+        self, small_design, fence_design
+    ):
+        assert design_digest(small_design) == design_digest(small_design)
+        assert len(design_digest(small_design)) == 16
+        assert design_digest(small_design) != design_digest(fence_design)
+
+    def test_placement_digest_matches_bench_convention(self, small_design):
+        placement = MGLegalizer(
+            small_design, LegalizerParams(routability=False)
+        ).run()
+        expected = hashlib.sha256(
+            repr(list(zip(placement.x, placement.y))).encode()
+        ).hexdigest()[:16]
+        assert placement_digest(placement) == expected
+
+
+class TestBuildAndRoundTrip:
+    def test_fields(self, small_design):
+        params = LegalizerParams(routability=False, scheduler_workers=2)
+        placement = MGLegalizer(
+            small_design, LegalizerParams(routability=False)
+        ).run()
+        manifest = build_manifest(
+            small_design, params, placement, seed=11,
+            trace_structure_hash="ab" * 32,
+        )
+        assert manifest["manifest_version"] == MANIFEST_VERSION
+        assert manifest["design"]["name"] == "small"
+        assert manifest["design"]["cells"] == small_design.num_cells
+        assert manifest["design"]["digest"] == design_digest(small_design)
+        assert manifest["workers"] == 2
+        assert manifest["seed"] == 11
+        assert manifest["placement_hash"] == placement_digest(placement)
+        assert manifest["trace_structure_hash"] == "ab" * 32
+        assert manifest["package_version"] == repro.__version__
+        assert manifest["params"]["scheduler_workers"] == 2
+
+    def test_optional_fields_default_to_none(self, small_design):
+        manifest = build_manifest(small_design, LegalizerParams())
+        assert manifest["placement_hash"] is None
+        assert manifest["seed"] is None
+        assert manifest["trace_structure_hash"] is None
+
+    def test_write_load_round_trip(self, small_design, tmp_path):
+        manifest = build_manifest(small_design, LegalizerParams(), seed=3)
+        path = tmp_path / "manifest.json"
+        write_manifest(manifest, path)
+        assert load_manifest(path) == manifest
+
+    def test_manifest_path_convention(self):
+        assert str(manifest_path_for("out/profile.json")).endswith(
+            "out/profile.manifest.json"
+        )
+        assert manifest_path_for("run.trace.json").name == (
+            "run.trace.manifest.json"
+        )
+        assert manifest_path_for("noext").name == "noext.manifest.json"
+
+
+class TestDiff:
+    def test_equal_manifests_diff_empty(self, small_design):
+        a = build_manifest(small_design, LegalizerParams(), seed=1)
+        b = build_manifest(small_design, LegalizerParams(), seed=1)
+        assert diff_manifests(a, b) == []
+
+    def test_config_mismatch_named_precisely(self, small_design):
+        a = build_manifest(
+            small_design, LegalizerParams(scheduler_workers=0)
+        )
+        b = build_manifest(
+            small_design, LegalizerParams(scheduler_workers=2)
+        )
+        lines = diff_manifests(a, b)
+        assert any(
+            line.startswith("params.scheduler_workers: ") for line in lines
+        )
+        assert any(line.startswith("workers: 0 != 2") for line in lines)
+        # Capacity etc. agree, so nothing else is reported.
+        assert all("capacity" not in line for line in lines)
+
+    def test_environment_reported_last_and_flagged(self, small_design):
+        a = build_manifest(small_design, LegalizerParams())
+        b = dict(a)
+        b["python_version"] = "0.0.0"
+        b["seed"] = 9
+        lines = diff_manifests(a, b)
+        assert lines[-1].endswith("(environment)")
+        assert "python_version" in lines[-1]
+        assert lines[0].startswith("seed:")
+
+    def test_one_sided_keys_reported(self, small_design):
+        a = build_manifest(small_design, LegalizerParams())
+        b = {key: value for key, value in a.items() if key != "seed"}
+        b["extra"] = True
+        lines = diff_manifests(a, b)
+        assert any("seed: None != <absent>" in line for line in lines)
+        assert any("extra: <absent> != True" in line for line in lines)

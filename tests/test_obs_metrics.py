@@ -1,0 +1,170 @@
+"""Tests for repro.obs.metrics and the PerfRecorder shim over it."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DISPLACEMENT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.perf import PerfRecorder
+
+
+class TestHistogram:
+    def test_bounds_must_strictly_increase(self):
+        for bad in ([], [1.0, 1.0], [2.0, 1.0]):
+            with pytest.raises(ValueError):
+                Histogram(bad)
+
+    def test_inclusive_upper_bounds(self):
+        hist = Histogram([1.0, 2.0, 4.0])
+        for value in (0.0, 1.0, 1.5, 2.0, 3.0, 4.0, 4.5):
+            hist.observe(value)
+        # <=1: {0, 1}; <=2: {1.5, 2}; <=4: {3, 4}; overflow: {4.5}.
+        assert hist.counts == [2, 2, 2, 1]
+        assert hist.total == 7
+        assert hist.sum == pytest.approx(16.0)
+        assert hist.mean == pytest.approx(16.0 / 7)
+
+    def test_empty_histogram(self):
+        hist = Histogram(DISPLACEMENT_BUCKETS)
+        assert hist.mean == 0.0
+        snapshot = hist.as_dict()
+        assert snapshot["count"] == 0
+        assert snapshot["counts"] == [0] * (len(DISPLACEMENT_BUCKETS) + 1)
+
+    def test_as_dict_shape(self):
+        hist = Histogram([1.0, 2.0])
+        hist.observe(0.5)
+        snapshot = hist.as_dict()
+        assert snapshot == {
+            "bounds": [1.0, 2.0],
+            "counts": [1, 0, 0],
+            "count": 1,
+            "sum": 0.5,
+            "mean": 0.5,
+        }
+
+
+class TestMetricsRegistry:
+    def test_counters_and_gauges(self):
+        registry = MetricsRegistry()
+        registry.count("evals")
+        registry.count("evals", 4)
+        registry.set_gauge("hit_rate", 10.0)
+        registry.set_gauge("hit_rate", 55.5)
+        assert registry.counters == {"evals": 5}
+        assert registry.gauges == {"hit_rate": 55.5}
+
+    def test_timings_accumulate_with_call_counts(self):
+        registry = MetricsRegistry()
+        registry.record_time("mgl", 1.0)
+        registry.record_time("mgl", 0.5)
+        assert registry.timings == {"mgl": 1.5}
+        assert registry.stage_calls == {"mgl": 2}
+
+    def test_histogram_identity_includes_bounds(self):
+        registry = MetricsRegistry()
+        created = registry.histogram("disp", [1.0, 2.0])
+        assert registry.histogram("disp") is created
+        assert registry.histogram("disp", [1.0, 2.0]) is created
+        with pytest.raises(ValueError):
+            registry.histogram("disp", [1.0, 3.0])
+        with pytest.raises(KeyError):
+            registry.histogram("unknown")
+
+    def test_observe_registers_and_records(self):
+        registry = MetricsRegistry()
+        registry.observe("depth", 2.0, [1.0, 4.0])
+        registry.observe("depth", 9.0, [1.0, 4.0])
+        hist = registry.histogram("depth")
+        assert hist.counts == [0, 1, 1]
+
+    def test_serialization_is_deterministic(self):
+        def build():
+            registry = MetricsRegistry()
+            registry.count("b", 2)
+            registry.count("a", 1)
+            registry.set_gauge("g", 1.23456789)
+            registry.observe("h", 0.5, [1.0])
+            return registry
+
+        assert build().to_json() == build().to_json()
+        payload = json.loads(build().to_json())
+        assert set(payload) == {
+            "timings", "stage_calls", "counters", "gauges", "histograms"
+        }
+        assert payload["gauges"]["g"] == 1.234568  # rounded for stability
+
+
+class TestPerfRecorderShim:
+    def test_legacy_views_are_live(self):
+        recorder = PerfRecorder()
+        recorder.count("evals", 3)
+        recorder.registry.count("evals", 2)
+        assert recorder.counters == {"evals": 5}
+        recorder.record("mgl", 0.25)
+        assert recorder.registry.timings == {"mgl": 0.25}
+        assert recorder.stage_calls == {"mgl": 1}
+
+    def test_shared_registry_injection(self):
+        registry = MetricsRegistry()
+        recorder = PerfRecorder(registry)
+        recorder.count("x")
+        assert registry.counters == {"x": 1}
+
+    def test_stage_times_the_block(self):
+        recorder = PerfRecorder()
+        with recorder.stage("work"):
+            sum(range(1000))
+        assert recorder.timings["work"] >= 0.0
+        assert recorder.stage_calls["work"] == 1
+
+    def test_merge_counters_with_prefix(self):
+        recorder = PerfRecorder()
+        recorder.merge_counters({"hits": 3, "misses": 1}, prefix="mgl.")
+        assert recorder.counters == {"mgl.hits": 3, "mgl.misses": 1}
+
+
+class TestDerivedRates:
+    """Satellite fix: derived rates live in their own section, not the
+    raw counters, both in summaries and JSON output."""
+
+    def build(self, hits=3, misses=1):
+        recorder = PerfRecorder()
+        recorder.record("mgl", 1.0)
+        recorder.merge_counters(
+            {"gap_cache_hits": hits, "gap_cache_misses": misses},
+            prefix="mgl.",
+        )
+        return recorder
+
+    def test_derived_requires_traffic(self):
+        assert PerfRecorder().derived() == {}
+        assert self.build().derived() == {
+            "gap_cache_hit_rate": pytest.approx(75.0)
+        }
+
+    def test_summary_has_a_derived_section(self):
+        summary = self.build().summary()
+        assert "derived" in summary
+        assert "hit rate: 75.0%" in summary
+        # The rate renders after the raw counters, inside "derived".
+        assert summary.index("derived") > summary.index("counters")
+        assert summary.index("hit rate") > summary.index("derived")
+
+    def test_as_dict_separates_derived_from_counters(self):
+        payload = self.build().as_dict()
+        assert payload["derived"] == {"gap_cache_hit_rate": 75.0}
+        assert "gap_cache_hit_rate" not in payload["counters"]
+        # And an untrafficked recorder still has the (empty) section.
+        assert PerfRecorder().as_dict()["derived"] == {}
+
+    def test_write_json_round_trips(self, tmp_path):
+        path = tmp_path / "profile.json"
+        self.build().write_json(str(path))
+        payload = json.loads(path.read_text())
+        assert payload["derived"]["gap_cache_hit_rate"] == 75.0
+        assert payload["counters"]["mgl.gap_cache_hits"] == 3

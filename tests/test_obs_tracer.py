@@ -1,0 +1,232 @@
+"""Tests for repro.obs.tracer: spans, hashing, exports, null tracer."""
+
+import json
+
+import pytest
+
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanTracer,
+    structure_hash,
+)
+
+
+class TestNullTracer:
+    def test_disabled_and_shared(self):
+        assert NULL_TRACER.enabled is False
+        assert NullTracer().enabled is False
+        # Every span() call hands back the same shared context object.
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b", x=1)
+
+    def test_span_is_a_mutation_free_noop(self):
+        with NULL_TRACER.span("work", depth=3) as span:
+            span.set(cost=1.5, cell=7)
+        assert span.attrs == {}
+        assert span.children == []
+        # Reuse leaks nothing between contexts.
+        with NULL_TRACER.span("again") as again:
+            assert again is span
+            assert again.attrs == {}
+
+    def test_attach_payloads_is_a_noop(self):
+        payload = {"name": "evaluate", "attrs": {}, "children": []}
+        assert NULL_TRACER.attach_payloads([payload], worker=1) is None
+
+    def test_exceptions_propagate(self):
+        with pytest.raises(RuntimeError):
+            with NULL_TRACER.span("boom"):
+                raise RuntimeError("boom")
+
+
+class TestSpanTracerRecording:
+    def test_nesting_builds_the_tree(self):
+        tracer = SpanTracer()
+        with tracer.span("legalize") as root:
+            root.set(design="d")
+            with tracer.span("mgl"):
+                with tracer.span("window", cell=3):
+                    pass
+                with tracer.span("window", cell=4):
+                    pass
+            with tracer.span("matching"):
+                pass
+        assert len(tracer.roots) == 1
+        legalize = tracer.roots[0]
+        assert legalize.name == "legalize"
+        assert legalize.attrs == {"design": "d"}
+        assert [c.name for c in legalize.children] == ["mgl", "matching"]
+        mgl = legalize.children[0]
+        assert [c.attrs["cell"] for c in mgl.children] == [3, 4]
+        assert tracer.span_count() == 5
+
+    def test_timestamps_recorded_and_ordered(self):
+        tracer = SpanTracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        outer, inner = tracer.roots[0], tracer.roots[0].children[0]
+        assert outer.t_start <= inner.t_start
+        assert inner.t_end <= outer.t_end
+        assert outer.duration >= inner.duration >= 0.0
+
+    def test_exception_still_closes_the_span(self):
+        tracer = SpanTracer()
+        with pytest.raises(ValueError):
+            with tracer.span("broken"):
+                raise ValueError("x")
+        assert tracer.roots[0].t_end is not None
+        # The stack unwound: the next span is a fresh root.
+        with tracer.span("next"):
+            pass
+        assert [s.name for s in tracer.roots] == ["broken", "next"]
+
+
+class TestStructureHash:
+    def build(self, attr_value, pause=False):
+        tracer = SpanTracer()
+        with tracer.span("root", key=attr_value):
+            if pause:  # Burn some clock so timestamps differ.
+                sum(range(10_000))
+            with tracer.span("child"):
+                pass
+        return tracer
+
+    def test_timestamp_independent(self):
+        fast = self.build(1)
+        slow = self.build(1, pause=True)
+        assert fast.structure_hash() == slow.structure_hash()
+
+    def test_sensitive_to_attrs_and_names(self):
+        base = self.build(1)
+        assert base.structure_hash() != self.build(2).structure_hash()
+        other = SpanTracer()
+        with other.span("root", key=1):
+            with other.span("renamed"):
+                pass
+        assert base.structure_hash() != other.structure_hash()
+
+    def test_meta_is_not_structural(self):
+        payload = {
+            "name": "evaluate",
+            "attrs": {"evaluated": 5, "found": True},
+            "children": [],
+            "duration": 0.25,
+        }
+        hashes = []
+        for worker in (0, 3):
+            tracer = SpanTracer()
+            with tracer.span("batch"):
+                tracer.attach_payloads([dict(payload)], worker=worker)
+            hashes.append(tracer.structure_hash())
+        assert hashes[0] == hashes[1]
+
+    def test_attach_order_is_structural(self):
+        def build(order):
+            tracer = SpanTracer()
+            payloads = [
+                {"name": "evaluate", "attrs": {"cell": i}, "children": []}
+                for i in order
+            ]
+            with tracer.span("batch"):
+                tracer.attach_payloads(payloads)
+            return tracer.structure_hash()
+
+        assert build([1, 2]) != build([2, 1])
+
+    def test_nan_attrs_rejected(self):
+        span = Span("bad", {"x": float("nan")})
+        with pytest.raises(ValueError):
+            structure_hash([span])
+
+
+class TestPayloads:
+    def test_round_trip_preserves_structure(self):
+        root = Span("window", {"cell": 9, "disp": 1.5})
+        child = Span("evaluate", {"evaluated": 4, "found": True})
+        root.children.append(child)
+        rebuilt = Span.from_payload(root.to_payload())
+        assert rebuilt.structure() == root.structure()
+        assert structure_hash([rebuilt]) == structure_hash([root])
+
+    def test_round_trip_carries_meta(self):
+        span = Span("evaluate")
+        span.meta["worker"] = 2
+        rebuilt = Span.from_payload(span.to_payload())
+        assert rebuilt.meta == {"worker": 2}
+
+    def test_from_payload_requires_a_name(self):
+        with pytest.raises(ValueError):
+            Span.from_payload({"attrs": {}, "children": []})
+
+    def test_attach_synthesizes_times_from_duration(self):
+        tracer = SpanTracer()
+        with tracer.span("batch"):
+            tracer.attach_payloads(
+                [{"name": "evaluate", "attrs": {}, "children": [],
+                  "duration": 0.5, "worker": 1}]
+            )
+        merged = tracer.roots[0].children[0]
+        assert merged.meta == {"worker": 1}
+        assert merged.duration == pytest.approx(0.5)
+
+    def test_attach_without_open_span_appends_roots(self):
+        tracer = SpanTracer()
+        tracer.attach_payloads(
+            [{"name": "orphan", "attrs": {}, "children": []}]
+        )
+        assert [s.name for s in tracer.roots] == ["orphan"]
+
+
+class TestExports:
+    def build(self):
+        tracer = SpanTracer()
+        with tracer.span("legalize", design="d"):
+            with tracer.span("mgl"):
+                tracer.attach_payloads(
+                    [{"name": "evaluate", "attrs": {"evaluated": 2},
+                      "children": [], "duration": 0.01, "worker": 0}]
+                )
+        return tracer
+
+    def test_chrome_trace_schema(self, tmp_path):
+        tracer = self.build()
+        doc = tracer.to_chrome_trace()
+        events = doc["traceEvents"]
+        assert len(events) == tracer.span_count()
+        for event in events:
+            assert set(event) == {
+                "name", "cat", "ph", "ts", "dur", "pid", "tid", "args"
+            }
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+        # Worker-merged spans land on their own track.
+        tids = {event["name"]: event["tid"] for event in events}
+        assert tids["legalize"] == 0
+        assert tids["evaluate"] == 1
+        # And the file written is valid JSON.
+        path = tmp_path / "trace.json"
+        tracer.write_chrome_trace(str(path))
+        assert json.loads(path.read_text())["traceEvents"]
+
+    def test_jsonl_one_record_per_span(self, tmp_path):
+        tracer = self.build()
+        lines = tracer.to_jsonl().strip().splitlines()
+        assert len(lines) == tracer.span_count()
+        records = [json.loads(line) for line in lines]
+        assert [r["name"] for r in records] == ["legalize", "mgl", "evaluate"]
+        assert [r["depth"] for r in records] == [0, 1, 2]
+        assert records[2]["meta"] == {"worker": 0}
+        path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(str(path))
+        assert path.read_text() == tracer.to_jsonl()
+
+    def test_empty_tracer_exports(self):
+        tracer = SpanTracer()
+        assert tracer.to_jsonl() == ""
+        assert tracer.to_chrome_trace() == {
+            "traceEvents": [], "displayTimeUnit": "ms"
+        }
+        assert tracer.span_count() == 0

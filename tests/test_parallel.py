@@ -154,12 +154,12 @@ class TestFailureFallbacks:
         original_evaluate = ParallelEvaluator.evaluate_batch
         killed = []
 
-        def kill_then_evaluate(self, batch):
+        def kill_then_evaluate(self, batch, want_payloads=False):
             if not killed:
                 self.workers[0].process.terminate()
                 self.workers[0].process.join(timeout=5.0)
                 killed.append(True)
-            return original_evaluate(self, batch)
+            return original_evaluate(self, batch, want_payloads)
 
         try:
             ParallelEvaluator.evaluate_batch = kill_then_evaluate

@@ -1,0 +1,158 @@
+"""CLI tests for run artifacts: --trace, --run-dir, and `repro report`."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def design_file(tmp_path):
+    path = tmp_path / "design.txt"
+    code = main([
+        "generate", "obsdesign", "-o", str(path),
+        "--cells", "1:40", "2:6", "--density", "0.45", "--seed", "5",
+    ])
+    assert code == 0
+    return path
+
+
+def run_legalize(design_file, tmp_path, run_name, *extra):
+    run_dir = tmp_path / run_name
+    code = main([
+        "legalize", str(design_file),
+        "-o", str(tmp_path / f"{run_name}.pl"),
+        "--no-routability", "--run-dir", str(run_dir), *extra,
+    ])
+    assert code == 0
+    return run_dir
+
+
+class TestRunDirArtifacts:
+    def test_trio_written_and_consistent(self, design_file, tmp_path):
+        run_dir = run_legalize(design_file, tmp_path, "run_a")
+        for name in ("profile.json", "manifest.json", "trace.json",
+                     "trace.jsonl"):
+            assert (run_dir / name).is_file(), name
+        manifest = json.loads((run_dir / "manifest.json").read_text())
+        assert manifest["design"]["name"] == "obsdesign"
+        assert manifest["placement_hash"]
+        assert manifest["trace_structure_hash"]
+        profile = json.loads((run_dir / "profile.json").read_text())
+        assert "mgl" in profile["timings"]
+        assert any(key.startswith("disp.h") for key in profile["histograms"])
+
+    def test_trace_is_perfetto_loadable(self, design_file, tmp_path):
+        trace_path = tmp_path / "out.trace.json"
+        code = main([
+            "legalize", str(design_file), "-o", str(tmp_path / "p.pl"),
+            "--no-routability", "--trace", str(trace_path),
+        ])
+        assert code == 0
+        doc = json.loads(trace_path.read_text())
+        events = doc["traceEvents"]
+        assert events and events[0]["name"] == "legalize"
+        for event in events:
+            assert event["ph"] == "X"
+            assert {"name", "ts", "dur", "pid", "tid", "args"} <= set(event)
+        # The manifest sits beside the trace per the sidecar convention.
+        sidecar = tmp_path / "out.trace.manifest.json"
+        assert json.loads(sidecar.read_text())["trace_structure_hash"]
+
+
+class TestReportCommand:
+    def test_render_single_run(self, design_file, tmp_path, capsys):
+        run_dir = run_legalize(design_file, tmp_path, "run_a")
+        capsys.readouterr()
+        assert main(["report", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "manifest" in out
+        assert "obsdesign" in out
+        assert "timings" in out
+        assert "histograms" in out
+        assert "perfetto" in out.lower()
+
+    def test_diff_two_runs(self, design_file, tmp_path, capsys):
+        run_a = run_legalize(design_file, tmp_path, "run_a")
+        run_b = run_legalize(
+            design_file, tmp_path, "run_b", "--capacity", "8"
+        )
+        capsys.readouterr()
+        assert main(["report", str(run_a), str(run_b)]) == 0
+        out = capsys.readouterr().out
+        assert "manifest diff" in out
+        assert "scheduler_capacity" in out
+
+    def test_diff_identical_runs_reports_agreement(
+        self, design_file, tmp_path, capsys
+    ):
+        run_a = run_legalize(design_file, tmp_path, "run_a")
+        capsys.readouterr()
+        assert main(["report", str(run_a), str(run_a)]) == 0
+        out = capsys.readouterr().out
+        assert "manifests agree" in out
+
+    def test_missing_run_is_a_warning_not_a_crash(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope")]) == 0
+        out = capsys.readouterr().out
+        assert "warning" in out
+        assert "no such run" in out
+
+    def test_more_than_two_runs_rejected(self, tmp_path, capsys):
+        code = main(["report", "a", "b", "c"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "one run" in err
+
+    def test_bare_profile_path_with_sidecar_manifest(
+        self, design_file, tmp_path, capsys
+    ):
+        profile = tmp_path / "prof.json"
+        code = main([
+            "legalize", str(design_file), "-o", str(tmp_path / "p.pl"),
+            "--no-routability", "--profile", str(profile),
+        ])
+        assert code == 0
+        capsys.readouterr()
+        assert main(["report", str(profile)]) == 0
+        out = capsys.readouterr().out
+        assert "obsdesign" in out  # manifest found via sidecar convention
+        assert "timings" in out
+
+
+class TestLoggingContract:
+    """Diagnostics go to stderr via logging; results stay on stdout."""
+
+    def test_info_diagnostics_on_stderr(self, design_file, tmp_path, capsys):
+        code = main([
+            "legalize", str(design_file), "-o", str(tmp_path / "p.pl"),
+            "--no-routability",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "legalized" in captured.out
+        assert "avg disp" in captured.out
+        assert "placement written" in captured.err
+        assert "placement written" not in captured.out
+
+    def test_log_level_silences_info(self, design_file, tmp_path, capsys):
+        code = main([
+            "--log-level", "error",
+            "legalize", str(design_file), "-o", str(tmp_path / "p.pl"),
+            "--no-routability",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "legalized" in captured.out  # results unaffected
+        assert "placement written" not in captured.err
+
+    def test_generate_logs_instead_of_printing(self, tmp_path, capsys):
+        path = tmp_path / "d.txt"
+        code = main([
+            "generate", "g", "-o", str(path), "--cells", "1:10",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "wrote" in captured.err
