@@ -8,11 +8,14 @@ that gap; this bench measures what it buys on top of the full flow.
 
 from __future__ import annotations
 
+from typing import Any, Dict
+
 import pytest
 
 from conftest import TableCollector, bench_scale
 from repro import LegalizerParams, legalize
 from repro.benchgen import iccad2017_suite
+from repro.benchgen.suites import BenchmarkCase
 from repro.checker import check_legal
 
 CASES = [
@@ -23,7 +26,12 @@ CASES = [
 
 @pytest.mark.parametrize("case", CASES, ids=lambda c: c.name)
 @pytest.mark.parametrize("extension", [False, True], ids=["paper", "paper+gm"])
-def test_ablation_globalmove(benchmark, table_store, case, extension):
+def test_ablation_globalmove(
+    benchmark: Any,
+    table_store: Dict[str, TableCollector],
+    case: BenchmarkCase,
+    extension: bool,
+) -> None:
     design = case.build()
     params = LegalizerParams(
         scheduler_capacity=1, use_global_moves=extension

@@ -7,6 +7,8 @@ larger values spend average displacement to pull in the worst cell.
 
 from __future__ import annotations
 
+from typing import Any, Dict
+
 import pytest
 
 from conftest import TableCollector, bench_scale
@@ -15,6 +17,7 @@ from repro.checker import check_legal
 from repro.core.flowopt import optimize_fixed_row_order
 from repro.core.mgl import MGLegalizer
 from repro.core.params import LegalizerParams
+from repro.model.placement import Placement
 
 CASE = iccad2017_suite(scale=bench_scale(), names=["des_perf_a_md2"])[0]
 
@@ -22,7 +25,7 @@ N0S = [0, 2, 8, 32]
 
 
 @pytest.fixture(scope="module")
-def base_placement():
+def base_placement() -> Placement:
     design = CASE.build()
     params = LegalizerParams(routability=False, scheduler_capacity=1)
     placement = MGLegalizer(design, params).run()
@@ -31,7 +34,12 @@ def base_placement():
 
 
 @pytest.mark.parametrize("n0", N0S)
-def test_ablation_n0(benchmark, table_store, base_placement, n0):
+def test_ablation_n0(
+    benchmark: Any,
+    table_store: Dict[str, TableCollector],
+    base_placement: Placement,
+    n0: int,
+) -> None:
     placement = base_placement.copy()
     params = LegalizerParams(routability=False, flow_n0=n0)
 

@@ -10,6 +10,8 @@ objective buys wirelength at the price of displacement, and vice versa.
 
 from __future__ import annotations
 
+from typing import Any, Dict, Tuple
+
 import pytest
 
 from conftest import TableCollector, bench_scale
@@ -19,12 +21,13 @@ from repro.core.flowopt import optimize_fixed_row_order
 from repro.core.hpwlopt import build_hpwl_problem, optimize_hpwl_fixed_order
 from repro.core.mgl import MGLegalizer
 from repro.core.params import LegalizerParams
+from repro.model.placement import Placement
 
 CASE = iccad2017_suite(scale=bench_scale(), names=["fft_a_md2"])[0]
 
 
 @pytest.fixture(scope="module")
-def base_placement():
+def base_placement() -> Tuple[Placement, LegalizerParams]:
     design = CASE.build()
     params = LegalizerParams(routability=False, scheduler_capacity=1)
     placement = MGLegalizer(design, params).run()
@@ -32,7 +35,9 @@ def base_placement():
     return placement, params
 
 
-def _metrics(placement, params):
+def _metrics(
+    placement: Placement, params: LegalizerParams
+) -> Tuple[float, float]:
     problem = build_hpwl_problem(placement, params)
     xs = problem.base.current_x(placement)
     disp = sum(
@@ -43,7 +48,12 @@ def _metrics(placement, params):
 
 
 @pytest.mark.parametrize("objective", ["displacement", "hpwl"])
-def test_ablation_objective(benchmark, table_store, objective, base_placement):
+def test_ablation_objective(
+    benchmark: Any,
+    table_store: Dict[str, TableCollector],
+    objective: str,
+    base_placement: Tuple[Placement, LegalizerParams],
+) -> None:
     base, params = base_placement
     placement = base.copy()
 

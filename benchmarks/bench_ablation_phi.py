@@ -9,6 +9,8 @@ the adaptive (90th percentile) default sits in between.
 
 from __future__ import annotations
 
+from typing import Any, Dict, Optional
+
 import pytest
 
 from conftest import TableCollector, bench_scale
@@ -17,6 +19,7 @@ from repro.checker import check_legal
 from repro.core.matching import optimize_max_displacement
 from repro.core.mgl import MGLegalizer
 from repro.core.params import LegalizerParams
+from repro.model.placement import Placement
 
 CASE = iccad2017_suite(scale=bench_scale(), names=["pci_bridge32_a_md2"])[0]
 
@@ -24,7 +27,7 @@ DELTA0S = [0.5, 2.0, 8.0, 32.0, None]  # None = adaptive default
 
 
 @pytest.fixture(scope="module")
-def base_placement():
+def base_placement() -> Placement:
     design = CASE.build()
     params = LegalizerParams(routability=False, scheduler_capacity=1)
     placement = MGLegalizer(design, params).run()
@@ -35,7 +38,12 @@ def base_placement():
 @pytest.mark.parametrize(
     "delta0", DELTA0S, ids=lambda d: "adaptive" if d is None else str(d)
 )
-def test_ablation_phi(benchmark, table_store, base_placement, delta0):
+def test_ablation_phi(
+    benchmark: Any,
+    table_store: Dict[str, TableCollector],
+    base_placement: Placement,
+    delta0: Optional[float],
+) -> None:
     placement = base_placement.copy()
     params = LegalizerParams(matching_delta0=delta0)
 

@@ -9,11 +9,13 @@ they produce identical objective values while differing in speed.
 from __future__ import annotations
 
 import random
+from typing import Any, Dict, List
 
 import pytest
 
 from conftest import TableCollector
 from repro.core.flowopt import FixedRowOrderProblem, build_dual_graph, solve_lp
+from repro.flow.graph import FlowGraph, FlowResult
 from repro.flow.network_simplex import NetworkSimplex
 from repro.flow.ssp import solve_ssp
 
@@ -38,24 +40,26 @@ PROBLEM = make_problem(300)
 N0 = 4
 
 
-def _positions_from(graph, v_z, result, n):
+def _positions_from(
+    graph: FlowGraph, v_z: int, result: FlowResult, n: int
+) -> List[int]:
     pi = result.potentials
     return [pi[v_z] - pi[k] for k in range(n)]
 
 
-def run_network_simplex():
+def run_network_simplex() -> List[int]:
     graph, v_z = build_dual_graph(PROBLEM, N0)
     result = NetworkSimplex(graph).solve()
     return _positions_from(graph, v_z, result, len(PROBLEM.cells))
 
 
-def run_ssp():
+def run_ssp() -> List[int]:
     graph, v_z = build_dual_graph(PROBLEM, N0)
     result = solve_ssp(graph)
     return _positions_from(graph, v_z, result, len(PROBLEM.cells))
 
 
-def run_lp():
+def run_lp() -> List[int]:
     return solve_lp(PROBLEM, N0)
 
 
@@ -67,7 +71,9 @@ BACKENDS = {
 
 
 @pytest.mark.parametrize("backend", list(BACKENDS))
-def test_ablation_solver(benchmark, table_store, backend):
+def test_ablation_solver(
+    benchmark: Any, table_store: Dict[str, TableCollector], backend: str
+) -> None:
     xs = benchmark(BACKENDS[backend])
     assert PROBLEM.check_feasible(xs) == []
     objective = PROBLEM.objective(xs, N0)

@@ -8,6 +8,8 @@ one mid-density case and reports displacement vs evaluated insertions.
 
 from __future__ import annotations
 
+from typing import Any, Dict, Tuple
+
 import pytest
 
 from conftest import TableCollector, bench_scale
@@ -15,6 +17,7 @@ from repro.benchgen import iccad2017_suite
 from repro.checker import check_legal
 from repro.core.mgl import MGLegalizer
 from repro.core.params import LegalizerParams
+from repro.model.placement import Placement
 
 CASE = iccad2017_suite(scale=bench_scale(), names=["fft_2_md2"])[0]
 
@@ -22,7 +25,11 @@ WINDOWS = [(12, 4), (24, 8), (48, 12)]
 
 
 @pytest.mark.parametrize("window", WINDOWS, ids=lambda w: f"{w[0]}x{w[1]}")
-def test_ablation_window(benchmark, table_store, window):
+def test_ablation_window(
+    benchmark: Any,
+    table_store: Dict[str, TableCollector],
+    window: Tuple[int, int],
+) -> None:
     design = CASE.build()
     width, height = window
     params = LegalizerParams(
@@ -30,7 +37,7 @@ def test_ablation_window(benchmark, table_store, window):
         window_width=width, window_height=height,
     )
 
-    def run():
+    def run() -> Tuple[MGLegalizer, Placement]:
         legalizer = MGLegalizer(design, params)
         placement = legalizer.run()
         return legalizer, placement

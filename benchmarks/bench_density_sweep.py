@@ -8,6 +8,8 @@ at fixed cell count and reports both flows' average/max displacement.
 
 from __future__ import annotations
 
+from typing import Any, Dict
+
 import pytest
 
 from conftest import TableCollector
@@ -15,11 +17,12 @@ from repro import LegalizerParams, legalize
 from repro.baselines import legalize_tetris
 from repro.benchgen import SyntheticSpec, generate_design
 from repro.checker import check_legal
+from repro.model.design import Design
 
 DENSITIES = [0.4, 0.6, 0.8]
 
 
-def design_at(density: float):
+def design_at(density: float) -> Design:
     return generate_design(
         SyntheticSpec(
             name=f"dens{int(density * 100)}",
@@ -33,7 +36,12 @@ def design_at(density: float):
 
 @pytest.mark.parametrize("density", DENSITIES)
 @pytest.mark.parametrize("algo", ["greedy", "ours"])
-def test_density_sweep(benchmark, table_store, density, algo):
+def test_density_sweep(
+    benchmark: Any,
+    table_store: Dict[str, TableCollector],
+    density: float,
+    algo: str,
+) -> None:
     design = design_at(density)
     params = LegalizerParams(routability=False, scheduler_capacity=1)
 

@@ -9,6 +9,8 @@ verifying both kinds are detected and counted stably.
 
 from __future__ import annotations
 
+from typing import Any, Dict
+
 import pytest
 
 from conftest import TableCollector
@@ -50,7 +52,9 @@ def figure1_design() -> Design:
     return design
 
 
-def test_fig1_detection_counts(benchmark, table_store):
+def test_fig1_detection_counts(
+    benchmark: Any, table_store: Dict[str, TableCollector]
+) -> None:
     design = figure1_design()
     placement = Placement.from_gp_rounded(design)
 
@@ -73,7 +77,7 @@ def test_fig1_detection_counts(benchmark, table_store):
     )
 
 
-def test_fig1_row_semantics(benchmark):
+def test_fig1_row_semantics(benchmark: Any) -> None:
     """Single-cell sanity: layer-(k+1) overlap is access, layer-k is short."""
     design = figure1_design()
     placement = Placement(design)

@@ -9,6 +9,8 @@ tests/test_paper_figures.py and measure the insertion machinery.
 
 from __future__ import annotations
 
+from typing import Any, Dict, Tuple
+
 import pytest
 
 from conftest import TableCollector
@@ -19,7 +21,7 @@ from repro.model.placement import Placement
 from repro.model.technology import CellType, Technology
 
 
-def build_toy():
+def build_toy() -> Tuple[Design, Placement, Occupancy, int]:
     tech = Technology(cell_types=[CellType("U", 1, 1)])
     design = Design(tech, num_rows=1, num_sites=7, name="fig3")
     design.add_cell("c0", tech.type_named("U"), 1.0, 0.0)
@@ -44,6 +46,7 @@ def insert_with(reference: str) -> int:
         result = context.evaluate(bottom_row, gaps)
         if result is not None and (best is None or result.sort_key() < best.sort_key()):
             best = result
+    assert best is not None
     for cell, new_x in best.moves:
         occupancy.update_x(cell, new_x)
     placement.move(target, best.x, best.y)
@@ -51,7 +54,9 @@ def insert_with(reference: str) -> int:
 
 
 @pytest.mark.parametrize("reference", ["current", "gp"])
-def test_fig3_insertion(benchmark, table_store, reference):
+def test_fig3_insertion(
+    benchmark: Any, table_store: Dict[str, TableCollector], reference: str
+) -> None:
     total = benchmark(insert_with, reference)
     expected = {"gp": 1, "current": 3}
     assert total == expected[reference]
@@ -66,7 +71,7 @@ def test_fig3_insertion(benchmark, table_store, reference):
     )
 
 
-def test_fig3_mgl_strictly_better(benchmark):
+def test_fig3_mgl_strictly_better(benchmark: Any) -> None:
     gp_total, current_total = benchmark(
         lambda: (insert_with("gp"), insert_with("current"))
     )

@@ -9,6 +9,7 @@ breakpoint curves for a realistic local-cell population.
 from __future__ import annotations
 
 import random
+from typing import Any, Dict, List, Optional, Tuple
 
 import pytest
 
@@ -16,7 +17,9 @@ from conftest import TableCollector
 from repro.core.curves import DisplacementCurve, minimize_over_sites, sum_curves
 
 
-def test_fig4_curve_types(benchmark, table_store):
+def test_fig4_curve_types(
+    benchmark: Any, table_store: Dict[str, TableCollector]
+) -> None:
     cases = [
         ("A", DisplacementCurve.pushed_right(5, 3, 2), "right cell, GP left"),
         ("B", DisplacementCurve.pushed_left(5, 9, 2), "left cell, GP right"),
@@ -39,7 +42,7 @@ def test_fig4_curve_types(benchmark, table_store):
         )
 
 
-def _random_curves(count: int, seed: int = 3):
+def _random_curves(count: int, seed: int = 3) -> List[DisplacementCurve]:
     rng = random.Random(seed)
     curves = [DisplacementCurve.target(rng.uniform(0, 100))]
     for _ in range(count):
@@ -54,11 +57,11 @@ def _random_curves(count: int, seed: int = 3):
 
 
 @pytest.mark.parametrize("count", [8, 32, 128])
-def test_fig4_sum_and_minimize(benchmark, count):
+def test_fig4_sum_and_minimize(benchmark: Any, count: int) -> None:
     """Alg. 1 lines 3-11: sort breakpoints, build the sum, take the min."""
     curves = _random_curves(count)
 
-    def run():
+    def run() -> Optional[Tuple[int, float]]:
         return minimize_over_sites(curves, 0, 100)
 
     best = benchmark(run)
@@ -70,10 +73,10 @@ def test_fig4_sum_and_minimize(benchmark, count):
     assert cost == pytest.approx(dense_best, abs=1e-9)
 
 
-def test_fig4_breakpoint_count_linear(benchmark):
+def test_fig4_breakpoint_count_linear(benchmark: Any) -> None:
     """#breakpoints is linear in #local cells (the paper's efficiency
     argument for evaluating each breakpoint)."""
-    def totals():
+    def totals() -> List[DisplacementCurve]:
         return [sum_curves(_random_curves(count)) for count in (10, 50, 200)]
 
     for count, total in zip((10, 50, 200), benchmark(totals)):

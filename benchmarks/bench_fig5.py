@@ -11,6 +11,7 @@ the solve on growing chains.
 from __future__ import annotations
 
 import random
+from typing import Any, Dict, List
 
 import pytest
 
@@ -34,7 +35,9 @@ def figure5_problem() -> FixedRowOrderProblem:
     )
 
 
-def test_fig5_graph_structure(benchmark, table_store):
+def test_fig5_graph_structure(
+    benchmark: Any, table_store: Dict[str, TableCollector]
+) -> None:
     problem = figure5_problem()
     graph, v_z = benchmark(build_dual_graph, problem, 2)
     names = edges_by_name(graph)
@@ -63,7 +66,7 @@ def test_fig5_graph_structure(benchmark, table_store):
     )
 
 
-def test_fig5_solution_via_potentials(benchmark):
+def test_fig5_solution_via_potentials(benchmark: Any) -> None:
     problem = figure5_problem()
     xs = benchmark(solve_mcf, problem, 0)
     assert problem.check_feasible(xs) == []
@@ -87,10 +90,10 @@ def _chain(n: int, seed: int = 4) -> FixedRowOrderProblem:
 
 
 @pytest.mark.parametrize("n", [50, 200, 800])
-def test_fig5_network_simplex_scaling(benchmark, n):
+def test_fig5_network_simplex_scaling(benchmark: Any, n: int) -> None:
     problem = _chain(n)
 
-    def solve():
+    def solve() -> List[int]:
         graph, v_z = build_dual_graph(problem, n0=4)
         result = NetworkSimplex(graph).solve()
         pi = result.potentials

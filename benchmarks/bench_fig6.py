@@ -10,6 +10,7 @@ drops, and emit the two SVG panels next to the table output.
 from __future__ import annotations
 
 from pathlib import Path
+from typing import Any, Dict
 
 import pytest
 
@@ -45,7 +46,9 @@ def figure6_design() -> Design:
     return design
 
 
-def test_fig6_matching_before_after(benchmark, table_store):
+def test_fig6_matching_before_after(
+    benchmark: Any, table_store: Dict[str, TableCollector]
+) -> None:
     design = figure6_design()
     params = LegalizerParams(routability=False, scheduler_capacity=1)
     placement = MGLegalizer(design, params).run()

@@ -11,17 +11,20 @@ MCF dominates asymptotically).
 
 from __future__ import annotations
 
+from typing import Any, Dict
+
 import pytest
 
 from conftest import TableCollector
 from repro import LegalizerParams, legalize
 from repro.benchgen import SyntheticSpec, generate_design
 from repro.checker import check_legal
+from repro.model.design import Design
 
 SIZES = [200, 400, 800]
 
 
-def design_of(size: int):
+def design_of(size: int) -> Design:
     doubles = max(4, size // 12)
     talls = max(2, size // 30)
     return generate_design(
@@ -35,7 +38,9 @@ def design_of(size: int):
 
 
 @pytest.mark.parametrize("size", SIZES)
-def test_runtime_scaling(benchmark, table_store, size):
+def test_runtime_scaling(
+    benchmark: Any, table_store: Dict[str, TableCollector], size: int
+) -> None:
     design = design_of(size)
     params = LegalizerParams(routability=False, scheduler_capacity=1)
 

@@ -12,6 +12,8 @@ Columns mirror the paper's Table 1.
 
 from __future__ import annotations
 
+from typing import Any, Dict
+
 import pytest
 
 from conftest import TableCollector, bench_scale, select_cases
@@ -20,6 +22,8 @@ from repro.baselines import legalize_tetris
 from repro.benchgen import iccad2017_suite
 from repro.benchgen.suites import _ICCAD2017_ROWS
 from repro.checker import check_legal, contest_score
+from repro.model.design import Design
+from repro.model.placement import Placement
 
 DEFAULT_SUBSET = [
     "des_perf_1",
@@ -37,7 +41,7 @@ CASES = {
 SELECTED = select_cases(list(_ICCAD2017_ROWS), DEFAULT_SUBSET)
 
 
-def _collector(table_store) -> TableCollector:
+def _collector(table_store: Dict[str, TableCollector]) -> TableCollector:
     if "table1.txt" not in table_store:
         table_store["table1.txt"] = TableCollector(
             "Table 1 — ours vs contest-champion stand-in "
@@ -51,18 +55,23 @@ def _collector(table_store) -> TableCollector:
     return table_store["table1.txt"]
 
 
-def _run_ours(design):
+def _run_ours(design: Design) -> Placement:
     result = legalize(design, LegalizerParams(scheduler_capacity=1))
     return result.placement
 
 
-def _run_champion(design):
+def _run_champion(design: Design) -> Placement:
     return legalize_tetris(design)
 
 
 @pytest.mark.parametrize("name", SELECTED)
 @pytest.mark.parametrize("algo", ["champion", "ours"])
-def test_table1(benchmark, table_store, name, algo):
+def test_table1(
+    benchmark: Any,
+    table_store: Dict[str, TableCollector],
+    name: str,
+    algo: str,
+) -> None:
     design = CASES[name].build()
     runner = _run_ours if algo == "ours" else _run_champion
 

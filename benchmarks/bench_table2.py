@@ -14,6 +14,8 @@ EXPERIMENTS.md for the measured deltas).
 
 from __future__ import annotations
 
+from typing import Any, Callable, Dict
+
 import pytest
 
 from conftest import TableCollector, bench_scale, select_cases
@@ -29,6 +31,8 @@ from repro.checker import check_legal
 from repro.core.flowopt import optimize_fixed_row_order
 from repro.core.mgl import MGLegalizer
 from repro.core.params import LegalizerParams
+from repro.model.design import Design
+from repro.model.placement import Placement
 
 DEFAULT_SUBSET = [
     "des_perf_a",
@@ -52,14 +56,14 @@ def _params() -> LegalizerParams:
     )
 
 
-def _run_ours(design):
+def _run_ours(design: Design) -> Placement:
     params = _params()
     placement = MGLegalizer(design, params).run()
     optimize_fixed_row_order(placement, params)
     return placement
 
 
-def _run_mll_imp(design):
+def _run_mll_imp(design: Design) -> Placement:
     """"[12]-Imp": MLL plus the fixed-order refinement, the improved
     variant the paper actually compares against (reported via [9])."""
     placement = legalize_mll(design)
@@ -67,7 +71,7 @@ def _run_mll_imp(design):
     return placement
 
 
-ALGOS = {
+ALGOS: Dict[str, Callable[[Design], Placement]] = {
     "mll": lambda design: legalize_mll(design),
     "mll_imp": _run_mll_imp,
     "abacus": lambda design: legalize_abacus(design),
@@ -77,7 +81,7 @@ ALGOS = {
 }
 
 
-def _collector(table_store) -> TableCollector:
+def _collector(table_store: Dict[str, TableCollector]) -> TableCollector:
     if "table2.txt" not in table_store:
         table_store["table2.txt"] = TableCollector(
             "Table 2 — total displacement (sites) vs prior legalizers",
@@ -88,7 +92,12 @@ def _collector(table_store) -> TableCollector:
 
 @pytest.mark.parametrize("name", SELECTED)
 @pytest.mark.parametrize("algo", list(ALGOS))
-def test_table2(benchmark, table_store, name, algo):
+def test_table2(
+    benchmark: Any,
+    table_store: Dict[str, TableCollector],
+    name: str,
+    algo: str,
+) -> None:
     design = CASES[name].build()
     placement = benchmark.pedantic(
         ALGOS[algo], args=(design,), iterations=1, rounds=1

@@ -11,6 +11,8 @@ stages (before = raw MGL output).
 
 from __future__ import annotations
 
+from typing import Any, Dict
+
 import pytest
 
 from conftest import TableCollector, bench_scale, select_cases
@@ -35,7 +37,7 @@ CASES = {
 SELECTED = select_cases(list(_ICCAD2017_ROWS), DEFAULT_SUBSET)
 
 
-def _collector(table_store) -> TableCollector:
+def _collector(table_store: Dict[str, TableCollector]) -> TableCollector:
     if "table3.txt" not in table_store:
         table_store["table3.txt"] = TableCollector(
             "Table 3 — post-processing effect (displacement in row heights)",
@@ -48,7 +50,9 @@ def _collector(table_store) -> TableCollector:
 
 
 @pytest.mark.parametrize("name", SELECTED)
-def test_table3(benchmark, table_store, name):
+def test_table3(
+    benchmark: Any, table_store: Dict[str, TableCollector], name: str
+) -> None:
     design = CASES[name].build()
 
     result = benchmark.pedantic(

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import os
 from pathlib import Path
-from typing import Dict, List, Sequence
+from typing import Dict, Iterator, List, Sequence
 
 import pytest
 
@@ -84,7 +84,7 @@ def _fmt(value: object) -> str:
 
 
 @pytest.fixture(scope="session")
-def table_store():
+def table_store() -> Iterator[Dict[str, TableCollector]]:
     """Session store of TableCollector objects, flushed at session end."""
     store: Dict[str, TableCollector] = {}
     yield store

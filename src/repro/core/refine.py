@@ -18,6 +18,7 @@ is how stage 3 avoids creating new pin violations.
 from __future__ import annotations
 
 import math
+import threading
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.params import LegalizerParams
@@ -26,17 +27,31 @@ from repro.model.geometry import Rect
 from repro.model.technology import CellType
 
 
+class _GuardCaches(threading.local):
+    """Per-thread memo caches for the guard's pure queries.
+
+    One :class:`RoutabilityGuard` is shared across the §3.5 scheduler's
+    worker threads, and ``evaluate_insert`` must not write shared state.
+    Every cached value is a pure function of its key, so per-thread
+    dicts trade some re-computation for race-free memoization without
+    changing any answer.
+    """
+
+    def __init__(self) -> None:
+        self.row_ok: Dict[Tuple[str, int], bool] = {}
+        self.x_blocked: Dict[Tuple[str, bool, int], bool] = {}
+        self.io_pairs: Dict[
+            Tuple[str, int], List[Tuple[float, float, float, float]]
+        ] = {}
+
+
 class RoutabilityGuard:
     """Cached rail/IO conflict queries for one design."""
 
     def __init__(self, design: Design, params: Optional[LegalizerParams] = None):
         self.design = design
         self.params = params or LegalizerParams()
-        self._row_ok_cache: Dict[Tuple[str, int], bool] = {}
-        self._x_blocked_cache: Dict[Tuple[str, bool, int], bool] = {}
-        self._io_pairs_cache: Dict[
-            Tuple[str, int], List[Tuple[float, float, float, float]]
-        ] = {}
+        self._caches = _GuardCaches()
         # The x_blocked cache drops the row when every vertical stripe
         # runs the chip's full height (the standard grid does).
         chip_y = design.chip_rect_length_units.y_interval
@@ -88,7 +103,7 @@ class RoutabilityGuard:
         if not cell_type.pins:
             return True
         key = (cell_type.name, row)
-        cached = self._row_ok_cache.get(key)
+        cached = self._caches.row_ok.get(key)
         if cached is not None:
             return cached
         rails = self.design.rails
@@ -100,7 +115,7 @@ class RoutabilityGuard:
             if rails.horizontal_blocked(layer + 1, rect.ylo, rect.yhi):
                 ok = False
                 break
-        self._row_ok_cache[key] = ok
+        self._caches.row_ok[key] = ok
         return ok
 
     # ------------------------------------------------------------------
@@ -117,7 +132,7 @@ class RoutabilityGuard:
             return False
         key = (cell_type.name, self._is_flipped(cell_type, row), int(x))
         if self._x_cacheable:
-            cached = self._x_blocked_cache.get(key)
+            cached = self._caches.x_blocked.get(key)
             if cached is not None:
                 return cached
         rails = self.design.rails
@@ -132,7 +147,7 @@ class RoutabilityGuard:
             if blocked:
                 break
         if self._x_cacheable:
-            self._x_blocked_cache[key] = blocked
+            self._caches.x_blocked[key] = blocked
         return blocked
 
     def _io_pairs(
@@ -149,7 +164,7 @@ class RoutabilityGuard:
         counts are bit-identical to the pairwise reference.
         """
         key = (cell_type.name, row)
-        cached = self._io_pairs_cache.get(key)
+        cached = self._caches.io_pairs.get(key)
         if cached is not None:
             return cached
         design = self.design
@@ -171,7 +186,7 @@ class RoutabilityGuard:
                 if not (io_pin.rect.ylo < yhi and ylo < io_pin.rect.yhi):
                     continue
                 pairs.append((rect.xlo, rect.xhi, io_pin.rect.xlo, io_pin.rect.xhi))
-        self._io_pairs_cache[key] = pairs
+        self._caches.io_pairs[key] = pairs
         return pairs
 
     def io_penalty_at(self, cell_type: CellType, row: int, x: int) -> float:

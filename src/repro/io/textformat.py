@@ -169,12 +169,10 @@ def load_design(path: PathLike) -> Design:
                 finalize_types()
                 fence = FenceRegion(int(tokens[1]), tokens[2])
                 fences[fence.fence_id] = fence
-                design.add_fence(fence)
             elif keyword == "fencerect":
                 fences[int(tokens[1])].add_rect(
                     Rect(*(int(t) for t in tokens[2:6]))
                 )
-                design._segments_cache = None
             elif keyword == "blockage":
                 design.add_blockage(Rect(*(int(t) for t in tokens[1:5])))
             elif keyword == "rail":
@@ -218,6 +216,11 @@ def load_design(path: PathLike) -> Design:
     finalize_types()
     if design is None:
         raise ValueError(f"{path}: no 'design' line found")
+    # Fences are registered only now, once all their rects are parsed:
+    # add_fence rebuilds the design's row segments, so a fence must be
+    # geometrically complete when it goes in.
+    for fence in fences.values():
+        design.add_fence(fence)
     # Re-register any cell types defined after the design line.
     design.validate()
     return design

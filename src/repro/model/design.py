@@ -87,7 +87,12 @@ class Design:
         self.rails: RailGrid = RailGrid()
         self.netlist: Netlist = Netlist()
 
-        self._segments_cache: Optional[Dict[int, List[Segment]]] = None
+        # Built eagerly (and rebuilt on every fence/blockage mutation)
+        # so reads are pure: a lazily filled cache would be a shared
+        # write when first touched from the scheduler's worker threads.
+        self._segments_cache: Dict[int, List[Segment]] = build_row_segments(
+            self.rows(), self.fences, self.blockages
+        )
         self._gp_x_array: Optional[npt.NDArray[np.float64]] = None
         self._gp_y_array: Optional[npt.NDArray[np.float64]] = None
         self._cell_widths: Optional[List[int]] = None
@@ -121,13 +126,13 @@ class Design:
         if any(existing.fence_id == fence.fence_id for existing in self.fences):
             raise ValueError(f"duplicate fence id {fence.fence_id}")
         self.fences.append(fence)
-        self._segments_cache = None
+        self._rebuild_segments()
         return fence
 
     def add_blockage(self, rect: Rect) -> Rect:
         """Register a placement blockage (invalidates the segment cache)."""
         self.blockages.append(rect)
-        self._segments_cache = None
+        self._rebuild_segments()
         return rect
 
     # ------------------------------------------------------------------
@@ -221,12 +226,17 @@ class Design:
         """All placement rows."""
         return [Row(r, 0, self.num_sites) for r in range(self.num_rows)]
 
+    def _rebuild_segments(self) -> None:
+        self._segments_cache = build_row_segments(
+            self.rows(), self.fences, self.blockages
+        )
+
     def segments(self) -> Dict[int, List[Segment]]:
-        """Fence-homogeneous, blockage-free segments per row (cached)."""
-        if self._segments_cache is None:
-            self._segments_cache = build_row_segments(
-                self.rows(), self.fences, self.blockages
-            )
+        """Fence-homogeneous, blockage-free segments per row.
+
+        Maintained eagerly by :meth:`add_fence`/:meth:`add_blockage`;
+        reading it never mutates the design.
+        """
         return self._segments_cache
 
     def segments_in_row(self, row: int) -> List[Segment]:

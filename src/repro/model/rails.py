@@ -69,10 +69,13 @@ class Rail:
         if hi <= lo:
             return False
         # First stripe index whose high edge is past lo.  The division can
-        # round onto an exact integer when lo sits on a stripe edge, which
-        # would skip a stripe still grazing lo — so test `first - 1` too.
+        # round either way when lo sits on a stripe edge: onto an exact
+        # integer (skipping a stripe still grazing lo — test `first - 1`)
+        # or just below one (landing an index too low, e.g. 31.9/0.1 ->
+        # 318.999..., so the witness sits at `first + 1`).  Every
+        # candidate is verified, so probing both neighbours is sound.
         first = math.floor((lo - self.offset - self.width) / self.pitch) + 1
-        for index in (first - 1, first):
+        for index in (first - 1, first, first + 1):
             stripe_lo = self.offset + index * self.pitch
             if stripe_lo < hi and stripe_lo + self.width > lo:
                 return True

@@ -18,3 +18,31 @@ class Worker:
             futures = [pool.submit(self.work, item) for item in items]
             extra = pool.submit(callbacks[0], items)   # unresolvable target
         return [future.result() for future in futures] + [extra.result()]
+
+
+class Sink:
+    """Innocent-looking helper: mutates whatever list it was given."""
+
+    def __init__(self, log):
+        self.log = log
+
+    def push(self, item):
+        self.log.append(item)
+
+
+class Collector:
+    def __init__(self):
+        self.events = []
+
+    def collect(self, item):
+        # The sink is a *fresh local*, but it captures shared state: its
+        # push() lands on self.events.  The old per-file walker missed
+        # this; constructor capture analysis must not.
+        sink = Sink(self.events)
+        sink.push(item)
+        return item
+
+    def run(self, items):
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            futures = [pool.submit(self.collect, item) for item in items]
+        return [future.result() for future in futures]

@@ -3,6 +3,16 @@
 from concurrent.futures import ThreadPoolExecutor
 
 
+class Buffer:
+    """Helper that mutates only what it owns."""
+
+    def __init__(self, items):
+        self.items = items
+
+    def push(self, value):
+        self.items.append(value)
+
+
 class Evaluator:
     def __init__(self):
         self.total = 0
@@ -12,9 +22,17 @@ class Evaluator:
         squares.append(item * item)
         return sum(squares)
 
+    def evaluate_buffered(self, item):
+        buffer = Buffer([])         # fresh capture: the list is local too
+        buffer.push(item * 2)
+        return sum(buffer.items)
+
     def run(self, items):
         with ThreadPoolExecutor(max_workers=2) as pool:
             futures = [pool.submit(self.evaluate, item) for item in items]
+            futures += [
+                pool.submit(self.evaluate_buffered, item) for item in items
+            ]
             results = [future.result() for future in futures]
         for value in results:
             self.total += value     # aggregation happens serially

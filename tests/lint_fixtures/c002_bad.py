@@ -1,0 +1,31 @@
+"""Fixture: a declared purity contract that writes shared state (C002).
+
+The test config declares ``Engine.evaluate(scratch)`` as a pure
+contract: writes through the ``scratch`` parameter are sanctioned,
+everything else shared is off-limits.
+"""
+
+
+class Meter:
+    """Transitive accomplice: mutates the counter object it was given."""
+
+    def __init__(self, counts):
+        self.counts = counts
+
+    def tick(self, key):
+        self.counts[key] = self.counts.get(key, 0) + 1
+
+
+class Engine:
+    def __init__(self):
+        self.history = []
+        self.stats = {}
+
+    def evaluate(self, candidate, scratch=None):
+        cost = candidate * 2
+        self.history.append(cost)       # direct shared write
+        meter = Meter(self.stats)       # fresh local, shared capture
+        meter.tick("evaluate")          # lands on self.stats
+        if scratch is not None:
+            scratch["cost"] = cost      # sanctioned scratch write
+        return cost

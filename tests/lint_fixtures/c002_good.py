@@ -1,0 +1,33 @@
+"""Fixture: a purity contract that holds (C002-clean).
+
+Same contract shape as the bad twin — ``Engine.evaluate(scratch)`` —
+but every write stays on values constructed inside the call tree or on
+the sanctioned scratch parameter.
+"""
+
+
+class Tally:
+    """Helper mutating only what it constructed."""
+
+    def __init__(self):
+        self.counts = {}
+
+    def tick(self, key):
+        self.counts[key] = self.counts.get(key, 0) + 1
+
+
+class Engine:
+    def __init__(self):
+        self.log = []
+
+    def evaluate(self, candidate, scratch=None):
+        local = []
+        local.append(candidate * 2)
+        tally = Tally()                 # fresh object, fresh internals
+        tally.tick("evaluate")
+        if scratch is not None:
+            scratch["cost"] = local[-1]  # sanctioned scratch write
+        return sum(local) + tally.counts["evaluate"]
+
+    def record(self, cost):
+        self.log.append(cost)            # not under contract

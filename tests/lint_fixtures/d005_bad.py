@@ -1,0 +1,26 @@
+"""Fixture: nondeterministic values steering order (D005)."""
+
+import heapq
+import os
+
+
+def order_by_identity(cells):
+    return sorted(cells, key=id)                        # builtin id as key
+
+
+def order_by_hash(cells):
+    return sorted(cells, key=lambda cell: hash(cell))   # hash() in the key
+
+
+def order_by_environment(cells):
+    tag = os.environ["HOST_TAG"]
+    cells.sort(key=lambda cell: (cell, tag))            # env-tainted key
+    return cells
+
+
+def heap_by_identity(cells):
+    heap = []
+    for cell in cells:
+        token = id(cell)
+        heapq.heappush(heap, (token, cell))             # id-tainted item
+    return [heapq.heappop(heap) for _ in cells]

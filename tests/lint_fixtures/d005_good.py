@@ -1,0 +1,29 @@
+"""Fixture: ordering decisions on deterministic keys (D005-clean)."""
+
+import heapq
+import os
+
+
+def order_by_value(cells):
+    return sorted(cells, key=lambda cell: (cell.x, cell.name))
+
+
+def identity_outside_ordering(cells):
+    # id()/os.environ are fine as long as they never order anything.
+    fingerprints = {id(cell) for cell in cells}
+    banner = os.environ.get("BANNER", "")
+    return len(fingerprints), banner
+
+
+def rebound_name_is_clean(cells):
+    tag = os.environ.get("HOST_TAG", "")
+    tag = "fixed"                       # rebind clears the taint
+    cells.sort(key=lambda cell: (cell, tag))
+    return cells
+
+
+def heap_by_value(cells):
+    heap = []
+    for index, cell in enumerate(cells):
+        heapq.heappush(heap, (cell, index))
+    return [heapq.heappop(heap) for _ in cells]

@@ -1,0 +1,14 @@
+"""Fixture: writing Store internals outside its home module (M001)."""
+
+from tests.lint_fixtures.m001_shared import Store
+
+
+def corrupt_typed(store: Store):
+    store._entries[0] = None            # typed receiver, private internals
+    store.journal.append(("hack",))     # mutating call on internals
+    return store
+
+
+def corrupt_untyped(store):
+    store._index["k"] = 0               # private-attr fallback, no types
+    return store

@@ -1,0 +1,14 @@
+"""Fixture: Store used through its own API (M001-clean)."""
+
+from tests.lint_fixtures.m001_shared import Store
+
+
+class Wrapper:
+    def __init__(self):
+        self._entries = []              # same private name, but ours
+
+    def fill(self, store: Store, items):
+        for index, item in enumerate(items):
+            store.add(index, item)      # the sanctioned path
+        self._entries.append(len(items))  # own state, not Store's
+        return store.journal[-1]        # reads are unrestricted

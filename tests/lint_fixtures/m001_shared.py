@@ -1,0 +1,20 @@
+"""Fixture home module for M001: the Store owns its internals.
+
+The test config protects ``tests.lint_fixtures.m001_shared.Store`` —
+only code in this file may write ``_entries``/``_index``/``journal``.
+"""
+
+
+class Store:
+    def __init__(self):
+        self._entries = []
+        self._index = {}
+        self.journal = []
+
+    def add(self, key, value):
+        self._index[key] = len(self._entries)
+        self._entries.append(value)
+        self.journal.append(("add", key))
+
+    def get(self, key):
+        return self._entries[self._index[key]]

@@ -83,7 +83,10 @@ class TestAddRemove:
         )
 
         _, occupancy = occupied
-        occupancy._xs[0][0] = 999  # corrupt: x array out of sync
+        # Corrupt through the (caller-owned) placement, not the
+        # occupancy internals: cell 0 sits at x=0, so this desyncs the
+        # mirror without bypassing the Occupancy API.
+        occupancy.placement.x[0] = 999
         previous = set_expensive_checks(False)
         try:
             assert not expensive_checks_enabled()
@@ -93,7 +96,7 @@ class TestAddRemove:
                 occupancy.verify_consistent()
         finally:
             set_expensive_checks(previous)
-            occupancy._xs[0][0] = 0
+            occupancy.placement.x[0] = 0
 
 
 class TestQueries:

@@ -1,0 +1,87 @@
+"""Baseline capture/compare for staged rule adoption.
+
+A baseline file records the findings a tree is *known* to have, so a
+new rule can gate CI immediately: pre-existing findings are accepted
+(until fixed), new ones fail the build.  Matching is a **multiset** over
+``(path, rule, message)`` — line and column are deliberately ignored so
+unrelated edits that shift a known finding up or down the file do not
+resurrect it.  Each baseline entry absorbs at most as many findings as
+it was recorded with; extra occurrences of the same message are new.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import List, Tuple
+
+from tools.repro_lint.violations import Violation
+
+BASELINE_VERSION = 1
+
+_Key = Tuple[str, str, str]
+
+
+def _key(violation: Violation) -> _Key:
+    return (violation.path, violation.rule, violation.message)
+
+
+def write_baseline(path: Path, violations: List[Violation]) -> None:
+    data = {
+        "version": BASELINE_VERSION,
+        "entries": [
+            {
+                "path": v.path,
+                "rule": v.rule,
+                "message": v.message,
+                # Recorded for human readers; ignored when matching.
+                "line": v.line,
+                "col": v.col,
+            }
+            for v in sorted(violations)
+        ],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
+
+
+def load_baseline(path: Path) -> "Counter[_Key]":
+    """Baseline as a multiset; raises ValueError on a malformed file."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise ValueError(f"unreadable baseline {path}: {exc}") from exc
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise ValueError(f"unsupported baseline format in {path}")
+    entries = data.get("entries")
+    if not isinstance(entries, list):
+        raise ValueError(f"malformed baseline {path}: no entries list")
+    counts: "Counter[_Key]" = Counter()
+    for entry in entries:
+        try:
+            counts[(entry["path"], entry["rule"], entry["message"])] += 1
+        except (TypeError, KeyError) as exc:
+            raise ValueError(f"malformed baseline entry in {path}") from exc
+    return counts
+
+
+def apply_baseline(
+    violations: List[Violation], baseline: "Counter[_Key]"
+) -> Tuple[List[Violation], int]:
+    """Split findings against the baseline.
+
+    Returns ``(new, fixed)``: the violations *not* absorbed by the
+    baseline, and the number of baseline entries no current finding
+    matched (candidates for re-capturing a shrunk baseline).
+    """
+    remaining = Counter(baseline)
+    new: List[Violation] = []
+    for violation in sorted(violations):
+        key = _key(violation)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+        else:
+            new.append(violation)
+    fixed = sum(remaining.values())
+    return new, fixed

@@ -1,0 +1,153 @@
+"""Incremental lint cache.
+
+Whole-program analysis re-reads the entire tree on every run; the cache
+makes the common case — nothing changed, or one file changed — cheap
+without ever changing findings.  Keying is content-based:
+
+* the **config digest** (:meth:`LintConfig.digest`) — any scope or
+  contract change invalidates everything;
+* per file, the sha256 of its bytes;
+* per file, a **dependency digest**: sha256 over the sorted
+  ``(path, content-hash)`` pairs of its call-graph-reachable closure
+  (:meth:`CallGraph.reachable_files`).  A C002 walk rooted in ``mgl.py``
+  descends into ``refine.py``; editing ``refine.py`` changes ``mgl.py``'s
+  dependency digest, so its findings are recomputed even though the file
+  itself did not change.
+
+Two replay tiers:
+
+* **fully warm** — config digest, file set, and every content hash
+  match: stored findings are replayed with *no parsing at all*;
+* **partially warm** — the tree is parsed (the symbol table needs every
+  file regardless), but rules re-run only for files whose dependency
+  digest changed; the rest replay.
+
+Cached findings are post-suppression, so replay is exactly what a cold
+run would print.  A missing, corrupt, or version-mismatched cache file
+degrades to a cold run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from tools.repro_lint.violations import Violation
+
+CACHE_VERSION = 2
+
+
+def content_hash(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def dependency_digest(
+    closure: Iterable[str], hashes: Dict[str, str]
+) -> str:
+    """Digest of the (path, hash) pairs of a file's reachable closure."""
+    payload = "\x1e".join(
+        f"{path}\x1f{hashes.get(path, '?')}" for path in sorted(closure)
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheEntry:
+    """Cached state of one scanned file."""
+
+    content: str  # sha256 of the file bytes
+    deps: str  # dependency digest over its reachable closure
+    violations: List[Violation] = field(default_factory=list)
+
+
+@dataclass
+class LintCache:
+    """On-disk cache: config digest plus one entry per scanned file."""
+
+    config_digest: str = ""
+    entries: Dict[str, CacheEntry] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> Optional["LintCache"]:
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(data, dict) or data.get("version") != CACHE_VERSION:
+            return None
+        raw_entries = data.get("files")
+        digest = data.get("config")
+        if not isinstance(raw_entries, dict) or not isinstance(digest, str):
+            return None
+        cache = cls(config_digest=digest)
+        try:
+            for rel_path, raw in raw_entries.items():
+                cache.entries[rel_path] = CacheEntry(
+                    content=raw["content"],
+                    deps=raw["deps"],
+                    violations=[
+                        Violation(rel_path, int(v[0]), int(v[1]),
+                                  str(v[2]), str(v[3]))
+                        for v in raw["violations"]
+                    ],
+                )
+        except (KeyError, TypeError, ValueError, IndexError):
+            return None
+        return cache
+
+    def save(self, path: Path) -> None:
+        data = {
+            "version": CACHE_VERSION,
+            "config": self.config_digest,
+            "files": {
+                rel_path: {
+                    "content": entry.content,
+                    "deps": entry.deps,
+                    "violations": [
+                        [v.line, v.col, v.rule, v.message]
+                        for v in entry.violations
+                    ],
+                }
+                for rel_path, entry in sorted(self.entries.items())
+            },
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(data, indent=None, separators=(",", ":")),
+            encoding="utf-8",
+        )
+
+    # ------------------------------------------------------------------
+
+    def fully_warm(
+        self, config_digest: str, hashes: Dict[str, str]
+    ) -> bool:
+        """True when stored findings can replay without any parsing."""
+        if self.config_digest != config_digest:
+            return False
+        if set(self.entries) != set(hashes):
+            return False
+        return all(
+            self.entries[rel_path].content == digest
+            for rel_path, digest in hashes.items()
+        )
+
+    def replay_all(self) -> List[Violation]:
+        violations: List[Violation] = []
+        for entry in self.entries.values():
+            violations.extend(entry.violations)
+        return violations
+
+    def lookup(
+        self, config_digest: str, rel_path: str, content: str, deps: str
+    ) -> Optional[CacheEntry]:
+        """Entry for ``rel_path`` if its digests still match, else None."""
+        if self.config_digest != config_digest:
+            return None
+        entry = self.entries.get(rel_path)
+        if entry is None or entry.content != content or entry.deps != deps:
+            return None
+        return entry

@@ -1,0 +1,110 @@
+"""File-level call/dependency graph over the scanned project.
+
+Edges are drawn from (a) import statements and (b) calls/references the
+symbol table can resolve to a definition in another scanned file.  The
+transitive closure answers "whose analysis results can a change to file
+X affect?" — which is exactly what the incremental lint cache needs to
+invalidate cross-module findings (a C002 purity walk rooted in
+``mgl.py`` must be redone when ``refine.py`` changes, even though
+``mgl.py`` itself did not).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from tools.repro_lint.symbols import SymbolTable, dotted_name
+
+
+class CallGraph:
+    """Forward dependency edges between repo-relative file paths."""
+
+    def __init__(self) -> None:
+        self.edges: Dict[str, Set[str]] = {}
+        self._closure: Dict[str, FrozenSet[str]] = {}
+
+    @classmethod
+    def build(
+        cls,
+        symbols: SymbolTable,
+        files: Sequence[Tuple[str, ast.Module]],
+    ) -> "CallGraph":
+        graph = cls()
+        module_paths = {
+            mod.name: mod.rel_path for mod in symbols.modules.values()
+        }
+        for rel_path, tree in files:
+            deps = graph.edges.setdefault(rel_path, set())
+            mod = symbols.by_path.get(rel_path)
+            for node in ast.walk(tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        graph._add_module_dep(
+                            deps, module_paths, alias.name, rel_path
+                        )
+                elif isinstance(node, ast.ImportFrom):
+                    if mod is None:
+                        continue
+                    base = SymbolTable._import_from_base(
+                        mod.name, rel_path, node
+                    )
+                    if base is None:
+                        continue
+                    graph._add_module_dep(deps, module_paths, base, rel_path)
+                    for alias in node.names:
+                        if alias.name != "*":
+                            graph._add_module_dep(
+                                deps, module_paths,
+                                f"{base}.{alias.name}" if base else alias.name,
+                                rel_path,
+                            )
+                elif isinstance(node, ast.Call) and mod is not None:
+                    dotted = dotted_name(node.func)
+                    if dotted is None:
+                        continue
+                    resolved = symbols.resolve(mod, dotted)
+                    if resolved is None:
+                        continue
+                    target = symbols.lookup_function(resolved)
+                    target_path = (
+                        target.rel_path if target is not None
+                        else getattr(
+                            symbols.lookup_class(resolved), "rel_path", None
+                        )
+                    )
+                    if target_path is not None and target_path != rel_path:
+                        deps.add(target_path)
+        return graph
+
+    @staticmethod
+    def _add_module_dep(
+        deps: Set[str],
+        module_paths: Dict[str, str],
+        dotted: str,
+        own_path: str,
+    ) -> None:
+        """Add an edge for ``dotted`` and each of its package prefixes."""
+        parts = dotted.split(".")
+        for cut in range(len(parts), 0, -1):
+            path = module_paths.get(".".join(parts[:cut]))
+            if path is not None and path != own_path:
+                deps.add(path)
+                return
+
+    def reachable_files(self, rel_path: str) -> FrozenSet[str]:
+        """``rel_path`` plus every file transitively depended on."""
+        cached = self._closure.get(rel_path)
+        if cached is not None:
+            return cached
+        seen: Set[str] = set()
+        stack: List[str] = [rel_path]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self.edges.get(current, ()))
+        result = frozenset(seen)
+        self._closure[rel_path] = result
+        return result

@@ -7,27 +7,62 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from tools.repro_lint.baseline import (
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
 from tools.repro_lint.config import load_config
-from tools.repro_lint.engine import run_lint
+from tools.repro_lint.engine import lint
+from tools.repro_lint.formats import render_json, render_sarif, render_text
 from tools.repro_lint.rules import all_rules
+
+DEFAULT_TARGETS = ["src", "tests", "benchmarks", "tools"]
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description=(
-            "AST-based determinism & invariant analyzer for the "
+            "Whole-program determinism & invariant analyzer for the "
             "mixed-cell-height legalization reproduction "
             "(see docs/STATIC_ANALYSIS.md)"
         ),
     )
     parser.add_argument(
-        "targets", nargs="*", default=["src"],
-        help="files or directories to lint (relative to --root)",
+        "targets", nargs="*", default=DEFAULT_TARGETS,
+        help="files or directories to lint (relative to --root; "
+             f"default: {' '.join(DEFAULT_TARGETS)})",
     )
     parser.add_argument(
         "--root", default=".",
         help="repository root holding pyproject.toml (default: cwd)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="findings format (default: text)",
+    )
+    parser.add_argument(
+        "--output", metavar="FILE",
+        help="write findings to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "--cache", metavar="FILE", nargs="?", const=".repro-lint-cache.json",
+        help="incremental cache file (default location when given "
+             "without a value: .repro-lint-cache.json under --root)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE",
+        help="suppress findings recorded in this baseline file; "
+             "only new findings fail the run",
+    )
+    parser.add_argument(
+        "--write-baseline", metavar="FILE",
+        help="capture current findings to FILE and exit 0",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print per-rule counts, cache mode, and wall time to stderr",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -49,13 +84,75 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 2
     config = load_config(root)
-    violations = run_lint(root, args.targets, config)
-    for violation in violations:
-        print(violation.render())
+    cache_path: Optional[Path] = None
+    if args.cache is not None:
+        cache_path = Path(args.cache)
+        if not cache_path.is_absolute():
+            cache_path = root / cache_path
+    result = lint(root, args.targets, config, cache_path=cache_path)
+    violations = result.violations
+
+    if args.write_baseline:
+        write_baseline(_resolve(root, args.write_baseline), violations)
+        print(
+            f"repro-lint: baseline of {len(violations)} finding(s) written "
+            f"to {args.write_baseline}",
+            file=sys.stderr,
+        )
+        return 0
+
+    fixed = 0
+    if args.baseline:
+        try:
+            known = load_baseline(_resolve(root, args.baseline))
+        except ValueError as exc:
+            print(f"repro-lint: {exc}", file=sys.stderr)
+            return 2
+        violations, fixed = apply_baseline(violations, known)
+
+    if args.format == "sarif":
+        rendered = render_sarif(violations, all_rules())
+    elif args.format == "json":
+        rendered = render_json(violations, result.stats.as_dict())
+    else:
+        rendered = render_text(violations)
+
+    if args.output:
+        out_path = _resolve(root, args.output)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(
+            rendered + ("\n" if rendered else ""), encoding="utf-8"
+        )
+    elif rendered:
+        print(rendered)
+
+    if args.stats:
+        stats = result.stats
+        counts = ", ".join(
+            f"{rule}={count}" for rule, count in sorted(stats.per_rule.items())
+        ) or "none"
+        print(
+            f"repro-lint: {stats.files_total} file(s), "
+            f"{stats.files_replayed} replayed from cache "
+            f"({stats.cache_mode}), {stats.wall_seconds:.3f}s; "
+            f"findings: {counts}",
+            file=sys.stderr,
+        )
+    if fixed:
+        print(
+            f"repro-lint: {fixed} baseline entr(y/ies) no longer found; "
+            f"consider re-capturing with --write-baseline",
+            file=sys.stderr,
+        )
     if violations:
         print(f"repro-lint: {len(violations)} violation(s)", file=sys.stderr)
         return 1
     return 0
+
+
+def _resolve(root: Path, value: str) -> Path:
+    path = Path(value)
+    return path if path.is_absolute() else root / path
 
 
 if __name__ == "__main__":

@@ -56,6 +56,41 @@ DEFAULT_SCHEDULER_MODULES: Tuple[str, ...] = (
     "src/repro/core/scheduler.py",
 )
 
+#: C002: callables verified transitively free of shared-state writes.
+#: A trailing parenthesized list names caller-owned *scratch* parameters
+#: whose state the contract explicitly sanctions writes to — e.g. the
+#: ``cache`` of ``evaluate_insert`` ("pool submissions must leave cache
+#: as None"; single-owner callers may pass their private GapCache).
+DEFAULT_PURE_CONTRACTS: Tuple[str, ...] = (
+    "repro.core.mgl.MGLegalizer.evaluate_insert(cache)",
+    "repro.core.parallel.worker_main",
+)
+
+#: M001: classes whose internals may only be written by their home module.
+DEFAULT_MUTATION_PROTECTED: Tuple[str, ...] = (
+    "repro.core.occupancy.Occupancy",
+    "repro.core.insertion.InsertionContext",
+)
+
+
+@dataclass(frozen=True)
+class PureContract:
+    """One parsed ``pure-contracts`` entry."""
+
+    qname: str
+    scratch_params: Tuple[str, ...] = ()
+
+    @classmethod
+    def parse(cls, spec: str) -> "PureContract":
+        spec = spec.strip()
+        if spec.endswith(")") and "(" in spec:
+            qname, _, params = spec[:-1].partition("(")
+            scratch = tuple(
+                p.strip() for p in params.split(",") if p.strip()
+            )
+            return cls(qname=qname.strip(), scratch_params=scratch)
+        return cls(qname=spec)
+
 
 @dataclass(frozen=True)
 class LintConfig:
@@ -66,11 +101,31 @@ class LintConfig:
     float_sensitive: Tuple[str, ...] = DEFAULT_FLOAT_SENSITIVE
     algorithm_modules: Tuple[str, ...] = DEFAULT_ALGORITHM_MODULES
     scheduler_modules: Tuple[str, ...] = DEFAULT_SCHEDULER_MODULES
+    pure_contracts: Tuple[str, ...] = DEFAULT_PURE_CONTRACTS
+    mutation_protected: Tuple[str, ...] = DEFAULT_MUTATION_PROTECTED
 
     @staticmethod
     def in_scope(rel_path: str, prefixes: Tuple[str, ...]) -> bool:
         """True when ``rel_path`` falls under any scope prefix."""
         return any(rel_path.startswith(prefix) for prefix in prefixes)
+
+    def contracts(self) -> Tuple[PureContract, ...]:
+        """Parsed C002 purity contracts."""
+        return tuple(PureContract.parse(spec) for spec in self.pure_contracts)
+
+    def digest(self) -> str:
+        """Stable content hash of the configuration (cache key part)."""
+        import hashlib
+
+        payload = "\x1e".join(
+            f"{name}={'|'.join(getattr(self, name))}"
+            for name in (
+                "exclude", "ordering_sensitive", "float_sensitive",
+                "algorithm_modules", "scheduler_modules",
+                "pure_contracts", "mutation_protected",
+            )
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def _load_toml(path: Path) -> Optional[Dict[str, Any]]:
@@ -109,4 +164,8 @@ def load_config(root: Path) -> LintConfig:
         float_sensitive=read("float-sensitive", DEFAULT_FLOAT_SENSITIVE),
         algorithm_modules=read("algorithm-modules", DEFAULT_ALGORITHM_MODULES),
         scheduler_modules=read("scheduler-modules", DEFAULT_SCHEDULER_MODULES),
+        pure_contracts=read("pure-contracts", DEFAULT_PURE_CONTRACTS),
+        mutation_protected=read(
+            "mutation-protected", DEFAULT_MUTATION_PROTECTED
+        ),
     )

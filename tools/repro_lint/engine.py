@@ -1,17 +1,59 @@
-"""Linting engine: collect files, run rules, apply suppressions."""
+"""Linting engine: collect files, run rules, cache, apply suppressions.
+
+The cross-module rules need every file parsed and indexed before any
+file can be checked, so the engine works in project granularity:
+collect → hash → (maybe replay from cache) → parse → symbol table +
+call graph → per-file rule runs (replaying unchanged files) → cache
+write.  :func:`run_lint` keeps the original list-of-violations API;
+:func:`lint` returns the violations plus run statistics.
+"""
 
 from __future__ import annotations
 
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, List, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
+from tools.repro_lint.cache import (
+    CacheEntry,
+    LintCache,
+    content_hash,
+    dependency_digest,
+)
 from tools.repro_lint.config import LintConfig
-from tools.repro_lint.project import Project, parse_source
+from tools.repro_lint.project import Project, SourceFile, parse_source
 from tools.repro_lint.rules import all_rules
 from tools.repro_lint.violations import Violation
 
 _SKIP_DIRS = {"__pycache__", ".git", ".mypy_cache", ".pytest_cache", "build",
               "dist"}
+
+
+@dataclass
+class LintStats:
+    """What one lint run did, for ``--stats`` and the CI job summary."""
+
+    files_total: int = 0
+    files_replayed: int = 0  # served from cache without re-running rules
+    cache_mode: str = "disabled"  # disabled | cold | partial | warm
+    wall_seconds: float = 0.0
+    per_rule: Dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "files_total": self.files_total,
+            "files_replayed": self.files_replayed,
+            "cache_mode": self.cache_mode,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "per_rule": dict(sorted(self.per_rule.items())),
+        }
+
+
+@dataclass
+class LintResult:
+    violations: List[Violation]
+    stats: LintStats
 
 
 def collect_files(root: Path, targets: Iterable[str],
@@ -45,9 +87,11 @@ def collect_files(root: Path, targets: Iterable[str],
     return files
 
 
-def build_project(root: Path, files: Iterable[Path]) -> Tuple[Project, List[Violation]]:
-    """Parse everything; syntax errors become E999 violations."""
-    project = Project()
+def _read_files(
+    root: Path, files: Iterable[Path]
+) -> Tuple[Dict[str, str], List[Violation]]:
+    """Map rel_path -> text; unreadable files become E999 violations."""
+    texts: Dict[str, str] = {}
     errors: List[Violation] = []
     for path in files:
         try:
@@ -55,32 +99,130 @@ def build_project(root: Path, files: Iterable[Path]) -> Tuple[Project, List[Viol
         except ValueError:
             rel = path.as_posix()
         try:
-            text = path.read_text(encoding="utf-8")
+            texts[rel] = path.read_text(encoding="utf-8")
         except (OSError, UnicodeDecodeError) as exc:
             errors.append(Violation(rel, 1, 0, "E999", f"unreadable: {exc}"))
-            continue
+    return texts, errors
+
+
+def build_project(
+    root: Path, files: Iterable[Path]
+) -> Tuple[Project, List[Violation]]:
+    """Parse everything; syntax errors become E999 violations."""
+    texts, errors = _read_files(root, files)
+    sources, syntax_errors = _parse_all(texts)
+    errors.extend(syntax_errors.values())
+    return Project.build(sources), errors
+
+
+def _parse_all(
+    texts: Dict[str, str]
+) -> Tuple[List[SourceFile], Dict[str, Violation]]:
+    sources: List[SourceFile] = []
+    errors: Dict[str, Violation] = {}
+    for rel, text in texts.items():
         try:
-            project.add(parse_source(rel, text))
+            sources.append(parse_source(rel, text))
         except SyntaxError as exc:
-            errors.append(Violation(
+            errors[rel] = Violation(
                 rel, exc.lineno or 1, (exc.offset or 1) - 1, "E999",
                 f"syntax error: {exc.msg}",
-            ))
-    return project, errors
+            )
+    return sources, errors
+
+
+def lint(
+    root: Path,
+    targets: Iterable[str],
+    config: LintConfig,
+    cache_path: Optional[Path] = None,
+) -> LintResult:
+    """Lint ``targets``; optionally through the incremental cache."""
+    start = time.perf_counter()
+    stats = LintStats()
+    files = collect_files(root, targets, config)
+    texts, io_errors = _read_files(root, files)
+    hashes = {rel: content_hash(text) for rel, text in texts.items()}
+    stats.files_total = len(texts) + len(io_errors)
+    config_digest = config.digest()
+
+    cache: Optional[LintCache] = None
+    if cache_path is not None:
+        cache = LintCache.load(cache_path)
+        stats.cache_mode = "cold"
+
+    # Tier 1: nothing changed — replay without parsing a single file.
+    # Unreadable files have no stable hash, so any I/O error disables it.
+    if cache is not None and not io_errors and cache.fully_warm(
+        config_digest, hashes
+    ):
+        stats.cache_mode = "warm"
+        stats.files_replayed = len(hashes)
+        warm = sorted(cache.replay_all())
+        for violation in warm:
+            stats.per_rule[violation.rule] = (
+                stats.per_rule.get(violation.rule, 0) + 1
+            )
+        stats.wall_seconds = time.perf_counter() - start
+        return LintResult(warm, stats)
+
+    # Tier 2: parse the tree (the symbol table needs every file), then
+    # replay files whose dependency closure is byte-identical.
+    sources, syntax_errors = _parse_all(texts)
+    project = Project.build(sources)
+    violations: List[Violation] = list(io_errors)
+    violations.extend(syntax_errors.values())
+
+    dep_digests: Dict[str, str] = {}
+    for source in project.files:
+        closure = project.callgraph.reachable_files(source.rel_path)
+        dep_digests[source.rel_path] = dependency_digest(closure, hashes)
+
+    rules = all_rules()
+    next_cache = LintCache(config_digest=config_digest)
+    replayed = 0
+    for source in project.files:
+        rel = source.rel_path
+        deps = dep_digests[rel]
+        entry = (
+            cache.lookup(config_digest, rel, hashes[rel], deps)
+            if cache is not None else None
+        )
+        if entry is not None:
+            file_violations = list(entry.violations)
+            replayed += 1
+        else:
+            file_violations = []
+            for rule in rules:
+                for violation in rule.check_file(source, project, config):
+                    if source.suppressions.is_suppressed(
+                        violation.rule, violation.line
+                    ):
+                        continue
+                    file_violations.append(violation)
+        violations.extend(file_violations)
+        next_cache.entries[rel] = CacheEntry(
+            content=hashes[rel], deps=deps, violations=file_violations,
+        )
+
+    if cache_path is not None:
+        if cache is not None and replayed:
+            stats.cache_mode = "partial"
+        try:
+            next_cache.save(cache_path)
+        except OSError:
+            pass  # caching is best-effort; findings are already computed
+    stats.files_replayed = replayed
+    violations = sorted(violations)
+    for violation in violations:
+        stats.per_rule[violation.rule] = (
+            stats.per_rule.get(violation.rule, 0) + 1
+        )
+    stats.wall_seconds = time.perf_counter() - start
+    return LintResult(violations, stats)
 
 
 def run_lint(root: Path, targets: Iterable[str],
              config: LintConfig) -> List[Violation]:
     """Lint ``targets`` (paths relative to ``root``); sorted violations."""
-    files = collect_files(root, targets, config)
-    project, violations = build_project(root, files)
-    rules = all_rules()
-    for source in project.files:
-        for rule in rules:
-            for violation in rule.check_file(source, project, config):
-                if source.suppressions.is_suppressed(
-                    violation.rule, violation.line
-                ):
-                    continue
-                violations.append(violation)
-    return sorted(violations)
+    return lint(root, targets, config).violations

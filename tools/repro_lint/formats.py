@@ -1,0 +1,103 @@
+"""Output formats: text, JSON, and SARIF 2.1.0.
+
+SARIF is the GitHub code-scanning interchange format; the CI lint job
+uploads it so findings annotate pull requests.  Columns are converted
+from the internal 0-based offsets to SARIF's 1-based ``startColumn``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from tools.repro_lint.rules import Rule
+from tools.repro_lint.violations import Violation
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "repro-lint"
+
+
+def render_text(violations: Sequence[Violation]) -> str:
+    return "\n".join(v.render() for v in violations)
+
+
+def render_json(
+    violations: Sequence[Violation], stats: Dict[str, Any]
+) -> str:
+    data = {
+        "tool": TOOL_NAME,
+        "violations": [
+            {
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+                "rule": v.rule,
+                "message": v.message,
+            }
+            for v in violations
+        ],
+        "stats": stats,
+    }
+    return json.dumps(data, indent=2, sort_keys=True)
+
+
+def render_sarif(
+    violations: Sequence[Violation], rules: Sequence[Rule]
+) -> str:
+    """SARIF 2.1.0 log with one run and the full rule catalogue."""
+    catalogue = {rule.code: rule for rule in rules}
+    # Findings may carry codes outside the catalogue (E999): declare
+    # every referenced id so rule_index stays resolvable.
+    extra = sorted(
+        {v.rule for v in violations} - set(catalogue)
+    )
+    rule_ids = list(catalogue) + extra
+    rule_index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+    descriptors: List[Dict[str, Any]] = []
+    for rule_id in rule_ids:
+        rule = catalogue.get(rule_id)
+        descriptors.append({
+            "id": rule_id,
+            "shortDescription": {
+                "text": rule.summary if rule is not None else rule_id,
+            },
+        })
+    results: List[Dict[str, Any]] = []
+    for v in violations:
+        results.append({
+            "ruleId": v.rule,
+            "ruleIndex": rule_index[v.rule],
+            "level": "error",
+            "message": {"text": v.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": v.path,
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {
+                        "startLine": v.line,
+                        "startColumn": v.col + 1,
+                    },
+                },
+            }],
+        })
+    log = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": TOOL_NAME,
+                    "rules": descriptors,
+                },
+            },
+            "results": results,
+            "columnKind": "utf16CodeUnits",
+        }],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)

@@ -1,18 +1,21 @@
 """Parsed-source containers shared by all rules.
 
 A :class:`SourceFile` is one parsed module plus its suppression state; a
-:class:`Project` is the whole scanned file set with a cross-module method
-index, which the concurrency rule (C001) uses to resolve callables
-submitted to thread pools.
+:class:`Project` is the whole scanned file set together with the
+project-wide :class:`~tools.repro_lint.symbols.SymbolTable` and the
+file-level :class:`~tools.repro_lint.callgraph.CallGraph` the
+cross-module rules (C001/C002/M001) and the incremental cache build on.
 """
 
 from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Sequence
 
+from tools.repro_lint.callgraph import CallGraph
 from tools.repro_lint.suppress import Suppressions, parse_suppressions
+from tools.repro_lint.symbols import SymbolTable
 
 
 @dataclass
@@ -26,45 +29,24 @@ class SourceFile:
 
 
 @dataclass
-class MethodInfo:
-    """Where one function/method definition lives."""
-
-    rel_path: str
-    class_name: Optional[str]  # None for module-level functions
-    node: ast.FunctionDef
-
-
-@dataclass
 class Project:
-    """All scanned files plus a (class, method)-name index."""
+    """All scanned files plus whole-program symbol/call-graph indexes."""
 
     files: List[SourceFile] = field(default_factory=list)
-    # method name -> definitions across the project (module-level functions
-    # and class methods alike).
-    methods: Dict[str, List[MethodInfo]] = field(default_factory=dict)
-    # (class name, method name) -> definition, for self.<m>() resolution.
-    class_methods: Dict[Tuple[str, str], MethodInfo] = field(default_factory=dict)
+    symbols: SymbolTable = field(default_factory=SymbolTable)
+    callgraph: CallGraph = field(default_factory=CallGraph)
 
-    def add(self, source: SourceFile) -> None:
-        self.files.append(source)
-        for node in ast.walk(source.tree):
-            if isinstance(node, ast.ClassDef):
-                for item in node.body:
-                    if isinstance(item, ast.FunctionDef):
-                        info = MethodInfo(source.rel_path, node.name, item)
-                        self.methods.setdefault(item.name, []).append(info)
-                        self.class_methods[(node.name, item.name)] = info
-            elif isinstance(node, ast.Module):
-                for item in node.body:
-                    if isinstance(item, ast.FunctionDef):
-                        info = MethodInfo(source.rel_path, None, item)
-                        self.methods.setdefault(item.name, []).append(info)
+    @classmethod
+    def build(cls, sources: Sequence[SourceFile]) -> "Project":
+        pairs = [(source.rel_path, source.tree) for source in sources]
+        symbols = SymbolTable.build(pairs)
+        callgraph = CallGraph.build(symbols, pairs)
+        return cls(files=list(sources), symbols=symbols, callgraph=callgraph)
 
-    def resolve_unique(self, method_name: str) -> Optional[MethodInfo]:
-        """The definition of ``method_name`` when the project has exactly one."""
-        candidates = self.methods.get(method_name, [])
-        if len(candidates) == 1:
-            return candidates[0]
+    def source(self, rel_path: str) -> Optional[SourceFile]:
+        for candidate in self.files:
+            if candidate.rel_path == rel_path:
+                return candidate
         return None
 
 

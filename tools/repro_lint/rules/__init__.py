@@ -29,18 +29,24 @@ class Rule:
 def all_rules() -> List[Rule]:
     """Instantiate the full rule set."""
     from tools.repro_lint.rules.concurrency import SchedulerRaceRule
+    from tools.repro_lint.rules.contracts import PurityContractRule
     from tools.repro_lint.rules.determinism import (
         FloatEqualityRule,
         UnorderedIterationRule,
         UnseededRandomRule,
         WallClockRule,
     )
+    from tools.repro_lint.rules.mutation import SanctionedMutationRule
+    from tools.repro_lint.rules.taint import NondeterminismTaintRule
 
     classes: List[Type[Rule]] = [
         UnseededRandomRule,
         UnorderedIterationRule,
         FloatEqualityRule,
         WallClockRule,
+        NondeterminismTaintRule,
         SchedulerRaceRule,
+        PurityContractRule,
+        SanctionedMutationRule,
     ]
     return [cls() for cls in classes]

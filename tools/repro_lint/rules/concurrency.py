@@ -1,253 +1,40 @@
 """Concurrency rule C001: thread-pool shared-state race detector.
 
 The §3.5 scheduler is only deterministic because everything submitted to
-its ``ThreadPoolExecutor`` is a *pure evaluation*: the docstring contract
-is "evaluation never mutates state".  This rule enforces that contract
-statically.  For every ``<pool>.submit(fn, ...)`` in a scheduler module it
-resolves ``fn`` (local def, lambda, ``self.method``, or a method name
-unique across the project) and walks the callee — transitively, through
-``self.*`` calls and uniquely-named project methods — looking for writes
-to shared state:
+its ``ThreadPoolExecutor`` is a *pure evaluation*: the docstring
+contract is "evaluation never mutates state".  This rule enforces that
+contract statically.  For every ``<pool>.submit(fn, ...)`` in a
+scheduler module it resolves ``fn`` through the project symbol table —
+a local def, lambda, ``self.method``, or a method of an
+annotation/constructor-typed receiver — and hands it to the shared
+:class:`~tools.repro_lint.purity.PurityWalker`, which follows the call
+tree across module boundaries, *including into methods of locally
+constructed objects that capture shared state* (the hole the original
+per-file walker documented).
 
-* assignments (incl. ``+=`` and subscript stores) whose target is rooted
-  at ``self`` or at a parameter/closure name,
-* assignments to ``global``/``nonlocal`` names,
-* mutating method calls (``append``, ``update``, ``pop``, ...) on
-  receivers rooted at shared objects.
-
-Names bound inside the callee to fresh containers/objects (literals,
-comprehensions, constructor calls) are thread-local and exempt.  Known
-limitation: the walk does not follow into methods invoked on those fresh
-locals — a fresh object that internally captures shared state can hide a
-write.  An unresolvable submission target is itself a violation: the
-scheduler must only submit callables the analyzer can prove pure.
+Call-site awareness matters: parameters the submission does not pass
+take their default-value classification, so ``evaluate_insert``'s
+``cache=None`` contract is checked as actually submitted.  An
+unresolvable submission target is itself a violation: the scheduler
+must only submit callables the race analyzer can check.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Tuple, Union
 
 from tools.repro_lint.config import LintConfig
-from tools.repro_lint.project import MethodInfo, Project, SourceFile
+from tools.repro_lint.project import Project, SourceFile
+from tools.repro_lint.purity import SHARED_VAL, PurityWalker, Val
 from tools.repro_lint.rules import Rule
+from tools.repro_lint.symbols import (
+    FunctionInfo,
+    ModuleSymbols,
+    SymbolTable,
+    dotted_name,
+)
 from tools.repro_lint.violations import Violation
-
-#: Container/object methods that mutate their receiver in place.
-MUTATOR_METHODS = {
-    "append", "appendleft", "extend", "extendleft", "insert", "remove",
-    "pop", "popleft", "popitem", "clear", "add", "discard", "update",
-    "setdefault", "sort", "reverse", "rotate", "write", "put",
-    "difference_update", "intersection_update", "symmetric_difference_update",
-}
-
-_MAX_DEPTH = 4
-
-
-def _root_name(node: ast.expr) -> Optional[str]:
-    """The base name of an attribute/subscript chain (``a.b[c].d`` -> ``a``)."""
-    while isinstance(node, (ast.Attribute, ast.Subscript)):
-        node = node.value
-    if isinstance(node, ast.Name):
-        return node.id
-    return None
-
-
-def _is_fresh_value(node: ast.expr) -> bool:
-    """True when ``node`` constructs a new (thread-local) object."""
-    return isinstance(node, (
-        ast.List, ast.Dict, ast.Set, ast.Tuple,
-        ast.ListComp, ast.DictComp, ast.SetComp, ast.GeneratorExp,
-        ast.Call, ast.Constant, ast.BinOp, ast.Compare, ast.BoolOp,
-        ast.UnaryOp, ast.IfExp, ast.JoinedStr,
-    ))
-
-
-class _SharedWriteFinder:
-    """Collects shared-state writes inside one submitted callable."""
-
-    def __init__(self, project: Project):
-        self.project = project
-        self.findings: List[Tuple[str, int, str]] = []  # (rel_path, line, what)
-        self.visited: Set[Tuple[str, Optional[str], str]] = set()
-
-    # -- entry points ---------------------------------------------------
-
-    def analyze_function(self, info: MethodInfo, depth: int = 0) -> None:
-        key = (info.rel_path, info.class_name, info.node.name)
-        if key in self.visited or depth > _MAX_DEPTH:
-            return
-        self.visited.add(key)
-        node = info.node
-
-        params = {arg.arg for arg in (
-            list(node.args.posonlyargs) + list(node.args.args)
-            + list(node.args.kwonlyargs)
-        )}
-        params.discard("self")
-        fresh = self._fresh_locals(node, params)
-        declared_shared = self._declared_global_nonlocal(node)
-
-        for sub in ast.walk(node):
-            if isinstance(sub, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
-                targets: Sequence[ast.expr]
-                if isinstance(sub, ast.Assign):
-                    targets = sub.targets
-                else:
-                    targets = [sub.target]
-                for target in targets:
-                    self._check_store(
-                        info, target, params, fresh, declared_shared, sub.lineno
-                    )
-            elif isinstance(sub, ast.Call):
-                self._check_call(info, sub, params, fresh, depth)
-
-    def analyze_lambda(self, rel_path: str, node: ast.Lambda) -> None:
-        # A lambda body is one expression: only mutator calls and walrus
-        # stores can write state, and every name it sees is shared
-        # (closure) or an argument bound to shared work items.
-        for sub in ast.walk(node.body):
-            if isinstance(sub, ast.Call):
-                func = sub.func
-                if (
-                    isinstance(func, ast.Attribute)
-                    and func.attr in MUTATOR_METHODS
-                ):
-                    self.findings.append((
-                        rel_path, sub.lineno,
-                        f"mutating call '.{func.attr}(...)' in lambda",
-                    ))
-            elif isinstance(sub, ast.NamedExpr):
-                continue  # walrus binds a lambda-local name: safe
-
-    # -- helpers --------------------------------------------------------
-
-    @staticmethod
-    def _fresh_locals(node: ast.FunctionDef, params: Set[str]) -> Set[str]:
-        """Names whose every binding in the function is a fresh value."""
-        fresh: Set[str] = set()
-        tainted: Set[str] = set(params)
-        for sub in ast.walk(node):
-            bindings: List[Tuple[ast.expr, Optional[ast.expr]]] = []
-            if isinstance(sub, ast.Assign):
-                bindings = [(t, sub.value) for t in sub.targets]
-            elif isinstance(sub, ast.AnnAssign):
-                bindings = [(sub.target, sub.value)]
-            elif isinstance(sub, ast.NamedExpr):
-                bindings = [(sub.target, sub.value)]
-            for target, value in bindings:
-                if not isinstance(target, ast.Name):
-                    continue
-                if value is not None and _is_fresh_value(value):
-                    fresh.add(target.id)
-                else:
-                    tainted.add(target.id)
-            if isinstance(sub, (ast.For, ast.AsyncFor)):
-                # Loop targets alias elements of the iterated (possibly
-                # shared) container.
-                for name_node in ast.walk(sub.target):
-                    if isinstance(name_node, ast.Name):
-                        tainted.add(name_node.id)
-            elif isinstance(sub, ast.withitem) and sub.optional_vars is not None:
-                for name_node in ast.walk(sub.optional_vars):
-                    if isinstance(name_node, ast.Name):
-                        tainted.add(name_node.id)
-        return fresh - tainted
-
-    @staticmethod
-    def _declared_global_nonlocal(node: ast.FunctionDef) -> Set[str]:
-        names: Set[str] = set()
-        for sub in ast.walk(node):
-            if isinstance(sub, (ast.Global, ast.Nonlocal)):
-                names.update(sub.names)
-        return names
-
-    def _check_store(
-        self,
-        info: MethodInfo,
-        target: ast.expr,
-        params: Set[str],
-        fresh: Set[str],
-        declared_shared: Set[str],
-        lineno: int,
-    ) -> None:
-        if isinstance(target, (ast.Tuple, ast.List)):
-            for element in target.elts:
-                self._check_store(
-                    info, element, params, fresh, declared_shared, lineno
-                )
-            return
-        if isinstance(target, ast.Name):
-            if target.id in declared_shared:
-                self.findings.append((
-                    info.rel_path, lineno,
-                    f"assignment to global/nonlocal '{target.id}' in "
-                    f"'{info.node.name}'",
-                ))
-            return
-        if isinstance(target, (ast.Attribute, ast.Subscript)):
-            root = _root_name(target)
-            if root is None or root in fresh:
-                return
-            if root == "self" or root in params or root in declared_shared:
-                where = "self" if root == "self" else f"parameter '{root}'"
-                self.findings.append((
-                    info.rel_path, lineno,
-                    f"store into state rooted at {where} in "
-                    f"'{info.node.name}'",
-                ))
-            else:
-                # Unknown root: an alias of something shared, or a module
-                # global.  Conservatively shared.
-                self.findings.append((
-                    info.rel_path, lineno,
-                    f"store through non-local name '{root}' in "
-                    f"'{info.node.name}'",
-                ))
-
-    def _check_call(
-        self,
-        info: MethodInfo,
-        call: ast.Call,
-        params: Set[str],
-        fresh: Set[str],
-        depth: int,
-    ) -> None:
-        func = call.func
-        if isinstance(func, ast.Attribute):
-            if func.attr in MUTATOR_METHODS:
-                root = _root_name(func.value)
-                if root is not None and root in fresh:
-                    return
-                self.findings.append((
-                    info.rel_path, call.lineno,
-                    f"mutating call '.{func.attr}(...)' on shared object in "
-                    f"'{info.node.name}'",
-                ))
-                return
-            # Transitive: self.<m>() within the same class, or a method
-            # name defined exactly once project-wide on a shared receiver.
-            root = _root_name(func.value)
-            if root is not None and root in fresh:
-                return  # methods of thread-local objects: out of scope
-            if (
-                isinstance(func.value, ast.Name)
-                and func.value.id == "self"
-                and info.class_name is not None
-            ):
-                callee = self.project.class_methods.get(
-                    (info.class_name, func.attr)
-                )
-                if callee is not None:
-                    self.analyze_function(callee, depth + 1)
-                    return
-            callee = self.project.resolve_unique(func.attr)
-            if callee is not None:
-                self.analyze_function(callee, depth + 1)
-        elif isinstance(func, ast.Name):
-            callee = self.project.resolve_unique(func.id)
-            if callee is not None and callee.class_name is None:
-                self.analyze_function(callee, depth + 1)
 
 
 class SchedulerRaceRule(Rule):
@@ -299,14 +86,18 @@ class SchedulerRaceRule(Rule):
         call: ast.Call,
     ) -> List[Violation]:
         target = call.args[0]
-        finder = _SharedWriteFinder(project)
-        resolved_name: Optional[str] = None
+        symbols = project.symbols
+        mod = symbols.by_path.get(source.rel_path)
+        walker = PurityWalker(symbols)
+        resolved_name: str
 
         if isinstance(target, ast.Lambda):
             resolved_name = "<lambda>"
-            finder.analyze_lambda(source.rel_path, target)
+            walker.walk_lambda(
+                source.rel_path, mod.name if mod else "", target
+            )
         else:
-            info = self._resolve_target(project, class_name, target)
+            info = self._resolve_target(project, source, class_name, target)
             if info is None:
                 label = ast.unparse(target)
                 return [Violation(
@@ -315,15 +106,27 @@ class SchedulerRaceRule(Rule):
                     f"'{label}'; submit only callables the race analyzer "
                     f"can check",
                 )]
-            resolved_name = info.node.name
-            finder.analyze_function(info)
+            resolved_name = info.name
+            # Everything handed to the pool is shared across threads by
+            # construction; unpassed parameters keep their defaults.
+            arg_vals = [SHARED_VAL for _ in call.args[1:]]
+            kwarg_vals = {
+                kw.arg: SHARED_VAL for kw in call.keywords
+                if kw.arg is not None
+            }
+            self_val: Optional[Val] = None
+            if info.class_qname is not None:
+                self_val = Val("shared", info.class_qname)
+            env = walker.bind_call(info, call, arg_vals, kwarg_vals, self_val)
+            walker.walk_function(info, env)
 
         violations = []
-        for rel_path, line, what in finder.findings:
+        for finding in walker.findings:
             violations.append(Violation(
                 source.rel_path, call.lineno, call.col_offset, self.code,
                 f"'{resolved_name}' runs on the scheduler thread pool but "
-                f"writes shared state: {what} ({rel_path}:{line}); "
+                f"writes shared state: {finding.what} "
+                f"({finding.rel_path}:{finding.line}); "
                 f"evaluation must be pure (§3.5)",
             ))
         return violations
@@ -331,19 +134,122 @@ class SchedulerRaceRule(Rule):
     @staticmethod
     def _resolve_target(
         project: Project,
+        source: SourceFile,
         class_name: Optional[str],
         target: ast.expr,
-    ) -> Optional[MethodInfo]:
+    ) -> Optional[FunctionInfo]:
+        symbols = project.symbols
+        mod = symbols.by_path.get(source.rel_path)
+        if mod is None:
+            return None
         if isinstance(target, ast.Name):
-            return project.resolve_unique(target.id)
-        if isinstance(target, ast.Attribute):
-            if (
-                isinstance(target.value, ast.Name)
-                and target.value.id == "self"
-                and class_name is not None
-            ):
-                info = project.class_methods.get((class_name, target.attr))
-                if info is not None:
-                    return info
-            return project.resolve_unique(target.attr)
+            resolved = symbols.resolve(mod, target.id)
+            if resolved is not None:
+                return symbols.lookup_function(resolved)
+            return None
+        if not isinstance(target, ast.Attribute):
+            return None
+        # ``self.method`` / ``self.attr.method`` / ``local.method`` where
+        # the receiver's class is known from annotations or constructors.
+        receiver_cls = SchedulerRaceRule._receiver_class(
+            symbols, mod, source, class_name, target.value
+        )
+        if receiver_cls is not None:
+            return symbols.lookup_method(receiver_cls, target.attr)
+        # Module-attached function: ``module.func``.
+        dotted = dotted_name(target)
+        if dotted is not None:
+            resolved = symbols.resolve(mod, dotted)
+            if resolved is not None:
+                return symbols.lookup_function(resolved)
         return None
+
+    @staticmethod
+    def _receiver_class(
+        symbols: SymbolTable,
+        mod: ModuleSymbols,
+        source: SourceFile,
+        class_name: Optional[str],
+        receiver: ast.expr,
+    ) -> Optional[str]:
+        """Class of the submission receiver, via shallow type inference."""
+        class_qname = (
+            symbols.resolve(mod, class_name) if class_name else None
+        )
+        if isinstance(receiver, ast.Name):
+            if receiver.id == "self":
+                return class_qname
+            # Search the enclosing function for a typing binding of the
+            # local: annotation, constructor call, or typed self-attr.
+            fn = _enclosing_function(source.tree, receiver)
+            if fn is None:
+                return None
+            return _local_class(symbols, mod, class_qname, fn, receiver.id)
+        if isinstance(receiver, ast.Attribute):
+            base = SchedulerRaceRule._receiver_class(
+                symbols, mod, source, class_name, receiver.value
+            )
+            if base is not None:
+                return symbols.attr_class(base, receiver.attr)
+        return None
+
+
+_FunctionDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _enclosing_function(
+    tree: ast.Module, needle: ast.expr
+) -> Optional[_FunctionDef]:
+    """Innermost function definition containing ``needle``."""
+    found: List[_FunctionDef] = []
+
+    def visit(node: ast.AST, current: Optional[_FunctionDef]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            current = node
+        if node is needle and current is not None:
+            found.append(current)
+        for child in ast.iter_child_nodes(node):
+            visit(child, current)
+
+    visit(tree, None)
+    return found[0] if found else None
+
+
+def _local_class(
+    symbols: SymbolTable,
+    mod: ModuleSymbols,
+    class_qname: Optional[str],
+    fn: Union[ast.FunctionDef, ast.AsyncFunctionDef],
+    name: str,
+) -> Optional[str]:
+    """Shallow class inference for local ``name`` inside ``fn``."""
+    for arg in (
+        list(fn.args.posonlyargs) + list(fn.args.args)
+        + list(fn.args.kwonlyargs)
+    ):
+        if arg.arg == name and arg.annotation is not None:
+            return symbols.annotation_class(mod, arg.annotation)
+    for sub in ast.walk(fn):
+        target: Optional[ast.expr] = None
+        value: Optional[ast.expr] = None
+        if isinstance(sub, ast.Assign) and len(sub.targets) == 1:
+            target, value = sub.targets[0], sub.value
+        elif isinstance(sub, ast.AnnAssign) and sub.annotation is not None:
+            if isinstance(sub.target, ast.Name) and sub.target.id == name:
+                return symbols.annotation_class(mod, sub.annotation)
+            continue
+        else:
+            continue
+        if not (isinstance(target, ast.Name) and target.id == name):
+            continue
+        if isinstance(value, ast.Call):
+            dotted = dotted_name(value.func)
+            if dotted is not None:
+                resolved = symbols.resolve(mod, dotted)
+                if resolved is not None and resolved in symbols.classes:
+                    return resolved
+        elif isinstance(value, ast.Attribute) and isinstance(
+            value.value, ast.Name
+        ) and value.value.id == "self" and class_qname is not None:
+            return symbols.attr_class(class_qname, value.attr)
+    return None

@@ -1,0 +1,318 @@
+"""Mutation rule M001: protected-class internals are API-only.
+
+The delta-journal protocol (`repro.core.parallel`) and the planned
+sharded halo-reconciliation both rest on one invariant: every mutation
+of an :class:`Occupancy` goes through its own methods, so the journal
+sees it and row versions bump.  A stray ``occ._xs[row][i] = x`` or
+``occ.journal.append(...)`` from another module silently desynchronizes
+every worker mirror.
+
+``[tool.repro-lint] mutation-protected`` lists the guarded classes.
+Outside a class's home module, this rule flags:
+
+* attribute/subscript **stores** that pass through an attribute of an
+  expression whose class is inferred as protected
+  (``occ.placement.x[0] = 9`` — bypasses the journal);
+* the same through a **private attribute name** registered to exactly
+  one protected class, even when the receiver's type cannot be inferred
+  (``thing._xs[0][0] = 999`` — fixtures and tests have no annotations);
+* **mutating method calls** (``append``, ``update``, ...) on such
+  internals (``occ.journal.append(op)``).
+
+Reads are unrestricted, and calling the protected object's own methods
+(``occ.add(...)``) is exactly the sanctioned path.  Type inference is
+the symbol table's shallow kind: parameter annotations, constructor
+calls, annotated/inferred ``self`` attributes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple, Union
+
+from tools.repro_lint.config import LintConfig
+from tools.repro_lint.project import Project, SourceFile
+from tools.repro_lint.purity import MUTATOR_METHODS
+from tools.repro_lint.rules import Rule
+from tools.repro_lint.symbols import (
+    ClassInfo,
+    ModuleSymbols,
+    SymbolTable,
+    dotted_name,
+)
+from tools.repro_lint.violations import Violation
+
+_FunctionDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+class SanctionedMutationRule(Rule):
+    code = "M001"
+    summary = "protected-class internals written outside their home module"
+
+    def check_file(
+        self, source: SourceFile, project: Project, config: LintConfig
+    ) -> List[Violation]:
+        symbols = project.symbols
+        protected: Dict[str, ClassInfo] = {}
+        for qname in config.mutation_protected:
+            info = symbols.lookup_class(qname)
+            if info is not None and info.rel_path != source.rel_path:
+                protected[qname] = info
+        if not protected:
+            return []
+        # Private attribute -> owning class, for untyped receivers.
+        # Names claimed by several protected classes stay ambiguous but
+        # still point at *some* protected internals, so keep them.
+        private_attrs: Dict[str, str] = {}
+        for qname, info in protected.items():
+            for attr in info.attr_names:
+                if attr.startswith("_") and not attr.startswith("__"):
+                    private_attrs[attr] = qname
+
+        mod = symbols.by_path.get(source.rel_path)
+        if mod is None:
+            return []
+        violations: List[Violation] = []
+        checker = _FileChecker(
+            source, symbols, mod, protected, private_attrs, self.code
+        )
+        checker.run()
+        violations.extend(checker.violations)
+        return violations
+
+
+class _FileChecker:
+    """Scans one file's functions with a shallow per-scope type env."""
+
+    def __init__(
+        self,
+        source: SourceFile,
+        symbols: SymbolTable,
+        mod: ModuleSymbols,
+        protected: Dict[str, ClassInfo],
+        private_attrs: Dict[str, str],
+        code: str,
+    ) -> None:
+        self.source = source
+        self.symbols = symbols
+        self.mod = mod
+        self.protected = protected
+        self.private_attrs = private_attrs
+        self.code = code
+        self.violations: List[Violation] = []
+
+    def run(self) -> None:
+        self._scan_body(self.source.tree.body, class_qname=None, types={})
+
+    def _scan_body(
+        self,
+        body: List[ast.stmt],
+        class_qname: Optional[str],
+        types: Dict[str, Optional[str]],
+    ) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.ClassDef):
+                qname = self.symbols.resolve(self.mod, stmt.name)
+                self._scan_body(stmt.body, qname, {})
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._scan_function(stmt, class_qname)
+            else:
+                self._scan_stmt(stmt, class_qname, dict(types))
+
+    def _scan_function(
+        self, fn: _FunctionDef, class_qname: Optional[str]
+    ) -> None:
+        types = self._param_types(fn)
+        for stmt in fn.body:
+            self._scan_stmt(stmt, class_qname, types)
+
+    def _param_types(self, fn: _FunctionDef) -> Dict[str, Optional[str]]:
+        types: Dict[str, Optional[str]] = {}
+        for arg in (
+            list(fn.args.posonlyargs) + list(fn.args.args)
+            + list(fn.args.kwonlyargs)
+        ):
+            if arg.annotation is not None:
+                types[arg.arg] = self.symbols.annotation_class(
+                    self.mod, arg.annotation
+                )
+        return types
+
+    def _scan_stmt(
+        self,
+        stmt: ast.stmt,
+        class_qname: Optional[str],
+        types: Dict[str, Optional[str]],
+    ) -> None:
+        # Nested defs keep (a copy of) the enclosing bindings.
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            inner = dict(types)
+            inner.update(self._param_types(stmt))
+            for sub in stmt.body:
+                self._scan_stmt(sub, class_qname, inner)
+            return
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    self._check_write(target, class_qname, types)
+                self._bind(node.targets, node.value, class_qname, types)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                self._check_write(node.target, class_qname, types)
+                if isinstance(node, ast.AnnAssign) and isinstance(
+                    node.target, ast.Name
+                ):
+                    types[node.target.id] = self.symbols.annotation_class(
+                        self.mod, node.annotation
+                    )
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    self._check_write(
+                        target, class_qname, types, verb="delete of"
+                    )
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                if node.func.attr in MUTATOR_METHODS:
+                    self._check_receiver(node, class_qname, types)
+
+    def _bind(
+        self,
+        targets: List[ast.expr],
+        value: ast.expr,
+        class_qname: Optional[str],
+        types: Dict[str, Optional[str]],
+    ) -> None:
+        if len(targets) != 1 or not isinstance(targets[0], ast.Name):
+            return
+        name = targets[0].id
+        inferred: Optional[str] = None
+        if isinstance(value, ast.Call):
+            dotted = dotted_name(value.func)
+            if dotted is not None:
+                resolved = self.symbols.resolve(self.mod, dotted)
+                if resolved is not None and resolved in self.symbols.classes:
+                    inferred = resolved
+        else:
+            inferred = self._expr_class(value, class_qname, types)
+        types[name] = inferred
+
+    # ------------------------------------------------------------------
+
+    def _check_write(
+        self,
+        target: ast.expr,
+        class_qname: Optional[str],
+        types: Dict[str, Optional[str]],
+        verb: str = "write to",
+    ) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._check_write(element, class_qname, types, verb)
+            return
+        if isinstance(target, ast.Starred):
+            self._check_write(target.value, class_qname, types, verb)
+            return
+        if not isinstance(target, (ast.Attribute, ast.Subscript)):
+            return
+        hit = self._protected_hop(target, class_qname, types)
+        if hit is not None:
+            owner, attr = hit
+            self._report(
+                target,
+                f"{verb} internals of protected class {owner} "
+                f"(attribute '{attr}'); mutate it through its own API "
+                f"in its home module",
+            )
+
+    def _check_receiver(
+        self,
+        call: ast.Call,
+        class_qname: Optional[str],
+        types: Dict[str, Optional[str]],
+    ) -> None:
+        func = call.func
+        assert isinstance(func, ast.Attribute)
+        receiver = func.value
+        if not isinstance(receiver, (ast.Attribute, ast.Subscript)):
+            return  # plain ``obj.add(...)``: the sanctioned API itself
+        hit = self._protected_hop(receiver, class_qname, types)
+        if hit is not None:
+            owner, attr = hit
+            self._report(
+                call,
+                f"mutating call '.{func.attr}(...)' on internals of "
+                f"protected class {owner} (attribute '{attr}'); mutate it "
+                f"through its own API in its home module",
+            )
+
+    def _protected_hop(
+        self,
+        target: ast.expr,
+        class_qname: Optional[str],
+        types: Dict[str, Optional[str]],
+    ) -> Optional[Tuple[str, str]]:
+        """(owner class, attribute) of the first protected hop in a chain.
+
+        Walks ``base.attr1.attr2[...]`` outside-in: a hop is protected
+        when its base's inferred class is a protected class, or when the
+        attribute name is a registered protected private attribute and
+        the base is not ``self`` (the home module is already excluded;
+        ``self._x`` elsewhere is some other class's private state).
+        """
+        # Build the access chain from the inside out.
+        chain: List[ast.expr] = []
+        node: ast.expr = target
+        while isinstance(node, (ast.Attribute, ast.Subscript)):
+            chain.append(node)
+            node = node.value
+        base = node
+        chain.reverse()  # base-most access first
+        current_cls = self._expr_class(base, class_qname, types)
+        base_is_self = isinstance(base, ast.Name) and base.id == "self"
+        for access in chain:
+            if not isinstance(access, ast.Attribute):
+                # Subscript: element types are untracked.
+                current_cls = None
+                continue
+            if current_cls is not None and current_cls in self.protected:
+                return (current_cls, access.attr)
+            if (
+                not base_is_self
+                and access.attr in self.private_attrs
+            ):
+                return (self.private_attrs[access.attr], access.attr)
+            current_cls = (
+                self.symbols.attr_class(current_cls, access.attr)
+                if current_cls is not None else None
+            )
+        return None
+
+    def _expr_class(
+        self,
+        expr: ast.expr,
+        class_qname: Optional[str],
+        types: Dict[str, Optional[str]],
+    ) -> Optional[str]:
+        if isinstance(expr, ast.Name):
+            if expr.id == "self":
+                return class_qname
+            return types.get(expr.id)
+        if isinstance(expr, ast.Call):
+            dotted = dotted_name(expr.func)
+            if dotted is not None:
+                resolved = self.symbols.resolve(self.mod, dotted)
+                if resolved is not None and resolved in self.symbols.classes:
+                    return resolved
+            return None
+        if isinstance(expr, ast.Attribute):
+            base = self._expr_class(expr.value, class_qname, types)
+            if base is not None:
+                return self.symbols.attr_class(base, expr.attr)
+            return None
+        return None
+
+    def _report(self, node: ast.expr, message: str) -> None:
+        self.violations.append(Violation(
+            self.source.rel_path, node.lineno, node.col_offset,
+            self.code, message,
+        ))

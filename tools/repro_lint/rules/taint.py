@@ -1,0 +1,268 @@
+"""Taint rule D005: nondeterministic values must not order anything.
+
+``id()`` and ``hash()`` vary across runs (CPython address reuse, string
+hash salting), and ``os.environ`` varies across machines.  Any of them
+flowing into a *sort key*, a *heap push*, or a ``min``/``max`` key is a
+run-to-run tie-break nondeterminism bug of exactly the kind the §3.5
+determinism argument forbids — and the kind D001/D002 cannot see,
+because the sort itself looks keyed and explicit.
+
+Per function, this rule tracks a name-level taint environment: a name
+becomes tainted when bound to an expression containing ``id(...)``,
+``hash(...)``, ``os.environ[...]``/``os.environ.get(...)``/
+``os.getenv(...)``, or an already-tainted name.  Sinks checked:
+
+* ``sorted(..., key=K)`` / ``<x>.sort(key=K)`` / ``min``/``max``
+  ``key=K`` — flagged when ``K`` (including a lambda body) is tainted
+  or is the bare builtin ``id``/``hash``;
+* ``heapq.heappush(heap, item)`` / ``heappq.heappushpop`` — flagged
+  when the pushed item is tainted (heap order *is* the ordering).
+
+The analysis is intraprocedural and ordered (a rebind to a clean value
+clears the taint), which keeps it precise enough to run suppression-free
+over the whole tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Union
+
+from tools.repro_lint.config import LintConfig
+from tools.repro_lint.project import Project, SourceFile
+from tools.repro_lint.rules import Rule
+from tools.repro_lint.symbols import dotted_name
+from tools.repro_lint.violations import Violation
+
+_FunctionDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Builtins whose return value differs run to run.
+_SOURCE_BUILTINS = {"id", "hash"}
+
+#: ``key=`` sinks: builtin call name -> human label.
+_KEYED_SINKS = {"sorted": "sorted()", "min": "min()", "max": "max()"}
+
+#: ``heapq`` functions whose pushed item (arg index 1) orders the heap.
+_HEAP_SINKS = {"heappush", "heappushpop"}
+
+
+class NondeterminismTaintRule(Rule):
+    code = "D005"
+    summary = "nondeterministic value flows into an ordering decision"
+
+    def check_file(
+        self, source: SourceFile, project: Project, config: LintConfig
+    ) -> List[Violation]:
+        checker = _TaintChecker(source, self.code)
+        checker.scan_module()
+        return checker.violations
+
+
+class _TaintChecker:
+    def __init__(self, source: SourceFile, code: str) -> None:
+        self.source = source
+        self.code = code
+        self.violations: List[Violation] = []
+
+    def scan_module(self) -> None:
+        # Module level runs once but its ordering still matters (e.g.
+        # module-level registries); treat the top level as one function.
+        self._scan_block(self.source.tree.body, {})
+        for node in ast.walk(self.source.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._scan_block(node.body, {})
+
+    # ------------------------------------------------------------------
+
+    def _scan_block(
+        self, body: Iterable[ast.stmt], taint: Dict[str, str]
+    ) -> None:
+        for stmt in body:
+            self._scan_stmt(stmt, taint)
+
+    def _scan_stmt(self, stmt: ast.stmt, taint: Dict[str, str]) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # scanned separately with a fresh environment
+        if isinstance(stmt, ast.ClassDef):
+            self._scan_block(stmt.body, {})
+            return
+
+        # Compound statements: check sinks only in the header expression
+        # (body statements are recursed into with the evolving taint env,
+        # so walking the whole subtree here would both double-report and
+        # race ahead of the bindings the body makes).
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._check_sinks_in(stmt.iter, taint)
+            self._bind(stmt.target, self._expr_taint(stmt.iter, taint), taint)
+            self._scan_block(stmt.body, taint)
+            self._scan_block(stmt.orelse, taint)
+            return
+        if isinstance(stmt, ast.While):
+            self._check_sinks_in(stmt.test, taint)
+            self._scan_block(stmt.body, taint)
+            self._scan_block(stmt.orelse, taint)
+            return
+        if isinstance(stmt, ast.If):
+            # Branches may or may not run: taint from either survives.
+            self._check_sinks_in(stmt.test, taint)
+            self._scan_block(stmt.body, taint)
+            self._scan_block(stmt.orelse, taint)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._check_sinks_in(item.context_expr, taint)
+                if item.optional_vars is not None:
+                    self._bind(
+                        item.optional_vars,
+                        self._expr_taint(item.context_expr, taint),
+                        taint,
+                    )
+            self._scan_block(stmt.body, taint)
+            return
+        if isinstance(stmt, ast.Try):
+            self._scan_block(stmt.body, taint)
+            for handler in stmt.handlers:
+                self._scan_block(handler.body, taint)
+            self._scan_block(stmt.orelse, taint)
+            self._scan_block(stmt.finalbody, taint)
+            return
+
+        # Simple statement: sinks anywhere in it, evaluated before binds.
+        self._check_sinks_in(stmt, taint)
+        if isinstance(stmt, ast.Assign):
+            label = self._expr_taint(stmt.value, taint)
+            for target in stmt.targets:
+                self._bind(target, label, taint)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._bind(stmt.target, self._expr_taint(stmt.value, taint), taint)
+        elif isinstance(stmt, ast.AugAssign):
+            label = self._expr_taint(stmt.value, taint)
+            if label is not None:
+                self._bind(stmt.target, label, taint)
+
+    def _check_sinks_in(self, node: ast.AST, taint: Dict[str, str]) -> None:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                self._check_sink(sub, taint)
+
+    def _bind(
+        self, target: ast.expr, label: Optional[str], taint: Dict[str, str]
+    ) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, label, taint)
+            return
+        if isinstance(target, ast.Starred):
+            self._bind(target.value, label, taint)
+            return
+        if not isinstance(target, ast.Name):
+            return
+        if label is not None:
+            taint[target.id] = label
+        else:
+            taint.pop(target.id, None)
+
+    # ------------------------------------------------------------------
+
+    def _expr_taint(
+        self, expr: Optional[ast.expr], taint: Dict[str, str]
+    ) -> Optional[str]:
+        """Source label when ``expr`` carries nondeterministic taint."""
+        if expr is None:
+            return None
+        for node in ast.walk(expr):
+            label = self._atom_taint(node, taint)
+            if label is not None:
+                return label
+        return None
+
+    def _atom_taint(
+        self, node: ast.AST, taint: Dict[str, str]
+    ) -> Optional[str]:
+        if isinstance(node, ast.Name) and node.id in taint:
+            return taint[node.id]
+        if isinstance(node, ast.Call):
+            if (
+                isinstance(node.func, ast.Name)
+                and node.func.id in _SOURCE_BUILTINS
+            ):
+                return f"{node.func.id}()"
+            dotted = dotted_name(node.func)
+            if dotted in ("os.getenv", "os.environ.get"):
+                return dotted + "()"
+        if isinstance(node, ast.Subscript):
+            if dotted_name(node.value) == "os.environ":
+                return "os.environ[...]"
+        if isinstance(node, ast.Attribute):
+            if dotted_name(node) == "os.environ":
+                return "os.environ"
+        return None
+
+    # ------------------------------------------------------------------
+
+    def _check_sink(self, call: ast.Call, taint: Dict[str, str]) -> None:
+        sink = self._sink_label(call)
+        if sink is None:
+            return
+        if sink == "heap push":
+            if len(call.args) < 2:
+                return
+            label = self._expr_taint(call.args[1], taint)
+            if label is not None:
+                self._report(
+                    call,
+                    f"nondeterministic value (from {label}) is pushed onto "
+                    f"a heap; heap order decides processing order",
+                )
+            return
+        for kw in call.keywords:
+            if kw.arg != "key":
+                continue
+            label = self._key_taint(kw.value, taint)
+            if label is not None:
+                self._report(
+                    call,
+                    f"nondeterministic value (from {label}) flows into the "
+                    f"{sink} key; ordering must not depend on it",
+                )
+
+    def _sink_label(self, call: ast.Call) -> Optional[str]:
+        if isinstance(call.func, ast.Name) and call.func.id in _KEYED_SINKS:
+            return _KEYED_SINKS[call.func.id]
+        if isinstance(call.func, ast.Attribute):
+            if call.func.attr == "sort":
+                return ".sort()"
+            dotted = dotted_name(call.func)
+            if dotted is not None:
+                parts = dotted.split(".")
+                if parts[-1] in _HEAP_SINKS and (
+                    len(parts) == 1 or parts[0] == "heapq"
+                ):
+                    return "heap push"
+        elif isinstance(call.func, ast.Name) and call.func.id in _HEAP_SINKS:
+            return "heap push"
+        return None
+
+    def _key_taint(
+        self, key: ast.expr, taint: Dict[str, str]
+    ) -> Optional[str]:
+        if isinstance(key, ast.Name):
+            if key.id in _SOURCE_BUILTINS:
+                return f"builtin '{key.id}'"
+            return taint.get(key.id)
+        if isinstance(key, ast.Lambda):
+            # Lambda parameters shadow outer taint inside the body.
+            inner = dict(taint)
+            for arg in (
+                list(key.args.posonlyargs) + list(key.args.args)
+                + list(key.args.kwonlyargs)
+            ):
+                inner.pop(arg.arg, None)
+            return self._expr_taint(key.body, inner)
+        return self._expr_taint(key, taint)
+
+    def _report(self, node: ast.expr, message: str) -> None:
+        self.violations.append(Violation(
+            self.source.rel_path, node.lineno, node.col_offset,
+            self.code, message,
+        ))

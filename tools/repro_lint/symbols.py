@@ -1,0 +1,445 @@
+"""Project-wide symbol table.
+
+Maps every scanned file to a module name (``src/repro/core/mgl.py`` ->
+``repro.core.mgl``), indexes its imports, module-level functions,
+classes and their methods, and resolves dotted references across module
+boundaries.  This is what lets the cross-module rules (C001/C002/M001)
+answer "which function does ``legalizer.evaluate_insert`` name?" and
+"is ``self._caches`` a ``threading.local`` subclass?" without executing
+anything.
+
+Type information is deliberately shallow: a class is inferred for a name
+when an annotation names one, or when the binding is a visible
+constructor call.  That covers the codebase's idiom (annotated
+``__init__`` parameters, ``x = ClassName(...)`` locals) without
+attempting full inference.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+#: Annotation wrappers stripped when looking for the underlying class.
+_ANNOTATION_WRAPPERS = {"Optional", "Final", "ClassVar", "Annotated"}
+
+
+def module_name_for(rel_path: str) -> str:
+    """Dotted module name of a repo-relative path.
+
+    The ``src/`` layout prefix is stripped so ``src/repro/core/mgl.py``
+    becomes ``repro.core.mgl`` (matching how the code imports it);
+    everything else maps positionally (``tools/repro_lint/cli.py`` ->
+    ``tools.repro_lint.cli``).
+    """
+    path = rel_path[:-3] if rel_path.endswith(".py") else rel_path
+    parts = [p for p in path.split("/") if p]
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def dotted_name(node: ast.expr) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qname: str  # e.g. "repro.core.mgl.MGLegalizer.evaluate_insert"
+    module: str
+    rel_path: str
+    class_qname: Optional[str]  # None for module-level functions
+    node: FunctionNode
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+
+@dataclass
+class ClassInfo:
+    """One class definition plus its shallow attribute type map."""
+
+    qname: str
+    module: str
+    rel_path: str
+    node: ast.ClassDef
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    base_qnames: Tuple[str, ...] = ()
+    #: ``self.X`` / dataclass-field attribute -> class qname when inferable.
+    attr_types: Dict[str, Optional[str]] = field(default_factory=dict)
+
+    @property
+    def attr_names(self) -> Set[str]:
+        return set(self.attr_types)
+
+
+@dataclass
+class ModuleSymbols:
+    """Symbols and import aliases of one module."""
+
+    name: str
+    rel_path: str
+    imports: Dict[str, str] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    #: module-level ``f = g`` aliasing (local name -> local name).
+    aliases: Dict[str, str] = field(default_factory=dict)
+
+
+class SymbolTable:
+    """All modules of one lint run, with cross-module name resolution."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleSymbols] = {}
+        self.by_path: Dict[str, ModuleSymbols] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(cls, files: Sequence[Tuple[str, ast.Module]]) -> "SymbolTable":
+        """Index ``(rel_path, tree)`` pairs, then resolve type references."""
+        table = cls()
+        for rel_path, tree in files:
+            table._index_module(rel_path, tree)
+        table._resolve_deferred()
+        return table
+
+    def _index_module(self, rel_path: str, tree: ast.Module) -> None:
+        name = module_name_for(rel_path)
+        mod = ModuleSymbols(name=name, rel_path=rel_path)
+        self.modules[name] = mod
+        self.by_path[rel_path] = mod
+        for node in tree.body:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    mod.imports[bound] = target
+                    if alias.asname is None and "." in alias.name:
+                        # ``import a.b.c`` also makes the dotted chain
+                        # resolvable from its root package name.
+                        mod.imports.setdefault(alias.name, alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                base = self._import_from_base(name, rel_path, node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    mod.imports[bound] = f"{base}.{alias.name}" if base else alias.name
+            elif isinstance(node, _FUNCTION_NODES):
+                info = FunctionInfo(
+                    qname=f"{name}.{node.name}" if name else node.name,
+                    module=name, rel_path=rel_path, class_qname=None, node=node,
+                )
+                mod.functions[node.name] = info
+                self.functions[info.qname] = info
+            elif isinstance(node, ast.ClassDef):
+                self._index_class(mod, node)
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name) and isinstance(node.value, ast.Name):
+                    mod.aliases[target.id] = node.value.id
+
+    @staticmethod
+    def _import_from_base(
+        module: str, rel_path: str, node: ast.ImportFrom
+    ) -> Optional[str]:
+        if node.level == 0:
+            return node.module or ""
+        # Relative import: drop ``level`` components from the package path
+        # (the module itself counts as one unless it is a package).
+        parts = module.split(".") if module else []
+        if not rel_path.endswith("/__init__.py") and parts:
+            parts = parts[:-1]
+        drop = node.level - 1
+        if drop > len(parts):
+            return None
+        base_parts = parts[: len(parts) - drop]
+        if node.module:
+            base_parts = base_parts + node.module.split(".")
+        return ".".join(base_parts)
+
+    def _index_class(self, mod: ModuleSymbols, node: ast.ClassDef) -> None:
+        qname = f"{mod.name}.{node.name}" if mod.name else node.name
+        info = ClassInfo(
+            qname=qname, module=mod.name, rel_path=mod.rel_path, node=node,
+        )
+        mod.classes[node.name] = info
+        self.classes[qname] = info
+        for item in node.body:
+            if isinstance(item, _FUNCTION_NODES):
+                method = FunctionInfo(
+                    qname=f"{qname}.{item.name}", module=mod.name,
+                    rel_path=mod.rel_path, class_qname=qname, node=item,
+                )
+                info.methods[item.name] = method
+                self.functions[method.qname] = method
+            elif isinstance(item, ast.AnnAssign) and isinstance(
+                item.target, ast.Name
+            ):
+                # Dataclass-style field declaration.
+                info.attr_types.setdefault(item.target.id, None)
+
+    # ------------------------------------------------------------------
+    # Deferred resolution (needs every module indexed first)
+    # ------------------------------------------------------------------
+
+    def _resolve_deferred(self) -> None:
+        for info in list(self.classes.values()):
+            mod = self.by_path[info.rel_path]
+            bases = []
+            for base in info.node.bases:
+                dotted = dotted_name(base)
+                if dotted is None:
+                    continue
+                bases.append(self.resolve(mod, dotted) or dotted)
+            info.base_qnames = tuple(bases)
+            self._infer_attr_types(mod, info)
+
+    def _infer_attr_types(self, mod: ModuleSymbols, info: ClassInfo) -> None:
+        for item in info.node.body:
+            if isinstance(item, ast.AnnAssign) and isinstance(
+                item.target, ast.Name
+            ):
+                info.attr_types[item.target.id] = self.annotation_class(
+                    mod, item.annotation
+                )
+        for method in info.methods.values():
+            params = {
+                arg.arg: self.annotation_class(mod, arg.annotation)
+                for arg in _all_args(method.node)
+                if arg.annotation is not None
+            }
+            for sub in ast.walk(method.node):
+                target: Optional[ast.expr] = None
+                value: Optional[ast.expr] = None
+                annotation: Optional[ast.expr] = None
+                if isinstance(sub, ast.Assign) and len(sub.targets) == 1:
+                    target, value = sub.targets[0], sub.value
+                elif isinstance(sub, ast.AnnAssign):
+                    target, value, annotation = sub.target, sub.value, sub.annotation
+                else:
+                    continue
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                attr = target.attr
+                inferred: Optional[str] = None
+                if annotation is not None:
+                    inferred = self.annotation_class(mod, annotation)
+                if inferred is None and value is not None:
+                    inferred = self._value_class(mod, params, value)
+                if inferred is not None or attr not in info.attr_types:
+                    info.attr_types[attr] = inferred or info.attr_types.get(attr)
+
+    def _value_class(
+        self,
+        mod: ModuleSymbols,
+        params: Dict[str, Optional[str]],
+        value: ast.expr,
+    ) -> Optional[str]:
+        """Class constructed/passed by ``value``, when visible."""
+        if isinstance(value, ast.IfExp):
+            return (
+                self._value_class(mod, params, value.body)
+                or self._value_class(mod, params, value.orelse)
+            )
+        if isinstance(value, ast.Call):
+            dotted = dotted_name(value.func)
+            if dotted is None:
+                return None
+            resolved = self.resolve(mod, dotted)
+            if resolved is not None and resolved in self.classes:
+                return resolved
+            return None
+        if isinstance(value, ast.Name):
+            return params.get(value.id)
+        return None
+
+    # ------------------------------------------------------------------
+    # Resolution API
+    # ------------------------------------------------------------------
+
+    def resolve(
+        self, mod: ModuleSymbols, dotted: str, _depth: int = 0
+    ) -> Optional[str]:
+        """Canonical qname that ``dotted`` names inside module ``mod``.
+
+        Follows import aliases and module-level ``f = g`` aliasing, then
+        chases one level of re-export through intermediate modules.
+        Returns None for names that resolve to nothing known (builtins,
+        third-party modules are returned verbatim as their dotted path).
+        """
+        if _depth > 4:
+            return None
+        head, _, rest = dotted.partition(".")
+        base: Optional[str] = None
+        if head in mod.classes:
+            base = mod.classes[head].qname
+        elif head in mod.functions:
+            base = mod.functions[head].qname
+        elif head in mod.aliases:
+            return self.resolve(
+                mod,
+                mod.aliases[head] + (f".{rest}" if rest else ""),
+                _depth + 1,
+            )
+        elif head in mod.imports:
+            base = mod.imports[head]
+        else:
+            return None
+        qname = f"{base}.{rest}" if rest else base
+        return self._canonical(qname, _depth)
+
+    def _canonical(self, qname: str, _depth: int = 0) -> str:
+        """Chase re-exports: ``repro.core.Occupancy`` -> its home qname."""
+        if qname in self.functions or qname in self.classes or _depth > 4:
+            return qname
+        parts = qname.split(".")
+        # Longest known module prefix, then re-resolve the remainder in it.
+        for cut in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:cut])
+            target_mod = self.modules.get(prefix)
+            if target_mod is None:
+                continue
+            rest = ".".join(parts[cut:])
+            resolved = self.resolve(target_mod, rest, _depth + 1)
+            return resolved if resolved is not None else qname
+        return qname
+
+    def lookup_function(self, qname: str) -> Optional[FunctionInfo]:
+        return self.functions.get(qname)
+
+    def lookup_class(self, qname: str) -> Optional[ClassInfo]:
+        return self.classes.get(qname)
+
+    def lookup_method(
+        self, class_qname: str, method: str, _seen: Optional[Set[str]] = None
+    ) -> Optional[FunctionInfo]:
+        """Resolve ``method`` on ``class_qname`` walking base classes."""
+        seen = _seen if _seen is not None else set()
+        if class_qname in seen:
+            return None
+        seen.add(class_qname)
+        info = self.classes.get(class_qname)
+        if info is None:
+            return None
+        if method in info.methods:
+            return info.methods[method]
+        for base in info.base_qnames:
+            found = self.lookup_method(base, method, seen)
+            if found is not None:
+                return found
+        return None
+
+    def attr_class(self, class_qname: str, attr: str) -> Optional[str]:
+        """Declared/inferred class of ``<class_qname> instance>.<attr>``."""
+        seen: Set[str] = set()
+        queue = [class_qname]
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            info = self.classes.get(current)
+            if info is None:
+                continue
+            if attr in info.attr_types and info.attr_types[attr] is not None:
+                return info.attr_types[attr]
+            queue.extend(info.base_qnames)
+        return None
+
+    def is_thread_local(self, class_qname: Optional[str]) -> bool:
+        """True when the class derives from ``threading.local``."""
+        if class_qname is None:
+            return False
+        seen: Set[str] = set()
+        queue = [class_qname]
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            if current in ("threading.local", "_thread._local"):
+                return True
+            info = self.classes.get(current)
+            if info is not None:
+                queue.extend(info.base_qnames)
+        return False
+
+    def annotation_class(
+        self, mod: ModuleSymbols, annotation: Optional[ast.expr]
+    ) -> Optional[str]:
+        """Class qname an annotation expression names, if any.
+
+        ``Optional[X]``, ``X | None``, string annotations, and the
+        common typing wrappers are unwrapped; containers (``List[X]``)
+        resolve to nothing — element types are not tracked.
+        """
+        if annotation is None:
+            return None
+        if isinstance(annotation, ast.Constant) and isinstance(
+            annotation.value, str
+        ):
+            try:
+                annotation = ast.parse(annotation.value, mode="eval").body
+            except SyntaxError:
+                return None
+        if isinstance(annotation, ast.Subscript):
+            base = dotted_name(annotation.value)
+            if base is not None and base.split(".")[-1] in _ANNOTATION_WRAPPERS:
+                inner = annotation.slice
+                if isinstance(inner, ast.Tuple) and inner.elts:
+                    inner = inner.elts[0]
+                return self.annotation_class(mod, inner)
+            return None
+        if isinstance(annotation, ast.BinOp) and isinstance(
+            annotation.op, ast.BitOr
+        ):
+            left = self.annotation_class(mod, annotation.left)
+            if left is not None:
+                return left
+            return self.annotation_class(mod, annotation.right)
+        dotted = dotted_name(annotation)
+        if dotted is None or dotted == "None":
+            return None
+        resolved = self.resolve(mod, dotted)
+        if resolved is not None and resolved in self.classes:
+            return resolved
+        return None
+
+
+def _all_args(node: FunctionNode) -> List[ast.arg]:
+    args = node.args
+    return (
+        list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        + ([args.vararg] if args.vararg else [])
+        + ([args.kwarg] if args.kwarg else [])
+    )
