@@ -57,6 +57,11 @@ def _add_param_flags(parser: argparse.ArgumentParser) -> None:
                              "placements are bit-identical for any value")
     parser.add_argument("--height-weighted", action="store_true",
                         help="use Eq. 2 height weights during MGL")
+    parser.add_argument("--eval-backend", choices=("scalar", "vector"),
+                        default="vector",
+                        help="insertion evaluation backend (default vector; "
+                             "scalar is the reference oracle — placements "
+                             "are bit-identical either way)")
 
 
 def _params_from(args: argparse.Namespace) -> LegalizerParams:
@@ -72,6 +77,7 @@ def _params_from(args: argparse.Namespace) -> LegalizerParams:
         scheduler_capacity=capacity,
         scheduler_workers=args.workers,
         height_weighted=args.height_weighted,
+        eval_backend=args.eval_backend,
     )
     if args.window:
         params.window_width, params.window_height = args.window
@@ -166,6 +172,9 @@ def cmd_legalize(args: argparse.Namespace) -> int:
             log.info("perf profile written to %s", args.profile)
         if run_dir is not None:
             recorder.write_json(str(run_dir / "profile.json"))
+            (run_dir / "metrics.prom").write_text(
+                recorder.registry.render_prometheus()
+            )
     if run_dir is not None:
         write_manifest(manifest, run_dir / "manifest.json")
         log.info("run artifacts written to %s", run_dir)

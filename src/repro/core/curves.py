@@ -270,7 +270,22 @@ class CurveSet:
     """
 
     def __init__(self, curves: Sequence[DisplacementCurve]):
-        total = sum_curves(curves)
+        self._compile(sum_curves(curves))
+
+    @classmethod
+    def from_total(cls, total: DisplacementCurve) -> "CurveSet":
+        """Compile an already-summed curve, skipping :func:`sum_curves`.
+
+        The SoA evaluation path assembles the summed curve directly from
+        arrays (bit-identical to what ``sum_curves`` would produce from
+        the per-cell factory curves); this constructor lets it reuse the
+        compiled sweeps without paying for curve objects it never built.
+        """
+        compiled = cls.__new__(cls)
+        compiled._compile(total)
+        return compiled
+
+    def _compile(self, total: DisplacementCurve) -> None:
         self.total = total
         anchor_x = total.anchor_x
         slope = total._slope_at_anchor()
@@ -363,16 +378,26 @@ class CurveSet:
             self._bwd_total[k] - self._bwd_slope[k] * (self._bwd_pos[k] - x)
         )
 
-    def values(self, xs: Sequence[float]) -> npt.NDArray[np.float64]:
-        """Vectorized :meth:`value` over many positions at once.
+    def values(
+        self, xs: "Sequence[float] | npt.NDArray[np.float64]"
+    ) -> npt.NDArray[np.float64]:
+        """Vectorized :meth:`value` over a batch of positions.
 
-        Small batches take the scalar path (the array round-trip costs
-        more than it saves below a few dozen points); both paths perform
-        the identical IEEE-754 multiply-add per point, so the results are
+        Accepts any array shape — 1-D probe lists and 2-D candidate
+        batches (``candidates x probes``, the shape the SoA evaluation
+        path feeds per window) evaluate through the same flattened
+        searchsorted pass and come back in the input shape.  Small
+        batches take the scalar path (the array round-trip costs more
+        than it saves below a few dozen points); both paths perform the
+        identical IEEE-754 multiply-add per point, so the results are
         bit-equal regardless of which is taken.
         """
-        if len(xs) < 32:
-            return np.array([self.value(x) for x in xs], dtype=np.float64)
+        points = np.asarray(xs, dtype=np.float64)
+        if points.size < 32:
+            flat = np.array(
+                [self.value(float(x)) for x in points.ravel()], dtype=np.float64
+            )
+            return flat.reshape(points.shape)
         if self._arrays is None:
             self._arrays = (
                 np.asarray(self._fwd_x),
@@ -387,19 +412,19 @@ class CurveSet:
         fwd_x, fwd_total, fwd_slope, fwd_pos, bwd_x, bwd_total, bwd_slope, bwd_pos = (
             self._arrays
         )
-        points = np.asarray(xs, dtype=np.float64)
-        forward = points >= self._anchor_x
-        out = np.empty(points.shape, dtype=np.float64)
+        flat_points = points.ravel()
+        forward = flat_points >= self._anchor_x
+        out = np.empty(flat_points.shape, dtype=np.float64)
         if forward.any():
-            fx = points[forward]
+            fx = flat_points[forward]
             js = np.searchsorted(fwd_x, fx, side="left")
             out[forward] = fwd_total[js] + fwd_slope[js] * (fx - fwd_pos[js])
         backward = ~forward
         if backward.any():
-            bx = points[backward]
+            bx = flat_points[backward]
             ks = self._bwd_count - np.searchsorted(bwd_x, bx, side="right")
             out[backward] = bwd_total[ks] - bwd_slope[ks] * (bwd_pos[ks] - bx)
-        return out
+        return out.reshape(points.shape)
 
     def minimize(self, lo: float, hi: float) -> Optional[Tuple[int, float]]:
         """Exactly :func:`minimize_over_sites`, using the compiled tables."""

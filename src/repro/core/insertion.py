@@ -23,6 +23,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tupl
 from repro.core.curves import CurveSet, DisplacementCurve
 from repro.core.occupancy import Occupancy
 from repro.core.refine import RoutabilityGuard
+from repro.core.soa import SoAState, VectorEvaluator
 from repro.model.design import Design
 from repro.model.geometry import Rect
 from repro.model.row import Segment
@@ -143,6 +144,12 @@ class InsertionContext:
             are looked up there instead of recomputed.  Must only be
             shared between contexts querying the same occupancy from a
             single thread (the scheduler's thread-pool path passes None).
+        soa: optional shared :class:`repro.core.soa.SoAState` mirror of
+            the same occupancy.  When given, :meth:`evaluate` and
+            :meth:`target_cost_lower_bound` route through the
+            vectorized fast path (``eval_backend=vector``); results are
+            bit-identical to the scalar path, which remains the oracle
+            (tests/test_soa_equivalence.py).
     """
 
     def __init__(
@@ -156,6 +163,7 @@ class InsertionContext:
         reference: str = "gp",
         max_gaps_per_row: int = 12,
         gap_cache: Optional[GapCache] = None,
+        soa: Optional[SoAState] = None,
     ):
         if reference not in ("gp", "current"):
             raise ValueError(f"unknown displacement reference {reference!r}")
@@ -193,6 +201,18 @@ class InsertionContext:
         self._neighbor_cache: Dict[
             Tuple[int, int], List[Tuple[int, Optional[int], Optional[Segment]]]
         ] = {}
+        # Per-row gap lists, memoized for the context's lifetime: the
+        # occupancy is frozen while the context exists, so re-enumeration
+        # (multi-row targets revisit row r for bottom rows r-h+1..r) can
+        # never observe a different list.  The memo also pins the Gap
+        # object identities, which the vector backend's per-row bound
+        # tables key on.
+        self._row_gaps: Dict[int, List[Gap]] = {}
+        self._vector: Optional[VectorEvaluator] = (
+            VectorEvaluator(self, soa)
+            if soa is not None and soa.occupancy is occupancy
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Locality and spacing helpers
@@ -271,15 +291,23 @@ class InsertionContext:
         achievable x-range is nearest the target's GP x; distant gaps are
         dominated in cost and only inflate the combination search.
 
-        Served from :attr:`gap_cache` when one is attached; the returned
-        list is shared in that case and must not be mutated.
+        Memoized on the context (the occupancy is frozen for its
+        lifetime), and served from :attr:`gap_cache` — which persists
+        *across* contexts — on the first miss when one is attached.
+        Returned lists are shared either way and must not be mutated.
         """
-        if self.gap_cache is not None:
-            return self.gap_cache.gaps_in_row(self, row)
-        return self._compute_gaps_in_row(row)
+        gaps = self._row_gaps.get(row)
+        if gaps is None:
+            if self.gap_cache is not None:
+                gaps = self.gap_cache.gaps_in_row(self, row)
+            else:
+                gaps = self._compute_gaps_in_row(row)
+            self._row_gaps[row] = gaps
+        return gaps
 
     def _compute_gaps_in_row(self, row: int) -> List[Gap]:
         gaps: List[Gap] = []
+        vector = self._vector
         for segment in self.design.segments_in_row(row):
             if segment.fence_id != self.fence:
                 continue
@@ -287,7 +315,10 @@ class InsertionContext:
                 continue
             if segment.width < self.target_type.width:
                 continue
-            gaps.extend(self._gaps_in_segment(row, segment))
+            if vector is not None:
+                gaps.extend(vector.gaps_in_segment(row, segment))
+            else:
+                gaps.extend(self._gaps_in_segment(row, segment))
         if len(gaps) > self.max_gaps_per_row:
             gaps.sort(
                 key=lambda g: max(
@@ -601,8 +632,18 @@ class InsertionContext:
 
         Uses the rough per-row compression interval; local-cell deltas can
         be negative (type C/D curves), so callers must allow a margin when
-        pruning with this bound.
+        pruning with this bound.  Routed through the vector backend's
+        batch-computed per-row tables when one is attached; the values
+        are bit-identical either way.
         """
+        if self._vector is not None:
+            return self._vector.lower_bound(bottom_row, gaps)
+        return self.lower_bound_scalar(bottom_row, gaps)
+
+    def lower_bound_scalar(
+        self, bottom_row: int, gaps: Sequence[Gap]
+    ) -> float:
+        """The per-candidate reference form of the bound above."""
         lo = max(gap.lo_rough for gap in gaps)
         hi = min(gap.hi_rough for gap in gaps)
         x_dist = max(0.0, lo - self.gp_x, self.gp_x - hi)
@@ -619,8 +660,19 @@ class InsertionContext:
         """Exact feasibility, optimal x, and spread moves for a combination.
 
         Returns None when the combination is infeasible (a transitive push
-        does not fit, or a cell would need to move both ways).
+        does not fit, or a cell would need to move both ways).  Dispatches
+        to the vector backend when one is attached; candidates outside
+        its fast-path shape fall back to :meth:`evaluate_scalar`, so the
+        two backends are candidate-for-candidate identical.
         """
+        if self._vector is not None:
+            return self._vector.evaluate(bottom_row, gaps)
+        return self.evaluate_scalar(bottom_row, gaps)
+
+    def evaluate_scalar(
+        self, bottom_row: int, gaps: Sequence[Gap]
+    ) -> Optional[EvaluatedInsertion]:
+        """The reference evaluation: per-candidate transitive push walk."""
         right_info = self._push_side(gaps, side=+1)
         if right_info is None:
             return None
@@ -631,7 +683,29 @@ class InsertionContext:
         left_offsets, left_limit = left_info
         if set(right_offsets) & set(left_offsets):
             return None  # A cell would be pushed both left and right.
+        return self.finish_evaluation(
+            bottom_row, gaps,
+            right_offsets, right_limit, left_offsets, left_limit,
+        )
 
+    def finish_evaluation(
+        self,
+        bottom_row: int,
+        gaps: Sequence[Gap],
+        right_offsets: Dict[int, int],
+        right_limit: float,
+        left_offsets: Dict[int, int],
+        left_limit: float,
+        vectorized: bool = False,
+    ) -> Optional[EvaluatedInsertion]:
+        """Shared tail of both backends: curves, minimize, guard, moves.
+
+        The offsets dicts must be in push order (right side outward-
+        ascending, left side outward-descending): curve summation is a
+        float accumulation in curve order, so dict order is part of the
+        bit-equality contract.  ``vectorized`` only switches the guard to
+        its batched (but walk-identical) probe path.
+        """
         lo = left_limit
         hi = right_limit
         if math.ceil(lo) > math.floor(hi):
@@ -675,21 +749,54 @@ class InsertionContext:
         # One compiled curve set serves both the site minimization and the
         # guard's repeated cost probes; its value() performs bit-identical
         # arithmetic to DisplacementCurve.value on the summed curve.
-        compiled = CurveSet(curves)
+        return self.finish_with_compiled(
+            bottom_row, gaps, right_offsets, left_offsets,
+            lo, hi, CurveSet(curves), vectorized,
+        )
+
+    def finish_with_compiled(
+        self,
+        bottom_row: int,
+        gaps: Sequence[Gap],
+        right_offsets: Dict[int, int],
+        left_offsets: Dict[int, int],
+        lo: float,
+        hi: float,
+        compiled: CurveSet,
+        vectorized: bool,
+    ) -> Optional[EvaluatedInsertion]:
+        """Minimize + guard + moves over an already-compiled curve set.
+
+        Split out of :meth:`finish_evaluation` so the SoA backend, which
+        assembles the summed curve directly from arrays, can join the
+        shared pipeline at the compiled stage.
+        """
+        placement = self.occupancy.placement
         best = compiled.minimize(lo, hi)
         if best is None:
             return None
         best_x, best_cost = best
 
         if self.guard is not None:
-            best_x, extra = self.guard.adjust_x(
-                self.target_type,
-                bottom_row,
-                best_x,
-                int(math.ceil(lo)),
-                int(math.floor(hi)),
-                compiled.value,
-            )
+            if vectorized:
+                best_x, extra = self.guard.adjust_x_vector(
+                    self.target_type,
+                    bottom_row,
+                    best_x,
+                    int(math.ceil(lo)),
+                    int(math.floor(hi)),
+                    compiled.value,
+                    compiled.values,
+                )
+            else:
+                best_x, extra = self.guard.adjust_x(
+                    self.target_type,
+                    bottom_row,
+                    best_x,
+                    int(math.ceil(lo)),
+                    int(math.floor(hi)),
+                    compiled.value,
+                )
             best_cost = compiled.value(best_x) + extra
 
         moves: List[Tuple[int, int]] = []

@@ -10,17 +10,18 @@ feasible insertion point exists.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, TYPE_CHECKING, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, TYPE_CHECKING, Tuple
 
 from repro.core.insertion import EvaluatedInsertion, GapCache, InsertionContext
 from repro.core.occupancy import Occupancy
 from repro.core.params import LegalizerParams
 from repro.core.refine import RoutabilityGuard
+from repro.core.soa import SoAState
 from repro.model.design import Design
 from repro.model.geometry import Rect
 from repro.model.placement import Placement
 from repro.obs.clock import monotonic
-from repro.obs.metrics import EXPANSION_BUCKETS
+from repro.obs.metrics import BATCH_WIDTH_BUCKETS, EXPANSION_BUCKETS
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, SpanPayload
 
 if TYPE_CHECKING:
@@ -153,9 +154,20 @@ class MGLegalizer:
         }
         # Shared per-row gap cache for the serial evaluation paths; the
         # scheduler's thread pool bypasses it (evaluate_insert stays pure).
+        # Only the scheduler's re-evaluation of unchanged rows can re-hit
+        # an entry now that contexts memoize their own gap lists (every
+        # other profile component — window, GP x — changes between
+        # evaluate_insert calls), so population is gated on
+        # scheduler_capacity; see docs/PERFORMANCE.md ("GapCache
+        # population policy").
         self.gap_cache: Optional[GapCache] = (
-            GapCache() if self.params.use_gap_cache else None
+            GapCache()
+            if self.params.use_gap_cache and self.params.scheduler_capacity > 1
+            else None
         )
+        # Shared SoA mirror for the vector evaluation backend, rebuilt
+        # when the target occupancy changes; see :meth:`soa_for`.
+        self._soa: Optional[SoAState] = None
 
     # ------------------------------------------------------------------
 
@@ -185,6 +197,29 @@ class MGLegalizer:
             min(chip.yhi, cy + half_h),
         )
 
+    def soa_for(self, occupancy: Occupancy) -> Optional[SoAState]:
+        """The shared SoA mirror of ``occupancy`` (None on the scalar backend).
+
+        Memoized on the legalizer; the memo write only happens when the
+        occupancy identity changes (once per run in practice), so
+        concurrent *readers* — the scheduler's thread pool after its
+        serial priming call — never race it.  The mirror's per-row
+        snapshots are thread-local and version-checked, so sharing one
+        instance across evaluations is safe and is exactly what lets
+        batch members reuse each other's row snapshots.
+        """
+        if self.params.eval_backend != "vector":
+            return None
+        soa = self._soa
+        if (
+            soa is None
+            or soa.occupancy is not occupancy
+            or soa.num_cells != self.design.num_cells
+        ):
+            soa = SoAState(self.design, occupancy)
+            self._soa = soa
+        return soa
+
     def evaluate_insert(
         self,
         occupancy: Occupancy,
@@ -192,6 +227,7 @@ class MGLegalizer:
         window: Rect,
         exhaustive: bool = False,
         cache: Optional[GapCache] = None,
+        soa: Optional[SoAState] = None,
     ) -> Tuple[Optional[EvaluatedInsertion], int]:
         """Best feasible insertion of ``cell`` within ``window`` (unapplied).
 
@@ -219,6 +255,15 @@ class MGLegalizer:
         is a *soft* constraint (§2), so when the only rows a fence allows
         are rail-conflicted, the cell is placed there anyway and the
         violations are simply counted.
+
+        ``soa`` is the shared SoA mirror for the vector backend.  It is
+        deliberately *not* resolved here — :meth:`soa_for` memoizes on
+        the legalizer, and this method is contract-pure (repro-lint
+        C002) so the scheduler may fan it out to a thread pool.
+        Callers resolve it serially and pass it in (see
+        :meth:`evaluate_and_count`, :meth:`evaluate_insert_many`);
+        leaving it None simply runs the scalar backend, which is
+        result-identical.
         """
         context = InsertionContext(
             self.design,
@@ -232,6 +277,7 @@ class MGLegalizer:
                 1 << 30 if exhaustive else self.params.max_gaps_per_row
             ),
             gap_cache=cache,
+            soa=soa,
         )
         margin = self.params.prune_margin
         max_points = (
@@ -240,6 +286,36 @@ class MGLegalizer:
         if self.params.candidate_order == "linear":
             return context.evaluate_linear(max_points, margin)
         return context.evaluate_best_first(max_points, margin)
+
+    def evaluate_insert_many(
+        self,
+        occupancy: Occupancy,
+        tasks: Sequence[Tuple[int, Rect]],
+        exhaustive: bool = False,
+        cache: Optional[GapCache] = None,
+    ) -> List[Tuple[Optional[EvaluatedInsertion], int]]:
+        """Batched :meth:`evaluate_insert` over ``(cell, window)`` tasks.
+
+        All tasks are evaluated against the same frozen occupancy and —
+        on the vector backend — share the legalizer's SoA mirror, so row
+        snapshots built for one window are reused by every later batch
+        member touching the same rows.  Results are element-for-element
+        exactly ``evaluate_insert(occupancy, cell, window)``; the batch
+        width lands in the ``mgl.batch_width`` histogram, which the
+        capacity autotuner reads (see repro.obs.autotune).
+        """
+        soa = self.soa_for(occupancy)
+        if self.recorder is not None and tasks:
+            self.recorder.registry.observe(
+                "mgl.batch_width", float(len(tasks)), BATCH_WIDTH_BUCKETS
+            )
+        return [
+            self.evaluate_insert(
+                occupancy, cell, window,
+                exhaustive=exhaustive, cache=cache, soa=soa,
+            )
+            for cell, window in tasks
+        ]
 
     def try_insert(
         self,
@@ -275,7 +351,8 @@ class MGLegalizer:
         the serial-evaluation seam).
         """
         best, evaluated_points = self.evaluate_insert(
-            occupancy, cell, window, exhaustive=exhaustive, cache=self.gap_cache
+            occupancy, cell, window, exhaustive=exhaustive,
+            cache=self.gap_cache, soa=self.soa_for(occupancy),
         )
         self.stats["insertions_evaluated"] += evaluated_points
         return best, evaluated_points

@@ -173,6 +173,17 @@ class Occupancy:
         """Cells registered in ``row``, ordered by x."""
         return self._cells[row]
 
+    def row_positions(self, row: int) -> Sequence[int]:
+        """x positions of :meth:`row_cells`, parallel and x-sorted.
+
+        Together with :meth:`row_version` this is the sync surface the
+        structure-of-arrays mirror (repro.core.soa) snapshots from: a
+        row's arrays are rebuilt exactly when its version moved.  The
+        returned sequence is the live internal list — callers must not
+        mutate it and must not hold it across occupancy mutations.
+        """
+        return self._xs[row]
+
     def cells_in_range(self, row: int, x_lo: float, x_hi: float) -> List[int]:
         """Cells whose span intersects ``[x_lo, x_hi)`` on ``row``."""
         xs = self._xs[row]

@@ -85,6 +85,16 @@ class LegalizerParams:
             scheduler re-evaluations, invalidated by occupancy row
             versions (see repro.core.insertion.GapCache).  Results are
             identical with or without the cache.
+        eval_backend: insertion-evaluation backend.  ``"vector"`` (the
+            default) routes ``InsertionContext.evaluate`` through the
+            structure-of-arrays fast path (repro.core.soa): per-run
+            prefix-sum push analysis, vectorized lower bounds, and
+            batched CurveSet/guard probes.  ``"scalar"`` keeps the
+            original per-candidate walk and is the oracle: both
+            backends produce bit-identical placements and identical
+            ``insertions_evaluated`` counts (property-tested in
+            tests/test_soa_equivalence.py), exactly like the
+            ``candidate_order`` contract.
     """
 
     window_width: int = 40
@@ -112,6 +122,7 @@ class LegalizerParams:
     seed_order: str = "height_area_x"
     candidate_order: str = "best_first"
     use_gap_cache: bool = True
+    eval_backend: str = "vector"
 
     def validate(self) -> None:
         """Raise :class:`ValueError` on out-of-range settings."""
@@ -135,3 +146,5 @@ class LegalizerParams:
             raise ValueError("scheduler_workers must be non-negative")
         if self.candidate_order not in ("best_first", "linear"):
             raise ValueError(f"unknown candidate_order {self.candidate_order!r}")
+        if self.eval_backend not in ("vector", "scalar"):
+            raise ValueError(f"unknown eval_backend {self.eval_backend!r}")

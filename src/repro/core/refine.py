@@ -21,6 +21,9 @@ import math
 import threading
 from typing import Callable, Dict, List, Optional, Tuple
 
+import numpy as np
+import numpy.typing as npt
+
 from repro.core.params import LegalizerParams
 from repro.model.design import Design
 from repro.model.geometry import Rect
@@ -43,6 +46,13 @@ class _GuardCaches(threading.local):
         self.io_pairs: Dict[
             Tuple[str, int], List[Tuple[float, float, float, float]]
         ] = {}
+        # SoA mirrors for the vectorized guard path (repro.core.soa):
+        # a per-(type, flip) boolean mask over every site, and the
+        # io_pairs tuples transposed into four parallel float arrays.
+        self.blocked_mask: Dict[Tuple[str, bool], npt.NDArray[np.bool_]] = {}
+        self.io_arrays: Dict[
+            Tuple[str, int], Optional[Tuple[npt.NDArray[np.float64], ...]]
+        ] = {}
 
 
 class RoutabilityGuard:
@@ -60,6 +70,14 @@ class RoutabilityGuard:
             for rail in design.rails.rails
             if rail.orientation == "v"
         )
+        # The adjust_x walk pattern [0, +1, -1, ..., +max, -max] as an
+        # offset array — constant for the guard's lifetime.
+        shifts = np.arange(1, self.params.guard_max_shift + 1, dtype=np.int64)
+        deltas = np.empty(2 * shifts.size + 1, dtype=np.int64)
+        deltas[0] = 0
+        deltas[1::2] = shifts
+        deltas[2::2] = -shifts
+        self._walk_deltas = deltas
 
     # ------------------------------------------------------------------
     # Pin geometry
@@ -241,6 +259,128 @@ class RoutabilityGuard:
             )
             return x_opt, penalty
         return best_x, best_total - cost_at(best_x)
+
+    # ------------------------------------------------------------------
+    # Vectorized guard path (repro.core.soa rail/blockage masks)
+    # ------------------------------------------------------------------
+
+    @property
+    def x_mask_cacheable(self) -> bool:
+        """Whether :meth:`site_blocked_mask` is available (full-height stripes)."""
+        return self._x_cacheable
+
+    def site_blocked_mask(
+        self, cell_type: CellType, row: int
+    ) -> Optional[npt.NDArray[np.bool_]]:
+        """Per-site vertical-rail conflict mask for ``cell_type`` at ``row``.
+
+        ``mask[x]`` equals :meth:`x_blocked` for every left-edge site of
+        the chip; the mask depends only on the flip state when vertical
+        stripes span the full chip height (the same condition under which
+        ``x_blocked`` itself is cacheable) — otherwise None is returned
+        and callers must stay on the scalar walk.
+        """
+        if not self._x_cacheable:
+            return None
+        key = (cell_type.name, self._is_flipped(cell_type, row))
+        cached = self._caches.blocked_mask.get(key)
+        if cached is not None:
+            return cached
+        mask = np.fromiter(
+            (
+                self.x_blocked(cell_type, row, x)
+                for x in range(self.design.num_sites + 1)
+            ),
+            dtype=np.bool_,
+            count=self.design.num_sites + 1,
+        )
+        self._caches.blocked_mask[key] = mask
+        return mask
+
+    def _io_pair_arrays(
+        self, cell_type: CellType, row: int
+    ) -> Optional[Tuple[npt.NDArray[np.float64], ...]]:
+        """:meth:`_io_pairs` transposed to four parallel float arrays."""
+        key = (cell_type.name, row)
+        if key in self._caches.io_arrays:
+            return self._caches.io_arrays[key]
+        pairs = self._io_pairs(cell_type, row)
+        arrays: Optional[Tuple[npt.NDArray[np.float64], ...]] = None
+        if pairs:
+            columns = np.asarray(pairs, dtype=np.float64).T
+            arrays = (columns[0], columns[1], columns[2], columns[3])
+        self._caches.io_arrays[key] = arrays
+        return arrays
+
+    def io_penalty_array(
+        self, cell_type: CellType, row: int, xs: npt.NDArray[np.float64]
+    ) -> npt.NDArray[np.float64]:
+        """Vectorized :meth:`io_penalty_at` over many x positions.
+
+        Performs the identical translate-then-compare arithmetic per
+        position, so every entry is bit-equal to the scalar query.
+        """
+        if not cell_type.pins:
+            return np.zeros(xs.shape, dtype=np.float64)
+        arrays = self._io_pair_arrays(cell_type, row)
+        if arrays is None:
+            return np.zeros(xs.shape, dtype=np.float64)
+        pin_xlo, pin_xhi, io_xlo, io_xhi = arrays
+        x_len = xs * self.design.site_width
+        overlap = (io_xlo[:, None] < pin_xhi[:, None] + x_len[None, :]) & (
+            pin_xlo[:, None] + x_len[None, :] < io_xhi[:, None]
+        )
+        counts = overlap.sum(axis=0).astype(np.float64)
+        return counts * self.params.io_penalty
+
+    def adjust_x_vector(
+        self,
+        cell_type: CellType,
+        row: int,
+        x_opt: int,
+        lo: int,
+        hi: int,
+        cost_at: Callable[[float], float],
+        costs_at: Callable[[npt.NDArray[np.float64]], npt.NDArray[np.float64]],
+    ) -> Tuple[int, float]:
+        """Bit-identical :meth:`adjust_x` with batched probes.
+
+        The candidate walk, blocked filter, penalty arithmetic, and the
+        strict-improvement selection replay the scalar method exactly —
+        only the cost/penalty probes are evaluated in one vectorized
+        batch (``costs_at`` must be bit-equal to ``cost_at`` per point,
+        which :meth:`repro.core.curves.CurveSet.values` guarantees).
+        Falls back to :meth:`adjust_x` when the per-site mask is
+        unavailable (partial-height vertical stripes).
+        """
+        mask = self.site_blocked_mask(cell_type, row)
+        if mask is None and cell_type.pins:
+            return self.adjust_x(cell_type, row, x_opt, lo, hi, cost_at)
+        # The scalar walk in array form: in-range filter, then the
+        # blocked filter, both preserving the nearest-first visit order.
+        candidates = x_opt + self._walk_deltas
+        keep = (candidates >= lo) & (candidates <= hi)
+        if mask is not None:
+            keep &= ~mask[candidates.clip(0, mask.size - 1)]
+        candidates = candidates[keep]
+        if candidates.size == 0:
+            penalty = self.params.blocked_penalty + self.io_penalty_at(
+                cell_type, row, x_opt
+            )
+            return x_opt, penalty
+        points = candidates.astype(np.float64)
+        costs = costs_at(points)
+        if cell_type.pins and self._io_pair_arrays(cell_type, row) is not None:
+            totals = (costs + self.io_penalty_array(cell_type, row, points)).tolist()
+        else:
+            totals = costs.tolist()
+        best_index = 0
+        best_total = math.inf
+        for index, total in enumerate(totals):
+            if total < best_total - 1e-12:
+                best_total = total
+                best_index = index
+        return int(candidates[best_index]), best_total - float(costs[best_index])
 
     # ------------------------------------------------------------------
     # Stage-3 feasible ranges (C_L = C_R = C)

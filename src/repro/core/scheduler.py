@@ -37,7 +37,7 @@ from repro.core.mgl import (
 )
 from repro.core.occupancy import Occupancy
 from repro.model.geometry import Rect
-from repro.obs.metrics import BATCH_OCCUPANCY_BUCKETS
+from repro.obs.metrics import BATCH_OCCUPANCY_BUCKETS, BATCH_WIDTH_BUCKETS
 from repro.obs.tracer import SpanPayload
 
 if TYPE_CHECKING:
@@ -218,34 +218,51 @@ class WindowScheduler:
         worker process, thread pool, or in-process — the payload is the
         same pure function of the task, so the trace structure never
         depends on the backend.
+
+        The in-process path hands the whole batch to
+        :meth:`MGLegalizer.evaluate_insert_many`, so members share the
+        legalizer's SoA mirror (row snapshots built for one window are
+        reused by later members) and the batch width lands in the
+        ``mgl.batch_width`` histogram; the pool paths observe the same
+        width so the distribution stays backend-independent.
         """
         legalizer = self.legalizer
         traced = legalizer.tracer.enabled
         parallel = self.parallel
         if parallel is not None and len(batch) > 1:
             if parallel.active:
+                self._observe_batch_width(len(batch))
                 return parallel.evaluate_batch(batch, want_payloads=traced)
             # Every worker failed earlier; continue serially for the
             # rest of the run (identical placements either way).
             parallel.close()
             self.parallel = None
         if pool is None or len(batch) <= 1:
-            if not traced:
-                return [
-                    (legalizer.try_insert(self.occupancy, cell, window), None)
-                    for cell, _scale, _attempts, window in batch
-                ]
-            outcomes: List[EvalOutcome] = []
-            for cell, _scale, _attempts, window in batch:
-                best, points = legalizer.evaluate_and_count(
-                    self.occupancy, cell, window
+            results = legalizer.evaluate_insert_many(
+                self.occupancy,
+                [(cell, window) for cell, _scale, _attempts, window in batch],
+                cache=legalizer.gap_cache,
+            )
+            for _best, points in results:
+                legalizer.stats["insertions_evaluated"] += points
+            return [
+                (
+                    best,
+                    evaluation_span_payload(points, best) if traced else None,
                 )
-                outcomes.append((best, evaluation_span_payload(points, best)))
-            return outcomes
+                for best, points in results
+            ]
         # Submit the pure evaluation (not try_insert: its stats update is
-        # a shared-state write) and fold the counts back in serially.
+        # a shared-state write) and fold the counts back in serially.  The
+        # SoA mirror is resolved *here*, on the scheduler thread, so the
+        # memo write happens before any pool thread reads it; the mirror's
+        # per-row snapshots are thread-local, making the shared instance
+        # safe to read concurrently.
+        self._observe_batch_width(len(batch))
+        soa = legalizer.soa_for(self.occupancy)
         futures = [
-            pool.submit(legalizer.evaluate_insert, self.occupancy, cell, window)
+            pool.submit(legalizer.evaluate_insert, self.occupancy, cell,
+                        window, soa=soa)
             for cell, _scale, _attempts, window in batch
         ]
         results = [future.result() for future in futures]
@@ -258,6 +275,19 @@ class WindowScheduler:
             )
             for best, points in results
         ]
+
+    def _observe_batch_width(self, width: int) -> None:
+        """Mirror ``evaluate_insert_many``'s histogram on the pool paths.
+
+        The process/thread backends fan batch members out one task at a
+        time, so the batched entry point never sees them; observing the
+        width here keeps the ``mgl.batch_width`` distribution identical
+        across backends (the metrics determinism contract).
+        """
+        if self.legalizer.recorder is not None:
+            self.legalizer.recorder.registry.observe(
+                "mgl.batch_width", float(width), BATCH_WIDTH_BUCKETS
+            )
 
     def _still_valid(self, target: int, insertion: EvaluatedInsertion) -> bool:
         """Check the evaluated moves against the *current* occupancy.

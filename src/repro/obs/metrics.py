@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
     "BATCH_OCCUPANCY_BUCKETS",
+    "BATCH_WIDTH_BUCKETS",
     "DISPLACEMENT_BUCKETS",
     "EXPANSION_BUCKETS",
     "Histogram",
@@ -48,6 +49,13 @@ EXPANSION_BUCKETS: Tuple[float, ...] = (
 
 #: Scheduler batch occupancy (windows actually packed into one L_p batch).
 BATCH_OCCUPANCY_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0,
+)
+
+#: Width of batched insertion evaluations (``evaluate_insert_many``
+#: tasks per call); same shape as the batch-occupancy buckets so the
+#: two distributions compare directly.
+BATCH_WIDTH_BUCKETS: Tuple[float, ...] = (
     1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0,
 )
 
@@ -174,6 +182,59 @@ class MetricsRegistry:
 
     def to_json(self) -> str:
         return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+    def render_prometheus(self, prefix: str = "repro") -> str:
+        """Prometheus text-exposition snapshot of every section.
+
+        Counters map to ``counter`` series (``_total`` suffix), gauges
+        to ``gauge``, stage timings to ``_seconds_total`` /
+        ``_calls_total`` counter pairs, and histograms to the standard
+        cumulative ``_bucket{le=...}`` / ``_sum`` / ``_count`` triplet —
+        the bucket semantics match (:class:`Histogram` bounds are
+        inclusive upper bounds, exactly Prometheus ``le``).  Series are
+        emitted in sorted name order, so the output is deterministic
+        and diff-friendly; an empty registry renders to "".
+        """
+        lines: List[str] = []
+
+        def metric(name: str, suffix: str = "") -> str:
+            cleaned = "".join(
+                ch if ch.isalnum() or ch == "_" else "_" for ch in name
+            )
+            return f"{prefix}_{cleaned}{suffix}"
+
+        def fmt(value: float) -> str:
+            return repr(float(value))
+
+        for name in sorted(self.counters):
+            series = metric(name, "_total")
+            lines.append(f"# TYPE {series} counter")
+            lines.append(f"{series} {self.counters[name]}")
+        for name in sorted(self.gauges):
+            series = metric(name)
+            lines.append(f"# TYPE {series} gauge")
+            lines.append(f"{series} {fmt(self.gauges[name])}")
+        for name in sorted(self.timings):
+            series = metric(name, "_seconds_total")
+            lines.append(f"# TYPE {series} counter")
+            lines.append(f"{series} {fmt(self.timings[name])}")
+            calls = metric(name, "_calls_total")
+            lines.append(f"# TYPE {calls} counter")
+            lines.append(f"{calls} {self.stage_calls.get(name, 0)}")
+        for name in sorted(self.histograms):
+            histogram = self.histograms[name]
+            series = metric(name)
+            lines.append(f"# TYPE {series} histogram")
+            cumulative = 0
+            for bound, count in zip(histogram.bounds, histogram.counts):
+                cumulative += count
+                lines.append(
+                    f'{series}_bucket{{le="{fmt(bound)}"}} {cumulative}'
+                )
+            lines.append(f'{series}_bucket{{le="+Inf"}} {histogram.total}')
+            lines.append(f"{series}_sum {fmt(histogram.sum)}")
+            lines.append(f"{series}_count {histogram.total}")
+        return "\n".join(lines) + "\n" if lines else ""
 
     def __repr__(self) -> str:
         return (

@@ -8,6 +8,16 @@ manifest sits beside it per
 readable summary; two runs render as a diff: manifest mismatches,
 counter/timing deltas, histogram drift, and an explicit list of metrics
 present in only one run (never silently skipped).
+
+A ``BENCH_mgl.json``-shaped file (a ``suite`` plus per-case ``runs``,
+what ``benchmarks/bench_perf.py`` writes) is recognized by shape and
+renders as the benchmark table with its parallel / backend / trace
+determinism sections; two bench reports diff case-by-case — wall-time
+deltas and, fatally interesting, placement-hash changes.
+
+When a run's profile carries the ``scheduler.batch_occupancy``
+histogram and its manifest records the scheduler capacity, the summary
+ends with :mod:`repro.obs.autotune`'s capacity advice.
 """
 
 from __future__ import annotations
@@ -17,6 +27,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
+from repro.obs.autotune import advice_for_run
 from repro.obs.manifest import diff_manifests, load_manifest, manifest_path_for
 
 __all__ = ["RunArtifacts", "load_run", "render_diff", "render_run"]
@@ -34,6 +45,7 @@ class RunArtifacts:
     profile: Optional[JsonDict] = None
     manifest: Optional[JsonDict] = None
     trace_path: Optional[Path] = None
+    bench: Optional[JsonDict] = None
     problems: List[str] = field(default_factory=list)
 
     @property
@@ -56,6 +68,10 @@ def load_run(path: PathLike) -> RunArtifacts:
         manifest_path = root / "manifest.json"
         trace_path = root / "trace.json"
     elif root.exists():
+        data = _read_json(root)
+        if isinstance(data.get("runs"), list) and "suite" in data:
+            run.bench = data  # bench_perf.py report, not a run trio
+            return run
         profile_path = root
         manifest_path = manifest_path_for(root)
         trace_path = Path()  # No sidecar-trace convention for bare files.
@@ -135,11 +151,68 @@ def _render_histogram(name: str, data: JsonDict, lines: List[str]) -> None:
         lines.append(f"    {label:>8s} {int(count):>8d} {bar}")
 
 
+def _bench_runs(bench: JsonDict) -> Dict[str, JsonDict]:
+    runs = bench.get("runs")
+    if not isinstance(runs, list):
+        return {}
+    return {
+        f"{record['name']}@{record['scale']}": record
+        for record in runs
+        if isinstance(record, dict)
+    }
+
+
+def _render_bench(bench: JsonDict, lines: List[str]) -> None:
+    lines.append(
+        f"benchmark suite: {bench.get('suite')} "
+        f"(scales {bench.get('scales')})"
+    )
+    for key, record in sorted(_bench_runs(bench).items()):
+        lines.append(
+            f"  {str(record.get('name')):20s} scale={record.get('scale'):<6g} "
+            f"cells={int(record.get('cells', 0)):>6d} "
+            f"{float(record.get('seconds', 0.0)):>8.3f}s "
+            f"{float(record.get('cells_per_sec', 0.0)):>8.1f} c/s "
+            f"evals={int(record.get('insertions_evaluated', 0)):>8d} "
+            f"hash={record.get('placement_hash')}"
+        )
+    parallel = bench.get("parallel")
+    if isinstance(parallel, dict):
+        lines.append(
+            f"  parallel        {parallel.get('name')}: "
+            f"workers={parallel.get('workers')} "
+            f"speedup {parallel.get('speedup')}x "
+            f"(on {parallel.get('cpu_count')} cpus) "
+            f"hashes_match={parallel.get('hashes_match')}"
+        )
+    backend = bench.get("backend")
+    if isinstance(backend, dict):
+        lines.append(
+            f"  backend         {backend.get('name')}: "
+            f"vector {backend.get('vector_vs_scalar')}x serial, "
+            f"stacked {backend.get('stacked_vs_scalar')}x "
+            f"(on {backend.get('cpu_count')} cpus) "
+            f"hashes_match={backend.get('hashes_match')} "
+            f"evals_match={backend.get('evals_match')}"
+        )
+    trace = bench.get("trace_determinism")
+    if isinstance(trace, dict):
+        lines.append(
+            f"  trace           {trace.get('name')}: "
+            f"spans={trace.get('span_count')} "
+            f"structure_match={trace.get('structure_match')} "
+            f"hashes_match={trace.get('hashes_match')}"
+        )
+
+
 def render_run(run: RunArtifacts) -> str:
     """Human-readable summary of one run."""
     lines = [f"run: {run.label}"]
     for problem in run.problems:
         lines.append(f"  warning: {problem}")
+    if run.bench is not None:
+        _render_bench(run.bench, lines)
+        return "\n".join(lines)
     if run.manifest:
         _render_manifest(run.manifest, lines)
     timings = _section(run.profile, "timings")
@@ -167,6 +240,9 @@ def render_run(run: RunArtifacts) -> str:
             _render_histogram(name, histograms[name], lines)
     if run.trace_path is not None:
         lines.append(f"trace: {run.trace_path} (load at https://ui.perfetto.dev)")
+    advice = advice_for_run(run.profile, run.manifest)
+    if advice is not None:
+        lines.append(f"autotune: {advice.render()}")
     return "\n".join(lines)
 
 
@@ -232,12 +308,54 @@ def _diff_histograms(a: JsonDict, b: JsonDict, lines: List[str]) -> None:
         lines.extend(rendered)
 
 
+def _diff_bench(a: JsonDict, b: JsonDict, lines: List[str]) -> None:
+    runs_a, runs_b = _bench_runs(a), _bench_runs(b)
+    hash_changes = [
+        f"  {key}: placement hash {runs_a[key].get('placement_hash')} -> "
+        f"{runs_b[key].get('placement_hash')}"
+        for key in sorted(set(runs_a) & set(runs_b))
+        if runs_a[key].get("placement_hash") != runs_b[key].get("placement_hash")
+    ]
+    if hash_changes:
+        lines.append("placement hash changes (determinism drift!)")
+        lines.extend(hash_changes)
+    else:
+        lines.append("placement hashes agree on all common cases")
+    _diff_numeric_section(
+        {key: run.get("seconds", 0.0) for key, run in runs_a.items()},
+        {key: run.get("seconds", 0.0) for key, run in runs_b.items()},
+        "wall-time deltas (seconds)",
+        lines,
+    )
+    _diff_numeric_section(
+        {
+            key: run.get("insertions_evaluated", 0)
+            for key, run in runs_a.items()
+        },
+        {
+            key: run.get("insertions_evaluated", 0)
+            for key, run in runs_b.items()
+        },
+        "insertions-evaluated deltas",
+        lines,
+    )
+
+
 def render_diff(a: RunArtifacts, b: RunArtifacts) -> str:
     """Diff of two runs: manifests, timings, counters, gauges, histograms."""
     lines = [f"diff: {a.label}  vs  {b.label}"]
     for run in (a, b):
         for problem in run.problems:
             lines.append(f"  warning: {problem}")
+    if a.bench is not None and b.bench is not None:
+        _diff_bench(a.bench, b.bench, lines)
+        return "\n".join(lines)
+    if a.bench is not None or b.bench is not None:
+        lines.append(
+            "  warning: one side is a benchmark report, the other a run "
+            "directory — nothing comparable"
+        )
+        return "\n".join(lines)
     if a.manifest and b.manifest:
         mismatches = diff_manifests(a.manifest, b.manifest)
         if mismatches:

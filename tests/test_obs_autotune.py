@@ -1,0 +1,100 @@
+"""Tests for the batch-capacity advice over scheduler occupancy traces."""
+
+import math
+
+from repro.obs.autotune import advice_for_run, suggest_capacity
+
+
+def profile_with(counts, bounds=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)):
+    return {
+        "histograms": {
+            "scheduler.batch_occupancy": {
+                "bounds": list(bounds),
+                "counts": list(counts),
+                "count": sum(counts),
+                "sum": 0.0,
+                "mean": 0.0,
+            }
+        }
+    }
+
+
+class TestSuggestCapacity:
+    def test_saturated_batches_raise_capacity(self):
+        # Capacity 8; most batches land in the (4, 8] bucket, i.e. at or
+        # above 0.75 * 8 = 6 by lower-edge accounting... lower edge 4 is
+        # below 6, so saturation must come from buckets at/after lower
+        # edge 8: put the mass in (8, 16].
+        profile = profile_with([1, 0, 1, 0, 18, 0, 0, 0])
+        advice = suggest_capacity(profile, 8)
+        assert advice is not None
+        assert advice.full_fraction == 0.9
+        assert advice.suggested == 16
+        assert advice.changed
+        assert "--capacity 16" in advice.render()
+
+    def test_sparse_batches_lower_capacity(self):
+        # Capacity 32, but p95 of the occupancy sits at <=2.
+        profile = profile_with([30, 60, 5, 0, 0, 0, 0, 0])
+        advice = suggest_capacity(profile, 32)
+        assert advice is not None
+        assert advice.p95 == 4.0  # 95 of 95 need the third bucket's bound
+        assert advice.suggested == 4
+        assert "shrinks conflict re-evaluation" in advice.rationale
+
+    def test_tracking_keeps_capacity(self):
+        # Capacity 8 with occupancy spread under it: neither saturated
+        # (no mass at lower edge >= 6) nor sparse (p95 above 4).
+        profile = profile_with([2, 2, 6, 10, 0, 0, 0, 0])
+        advice = suggest_capacity(profile, 8)
+        assert advice is not None
+        assert not advice.changed
+        assert advice.suggested == 8
+        assert "looks right" in advice.render()
+
+    def test_serial_run_is_left_alone(self):
+        profile = profile_with([10, 0, 0, 0, 0, 0, 0, 0])
+        advice = suggest_capacity(profile, 1)
+        assert advice is not None
+        assert advice.suggested == 1
+        assert "serial" in advice.rationale
+
+    def test_overflow_bucket_counts_as_full(self):
+        # All mass beyond the last bound: lower edge 64 >= any capacity.
+        profile = profile_with([0, 0, 0, 0, 0, 0, 0, 12])
+        advice = suggest_capacity(profile, 64)
+        assert advice is not None
+        assert advice.full_fraction == 1.0
+        assert advice.suggested == 128
+        assert advice.p50 == math.inf
+
+    def test_missing_histogram_returns_none(self):
+        assert suggest_capacity({}, 8) is None
+        assert suggest_capacity({"histograms": {}}, 8) is None
+        empty = profile_with([0, 0, 0, 0, 0, 0, 0, 0])
+        assert suggest_capacity(empty, 8) is None
+
+    def test_malformed_counts_return_none(self):
+        profile = profile_with([1, 2, 3])  # counts shorter than bounds+1
+        assert suggest_capacity(profile, 8) is None
+
+
+class TestAdviceForRun:
+    def test_reads_capacity_from_manifest_params(self):
+        profile = profile_with([30, 60, 5, 0, 0, 0, 0, 0])
+        manifest = {"params": {"scheduler_capacity": 32}}
+        advice = advice_for_run(profile, manifest)
+        assert advice is not None
+        assert advice.current == 32
+        assert advice.suggested == 4
+
+    def test_absent_pieces_return_none(self):
+        profile = profile_with([1, 0, 0, 0, 0, 0, 0, 0])
+        assert advice_for_run(None, {"params": {}}) is None
+        assert advice_for_run(profile, None) is None
+        assert advice_for_run(profile, {}) is None
+        assert advice_for_run(profile, {"params": {}}) is None
+        assert (
+            advice_for_run(profile, {"params": {"scheduler_capacity": "8"}})
+            is None
+        )

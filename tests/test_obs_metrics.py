@@ -168,3 +168,52 @@ class TestDerivedRates:
         payload = json.loads(path.read_text())
         assert payload["derived"]["gap_cache_hit_rate"] == 75.0
         assert payload["counters"]["mgl.gap_cache_hits"] == 3
+
+
+class TestPrometheusRendering:
+    def build(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.count("mgl.insertions_evaluated", 42)
+        registry.set_gauge("mgl.gap_cache_hit_rate", 0.25)
+        registry.record_time("mgl", 1.5)
+        registry.record_time("mgl", 0.5)
+        registry.observe("scheduler.batch_occupancy", 3.0, (1.0, 2.0, 4.0))
+        registry.observe("scheduler.batch_occupancy", 9.0, (1.0, 2.0, 4.0))
+        return registry
+
+    def test_counter_gauge_and_timing_series(self):
+        text = self.build().render_prometheus()
+        assert "# TYPE repro_mgl_insertions_evaluated_total counter" in text
+        assert "repro_mgl_insertions_evaluated_total 42" in text
+        assert "# TYPE repro_mgl_gap_cache_hit_rate gauge" in text
+        assert "repro_mgl_gap_cache_hit_rate 0.25" in text
+        # Timings render as a seconds/calls counter pair.
+        assert "repro_mgl_seconds_total 2.0" in text
+        assert "repro_mgl_calls_total 2" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = self.build().render_prometheus()
+        assert '# TYPE repro_scheduler_batch_occupancy histogram' in text
+        assert 'repro_scheduler_batch_occupancy_bucket{le="1.0"} 0' in text
+        assert 'repro_scheduler_batch_occupancy_bucket{le="4.0"} 1' in text
+        assert 'repro_scheduler_batch_occupancy_bucket{le="+Inf"} 2' in text
+        assert "repro_scheduler_batch_occupancy_sum 12.0" in text
+        assert "repro_scheduler_batch_occupancy_count 2" in text
+
+    def test_metric_names_are_sanitized(self):
+        registry = MetricsRegistry()
+        registry.count("a.b-c d", 1)
+        text = registry.render_prometheus()
+        assert "repro_a_b_c_d_total 1" in text
+
+    def test_deterministic_and_newline_terminated(self):
+        first = self.build().render_prometheus()
+        second = self.build().render_prometheus()
+        assert first == second
+        assert first.endswith("\n")
+        assert MetricsRegistry().render_prometheus() == ""
+
+    def test_custom_prefix(self):
+        registry = MetricsRegistry()
+        registry.count("cells", 7)
+        assert "myapp_cells_total 7" in registry.render_prometheus("myapp")

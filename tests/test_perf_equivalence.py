@@ -228,15 +228,20 @@ class TestGapCacheInvalidation:
         occupancy.add(0)
         cache = GapCache()
         context = context_for(design, occupancy, 1, cache)
-        first = context.gaps_in_row(0)
-        again = context.gaps_in_row(0)
+        first = cache.gaps_in_row(context, 0)
+        again = cache.gaps_in_row(context, 0)
         assert again is first  # served from cache, shared list
         assert cache.hits == 1 and cache.misses == 1
+        # The context itself memoizes per row: its first lookup hits the
+        # cache, repeats never touch it again.
+        assert context.gaps_in_row(0) is first
+        assert context.gaps_in_row(0) is first
+        assert cache.hits == 2 and cache.misses == 1
         # Mutating row 0 bumps its version; the entry must be recomputed.
         version = occupancy.row_version(0)
         occupancy.update_x(0, 2)
         assert occupancy.row_version(0) > version
-        recomputed = context.gaps_in_row(0)
+        recomputed = cache.gaps_in_row(context, 0)
         assert recomputed is not first
         assert cache.misses == 2
         # Fresh result matches an uncached context bit for bit.

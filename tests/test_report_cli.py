@@ -156,3 +156,101 @@ class TestLoggingContract:
         captured = capsys.readouterr()
         assert captured.out == ""
         assert "wrote" in captured.err
+
+
+def bench_payload(seconds=1.0, placement_hash="aaa111"):
+    record = {
+        "name": "fft_a_md2", "scale": 0.004, "cells": 136,
+        "seconds": seconds, "cells_per_sec": 136 / seconds,
+        "insertions_evaluated": 1295, "window_expansions": 0,
+        "placement_hash": placement_hash,
+    }
+    return {
+        "suite": "iccad2017_synthetic",
+        "scales": [0.004],
+        "runs": [record],
+        "parallel": {
+            "name": "fft_a_md2", "workers": 2, "cpu_count": 1,
+            "speedup": 0.97, "hashes_match": True,
+        },
+        "backend": {
+            "name": "fft_a_md2", "vector_vs_scalar": 1.1,
+            "stacked_vs_scalar": 1.05, "cpu_count": 1,
+            "hashes_match": True, "evals_match": True,
+        },
+        "hashes": {"fft_a_md2@0.004": placement_hash},
+    }
+
+
+class TestBenchReports:
+    """`repro report` recognizes BENCH_mgl.json-shaped files by shape."""
+
+    def test_render_bench_report(self, tmp_path, capsys):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(bench_payload()))
+        assert main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "benchmark suite: iccad2017_synthetic" in out
+        assert "fft_a_md2" in out
+        assert "vector 1.1x serial" in out
+        assert "hashes_match=True" in out
+
+    def test_diff_bench_reports_flags_hash_drift(self, tmp_path, capsys):
+        path_a = tmp_path / "a.json"
+        path_b = tmp_path / "b.json"
+        path_a.write_text(json.dumps(bench_payload()))
+        path_b.write_text(
+            json.dumps(bench_payload(seconds=2.0, placement_hash="bbb222"))
+        )
+        assert main(["report", str(path_a), str(path_b)]) == 0
+        out = capsys.readouterr().out
+        assert "determinism drift" in out
+        assert "aaa111 -> bbb222" in out
+        assert "wall-time deltas" in out
+
+    def test_diff_identical_bench_reports_agree(self, tmp_path, capsys):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(bench_payload()))
+        assert main(["report", str(path), str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "placement hashes agree" in out
+
+    def test_bench_vs_run_dir_is_a_warning(
+        self, design_file, tmp_path, capsys
+    ):
+        run_dir = run_legalize(design_file, tmp_path, "run_a")
+        bench = tmp_path / "bench.json"
+        bench.write_text(json.dumps(bench_payload()))
+        capsys.readouterr()
+        assert main(["report", str(bench), str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "nothing comparable" in out
+
+
+class TestRunDirPrometheus:
+    def test_metrics_prom_written_and_scrapeable(
+        self, design_file, tmp_path
+    ):
+        run_dir = run_legalize(design_file, tmp_path, "run_prom")
+        text = (run_dir / "metrics.prom").read_text()
+        assert "# TYPE repro_mgl_cells_placed_total counter" in text
+        assert "repro_mgl_seconds_total" in text
+        # Exposition format: every non-comment line is "name value".
+        for line in text.strip().splitlines():
+            if line.startswith("#"):
+                continue
+            name, value = line.rsplit(" ", 1)
+            float(value)
+            assert name
+
+    def test_capacity_run_reports_autotune_advice(
+        self, design_file, tmp_path, capsys
+    ):
+        run_dir = run_legalize(
+            design_file, tmp_path, "run_cap", "--capacity", "8"
+        )
+        capsys.readouterr()
+        assert main(["report", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "autotune:" in out
+        assert "batches" in out
