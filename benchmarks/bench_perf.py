@@ -65,6 +65,11 @@ QUICK_CASES = ["des_perf_b_md2", "fft_a_md2", "pci_bridge32_b_md3"]
 # Scalar-vs-vector comparison case: >=2k cells (5634 at this scale).
 BACKEND_SCALE = 0.05
 BACKEND_CASE = "des_perf_b_md2"
+# Sharded-legalization case: >=20k cells (the CI scale-tier gate).
+SHARD_SCALE = 0.2
+SHARD_CASE = "des_perf_b_md2"
+SHARD_COUNT = 4
+SHARD_HALO_ROWS = 2
 
 RunRecord = Dict[str, Union[str, int, float]]
 
@@ -273,6 +278,134 @@ def run_trace_determinism_section(
     }
 
 
+def run_sharded_section(
+    name: str,
+    scale: float,
+    shards: int,
+    halo_rows: int,
+    workers: int,
+    artifact_dir: Optional[Path] = None,
+) -> Dict[str, Union[str, int, float, bool, None]]:
+    """Sharded-vs-unsharded MGL at bench scale, with determinism gates.
+
+    Four runs of the same case:
+
+    * **baseline** — unsharded sequential MGL (the committed-hash path);
+    * **shards1** — the sharded code path forced at ``shards=1``, which
+      must reproduce the baseline bit-exactly (the shards=1 identity
+      contract);
+    * **sharded serial** (workers 0, traced) and **sharded pooled**
+      (workers N) at the requested topology — these must match each
+      other bit-exactly (the fixed-topology worker-invariance contract;
+      tracing never perturbs placements).
+
+    The sharded placement is checker-verified and its average movable
+    displacement compared to the baseline; ``check_regression.py``
+    gates the legality bit and the displacement drift.  When
+    ``artifact_dir`` is given, the serial sharded run's trace and a
+    manifest recording the shard topology are written there (the CI
+    scale job uploads them).
+    """
+    from repro.checker.legality import check_legal
+    from repro.core.mgl import MGLegalizer as MGL
+    from repro.core.shard import run_sharded_mgl
+
+    case = next(c for c in iccad2017_suite(scale=scale, names=[name]))
+
+    def avg_disp(placement: Placement) -> float:
+        cells = placement.design.movable_cells()
+        if not cells:
+            return 0.0
+        return sum(placement.displacement(c) for c in cells) / len(cells)
+
+    design = case.build()
+    start = time.perf_counter()
+    baseline_placement = MGL(design, LegalizerParams()).run()
+    baseline_seconds = time.perf_counter() - start
+    baseline_hash = placement_hash(baseline_placement)
+    baseline_disp = avg_disp(baseline_placement)
+
+    start = time.perf_counter()
+    shards1_placement, _ = run_sharded_mgl(case.build(), LegalizerParams())
+    shards1_seconds = time.perf_counter() - start
+    shards1_hash = placement_hash(shards1_placement)
+
+    sharded_params = LegalizerParams(shards=shards, shard_halo_rows=halo_rows)
+    tracer = SpanTracer()
+    design = case.build()
+    serial_legalizer = MGL(design, sharded_params, tracer=tracer)
+    start = time.perf_counter()
+    serial_placement = serial_legalizer.run()
+    serial_seconds = time.perf_counter() - start
+    serial_hash = placement_hash(serial_placement)
+    topology = serial_legalizer.shard_topology
+    assert topology is not None
+
+    pooled_params = LegalizerParams(
+        shards=shards, shard_halo_rows=halo_rows, scheduler_workers=workers
+    )
+    start = time.perf_counter()
+    pooled_placement = MGL(case.build(), pooled_params).run()
+    pooled_seconds = time.perf_counter() - start
+    pooled_hash = placement_hash(pooled_placement)
+
+    report = check_legal(serial_placement)
+    sharded_disp = avg_disp(serial_placement)
+    stats = serial_legalizer.stats
+
+    if artifact_dir is not None:
+        artifact_dir.mkdir(parents=True, exist_ok=True)
+        tracer.write_chrome_trace(str(artifact_dir / "shard_trace.json"))
+        tracer.write_jsonl(str(artifact_dir / "shard_trace.jsonl"))
+        write_manifest(
+            build_manifest(
+                design,
+                sharded_params,
+                serial_placement,
+                trace_structure_hash=tracer.structure_hash(),
+                shard_topology=topology.as_dict(),
+            ),
+            artifact_dir / "shard_manifest.json",
+        )
+
+    return {
+        "name": name,
+        "scale": scale,
+        "cells": design.num_cells,
+        "shards": shards,
+        "shards_effective": len(topology.shards),
+        "halo_rows": halo_rows,
+        "workers": workers,
+        "cpu_count": os.cpu_count() or 1,
+        "baseline_seconds": round(baseline_seconds, 4),
+        "shards1_seconds": round(shards1_seconds, 4),
+        "sharded_seconds": round(serial_seconds, 4),
+        "sharded_workers_seconds": round(pooled_seconds, 4),
+        "speedup": round(baseline_seconds / max(pooled_seconds, 1e-9), 3),
+        "cells_per_sec": round(design.num_cells / max(pooled_seconds, 1e-9), 1),
+        "baseline_hash": baseline_hash,
+        "shards1_hash": shards1_hash,
+        "sharded_hash": serial_hash,
+        "sharded_workers_hash": pooled_hash,
+        "shards1_match": shards1_hash == baseline_hash,
+        "workers_match": serial_hash == pooled_hash,
+        "legal": report.is_legal,
+        "violations": len(report.all_messages()),
+        "baseline_avg_disp": round(baseline_disp, 4),
+        "sharded_avg_disp": round(sharded_disp, 4),
+        "disp_delta_pct": round(
+            100.0 * (sharded_disp - baseline_disp) / max(baseline_disp, 1e-9),
+            2,
+        ),
+        "reconciled": stats.get("shard_reconciled", 0),
+        "halo_cells": stats.get("shard_halo_cells", 0),
+        "deferred": stats.get("shard_deferred", 0),
+        "shard_fallbacks": stats.get("shard_fallbacks", 0),
+        "shard_worker_failures": stats.get("shard_worker_failures", 0),
+        "topology": topology.as_dict(),
+    }
+
+
 def quick_determinism_checks(report: List[RunRecord]) -> List[str]:
     """Cross-mode equivalence checks on the quick subset.
 
@@ -341,6 +474,27 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="fail unless the stacked (vector + workers) "
                              "configuration reaches X speedup over scalar "
                              "serial (use on machines with enough cores)")
+    parser.add_argument("--no-sharded-section", action="store_true",
+                        help="skip the sharded-legalization comparison")
+    parser.add_argument("--sharded-case", default=None,
+                        help="suite case for the sharded section "
+                             f"(default {SHARD_CASE}, or the first quick "
+                             "case with --quick)")
+    parser.add_argument("--sharded-scale", type=float, default=None,
+                        help="cell-count scale for the sharded section "
+                             f"(default {SHARD_SCALE} — >=20k cells — or "
+                             "the quick scale with --quick)")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="row-band shard count for the sharded "
+                             f"section (default {SHARD_COUNT}, or 2 with "
+                             "--quick)")
+    parser.add_argument("--halo-rows", type=int, default=SHARD_HALO_ROWS,
+                        help="halo rows per shard side for the sharded "
+                             f"section (default {SHARD_HALO_ROWS})")
+    parser.add_argument("--shard-artifact-dir", default=None, metavar="DIR",
+                        help="write the sharded section's trace and "
+                             "topology manifest to DIR (CI uploads these "
+                             "as artifacts)")
     parser.add_argument("--trace-dir", default=None, metavar="DIR",
                         help="write the trace-determinism section's Chrome "
                              "trace, JSONL stream, and run manifest to DIR "
@@ -498,6 +652,65 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
             print(f"DETERMINISM FAILURE: {failures[-1]}", file=sys.stderr)
 
+    sharded_section: Optional[Dict[str, Union[str, int, float, bool, None]]]
+    sharded_section = None
+    if not args.no_sharded_section:
+        shard_workers = args.workers or (2 if args.quick else 4)
+        shard_count = args.shards or (2 if args.quick else SHARD_COUNT)
+        shard_name = args.sharded_case or (
+            QUICK_CASES[0] if args.quick else SHARD_CASE
+        )
+        shard_scale = args.sharded_scale or (
+            QUICK_SCALE if args.quick else SHARD_SCALE
+        )
+        sharded_section = run_sharded_section(
+            shard_name,
+            shard_scale,
+            shard_count,
+            args.halo_rows,
+            shard_workers,
+            artifact_dir=(
+                Path(args.shard_artifact_dir)
+                if args.shard_artifact_dir
+                else None
+            ),
+        )
+        print(
+            f"sharded: {sharded_section['name']} scale={shard_scale} "
+            f"cells={sharded_section['cells']}  "
+            f"shards={sharded_section['shards_effective']} "
+            f"halo={args.halo_rows} workers={shard_workers}  "
+            f"baseline {sharded_section['baseline_seconds']}s vs "
+            f"{sharded_section['sharded_workers_seconds']}s  "
+            f"speedup {sharded_section['speedup']}x "
+            f"(on {sharded_section['cpu_count']} cpus)  "
+            f"reconciled={sharded_section['reconciled']} "
+            f"legal={sharded_section['legal']} "
+            f"disp {sharded_section['disp_delta_pct']:+}%  "
+            f"shards1_match={sharded_section['shards1_match']} "
+            f"workers_match={sharded_section['workers_match']}"
+        )
+        if not sharded_section["shards1_match"]:
+            failures.append(
+                f"{sharded_section['name']}: shards=1 placement "
+                f"{sharded_section['shards1_hash']} diverged from the "
+                f"unsharded path {sharded_section['baseline_hash']}"
+            )
+            print(f"DETERMINISM FAILURE: {failures[-1]}", file=sys.stderr)
+        if not sharded_section["workers_match"]:
+            failures.append(
+                f"{sharded_section['name']}: {shard_workers}-worker sharded "
+                f"placement diverged from the serial sharded run at the "
+                f"same topology"
+            )
+            print(f"DETERMINISM FAILURE: {failures[-1]}", file=sys.stderr)
+        if not sharded_section["legal"]:
+            failures.append(
+                f"{sharded_section['name']}: sharded placement has "
+                f"{sharded_section['violations']} legality violations"
+            )
+            print(f"LEGALITY FAILURE: {failures[-1]}", file=sys.stderr)
+
     payload = {
         "suite": "iccad2017_synthetic",
         "scales": scales,
@@ -505,10 +718,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         "parallel": parallel_section,
         "backend": backend_section,
         "trace_determinism": trace_section,
+        "sharded": sharded_section,
         "hashes": {
             f"{r['name']}@{r['scale']}": r["placement_hash"] for r in report
         },
     }
+    if sharded_section is not None:
+        # The sharded case's hashes join the cross-machine determinism
+        # gate: the baseline run under its plain key (identical to the
+        # runs-section value when the case overlaps), the sharded run
+        # under a topology-qualified key so a deliberate topology change
+        # reads as a new case, never as drift.
+        hashes = payload["hashes"]
+        assert isinstance(hashes, dict)
+        hashes[f"{sharded_section['name']}@{sharded_section['scale']}"] = (
+            sharded_section["baseline_hash"]
+        )
+        hashes[
+            f"{sharded_section['name']}@{sharded_section['scale']}"
+            f"#shards{sharded_section['shards']}"
+            f"h{sharded_section['halo_rows']}"
+        ] = sharded_section["sharded_hash"]
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
     print(f"report written to {args.output}")
     return 1 if failures else 0

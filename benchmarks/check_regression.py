@@ -257,6 +257,120 @@ def check_trace_section(fresh: Dict[str, object]) -> List[str]:
     return failures
 
 
+def check_sharded_section(
+    fresh: Dict[str, object], max_disp_growth: float
+) -> List[str]:
+    """The fresh report's sharded-legalization gates must hold.
+
+    Three hard gates plus one budget: the sharded placement must be
+    checker-legal; ``shards=1`` must reproduce the unsharded placement
+    bit-exactly; workers 0 and N must agree bit-exactly at the fixed
+    topology; and the average-displacement drift of the sharded
+    topology over the unsharded baseline must stay within
+    ``max_disp_growth`` (cross-topology drift is expected and bounded,
+    never silent).
+    """
+    section = fresh.get("sharded")
+    if section is None:
+        return []  # Section skipped (--no-sharded-section) or old report.
+    if not isinstance(section, dict):
+        return ["malformed 'sharded' section in the fresh report"]
+    failures = []
+    name = section.get("name")
+    if not section.get("legal", False):
+        failures.append(
+            f"{name}: sharded placement is not legal "
+            f"({section.get('violations')} violations)"
+        )
+    if not section.get("shards1_match", False):
+        failures.append(
+            f"{name}: shards=1 placement {section.get('shards1_hash')} "
+            f"diverged from the unsharded path "
+            f"{section.get('baseline_hash')}"
+        )
+    if not section.get("workers_match", False):
+        failures.append(
+            f"{name}: sharded placement {section.get('sharded_workers_hash')}"
+            f" ({section.get('workers')} workers) diverged from serial "
+            f"{section.get('sharded_hash')} at the same topology"
+        )
+    drift = float(section.get("disp_delta_pct", 0.0))  # type: ignore[arg-type]
+    if drift > 100.0 * max_disp_growth:
+        failures.append(
+            f"{name}: sharded avg displacement drifted "
+            f"+{drift:.1f}% over the unsharded baseline "
+            f"(budget +{100.0 * max_disp_growth:.0f}%)"
+        )
+    return failures
+
+
+def render_summary(
+    baseline: Dict[str, object],
+    fresh: Dict[str, object],
+    failures: List[str],
+) -> str:
+    """Markdown job summary: per-case table plus the sharded story.
+
+    Written to ``--summary`` (CI points it at ``$GITHUB_STEP_SUMMARY``)
+    so a regression is readable from the run page without downloading
+    artifacts.
+    """
+    lines = ["## Bench regression", ""]
+    base_hashes = baseline.get("hashes")
+    fresh_runs = fresh.get("runs")
+    if isinstance(fresh_runs, list) and fresh_runs:
+        lines += [
+            "| case | cells | time (s) | cells/sec | hash |",
+            "|------|------:|---------:|----------:|------|",
+        ]
+        for run in fresh_runs:
+            if not isinstance(run, dict):
+                continue
+            key = f"{run['name']}@{run['scale']}"
+            if not isinstance(base_hashes, dict) or key not in base_hashes:
+                status = "new"
+            elif base_hashes[key] == run["placement_hash"]:
+                status = "match"
+            else:
+                status = "**CHANGED**"
+            lines.append(
+                f"| {key} | {run.get('cells')} | {run.get('seconds')} "
+                f"| {run.get('cells_per_sec')} | {status} |"
+            )
+        lines.append("")
+    sharded = fresh.get("sharded")
+    if isinstance(sharded, dict):
+        lines += [
+            "### Sharded legalization",
+            "",
+            "| cells | shards | workers | cells/sec | reconciled "
+            "| disp drift | hashes |",
+            "|------:|-------:|--------:|----------:|-----------:"
+            "|-----------:|--------|",
+        ]
+        hash_status = (
+            "ok"
+            if sharded.get("shards1_match")
+            and sharded.get("workers_match")
+            and sharded.get("legal")
+            else "**FAIL**"
+        )
+        lines += [
+            f"| {sharded.get('cells')} | {sharded.get('shards_effective')} "
+            f"| {sharded.get('workers')} | {sharded.get('cells_per_sec')} "
+            f"| {sharded.get('reconciled')} "
+            f"| {sharded.get('disp_delta_pct')}% | {hash_status} |",
+            "",
+        ]
+    if failures:
+        lines += [f"**{len(failures)} regression(s):**", ""]
+        lines += [f"- {failure}" for failure in failures]
+    else:
+        count = len(base_hashes) if isinstance(base_hashes, dict) else 0
+        lines.append(f"Regression gate clean ({count} baseline cases).")
+    return "\n".join(lines) + "\n"
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", help="committed baseline report")
@@ -270,6 +384,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "faster than this (default 0.5s)")
     parser.add_argument("--no-time-check", action="store_true",
                         help="only enforce the hash gates")
+    parser.add_argument("--max-shard-disp-growth", type=float, default=0.25,
+                        metavar="FRAC",
+                        help="allowed fractional average-displacement "
+                             "growth of the sharded topology over the "
+                             "unsharded baseline (default 0.25 = +25%%)")
+    parser.add_argument("--summary", default=None, metavar="FILE",
+                        help="append a markdown summary table to FILE "
+                             "(CI passes $GITHUB_STEP_SUMMARY)")
     args = parser.parse_args(argv)
 
     baseline = load_report(args.baseline)
@@ -279,6 +401,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     failures += check_parallel_section(fresh)
     failures += check_backend_section(fresh)
     failures += check_trace_section(fresh)
+    failures += check_sharded_section(fresh, args.max_shard_disp_growth)
     if not args.no_time_check:
         failures += compare_times(
             baseline, fresh, args.max_regression, args.min_seconds
@@ -293,6 +416,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"  {delta}")
     else:
         print("counter deltas on common cases: none")
+
+    if args.summary:
+        with open(args.summary, "a") as handle:
+            handle.write(render_summary(baseline, fresh, failures))
 
     for failure in failures:
         print(f"REGRESSION: {failure}", file=sys.stderr)

@@ -54,7 +54,20 @@ def _add_param_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workers", type=int, default=0,
                         help="evaluation worker processes for the MGL "
                              "scheduler (default 0 = in-process); "
-                             "placements are bit-identical for any value")
+                             "placements are bit-identical for any value. "
+                             "With --shards this sizes the shard process "
+                             "pool instead")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="fence-aware row-band shards for MGL "
+                             "(default 1 = whole die); shard interiors "
+                             "legalize in --workers processes and halo "
+                             "cells reconcile deterministically — for a "
+                             "fixed shard count placements are "
+                             "bit-identical for any worker count")
+    parser.add_argument("--halo-rows", type=int, default=2,
+                        help="halo rows on each side of a shard band "
+                             "(default 2); cells this close to a band "
+                             "boundary are re-legalized full-die")
     parser.add_argument("--height-weighted", action="store_true",
                         help="use Eq. 2 height weights during MGL")
     parser.add_argument("--eval-backend", choices=("scalar", "vector"),
@@ -66,9 +79,12 @@ def _add_param_flags(parser: argparse.ArgumentParser) -> None:
 
 def _params_from(args: argparse.Namespace) -> LegalizerParams:
     capacity = args.capacity
-    if args.workers > 0 and capacity == 1:
+    shards = getattr(args, "shards", 1)
+    if args.workers > 0 and capacity == 1 and shards <= 1:
         # A process pool needs multi-window batches to bite; give it a
         # sensible L_p capacity unless the user pinned one explicitly.
+        # (Sharded runs parallelize whole shards instead — see
+        # repro.core.shard — so no capacity is implied there.)
         capacity = max(8, 4 * args.workers)
     params = LegalizerParams(
         routability=not args.no_routability,
@@ -76,6 +92,8 @@ def _params_from(args: argparse.Namespace) -> LegalizerParams:
         use_flow_opt=not args.no_flow_opt,
         scheduler_capacity=capacity,
         scheduler_workers=args.workers,
+        shards=shards,
+        shard_halo_rows=getattr(args, "halo_rows", 2),
         height_weighted=args.height_weighted,
         eval_backend=args.eval_backend,
     )
@@ -147,7 +165,14 @@ def cmd_legalize(args: argparse.Namespace) -> int:
         trace_structure_hash=(
             tracer.structure_hash() if tracer is not None else None
         ),
+        shard_topology=result.shard_topology,
     )
+    if result.shard_topology is not None:
+        stats = result.mgl_stats
+        print(f"shards: {result.shard_topology['shards']} bands, "
+              f"{stats.get('shard_reconciled', 0)} reconciled "
+              f"({stats.get('shard_deferred', 0)} deferred), "
+              f"{stats.get('shard_workers_spawned', 0)} workers")
     if tracer is not None:
         if args.trace:
             tracer.write_chrome_trace(args.trace)

@@ -7,6 +7,9 @@
 * :mod:`repro.core.mgl` — multi-row global legalization (Alg. 1);
 * :mod:`repro.core.scheduler` — the deterministic non-overlapping-window
   scheduler of §3.5;
+* :mod:`repro.core.shard` — fence-aware row-band sharding with
+  deterministic halo reconciliation (parallel *regions*, beyond the
+  §3.5 parallel windows);
 * :mod:`repro.core.matching` — maximum-displacement optimization by
   min-cost bipartite matching per (cell type, fence) group (§3.2);
 * :mod:`repro.core.flowopt` — fixed-row-fixed-order optimization through
@@ -19,6 +22,7 @@ from repro.core.curves import DisplacementCurve, minimize_over_sites, sum_curves
 from repro.core.incremental import IncrementalLegalizer, IncrementalResult
 from repro.core.legalizer import LegalizationResult, Legalizer, legalize
 from repro.core.params import LegalizerParams
+from repro.core.shard import Shard, ShardTopology, compute_topology
 
 __all__ = [
     "DisplacementCurve",
@@ -27,6 +31,9 @@ __all__ = [
     "LegalizationResult",
     "Legalizer",
     "LegalizerParams",
+    "Shard",
+    "ShardTopology",
+    "compute_topology",
     "legalize",
     "minimize_over_sites",
     "sum_curves",

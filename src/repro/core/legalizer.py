@@ -50,6 +50,9 @@ class LegalizationResult:
     flow_stats: Optional[FlowOptStats] = None
     global_move_stats: Optional[GlobalMoveStats] = None
     mgl_stats: Dict[str, int] = field(default_factory=dict)
+    #: Row-band partition of a sharded MGL run (``params.shards > 1``),
+    #: in the JSON form of ``ShardTopology.as_dict``; None otherwise.
+    shard_topology: Optional[Dict[str, object]] = None
 
     @property
     def total_seconds(self) -> float:
@@ -155,6 +158,11 @@ class Legalizer:
                 placement=placement,
                 after_mgl=_snapshot(placement, mgl_seconds),
                 mgl_stats=dict(mgl.stats),
+                shard_topology=(
+                    mgl.shard_topology.as_dict()
+                    if mgl.shard_topology is not None
+                    else None
+                ),
             )
             self._record_stage("mgl", mgl_seconds)
             if self.recorder is not None:

@@ -25,6 +25,7 @@ from repro.obs.metrics import BATCH_WIDTH_BUCKETS, EXPANSION_BUCKETS
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, SpanPayload
 
 if TYPE_CHECKING:
+    from repro.core.shard import ShardTopology
     from repro.perf import PerfRecorder
 
 
@@ -168,6 +169,9 @@ class MGLegalizer:
         # Shared SoA mirror for the vector evaluation backend, rebuilt
         # when the target occupancy changes; see :meth:`soa_for`.
         self._soa: Optional[SoAState] = None
+        #: The row-band partition of the last sharded run (params.shards
+        #: > 1); None on the unsharded paths.  See repro.core.shard.
+        self.shard_topology: Optional["ShardTopology"] = None
 
     # ------------------------------------------------------------------
 
@@ -507,7 +511,11 @@ class MGLegalizer:
             if design.cells[cell].fixed:
                 placement.move(cell, int(design.gp_x[cell]), int(design.gp_y[cell]))
                 occupancy.add(cell)
-        if self.params.scheduler_capacity > 1:
+        if self.params.shards > 1:
+            from repro.core.shard import run_sharded
+
+            run_sharded(self, occupancy)
+        elif self.params.scheduler_capacity > 1:
             from repro.core.scheduler import WindowScheduler
 
             WindowScheduler(self, occupancy).run()

@@ -458,6 +458,10 @@ class ParallelEvaluator:
             return
         worker.alive = False
         self.legalizer.stats["parallel_worker_failures"] += 1
+        # The in-process fallback makes retirement invisible in the
+        # placement, so surface it in the metrics registry explicitly.
+        if self.recorder is not None:
+            self.recorder.registry.count("scheduler.worker_retired")
         try:
             worker.conn.close()
         except OSError:  # pragma: no cover

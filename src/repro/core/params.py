@@ -68,6 +68,22 @@ class LegalizerParams:
             hardware; placements are bit-identical to the in-process
             path for any worker count (see repro.core.parallel).  Takes
             precedence over ``scheduler_threads`` when both are set.
+            When ``shards > 1`` this is reused as the *shard* process
+            pool size instead (see repro.core.shard).
+        shards: number of fence-aware row-band shards MGL partitions
+            the die into (see repro.core.shard).  1 (the default) is
+            the unsharded path; >1 legalizes shard interiors
+            independently — in ``scheduler_workers`` processes when set
+            — then reconciles halo-resident cells deterministically.
+            For a fixed topology the placement is bit-identical for any
+            worker count; changing the shard count is a *topology*
+            change and legitimately moves cells near band boundaries.
+            Shard interiors always run the plain sequential MGL loop;
+            the §3.5 scheduler applies to the unsharded path only.
+        shard_halo_rows: rows of halo added to each side of a shard's
+            band; interiors may place into the halo, and every cell
+            landing within this many rows of a band boundary is
+            re-legalized full-die during reconciliation.
         seed_order: cell-ordering strategy for MGL
             ("height_area_x" | "gp_x" | "input").
         candidate_order: insertion-point evaluation strategy inside
@@ -119,6 +135,8 @@ class LegalizerParams:
     scheduler_capacity: int = 1
     scheduler_threads: int = 0
     scheduler_workers: int = 0
+    shards: int = 1
+    shard_halo_rows: int = 2
     seed_order: str = "height_area_x"
     candidate_order: str = "best_first"
     use_gap_cache: bool = True
@@ -144,6 +162,10 @@ class LegalizerParams:
             raise ValueError("scheduler_threads must be non-negative")
         if self.scheduler_workers < 0:
             raise ValueError("scheduler_workers must be non-negative")
+        if self.shards < 1:
+            raise ValueError("shards must be at least 1")
+        if self.shard_halo_rows < 0:
+            raise ValueError("shard_halo_rows must be non-negative")
         if self.candidate_order not in ("best_first", "linear"):
             raise ValueError(f"unknown candidate_order {self.candidate_order!r}")
         if self.eval_backend not in ("vector", "scalar"):

@@ -67,13 +67,18 @@ def build_manifest(
     *,
     seed: Optional[int] = None,
     trace_structure_hash: Optional[str] = None,
+    shard_topology: Optional[Dict[str, Any]] = None,
 ) -> Manifest:
     """Assemble the manifest for one run.
 
     ``seed`` is the synthetic-generation seed when the caller knows it
-    (designs loaded from files carry none).  Environment fields record
-    where the run happened; they are expected to differ across machines
-    and are reported separately by :func:`diff_manifests`.
+    (designs loaded from files carry none).  ``shard_topology`` is the
+    JSON form of the sharded-MGL partition
+    (``ShardTopology.as_dict``) when ``params.shards > 1`` — two
+    sharded runs are only the same experiment when their topologies
+    match.  Environment fields record where the run happened; they are
+    expected to differ across machines and are reported separately by
+    :func:`diff_manifests`.
     """
     import repro
 
@@ -93,6 +98,7 @@ def build_manifest(
             placement_digest(placement) if placement is not None else None
         ),
         "trace_structure_hash": trace_structure_hash,
+        "shard_topology": shard_topology,
         "package_version": repro.__version__,
         "python_version": platform.python_version(),
         "platform": platform.platform(),

@@ -33,6 +33,7 @@ __all__ = [
     "EXPANSION_BUCKETS",
     "Histogram",
     "MetricsRegistry",
+    "SHARD_OCCUPANCY_BUCKETS",
 ]
 
 #: Displacement buckets in row-height units.  Well-legalized cells land
@@ -57,6 +58,13 @@ BATCH_OCCUPANCY_BUCKETS: Tuple[float, ...] = (
 #: two distributions compare directly.
 BATCH_WIDTH_BUCKETS: Tuple[float, ...] = (
     1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0,
+)
+
+#: Cells placed per shard interior (the ``shard.occupancy`` histogram of
+#: repro.core.shard) — a skewed distribution means the row-band cuts
+#: landed badly for this design's GP density.
+SHARD_OCCUPANCY_BUCKETS: Tuple[float, ...] = (
+    16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0,
 )
 
 

@@ -173,6 +173,109 @@ class TestSectionGates:
         assert run_main(tmp_path, report, report) == 0
 
 
+def make_sharded(**overrides):
+    section = {
+        "name": "a",
+        "scale": 0.2,
+        "cells": 20000,
+        "shards": 4,
+        "shards_effective": 4,
+        "workers": 4,
+        "cells_per_sec": 5000.0,
+        "legal": True,
+        "violations": 0,
+        "shards1_match": True,
+        "workers_match": True,
+        "baseline_hash": "aaaa",
+        "shards1_hash": "aaaa",
+        "sharded_hash": "cccc",
+        "sharded_workers_hash": "cccc",
+        "disp_delta_pct": 3.0,
+        "reconciled": 120,
+    }
+    section.update(overrides)
+    return section
+
+
+class TestShardedGate:
+    def test_clean_section_passes(self, tmp_path):
+        report = make_report([make_run("a")])
+        report["sharded"] = make_sharded()
+        assert run_main(tmp_path, report, report) == 0
+
+    def test_missing_section_is_not_a_failure(self, tmp_path):
+        report = make_report([make_run("a")])
+        assert "sharded" not in report
+        assert run_main(tmp_path, report, report) == 0
+
+    def test_illegal_placement_fails(self, tmp_path, capsys):
+        report = make_report([make_run("a")])
+        report["sharded"] = make_sharded(legal=False, violations=3)
+        assert run_main(tmp_path, report, report) == 1
+        assert "not legal" in capsys.readouterr().err
+
+    def test_shards1_divergence_fails(self, tmp_path, capsys):
+        report = make_report([make_run("a")])
+        report["sharded"] = make_sharded(
+            shards1_match=False, shards1_hash="bbbb"
+        )
+        assert run_main(tmp_path, report, report) == 1
+        assert "shards=1 placement" in capsys.readouterr().err
+
+    def test_worker_divergence_fails(self, tmp_path, capsys):
+        report = make_report([make_run("a")])
+        report["sharded"] = make_sharded(
+            workers_match=False, sharded_workers_hash="dddd"
+        )
+        assert run_main(tmp_path, report, report) == 1
+        assert "diverged from serial" in capsys.readouterr().err
+
+    def test_displacement_budget(self, tmp_path, capsys):
+        report = make_report([make_run("a")])
+        report["sharded"] = make_sharded(disp_delta_pct=40.0)
+        assert run_main(tmp_path, report, report) == 1
+        assert "displacement drifted" in capsys.readouterr().err
+        # A wider budget admits the same drift.
+        assert run_main(
+            tmp_path, report, report, "--max-shard-disp-growth", "0.5"
+        ) == 0
+
+
+class TestSummary:
+    def test_summary_file_written(self, tmp_path):
+        report = make_report([make_run("a")])
+        report["sharded"] = make_sharded()
+        summary = tmp_path / "summary.md"
+        assert run_main(
+            tmp_path, report, report, "--summary", str(summary)
+        ) == 0
+        text = summary.read_text()
+        assert "## Bench regression" in text
+        assert "| a@0.004 |" in text and "match" in text
+        assert "### Sharded legalization" in text
+        assert "| 20000 | 4 | 4 |" in text
+        assert "clean" in text
+
+    def test_summary_marks_failures(self, tmp_path):
+        baseline = make_report([make_run("a", placement_hash="aaaa")])
+        fresh = make_report([make_run("a", placement_hash="bbbb")])
+        fresh["sharded"] = make_sharded(legal=False)
+        summary = tmp_path / "summary.md"
+        assert run_main(
+            tmp_path, baseline, fresh, "--summary", str(summary)
+        ) == 1
+        text = summary.read_text()
+        assert "**CHANGED**" in text
+        assert "**FAIL**" in text
+        assert "regression(s):" in text
+
+    def test_render_summary_handles_new_cases(self):
+        baseline = make_report([make_run("a")])
+        fresh = make_report([make_run("a"), make_run("extra")])
+        text = check_regression.render_summary(baseline, fresh, [])
+        assert "| extra@0.004 |" in text and "new" in text
+
+
 class TestAgainstRealArtifacts:
     """The committed BENCH_mgl.json must satisfy its own gate."""
 

@@ -176,6 +176,40 @@ class TestFailureFallbacks:
         ).run()
         assert placement.x == serial.x and placement.y == serial.y
 
+    def test_retired_worker_counted_in_metrics_registry(self, small_design):
+        """Worker retirement must be visible in scheduler.worker_retired."""
+        from repro.perf import PerfRecorder
+
+        recorder = PerfRecorder()
+        params = LegalizerParams(
+            routability=False, scheduler_capacity=8, scheduler_workers=2
+        )
+        legalizer = MGLegalizer(small_design, params, recorder=recorder)
+        placement = Placement(small_design)
+        occupancy = Occupancy(small_design, placement)
+        scheduler = WindowScheduler(legalizer, occupancy)
+
+        original_evaluate = ParallelEvaluator.evaluate_batch
+        killed = []
+
+        def kill_then_evaluate(self, batch, want_payloads=False):
+            if not killed:
+                self.workers[0].process.terminate()
+                self.workers[0].process.join(timeout=5.0)
+                killed.append(True)
+            return original_evaluate(self, batch, want_payloads)
+
+        try:
+            ParallelEvaluator.evaluate_batch = kill_then_evaluate
+            scheduler.run()
+        finally:
+            ParallelEvaluator.evaluate_batch = original_evaluate
+
+        assert killed, "no multi-cell batch was ever formed"
+        retired = recorder.registry.counters.get("scheduler.worker_retired", 0)
+        assert retired >= 1
+        assert retired == legalizer.stats["parallel_worker_failures"]
+
     def test_spawn_failure_falls_back_to_serial(
         self, small_design, monkeypatch
     ):
