@@ -36,6 +36,14 @@ both ratios are informational by default (the serial ratio is
 host-independent but modest; the stacked ratio scales with cores) —
 ``--require-backend-speedup X`` enforces a floor on the stacked ratio.
 
+A **tracing-overhead** section legalizes the backend-scale case
+untraced and traced at ``sample_every=16`` with a live progress emitter
+attached (best of two each): the placements must be bit-identical
+(fatal) and the wall overhead is recorded for the
+``check_regression.py --max-trace-overhead`` budget gate.  Skipped in
+``--quick`` mode unless ``--overhead-scale`` is given — tiny runs
+measure timer noise, not tracing.
+
 The consistency self-checks (``Occupancy.verify_consistent``) are
 disabled so measured time is the algorithm, not the checks.
 """
@@ -70,6 +78,11 @@ SHARD_SCALE = 0.2
 SHARD_CASE = "des_perf_b_md2"
 SHARD_COUNT = 4
 SHARD_HALO_ROWS = 2
+# Tracing-overhead case: the sampling stride the <5% budget is quoted
+# at, measured on the backend scale (big enough for stable wall times).
+OVERHEAD_SCALE = BACKEND_SCALE
+OVERHEAD_CASE = BACKEND_CASE
+OVERHEAD_SAMPLE_EVERY = 16
 
 RunRecord = Dict[str, Union[str, int, float]]
 
@@ -406,6 +419,78 @@ def run_sharded_section(
     }
 
 
+def run_tracing_overhead_section(
+    name: str, scale: float, sample_every: int
+) -> Dict[str, Union[str, int, float, bool]]:
+    """Untraced vs sampled-traced serial MGL: wall overhead + identity.
+
+    The always-on observability budget: a run traced at
+    ``sample_every=k`` with a live progress emitter attached must (a)
+    produce the bit-identical placement of the un-instrumented run —
+    fatal in ``main`` when it does not — and (b) cost only a few
+    percent of wall time (``check_regression.py --max-trace-overhead``
+    gates the percentage; ``--require-trace-overhead`` enforces it here
+    directly).  Each configuration runs twice and the faster time
+    counts, damping one-off scheduler noise on CI boxes.
+    """
+    from repro.obs.progress import ProgressEmitter
+
+    case = next(c for c in iccad2017_suite(scale=scale, names=[name]))
+
+    def one_run(traced: bool) -> Dict[str, Union[str, int, float]]:
+        design = case.build()
+        tracer = SpanTracer(sample_every=sample_every) if traced else None
+        events: List[Dict[str, object]] = []
+        progress = (
+            ProgressEmitter(callback=events.append, min_interval=0.05)
+            if traced
+            else None
+        )
+        legalizer = MGLegalizer(
+            design, LegalizerParams(), tracer=tracer, progress=progress
+        )
+        start = time.perf_counter()
+        placement = legalizer.run()
+        seconds = time.perf_counter() - start
+        record: Dict[str, Union[str, int, float]] = {
+            "seconds": seconds,
+            "hash": placement_hash(placement),
+            "cells": design.num_cells,
+        }
+        if tracer is not None:
+            record["span_count"] = tracer.span_count()
+            record["structure_hash"] = tracer.structure_hash()
+            record["progress_events"] = len(events)
+        return record
+
+    plain_runs = [one_run(traced=False) for _ in range(2)]
+    sampled_runs = [one_run(traced=True) for _ in range(2)]
+    plain = min(plain_runs, key=lambda r: float(r["seconds"]))
+    sampled = min(sampled_runs, key=lambda r: float(r["seconds"]))
+    hashes = {str(r["hash"]) for r in plain_runs + sampled_runs}
+    plain_seconds = float(plain["seconds"])
+    sampled_seconds = float(sampled["seconds"])
+    return {
+        "name": name,
+        "scale": scale,
+        "cells": int(plain["cells"]),
+        "sample_every": sample_every,
+        "plain_seconds": round(plain_seconds, 4),
+        "sampled_seconds": round(sampled_seconds, 4),
+        "overhead_pct": round(
+            100.0 * (sampled_seconds - plain_seconds)
+            / max(plain_seconds, 1e-9),
+            2,
+        ),
+        "plain_hash": str(plain["hash"]),
+        "sampled_hash": str(sampled["hash"]),
+        "hashes_match": len(hashes) == 1,
+        "span_count": int(sampled["span_count"]),
+        "structure_hash": str(sampled["structure_hash"]),
+        "progress_events": int(sampled["progress_events"]),
+    }
+
+
 def quick_determinism_checks(report: List[RunRecord]) -> List[str]:
     """Cross-mode equivalence checks on the quick subset.
 
@@ -501,6 +586,23 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "(CI uploads these as artifacts)")
     parser.add_argument("--no-trace-section", action="store_true",
                         help="skip the trace-structure determinism check")
+    parser.add_argument("--no-overhead-section", action="store_true",
+                        help="skip the tracing-overhead measurement")
+    parser.add_argument("--overhead-scale", type=float, default=None,
+                        help="cell-count scale for the tracing-overhead "
+                             f"section (default {OVERHEAD_SCALE}; with "
+                             "--quick the section is skipped unless this "
+                             "is given — tiny runs measure noise)")
+    parser.add_argument("--overhead-sample-every", type=int,
+                        default=OVERHEAD_SAMPLE_EVERY, metavar="K",
+                        help="sampling stride for the tracing-overhead "
+                             f"section (default {OVERHEAD_SAMPLE_EVERY})")
+    parser.add_argument("--require-trace-overhead", type=float, default=None,
+                        metavar="PCT",
+                        help="fail when sampled tracing costs more than "
+                             "PCT%% wall over the untraced run (use on "
+                             "machines with stable clocks; "
+                             "check_regression.py gates this in CI)")
     args = parser.parse_args(argv)
 
     set_expensive_checks(False)
@@ -652,6 +754,45 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
             print(f"DETERMINISM FAILURE: {failures[-1]}", file=sys.stderr)
 
+    overhead_section: Optional[Dict[str, Union[str, int, float, bool]]] = None
+    run_overhead = not args.no_overhead_section and (
+        not args.quick or args.overhead_scale is not None
+    )
+    if run_overhead:
+        overhead_scale = args.overhead_scale or OVERHEAD_SCALE
+        overhead_section = run_tracing_overhead_section(
+            OVERHEAD_CASE, overhead_scale, args.overhead_sample_every
+        )
+        print(
+            f"overhead: {overhead_section['name']} scale={overhead_scale} "
+            f"cells={overhead_section['cells']} "
+            f"k={overhead_section['sample_every']}  "
+            f"plain {overhead_section['plain_seconds']}s vs sampled "
+            f"{overhead_section['sampled_seconds']}s  "
+            f"overhead {overhead_section['overhead_pct']:+}%  "
+            f"spans={overhead_section['span_count']} "
+            f"events={overhead_section['progress_events']}  "
+            f"hashes_match={overhead_section['hashes_match']}"
+        )
+        if not overhead_section["hashes_match"]:
+            failures.append(
+                f"{overhead_section['name']}: sampled-traced placement "
+                f"{overhead_section['sampled_hash']} diverged from the "
+                f"untraced run {overhead_section['plain_hash']}"
+            )
+            print(f"DETERMINISM FAILURE: {failures[-1]}", file=sys.stderr)
+        if (
+            args.require_trace_overhead is not None
+            and float(overhead_section["overhead_pct"])
+            > args.require_trace_overhead
+        ):
+            failures.append(
+                f"{overhead_section['name']}: sampled tracing overhead "
+                f"{overhead_section['overhead_pct']}% exceeds the "
+                f"{args.require_trace_overhead}% budget"
+            )
+            print(f"PERF FAILURE: {failures[-1]}", file=sys.stderr)
+
     sharded_section: Optional[Dict[str, Union[str, int, float, bool, None]]]
     sharded_section = None
     if not args.no_sharded_section:
@@ -718,6 +859,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "parallel": parallel_section,
         "backend": backend_section,
         "trace_determinism": trace_section,
+        "tracing_overhead": overhead_section,
         "sharded": sharded_section,
         "hashes": {
             f"{r['name']}@{r['scale']}": r["placement_hash"] for r in report
@@ -739,6 +881,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"#shards{sharded_section['shards']}"
             f"h{sharded_section['halo_rows']}"
         ] = sharded_section["sharded_hash"]
+    if overhead_section is not None:
+        # The sampled run's hash joins the gate under a stride-qualified
+        # key (it equals the plain hash by the fatal check above, but a
+        # distinct key keeps cross-report stride changes readable).
+        hashes = payload["hashes"]
+        assert isinstance(hashes, dict)
+        hashes[
+            f"{overhead_section['name']}@{overhead_section['scale']}"
+            f"#sampled{overhead_section['sample_every']}"
+        ] = overhead_section["sampled_hash"]
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
     print(f"report written to {args.output}")
     return 1 if failures else 0

@@ -23,11 +23,21 @@ that the search explored differently even when hashes and times pass —
 and an explicit ``WARNING`` for every case present in only one report,
 so a shrunken fresh run can't silently pass against a full baseline.
 
+Two optional gates ride along: a **tracing-overhead** gate (fatal when
+the fresh report's ``tracing_overhead`` section shows sampled tracing
+costing more than ``--max-trace-overhead`` percent, or perturbing the
+placement at all) and a **run-store trend** gate (``--store DIR``
+appends the fresh report to a persistent store and compares each case
+against the *median* of its stored history — the cross-run complement
+to the single-baseline comparison above).
+
 Usage::
 
     python benchmarks/check_regression.py BENCH_mgl.json fresh.json
     python benchmarks/check_regression.py baseline.json fresh.json \
         --max-regression 0.25 --min-seconds 0.5
+    PYTHONPATH=src python benchmarks/check_regression.py \
+        BENCH_mgl.json fresh.json --store .repro-runs
 
 Exit status 0 when clean, 1 on any failure (each printed to stderr).
 """
@@ -257,6 +267,89 @@ def check_trace_section(fresh: Dict[str, object]) -> List[str]:
     return failures
 
 
+def check_overhead_section(
+    fresh: Dict[str, object],
+    max_overhead_pct: float,
+    min_seconds: float,
+) -> List[str]:
+    """The fresh report's tracing-overhead gates must hold.
+
+    Hash divergence between the untraced and sampled-traced run is
+    always fatal (observability must never perturb the placement); the
+    overhead percentage is gated against ``--max-trace-overhead`` when
+    the untraced run is long enough to measure reliably.
+    """
+    section = fresh.get("tracing_overhead")
+    if section is None:
+        return []  # Section skipped (--no-overhead-section / quick mode).
+    if not isinstance(section, dict):
+        return ["malformed 'tracing_overhead' section in the fresh report"]
+    failures = []
+    name = section.get("name")
+    if not section.get("hashes_match", False):
+        failures.append(
+            f"{name}: sampled-traced placement "
+            f"{section.get('sampled_hash')} diverged from the untraced "
+            f"run {section.get('plain_hash')}"
+        )
+    plain_seconds = float(section.get("plain_seconds", 0.0))  # type: ignore[arg-type]
+    overhead = float(section.get("overhead_pct", 0.0))  # type: ignore[arg-type]
+    if plain_seconds >= min_seconds and overhead > max_overhead_pct:
+        failures.append(
+            f"{name}: sampled tracing overhead +{overhead:.1f}% exceeds "
+            f"the {max_overhead_pct:.0f}% budget "
+            f"(k={section.get('sample_every')}, "
+            f"plain {plain_seconds:.3f}s vs "
+            f"{float(section.get('sampled_seconds', 0.0)):.3f}s)"  # type: ignore[arg-type]
+        )
+    return failures
+
+
+def check_store_trends(
+    fresh: Dict[str, object],
+    store_dir: str,
+    max_drift_pct: float,
+    history: int,
+) -> List[str]:
+    """Append the fresh report to a run store and gate on its trends.
+
+    The store accumulates one record per bench case across CI runs
+    (seeded via actions/cache), so the wall-time gate compares against
+    the **median of history** rather than one committed number — a
+    slow runner in the history shifts the median far less than it
+    shifts a single baseline.  Each appended key is trended after the
+    append; a key needs three stored runs before its time gate engages,
+    so a cold store passes trivially while it warms up.
+    """
+    from repro.obs.runstore import RunStore
+
+    store = RunStore(store_dir)
+    added = store.add_bench_report(fresh, label="ci")
+    keys = []
+    for record in store.records():
+        if record.get("id") in set(added):
+            key = record.get("key")
+            if isinstance(key, str) and key not in keys:
+                keys.append(key)
+    failures = []
+    for key in keys:
+        trend = store.trend(key, last=history, max_drift_pct=max_drift_pct)
+        if trend.flagged:
+            failures.append(f"store trend {key}: {trend.reason}")
+        else:
+            drift = (
+                f"{trend.drift_pct:+.1f}% vs median"
+                if trend.drift_pct is not None
+                else f"{trend.runs} run(s), trend not yet callable"
+            )
+            print(f"store trend {key}: ok ({drift})")
+    print(
+        f"run store {store_dir}: appended {len(added)} record(s), "
+        f"{len(store.records())} total"
+    )
+    return failures
+
+
 def check_sharded_section(
     fresh: Dict[str, object], max_disp_growth: float
 ) -> List[str]:
@@ -338,6 +431,24 @@ def render_summary(
                 f"| {run.get('cells_per_sec')} | {status} |"
             )
         lines.append("")
+    overhead = fresh.get("tracing_overhead")
+    if isinstance(overhead, dict):
+        status = (
+            "ok" if overhead.get("hashes_match") else "**HASH DIVERGED**"
+        )
+        lines += [
+            "### Tracing overhead",
+            "",
+            f"Sampled (k={overhead.get('sample_every')}) vs untraced on "
+            f"{overhead.get('name')}@{overhead.get('scale')}: "
+            f"{overhead.get('plain_seconds')}s -> "
+            f"{overhead.get('sampled_seconds')}s "
+            f"(**{overhead.get('overhead_pct')}%**), "
+            f"{overhead.get('span_count')} spans, "
+            f"{overhead.get('progress_events')} progress events — "
+            f"{status}.",
+            "",
+        ]
     sharded = fresh.get("sharded")
     if isinstance(sharded, dict):
         lines += [
@@ -389,6 +500,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="allowed fractional average-displacement "
                              "growth of the sharded topology over the "
                              "unsharded baseline (default 0.25 = +25%%)")
+    parser.add_argument("--max-trace-overhead", type=float, default=5.0,
+                        metavar="PCT",
+                        help="allowed sampled-tracing wall overhead in "
+                             "percent, when the fresh report carries a "
+                             "tracing_overhead section (default 5)")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="append the fresh report to the run store in "
+                             "DIR and gate wall time on the median of "
+                             "stored history (needs PYTHONPATH=src)")
+    parser.add_argument("--store-history", type=int, default=10,
+                        metavar="N",
+                        help="history window per key for the --store "
+                             "trend gate (default 10)")
     parser.add_argument("--summary", default=None, metavar="FILE",
                         help="append a markdown summary table to FILE "
                              "(CI passes $GITHUB_STEP_SUMMARY)")
@@ -401,10 +525,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     failures += check_parallel_section(fresh)
     failures += check_backend_section(fresh)
     failures += check_trace_section(fresh)
+    failures += check_overhead_section(
+        fresh, args.max_trace_overhead, args.min_seconds
+    )
     failures += check_sharded_section(fresh, args.max_shard_disp_growth)
     if not args.no_time_check:
         failures += compare_times(
             baseline, fresh, args.max_regression, args.min_seconds
+        )
+    if args.store:
+        failures += check_store_trends(
+            fresh, args.store, 100.0 * args.max_regression,
+            args.store_history,
         )
 
     for warning in one_sided_cases(baseline, fresh):

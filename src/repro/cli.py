@@ -7,6 +7,7 @@ Subcommands::
     repro check     — verify legality/routability and print the score
     repro compare   — run all legalizers on a design (Table-2 style)
     repro report    — render one run's artifacts, or diff two runs
+    repro runs      — browse the persistent run store (list/show/trend)
     repro svg       — render a placement to SVG
 
 Designs and placements use the text format of :mod:`repro.io`.
@@ -14,7 +15,8 @@ Run ``repro <command> --help`` for options.
 
 Computed results (scores, summaries, tables) go to stdout; diagnostics
 ("wrote X") go through :mod:`repro.obs.log` to stderr, tunable with the
-global ``--log-level`` flag — so piping ``repro`` output stays clean.
+global ``--log-level`` / ``--log-format`` flags — so piping ``repro``
+output stays clean.
 """
 
 from __future__ import annotations
@@ -28,13 +30,17 @@ from repro import LegalizerParams, legalize
 from repro.checker import check_legal, contest_score, count_routability_violations
 from repro.io import load_design, load_placement, save_design, save_placement
 from repro.obs.clock import monotonic
-from repro.obs.log import LEVELS, get_logger, setup_logging
+from repro.obs.log import FORMATS, LEVELS, get_logger, setup_logging
 
 if TYPE_CHECKING:
     from repro.model.design import Design
     from repro.model.placement import Placement
+    from repro.obs.progress import ProgressEmitter
     from repro.obs.tracer import SpanTracer
     from repro.perf import PerfRecorder
+
+#: Default run-store location (relative to the working directory).
+DEFAULT_STORE = ".repro-runs"
 
 log = get_logger("cli")
 
@@ -126,6 +132,24 @@ def cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_progress(
+    target: Optional[str],
+) -> "Tuple[Optional[ProgressEmitter], Optional[Path]]":
+    """Build the ``--progress`` emitter: tty lines, or a JSONL sink path."""
+    if target is None:
+        return None, None
+    from repro.obs.progress import ProgressEmitter, render_event
+
+    if target:
+        sink_path = Path(target)
+        return ProgressEmitter(sink=open(sink_path, "w")), sink_path
+
+    def to_stderr(event: Dict[str, object]) -> None:
+        print(render_event(event), file=sys.stderr)
+
+    return ProgressEmitter(callback=to_stderr), None
+
+
 def cmd_legalize(args: argparse.Namespace) -> int:
     from repro.obs.manifest import (
         build_manifest,
@@ -139,18 +163,30 @@ def cmd_legalize(args: argparse.Namespace) -> int:
     if run_dir is not None:
         run_dir.mkdir(parents=True, exist_ok=True)
     recorder: Optional["PerfRecorder"] = None
-    if args.profile is not None or run_dir is not None:
+    if args.profile is not None or run_dir is not None or args.store:
         from repro.perf import PerfRecorder
 
         recorder = PerfRecorder()
     tracer: Optional["SpanTracer"] = None
-    if args.trace is not None or run_dir is not None:
+    # --store records a span profile per run, so it traces too; pair it
+    # with --sample-every to bound the overhead on big designs.
+    if args.trace is not None or run_dir is not None or args.store:
         from repro.obs.tracer import SpanTracer
 
-        tracer = SpanTracer()
+        tracer = SpanTracer(sample_every=args.sample_every)
+    progress, sink_path = _make_progress(args.progress)
     start = monotonic()
-    result = legalize(design, params, recorder=recorder, tracer=tracer)
+    try:
+        result = legalize(
+            design, params, recorder=recorder, tracer=tracer,
+            progress=progress,
+        )
+    finally:
+        if progress is not None and progress.sink is not None:
+            progress.sink.close()
     elapsed = monotonic() - start
+    if sink_path is not None:
+        log.info("progress events written to %s", sink_path)
     save_placement(result.placement, args.output)
     final = result.after_flow or result.after_matching or result.after_mgl
     print(f"legalized {design.num_cells} cells in {elapsed:.1f}s")
@@ -165,6 +201,9 @@ def cmd_legalize(args: argparse.Namespace) -> int:
         trace_structure_hash=(
             tracer.structure_hash() if tracer is not None else None
         ),
+        trace_sample_every=(
+            tracer.sample_every if tracer is not None else None
+        ),
         shard_topology=result.shard_topology,
     )
     if result.shard_topology is not None:
@@ -173,7 +212,11 @@ def cmd_legalize(args: argparse.Namespace) -> int:
               f"{stats.get('shard_reconciled', 0)} reconciled "
               f"({stats.get('shard_deferred', 0)} deferred), "
               f"{stats.get('shard_workers_spawned', 0)} workers")
+    span_profile = None
     if tracer is not None:
+        from repro.obs.profile import fold_spans
+
+        span_profile = fold_spans(tracer.roots)
         if args.trace:
             tracer.write_chrome_trace(args.trace)
             write_manifest(manifest, manifest_path_for(args.trace))
@@ -183,8 +226,18 @@ def cmd_legalize(args: argparse.Namespace) -> int:
                 args.trace, tracer.span_count(),
             )
         if run_dir is not None:
+            import json
+
             tracer.write_chrome_trace(str(run_dir / "trace.json"))
             tracer.write_jsonl(str(run_dir / "trace.jsonl"))
+            (run_dir / "span_profile.json").write_text(
+                json.dumps(
+                    span_profile.as_dict(), indent=2, sort_keys=True
+                ) + "\n"
+            )
+            (run_dir / "profile.collapsed").write_text(
+                span_profile.collapsed_stacks()
+            )
     if recorder is not None:
         stats = result.mgl_stats
         print(f"scheduler: {stats.get('scheduler_batches', 0)} batches, "
@@ -203,20 +256,99 @@ def cmd_legalize(args: argparse.Namespace) -> int:
     if run_dir is not None:
         write_manifest(manifest, run_dir / "manifest.json")
         log.info("run artifacts written to %s", run_dir)
+    if args.store:
+        from repro.obs.runstore import RunStore
+
+        run_id = RunStore(args.store).add_run(
+            manifest,
+            metrics=(
+                recorder.registry.as_dict() if recorder is not None else None
+            ),
+            span_profile=(
+                span_profile.as_dict() if span_profile is not None else None
+            ),
+            collapsed=(
+                span_profile.collapsed_stacks()
+                if span_profile is not None
+                else None
+            ),
+            seconds=elapsed,
+        )
+        log.info("run %s appended to store %s", run_id, args.store)
     return 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
-    from repro.obs.report import load_run, render_diff, render_run
+    from repro.obs.report import (
+        load_run,
+        render_diff,
+        render_run,
+        span_profile_for,
+    )
 
     if len(args.runs) > 2:
         log.error("report takes one run (render) or two (diff), got %d",
                   len(args.runs))
         return 2
-    if len(args.runs) == 1:
-        print(render_run(load_run(args.runs[0])))
+    runs = [load_run(path) for path in args.runs]
+    if len(runs) == 1:
+        print(render_run(runs[0]))
+        if args.profile:
+            profile = span_profile_for(runs[0])
+            if profile is None:
+                log.error("%s: no span profile (trace.jsonl or "
+                          "span_profile.json missing)", runs[0].label)
+                return 1
+            from repro.obs.profile import render_profile
+
+            print(render_profile(profile))
         return 0
-    print(render_diff(load_run(args.runs[0]), load_run(args.runs[1])))
+    print(render_diff(runs[0], runs[1]))
+    if args.profile:
+        profiles = [span_profile_for(run) for run in runs]
+        missing = [
+            run.label
+            for run, profile in zip(runs, profiles)
+            if profile is None
+        ]
+        if missing:
+            log.error("no span profile for: %s", ", ".join(missing))
+            return 1
+        from repro.obs.profile import diff_profiles
+
+        print(diff_profiles(profiles[0], profiles[1]))
+    return 0
+
+
+def cmd_runs(args: argparse.Namespace) -> int:
+    from repro.obs.runstore import (
+        RunStore,
+        render_run_detail,
+        render_runs_list,
+        render_trends,
+    )
+
+    store = RunStore(args.store)
+    if args.runs_command == "list":
+        print(render_runs_list(store))
+        return 0
+    if args.runs_command == "show":
+        known = {record.get("id") for record in store.records()}
+        print(render_run_detail(store, args.id))
+        return 0 if args.id in known else 1
+    keys = [args.key] if args.key else store.keys()
+    if not keys:
+        print(f"run store {store.root}: empty")
+        return 0
+    trends = [
+        store.trend(key, last=args.last, max_drift_pct=args.max_drift)
+        for key in keys
+    ]
+    print(render_trends(trends))
+    flagged = [trend for trend in trends if trend.flagged]
+    if flagged:
+        log.error("%d of %d keys show drift", len(flagged), len(trends))
+        return 1
     return 0
 
 
@@ -327,6 +459,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--log-level", choices=LEVELS, default="info",
                         help="diagnostic verbosity on stderr (default info); "
                              "results always print to stdout")
+    parser.add_argument("--log-format", choices=FORMATS, default="human",
+                        help="stderr diagnostic format (default human); "
+                             "json emits one object per line for log "
+                             "collectors")
     sub = parser.add_subparsers(dest="command", required=True)
 
     gen = sub.add_parser("generate", help="build a synthetic design")
@@ -354,9 +490,26 @@ def build_parser() -> argparse.ArgumentParser:
                      help="record the span tree and write Chrome trace-event "
                           "JSON (Perfetto-loadable) plus a run manifest")
     leg.add_argument("--run-dir", metavar="DIR",
-                     help="write the full artifact trio — profile.json, "
-                          "manifest.json, trace.json (+ trace.jsonl) — "
+                     help="write the full artifact set — profile.json, "
+                          "manifest.json, trace.json (+ trace.jsonl, "
+                          "span_profile.json, profile.collapsed) — "
                           "into DIR, for `repro report`")
+    leg.add_argument("--sample-every", type=int, default=1, metavar="K",
+                     help="trace sampling stride: keep per-cell "
+                          "evaluate/window spans for every K-th cell in "
+                          "the fixed MGL order (default 1 = all); "
+                          "structural spans always record, and the "
+                          "placement is bit-identical for any K")
+    leg.add_argument("--progress", nargs="?", const="", default=None,
+                     metavar="JSONL",
+                     help="stream progress events (phases, cells placed, "
+                          "ETA, shard heartbeats) to stderr, or as JSON "
+                          "lines to JSONL when a path is given; "
+                          "observational only")
+    leg.add_argument("--store", metavar="DIR",
+                     help="append this run (manifest, metrics, span "
+                          "profile) to the persistent run store in DIR, "
+                          "for `repro runs`")
     _add_param_flags(leg)
     leg.set_defaults(func=cmd_legalize)
 
@@ -379,7 +532,35 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("runs", nargs="+", metavar="RUN",
                      help="a --run-dir directory or a profile JSON path; "
                           "give two to diff them")
+    rep.add_argument("--profile", action="store_true",
+                     help="also render the span profile (per-kind "
+                          "self/total time, worker/shard attribution) "
+                          "folded from the run's trace; with two runs, "
+                          "the profile delta")
     rep.set_defaults(func=cmd_report)
+
+    runs = sub.add_parser(
+        "runs", help="browse the persistent run store (list, show, trend)"
+    )
+    runs.add_argument("--store", metavar="DIR", default=DEFAULT_STORE,
+                      help=f"run store directory (default {DEFAULT_STORE})")
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+    runs_sub.add_parser("list", help="one line per stored run")
+    show = runs_sub.add_parser("show", help="one run's record and artifacts")
+    show.add_argument("id", help="run id from `repro runs list`")
+    trend = runs_sub.add_parser(
+        "trend",
+        help="latest vs median of history per key; exits 1 on drift",
+    )
+    trend.add_argument("--key", metavar="KEY",
+                       help="trend one key only (default: every key)")
+    trend.add_argument("--last", type=int, default=10,
+                       help="history window per key (default 10)")
+    trend.add_argument("--max-drift", type=float, default=25.0,
+                       metavar="PCT",
+                       help="flag wall-time/counter drift beyond PCT%% "
+                            "of the history median (default 25)")
+    runs.set_defaults(func=cmd_runs)
 
     imp = sub.add_parser("import-bookshelf",
                          help="convert a Bookshelf .aux bundle to a design file")
@@ -410,7 +591,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    setup_logging(args.log_level)
+    setup_logging(args.log_level, fmt=args.log_format)
     try:
         return cast(int, args.func(args))
     except BrokenPipeError:

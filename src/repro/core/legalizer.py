@@ -24,6 +24,7 @@ from repro.model.design import Design
 from repro.model.placement import Placement
 from repro.obs.clock import monotonic
 from repro.obs.metrics import DISPLACEMENT_BUCKETS
+from repro.obs.progress import NULL_PROGRESS, NullProgress
 from repro.obs.tracer import NULL_TRACER, NullTracer
 from repro.perf import PerfRecorder
 
@@ -82,6 +83,7 @@ class Legalizer:
         params: Optional[LegalizerParams] = None,
         recorder: Optional[PerfRecorder] = None,
         tracer: Optional[NullTracer] = None,
+        progress: Optional[NullProgress] = None,
     ):
         design.validate()
         self.design = design
@@ -94,6 +96,9 @@ class Legalizer:
         self.recorder = recorder
         #: Span tracer; the shared zero-overhead null tracer by default.
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Streaming progress emitter; the shared null emitter by default.
+        #: Observational only — never perturbs the placement.
+        self.progress = progress if progress is not None else NULL_PROGRESS
 
     def _record_stage(self, name: str, seconds: float) -> None:
         if self.recorder is not None:
@@ -128,17 +133,24 @@ class Legalizer:
         """Run all enabled stages and return placement plus metrics."""
         params = self.params
         tracer = self.tracer
+        progress = self.progress
 
         with tracer.span("legalize") as root:
             if tracer.enabled:
                 root.set(
                     design=self.design.name, cells=self.design.num_cells
                 )
+            progress.phase(
+                "mgl",
+                design=self.design.name,
+                cells=self.design.num_cells,
+            )
             start = monotonic()
             with tracer.span("mgl") as mgl_span:
                 mgl = MGLegalizer(
                     self.design, params, guard=self.guard,
                     recorder=self.recorder, tracer=tracer,
+                    progress=progress,
                 )
                 placement = mgl.run()
                 if tracer.enabled:
@@ -169,6 +181,7 @@ class Legalizer:
                 self.recorder.merge_counters(mgl.stats, prefix="mgl.")
 
             if params.use_matching:
+                progress.phase("matching")
                 start = monotonic()
                 with tracer.span("matching") as span:
                     result.matching_stats = optimize_max_displacement(
@@ -185,6 +198,7 @@ class Legalizer:
                 self._record_stage("matching", result.after_matching.seconds)
 
             if params.use_flow_opt:
+                progress.phase("flow_opt")
                 start = monotonic()
                 with tracer.span("flow_opt") as span:
                     result.flow_stats = optimize_fixed_row_order(
@@ -199,6 +213,7 @@ class Legalizer:
                 self._record_stage("flow_opt", result.after_flow.seconds)
 
             if params.use_global_moves:
+                progress.phase("global_moves")
                 start = monotonic()
                 with tracer.span("global_moves") as span:
                     result.global_move_stats = optimize_global_moves(
@@ -217,6 +232,15 @@ class Legalizer:
                 )
 
             self._observe_final_metrics(placement)
+            if progress.enabled:
+                final = _snapshot(placement, result.total_seconds)
+                progress.phase(
+                    "done",
+                    avg_disp=round(final.avg_disp, 4),
+                    max_disp=round(final.max_disp, 4),
+                    seconds=round(result.total_seconds, 4),
+                )
+                progress.close()
         return result
 
 
@@ -225,6 +249,7 @@ def legalize(
     params: Optional[LegalizerParams] = None,
     recorder: Optional[PerfRecorder] = None,
     tracer: Optional[NullTracer] = None,
+    progress: Optional[NullProgress] = None,
 ) -> LegalizationResult:
     """Legalize ``design`` with the paper's full flow.
 
@@ -236,8 +261,12 @@ def legalize(
 
     Pass a :class:`repro.perf.PerfRecorder` to collect per-stage wall
     times and the legalizer's counters (``repro legalize --profile``
-    from the CLI), and/or a :class:`repro.obs.SpanTracer` to record the
-    span tree (``repro legalize --trace``); neither perturbs the
-    placement.
+    from the CLI), a :class:`repro.obs.SpanTracer` to record the span
+    tree (``repro legalize --trace``), and/or a
+    :class:`repro.obs.progress.ProgressEmitter` to stream progress
+    events while the run is going (``repro legalize --progress``); none
+    of them perturbs the placement.
     """
-    return Legalizer(design, params, recorder=recorder, tracer=tracer).run()
+    return Legalizer(
+        design, params, recorder=recorder, tracer=tracer, progress=progress
+    ).run()

@@ -22,6 +22,7 @@ from repro.model.geometry import Rect
 from repro.model.placement import Placement
 from repro.obs.clock import monotonic
 from repro.obs.metrics import BATCH_WIDTH_BUCKETS, EXPANSION_BUCKETS
+from repro.obs.progress import NULL_PROGRESS, NullProgress
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, SpanPayload
 
 if TYPE_CHECKING:
@@ -106,6 +107,24 @@ def mgl_cell_order(design: Design, params: LegalizerParams) -> List[int]:
     return sorted(cells, key=key)
 
 
+def disp_so_far(occupancy: Occupancy) -> Callable[[], float]:
+    """Deferred displacement-so-far for progress events.
+
+    O(placed cells); only invoked for events that pass the emitter's
+    throttle, so the per-cell cost on the hot loop is one closure
+    allocation.  Fixed cells are pinned at their GP positions, so
+    summing every placed cell equals summing the movable ones.
+    """
+    placement = occupancy.placement
+
+    def total() -> float:
+        return sum(
+            placement.displacement(cell) for cell in occupancy.placed_cells
+        )
+
+    return total
+
+
 class MGLegalizer:
     """Window-based sequential legalizer minimizing displacement from GP.
 
@@ -118,6 +137,10 @@ class MGLegalizer:
             scheduler's parallel backend for per-worker timers.
         tracer: optional span tracer; the shared zero-overhead
             :data:`repro.obs.tracer.NULL_TRACER` when omitted.
+        progress: optional streaming progress emitter; the shared
+            :data:`repro.obs.progress.NULL_PROGRESS` when omitted.
+            Events are observational only — placements are bit-identical
+            with the emitter on or off.
     """
 
     def __init__(
@@ -128,6 +151,7 @@ class MGLegalizer:
         reference: str = "gp",
         recorder: Optional["PerfRecorder"] = None,
         tracer: Optional[NullTracer] = None,
+        progress: Optional[NullProgress] = None,
     ):
         self.design = design
         self.params = params or LegalizerParams()
@@ -135,6 +159,7 @@ class MGLegalizer:
         self.reference = reference
         self.recorder = recorder
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.progress = progress if progress is not None else NULL_PROGRESS
         if guard is None and self.params.routability:
             guard = RoutabilityGuard(design, self.params)
         self.guard = guard
@@ -375,10 +400,12 @@ class MGLegalizer:
         (including the monkeypatch seam); with a recording tracer it
         attaches the same payload a worker process would have produced
         for this evaluation, keeping the trace structure worker-count
-        independent.
+        independent.  Cells dropped by the tracer's sampling policy take
+        the untraced path — the keep/drop decision is cell-based, so it
+        too is worker-count independent.
         """
         tracer = self.tracer
-        if not tracer.enabled:
+        if not tracer.enabled or not tracer.sampled(cell):
             return self.try_insert(occupancy, cell, window, exhaustive=exhaustive)
         started = monotonic()
         best, evaluated_points = self.evaluate_and_count(
@@ -410,8 +437,10 @@ class MGLegalizer:
         All values are pure functions of the legalization inputs (the
         resulting displacement comes from the just-applied placement),
         so they are safe under the structure-hash determinism contract.
+        Sampled-out cells hand in the shared null span, whose
+        ``recording`` flag short-circuits the attribute computation.
         """
-        if not self.tracer.enabled:
+        if not span.recording:
             return
         span.set(
             cell=cell,
@@ -463,7 +492,7 @@ class MGLegalizer:
                 the final (chip-sized) window.
         """
         scale = 1.0
-        with self.tracer.span("window") as span:
+        with self.tracer.cell_span("window", cell) as span:
             for attempt in range(self.params.max_expansions):
                 window = self.initial_window(cell, scale)
                 insertion = self.traced_evaluate(occupancy, cell, window)
@@ -511,6 +540,12 @@ class MGLegalizer:
             if design.cells[cell].fixed:
                 placement.move(cell, int(design.gp_x[cell]), int(design.gp_y[cell]))
                 occupancy.add(cell)
+        # Register the fixed cell order with the tracer's sampling
+        # policy before any per-cell span opens; the sampled set is a
+        # pure function of this order, never of the execution path
+        # (serial / scheduler / sharded) chosen below.
+        order = mgl_cell_order(design, self.params)
+        self.tracer.set_cell_population(order)
         if self.params.shards > 1:
             from repro.core.shard import run_sharded
 
@@ -520,8 +555,15 @@ class MGLegalizer:
 
             WindowScheduler(self, occupancy).run()
         else:
-            for cell in mgl_cell_order(design, self.params):
+            total = len(order)
+            progress = self.progress
+            progress.phase("mgl_serial", cells=total)
+            for placed, cell in enumerate(order, start=1):
                 self.legalize_cell(occupancy, cell)
+                progress.cells(
+                    placed, total, disp=disp_so_far(occupancy),
+                    window_expansions=self.stats["window_expansions"],
+                )
         if self.gap_cache is not None:
             self.stats["gap_cache_hits"] = self.gap_cache.hits
             self.stats["gap_cache_misses"] = self.gap_cache.misses

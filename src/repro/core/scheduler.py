@@ -32,6 +32,7 @@ from repro.core.insertion import EvaluatedInsertion
 from repro.core.mgl import (
     LegalizationError,
     MGLegalizer,
+    disp_so_far,
     evaluation_span_payload,
     mgl_cell_order,
 )
@@ -75,6 +76,14 @@ class WindowScheduler:
         waiting: Deque[Tuple[int, float, int]] = deque(
             (cell, 1.0, 0) for cell in mgl_cell_order(legalizer.design, params)
         )
+        total_cells = len(waiting)
+        progress = legalizer.progress
+        progress.phase(
+            "mgl_scheduler",
+            cells=total_cells,
+            capacity=self.capacity,
+            workers=self.workers,
+        )
         pool: Optional[ThreadPoolExecutor] = (
             ThreadPoolExecutor(max_workers=self.threads)
             if self.threads > 1 and self.workers == 0
@@ -114,8 +123,12 @@ class WindowScheduler:
                     for (cell, scale, attempts, window), (
                         insertion, payload
                     ) in zip(batch, evaluations):
-                        with tracer.span("window") as span:
-                            if payload is not None:
+                        with tracer.cell_span("window", cell) as span:
+                            # The payload gate mirrors cell_span's
+                            # sampling decision: worker processes build
+                            # payloads for every member, but only
+                            # sampled cells' spans join the tree.
+                            if payload is not None and tracer.sampled(cell):
                                 tracer.attach_payloads([payload])
                             if insertion is not None and not self._still_valid(
                                 cell, insertion
@@ -167,12 +180,27 @@ class WindowScheduler:
                                 # large) cell must not fall behind the
                                 # small cells that would otherwise fragment
                                 # its remaining space.
-                                if tracer.enabled:
+                                if span.recording:
                                     span.set(cell=cell, requeued=True)
                                 waiting.appendleft(
                                     (cell, scale * params.window_expand,
                                      attempts)
                                 )
+                if progress.enabled:
+                    alive = (
+                        sum(1 for w in self.parallel.workers if w.alive)
+                        if self.parallel is not None
+                        else 0
+                    )
+                    progress.cells(
+                        legalizer.stats["cells_placed"],
+                        total_cells,
+                        disp=disp_so_far(self.occupancy),
+                        batches=self.batches_run,
+                        reevals=self.reevaluations,
+                        deferred=len(waiting),
+                        workers_alive=alive,
+                    )
             legalizer.stats["scheduler_batches"] = self.batches_run
             legalizer.stats["scheduler_reevaluations"] = self.reevaluations
         finally:
@@ -248,9 +276,12 @@ class WindowScheduler:
             return [
                 (
                     best,
-                    evaluation_span_payload(points, best) if traced else None,
+                    evaluation_span_payload(points, best)
+                    if traced and legalizer.tracer.sampled(cell)
+                    else None,
                 )
-                for best, points in results
+                for (cell, _scale, _attempts, _window), (best, points)
+                in zip(batch, results)
             ]
         # Submit the pure evaluation (not try_insert: its stats update is
         # a shared-state write) and fold the counts back in serially.  The
@@ -271,9 +302,12 @@ class WindowScheduler:
         return [
             (
                 best,
-                evaluation_span_payload(points, best) if traced else None,
+                evaluation_span_payload(points, best)
+                if traced and legalizer.tracer.sampled(cell)
+                else None,
             )
-            for best, points in results
+            for (cell, _scale, _attempts, _window), (best, points)
+            in zip(batch, results)
         ]
 
     def _observe_batch_width(self, width: int) -> None:

@@ -77,6 +77,7 @@ if TYPE_CHECKING:
     from multiprocessing.process import BaseProcess
 
     from repro.core.mgl import MGLegalizer
+    from repro.obs.progress import NullProgress
     from repro.obs.tracer import NullTracer
     from repro.perf import PerfRecorder
 
@@ -588,15 +589,23 @@ def run_sharded(legalizer: "MGLegalizer", occupancy: Occupancy) -> None:
             cannot be placed anywhere in its fence even full-die (the
             same over-full condition as the unsharded path).
     """
-    from repro.core.mgl import mgl_cell_order
+    from repro.core.mgl import disp_so_far, mgl_cell_order
 
     design = legalizer.design
     params = legalizer.params
     tracer = legalizer.tracer
     recorder = legalizer.recorder
+    progress = legalizer.progress
     stats = legalizer.stats
     for key in SHARD_STAT_KEYS:
         stats.setdefault(key, 0)
+
+    # The fixed global order drives both the tracer's sampling policy
+    # and the reconciliation pass; registering it here keeps direct
+    # run_sharded_mgl() callers under the same sampling contract as
+    # MGLegalizer.run() (the call is idempotent).
+    global_order = mgl_cell_order(design, params)
+    tracer.set_cell_population(global_order)
 
     topology = compute_topology(design, params.shards, params.shard_halo_rows)
     legalizer.shard_topology = topology
@@ -611,6 +620,12 @@ def run_sharded(legalizer: "MGLegalizer", occupancy: Occupancy) -> None:
 
         results: Dict[int, ShardInteriorResult] = {}
         num_workers = min(params.scheduler_workers, len(topology.shards))
+        progress.phase(
+            "shard_interiors",
+            shards=len(topology.shards),
+            halo_rows=topology.halo_rows,
+            workers=num_workers,
+        )
         if num_workers >= 1:
             results = _run_shard_pool(
                 design, iparams, legalizer.reference, topology.shards,
@@ -649,6 +664,13 @@ def run_sharded(legalizer: "MGLegalizer", occupancy: Occupancy) -> None:
                     float(len(result.positions)),
                     SHARD_OCCUPANCY_BUCKETS,
                 )
+            progress.heartbeat(
+                "shard",
+                shard=shard.index,
+                cells=len(shard.cells),
+                placed=len(result.positions),
+                deferred=len(result.deferred),
+            )
 
         # Stitch: withhold halo-band residents and deferred cells;
         # commit everything else (provably conflict-free — interior
@@ -690,8 +712,15 @@ def run_sharded(legalizer: "MGLegalizer", occupancy: Occupancy) -> None:
         # deferred cell failing here raises exactly like the unsharded
         # path would for an over-full fence.
         reconcile = frozenset(halo_resident) | frozenset(deferred)
-        order = [c for c in mgl_cell_order(design, params) if c in reconcile]
+        order = [c for c in global_order if c in reconcile]
         stats["shard_reconciled"] += len(order)
+        progress.phase(
+            "reconcile",
+            cells=len(order),
+            halo=len(halo_resident),
+            deferred=len(deferred),
+        )
+        total_movable = len(global_order)
         with tracer.span("reconcile") as span:
             if tracer.enabled:
                 span.set(
@@ -701,6 +730,11 @@ def run_sharded(legalizer: "MGLegalizer", occupancy: Occupancy) -> None:
                 )
             for cell in order:
                 legalizer.legalize_cell(occupancy, cell)
+                progress.cells(
+                    stats["cells_placed"],
+                    total_movable,
+                    disp=disp_so_far(occupancy),
+                )
 
 
 def run_sharded_mgl(
@@ -708,6 +742,7 @@ def run_sharded_mgl(
     params: LegalizerParams,
     recorder: Optional["PerfRecorder"] = None,
     tracer: Optional["NullTracer"] = None,
+    progress: Optional["NullProgress"] = None,
 ) -> Tuple[Placement, "MGLegalizer"]:
     """Run the sharded path directly, for any shard count (including 1).
 
@@ -717,7 +752,9 @@ def run_sharded_mgl(
     """
     from repro.core.mgl import MGLegalizer
 
-    legalizer = MGLegalizer(design, params, recorder=recorder, tracer=tracer)
+    legalizer = MGLegalizer(
+        design, params, recorder=recorder, tracer=tracer, progress=progress
+    )
     placement = Placement(design)
     occupancy = Occupancy(design, placement)
     for cell in range(design.num_cells):

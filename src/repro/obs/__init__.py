@@ -1,10 +1,12 @@
-"""Observability: span tracing, metrics, run manifests, logging.
+"""Observability: tracing, metrics, progress, manifests, logging.
 
-Import surface is deliberately light — tracer, metrics, clock, and log
-only, so ``repro.obs`` can be imported from anywhere in the package
-(including :mod:`repro.core`) without cycles.  Manifests and the report
-renderer import model/io types and live behind explicit
-``repro.obs.manifest`` / ``repro.obs.report`` imports.
+Import surface is deliberately light — tracer, metrics, progress,
+clock, and log only, so ``repro.obs`` can be imported from anywhere in
+the package (including :mod:`repro.core`) without cycles.  Manifests,
+span profiles, the run store, and the report renderer import model/io
+types and live behind explicit ``repro.obs.manifest`` /
+``repro.obs.profile`` / ``repro.obs.runstore`` / ``repro.obs.report``
+imports.
 """
 
 from repro.obs.clock import monotonic
@@ -15,6 +17,13 @@ from repro.obs.metrics import (
     EXPANSION_BUCKETS,
     Histogram,
     MetricsRegistry,
+    parse_prometheus,
+)
+from repro.obs.progress import (
+    NULL_PROGRESS,
+    NullProgress,
+    ProgressEmitter,
+    render_event,
 )
 from repro.obs.tracer import (
     NULL_TRACER,
@@ -31,13 +40,18 @@ __all__ = [
     "EXPANSION_BUCKETS",
     "Histogram",
     "MetricsRegistry",
+    "NULL_PROGRESS",
     "NULL_TRACER",
+    "NullProgress",
     "NullTracer",
+    "ProgressEmitter",
     "Span",
     "SpanPayload",
     "SpanTracer",
     "get_logger",
     "monotonic",
+    "parse_prometheus",
+    "render_event",
     "setup_logging",
     "structure_hash",
 ]

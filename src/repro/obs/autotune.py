@@ -1,4 +1,13 @@
-"""Capacity advice from observed ``scheduler.batch_occupancy`` traces.
+"""Capacity and shard-band advice from observed run histograms.
+
+Capacity advice reads ``scheduler.batch_occupancy``; shard-band advice
+reads ``shard.occupancy`` (cells placed per shard interior, one sample
+per shard) together with the manifest's ``shard_topology`` — the exact
+per-band cell assignment.  An imbalanced topology (one band holding a
+multiple of the mean) means the fence-aware cuts landed badly for this
+design's GP density: the widest band bounds the sharded wall clock, so
+evening the bands out (more shards, or fewer where fences force merges)
+is wall-clock on multicore hosts with zero placement cost.
 
 The window scheduler packs independent cells into batches of at most
 ``scheduler_capacity`` (the paper's L_p); the batch sizes it *actually*
@@ -28,10 +37,24 @@ import math
 from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
-__all__ = ["CapacityAdvice", "advice_for_run", "suggest_capacity"]
+__all__ = [
+    "CapacityAdvice",
+    "ShardBandAdvice",
+    "advice_for_run",
+    "band_advice_for_run",
+    "suggest_capacity",
+    "suggest_shard_bands",
+]
 
-#: Histogram the advice reads (written by the scheduler per batch).
+#: Histogram the capacity advice reads (written per scheduler batch).
 OCCUPANCY_METRIC = "scheduler.batch_occupancy"
+
+#: Histogram the band advice reads (written per shard interior).
+SHARD_METRIC = "shard.occupancy"
+
+#: A topology is imbalanced when the widest band holds at least this
+#: multiple of the mean band population.
+IMBALANCE_THRESHOLD = 1.5
 
 #: A batch is "full" when it reaches this share of the capacity.
 FULL_FRACTION = 0.75
@@ -160,3 +183,105 @@ def advice_for_run(
     if not isinstance(capacity, int):
         return None
     return suggest_capacity(profile, capacity)
+
+
+# ----------------------------------------------------------------------
+# Shard-band advice
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardBandAdvice:
+    """One sharded run's band-population summary and its verdict."""
+
+    shards: int
+    halo_rows: int
+    mean_cells: float
+    max_cells: int
+    min_cells: int
+    imbalance: float
+    balanced: bool
+    rationale: str
+
+    def render(self) -> str:
+        verdict = (
+            f"{self.shards} bands look balanced"
+            if self.balanced
+            else f"IMBALANCED topology ({self.shards} bands)"
+        )
+        return (
+            f"{verdict}: cells/band {self.min_cells}..{self.max_cells} "
+            f"(mean {self.mean_cells:.0f}, widest {self.imbalance:.2f}x "
+            f"mean); {self.rationale}"
+        )
+
+
+def suggest_shard_bands(
+    profile: Dict[str, Any], shard_topology: Dict[str, Any]
+) -> Optional[ShardBandAdvice]:
+    """Band advice from one profile + the manifest's shard topology.
+
+    The ``shard.occupancy`` histogram proves the run actually sharded
+    (and carries the observed placed-per-interior distribution); the
+    topology's per-band ``cells`` counts give the exact imbalance the
+    buckets can only approximate.  Returns None for unsharded runs.
+    """
+    histograms = profile.get("histograms")
+    data = (
+        histograms.get(SHARD_METRIC)
+        if isinstance(histograms, dict)
+        else None
+    )
+    if not isinstance(data, dict) or not int(data.get("count") or 0):
+        return None
+    bands = shard_topology.get("bands")
+    if not isinstance(bands, list) or not bands:
+        return None
+    populations = [
+        int(band.get("cells", 0))
+        for band in bands
+        if isinstance(band, dict)
+    ]
+    if not populations:
+        return None
+    mean = sum(populations) / len(populations)
+    widest = max(populations)
+    imbalance = widest / mean if mean > 0 else 1.0
+    balanced = imbalance < IMBALANCE_THRESHOLD or len(populations) == 1
+    if len(populations) == 1:
+        rationale = (
+            "single band — fence spans or the tallest cell capped the "
+            "shard count, so sharding is effectively off"
+        )
+    elif balanced:
+        rationale = (
+            "the widest band tracks the mean, so the fence-aware cuts "
+            "split the work evenly"
+        )
+    else:
+        rationale = (
+            "the widest band bounds the sharded wall clock — try more "
+            "shards, or check whether fence spans forced band merges"
+        )
+    return ShardBandAdvice(
+        shards=len(populations),
+        halo_rows=int(shard_topology.get("halo_rows") or 0),
+        mean_cells=mean,
+        max_cells=widest,
+        min_cells=min(populations),
+        imbalance=imbalance,
+        balanced=balanced,
+        rationale=rationale,
+    )
+
+
+def band_advice_for_run(
+    profile: Optional[Dict[str, Any]], manifest: Optional[Dict[str, Any]]
+) -> Optional[ShardBandAdvice]:
+    """Band advice for a loaded run; topology comes from the manifest."""
+    if profile is None or manifest is None:
+        return None
+    topology = manifest.get("shard_topology")
+    if not isinstance(topology, dict):
+        return None
+    return suggest_shard_bands(profile, topology)

@@ -5,11 +5,17 @@ hierarchy to **stderr**; computed results (scores, summaries, tables)
 stay on stdout, so pipelines consuming ``repro`` output never see
 logging noise.  Library code only ever calls :func:`get_logger` —
 :func:`setup_logging` is for executables, which own the handler policy
-(the CLI wires it to ``--log-level``).
+(the CLI wires it to ``--log-level`` / ``--log-format``).
+
+Two formats: ``human`` (the default ``LEVEL name: message`` lines) and
+``json`` — one JSON object per line with ``level``/``logger``/
+``message`` keys, for log collectors that ingest structured stderr.
+The stream and the message content are identical either way.
 """
 
 from __future__ import annotations
 
+import json
 import logging
 import sys
 from typing import Optional, TextIO
@@ -18,6 +24,22 @@ __all__ = ["get_logger", "setup_logging"]
 
 LEVELS = ("debug", "info", "warning", "error")
 
+FORMATS = ("human", "json")
+
+
+class _JsonFormatter(logging.Formatter):
+    """One JSON object per record; keys sorted for diff-stable output."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        if record.exc_info:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True)
+
 
 def get_logger(name: str = "") -> logging.Logger:
     """A logger under the ``repro`` hierarchy (``repro.<name>``)."""
@@ -25,21 +47,31 @@ def get_logger(name: str = "") -> logging.Logger:
 
 
 def setup_logging(
-    level: str = "info", stream: Optional[TextIO] = None
+    level: str = "info",
+    stream: Optional[TextIO] = None,
+    fmt: str = "human",
 ) -> logging.Logger:
     """Configure the ``repro`` logger tree; idempotent.
 
     Replaces any handlers previously installed here (repeat CLI
     invocations in one process, e.g. the test suite, must not stack
     duplicates) and never touches the root logger, so embedding
-    applications keep their own logging untouched.
+    applications keep their own logging untouched.  ``fmt`` picks the
+    line shape: ``human`` (default) or ``json``.
     """
     if level.lower() not in LEVELS:
         raise ValueError(f"unknown log level {level!r}; pick one of {LEVELS}")
+    if fmt not in FORMATS:
+        raise ValueError(f"unknown log format {fmt!r}; pick one of {FORMATS}")
     logger = get_logger()
     logger.setLevel(getattr(logging, level.upper()))
     handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
-    handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+    formatter: logging.Formatter = (
+        _JsonFormatter()
+        if fmt == "json"
+        else logging.Formatter("%(levelname)s %(name)s: %(message)s")
+    )
+    handler.setFormatter(formatter)
     logger.handlers[:] = [handler]
     logger.propagate = False
     return logger

@@ -67,13 +67,16 @@ def build_manifest(
     *,
     seed: Optional[int] = None,
     trace_structure_hash: Optional[str] = None,
+    trace_sample_every: Optional[int] = None,
     shard_topology: Optional[Dict[str, Any]] = None,
 ) -> Manifest:
     """Assemble the manifest for one run.
 
     ``seed`` is the synthetic-generation seed when the caller knows it
-    (designs loaded from files carry none).  ``shard_topology`` is the
-    JSON form of the sharded-MGL partition
+    (designs loaded from files carry none).  ``trace_sample_every`` is
+    the tracer's sampling stride when tracing was on — structure hashes
+    are only comparable between runs traced at the same stride.
+    ``shard_topology`` is the JSON form of the sharded-MGL partition
     (``ShardTopology.as_dict``) when ``params.shards > 1`` — two
     sharded runs are only the same experiment when their topologies
     match.  Environment fields record where the run happened; they are
@@ -98,6 +101,7 @@ def build_manifest(
             placement_digest(placement) if placement is not None else None
         ),
         "trace_structure_hash": trace_structure_hash,
+        "trace_sample_every": trace_sample_every,
         "shard_topology": shard_topology,
         "package_version": repro.__version__,
         "python_version": platform.python_version(),

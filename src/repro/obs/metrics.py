@@ -34,6 +34,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "SHARD_OCCUPANCY_BUCKETS",
+    "parse_prometheus",
 ]
 
 #: Displacement buckets in row-height units.  Well-legalized cells land
@@ -250,3 +251,32 @@ class MetricsRegistry:
             f"{len(self.counters)} counters, {len(self.gauges)} gauges, "
             f"{len(self.histograms)} histograms)"
         )
+
+
+def parse_prometheus(text: str) -> Dict[str, float]:
+    """Flat ``series -> value`` map from text-exposition output.
+
+    The inverse of :meth:`MetricsRegistry.render_prometheus` as far as
+    diffing needs: ``# TYPE``/``# HELP`` comments are skipped, labeled
+    series keep their label block in the key (so every histogram bucket
+    stays its own entry), and unparsable lines are ignored rather than
+    fatal — a run-dir ``metrics.prom`` diff must not die on one strange
+    line.  ``repro report`` uses this to render metric deltas between
+    two run directories.
+    """
+    series: Dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        # "name{labels} value" or "name value"; labels may hold spaces.
+        closing = line.rfind("}")
+        split_at = line.find(" ", closing + 1) if closing >= 0 else line.find(" ")
+        if split_at < 0:
+            continue
+        name, raw_value = line[:split_at], line[split_at + 1 :].strip()
+        try:
+            series[name] = float(raw_value)
+        except ValueError:
+            continue
+    return series

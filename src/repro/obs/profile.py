@@ -1,0 +1,346 @@
+"""Span profiles: time attribution folded out of a trace forest.
+
+A profile answers "where did the run spend its time" from the span tree
+alone: per-kind **self** time (the span's duration minus its children's
+— the time the span itself burned), **total** time, and counts, plus
+the same self-time attributed per worker (from the non-structural
+``meta["worker"]``) and per shard (from the nearest enclosing ``shard``
+/ ``reconcile`` span).  The fold also produces a collapsed-stack export
+— the ``stack;sub;leaf <microseconds>`` lines flamegraph.pl and
+speedscope load directly — so one traced run renders as a flamegraph
+without any extra tooling.
+
+Profiles are plain data: :meth:`SpanProfile.as_dict` /
+:func:`profile_from_dict` round-trip through JSON (the run store keeps
+one per run), :func:`diff_profiles` renders the delta between two runs,
+and :func:`load_trace_jsonl` rebuilds a span forest from the
+``trace.jsonl`` a run directory already contains — so ``repro report
+--profile`` works on any previously recorded run.
+
+Timing caveat: spans merged from worker processes carry synthetic start
+times but true durations (see ``SpanTracer.attach_payloads``), so their
+self time is exact while their placement on the timeline is not — which
+is fine, because profiles never read the timeline, only durations.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, cast
+
+from repro.obs.tracer import AttrValue, Span
+
+__all__ = [
+    "ProfileRow",
+    "SpanProfile",
+    "diff_profiles",
+    "fold_spans",
+    "load_trace_jsonl",
+    "profile_from_dict",
+    "render_profile",
+]
+
+
+@dataclass
+class ProfileRow:
+    """Aggregate for one span kind."""
+
+    count: int = 0
+    total_seconds: float = 0.0
+    self_seconds: float = 0.0
+
+
+class SpanProfile:
+    """The folded profile: per-kind rows plus attribution tables."""
+
+    def __init__(self) -> None:
+        self.kinds: Dict[str, ProfileRow] = {}
+        #: Self-seconds per worker label ("main", "w0", "w1", …) per kind.
+        self.by_worker: Dict[str, Dict[str, float]] = {}
+        #: Self-seconds per shard label ("shard0", …, "reconcile", "-").
+        self.by_shard: Dict[str, Dict[str, float]] = {}
+        #: Collapsed call stacks: ";"-joined span path -> self seconds.
+        self.collapsed: Dict[str, float] = {}
+        self.span_count = 0
+        self.total_seconds = 0.0
+
+    # -- exports -------------------------------------------------------
+
+    def collapsed_stacks(self) -> str:
+        """flamegraph.pl / speedscope "folded stacks" text.
+
+        One ``path;to;span <value>`` line per distinct stack, value in
+        integer microseconds, sorted by path for diff-stable output.
+        """
+        lines = [
+            f"{stack} {max(1, round(seconds * 1e6))}"
+            for stack, seconds in sorted(self.collapsed.items())
+            if seconds > 0.0
+        ]
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON form (the run store's ``span_profile.json``)."""
+        return {
+            "span_count": self.span_count,
+            "total_seconds": round(self.total_seconds, 6),
+            "kinds": {
+                kind: {
+                    "count": row.count,
+                    "total_seconds": round(row.total_seconds, 6),
+                    "self_seconds": round(row.self_seconds, 6),
+                }
+                for kind, row in sorted(self.kinds.items())
+            },
+            "by_worker": {
+                label: {
+                    kind: round(seconds, 6)
+                    for kind, seconds in sorted(table.items())
+                }
+                for label, table in sorted(self.by_worker.items())
+            },
+            "by_shard": {
+                label: {
+                    kind: round(seconds, 6)
+                    for kind, seconds in sorted(table.items())
+                }
+                for label, table in sorted(self.by_shard.items())
+            },
+            "collapsed": {
+                stack: round(seconds, 6)
+                for stack, seconds in sorted(self.collapsed.items())
+            },
+        }
+
+
+def profile_from_dict(payload: Dict[str, object]) -> SpanProfile:
+    """Rebuild a profile from :meth:`SpanProfile.as_dict` JSON."""
+    profile = SpanProfile()
+    count = payload.get("span_count", 0)
+    profile.span_count = int(count) if isinstance(count, (int, float)) else 0
+    total = payload.get("total_seconds", 0.0)
+    profile.total_seconds = (
+        float(total) if isinstance(total, (int, float)) else 0.0
+    )
+    kinds = payload.get("kinds")
+    if isinstance(kinds, dict):
+        for kind, row in kinds.items():
+            if not isinstance(row, dict):
+                continue
+            profile.kinds[str(kind)] = ProfileRow(
+                count=int(row.get("count", 0)),
+                total_seconds=float(row.get("total_seconds", 0.0)),
+                self_seconds=float(row.get("self_seconds", 0.0)),
+            )
+    for field_name in ("by_worker", "by_shard"):
+        table = payload.get(field_name)
+        if isinstance(table, dict):
+            out = getattr(profile, field_name)
+            for label, sub in table.items():
+                if isinstance(sub, dict):
+                    out[str(label)] = {
+                        str(kind): float(cast(float, seconds))
+                        for kind, seconds in sub.items()
+                    }
+    collapsed = payload.get("collapsed")
+    if isinstance(collapsed, dict):
+        profile.collapsed = {
+            str(stack): float(cast(float, seconds))
+            for stack, seconds in collapsed.items()
+        }
+    return profile
+
+
+def fold_spans(roots: Sequence[Span]) -> SpanProfile:
+    """Fold a span forest into a :class:`SpanProfile`.
+
+    Self time is ``duration - sum(child durations)`` clamped at zero
+    (workers' merged spans can make a parent's recorded window slightly
+    tighter than its children's summed durations).  Shard attribution
+    follows the nearest enclosing ``shard`` span's ``index`` attribute,
+    with the ``reconcile`` subtree its own bucket and everything else
+    under ``"-"``; worker attribution reads the non-structural
+    ``meta["worker"]`` stamped on merged spans.
+    """
+    profile = SpanProfile()
+
+    def visit(span: Span, path: str, shard_label: str) -> None:
+        profile.span_count += 1
+        stack = f"{path};{span.name}" if path else span.name
+        duration = span.duration or 0.0
+        children_total = sum(
+            child.duration or 0.0 for child in span.children
+        )
+        self_seconds = max(0.0, duration - children_total)
+
+        row = profile.kinds.setdefault(span.name, ProfileRow())
+        row.count += 1
+        row.total_seconds += duration
+        row.self_seconds += self_seconds
+
+        profile.collapsed[stack] = (
+            profile.collapsed.get(stack, 0.0) + self_seconds
+        )
+
+        worker = span.meta.get("worker")
+        worker_label = f"w{worker}" if isinstance(worker, int) else "main"
+        worker_table = profile.by_worker.setdefault(worker_label, {})
+        worker_table[span.name] = (
+            worker_table.get(span.name, 0.0) + self_seconds
+        )
+
+        label = shard_label
+        if span.name == "shard":
+            index = span.attrs.get("index")
+            label = f"shard{index}" if index is not None else "shard?"
+        elif span.name == "reconcile":
+            label = "reconcile"
+        shard_table = profile.by_shard.setdefault(label, {})
+        shard_table[span.name] = shard_table.get(span.name, 0.0) + self_seconds
+
+        for child in span.children:
+            visit(child, stack, label)
+
+    for root in roots:
+        profile.total_seconds += root.duration or 0.0
+        visit(root, "", "-")
+    return profile
+
+
+def load_trace_jsonl(path: str) -> List[Span]:
+    """Rebuild a span forest from ``SpanTracer.to_jsonl`` output.
+
+    The JSONL is depth-first with an explicit ``depth`` per record, so
+    a stack of open ancestors is enough to re-nest it.  Records that
+    are not span events (future event kinds) are skipped.
+    """
+    roots: List[Span] = []
+    stack: List[Span] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("event") != "span":
+                continue
+            name = record.get("name")
+            depth = record.get("depth")
+            if not isinstance(name, str) or not isinstance(depth, int):
+                raise ValueError(f"malformed span record: {line[:120]}")
+            attrs = record.get("attrs") or {}
+            span = Span(name, cast(Dict[str, AttrValue], attrs))
+            t_start = record.get("t_start")
+            t_end = record.get("t_end")
+            span.t_start = (
+                float(t_start) if isinstance(t_start, (int, float)) else None
+            )
+            span.t_end = (
+                float(t_end) if isinstance(t_end, (int, float)) else None
+            )
+            meta = record.get("meta")
+            if isinstance(meta, dict):
+                span.meta.update(cast(Dict[str, AttrValue], meta))
+            del stack[depth:]
+            if stack:
+                stack[-1].children.append(span)
+            else:
+                roots.append(span)
+            stack.append(span)
+    return roots
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+
+
+def _kind_rows(profile: SpanProfile) -> List[Tuple[str, ProfileRow]]:
+    return sorted(
+        profile.kinds.items(),
+        key=lambda item: (-item[1].self_seconds, item[0]),
+    )
+
+
+def render_profile(
+    profile: SpanProfile, title: Optional[str] = None
+) -> str:
+    """The ``repro report --profile`` table view."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"span profile: {profile.span_count} spans, "
+        f"{profile.total_seconds:.3f}s total"
+    )
+    lines.append(
+        f"  {'kind':<14} {'count':>8} {'total(s)':>10} "
+        f"{'self(s)':>10} {'self%':>7}"
+    )
+    denom = profile.total_seconds or 1.0
+    for kind, row in _kind_rows(profile):
+        lines.append(
+            f"  {kind:<14} {row.count:>8} {row.total_seconds:>10.3f} "
+            f"{row.self_seconds:>10.3f} "
+            f"{100.0 * row.self_seconds / denom:>6.1f}%"
+        )
+    if len(profile.by_worker) > 1:
+        lines.append("  self seconds by worker:")
+        for label, table in sorted(profile.by_worker.items()):
+            total = sum(table.values())
+            detail = ", ".join(
+                f"{kind} {seconds:.3f}"
+                for kind, seconds in sorted(
+                    table.items(), key=lambda kv: (-kv[1], kv[0])
+                )[:4]
+            )
+            lines.append(f"    {label:<8} {total:>9.3f}s  ({detail})")
+    shard_labels = [
+        label for label in profile.by_shard if label.startswith("shard")
+    ]
+    if shard_labels:
+        lines.append("  self seconds by shard:")
+        for label, table in sorted(profile.by_shard.items()):
+            if label == "-":
+                continue
+            lines.append(f"    {label:<10} {sum(table.values()):>9.3f}s")
+    return "\n".join(lines)
+
+
+def diff_profiles(
+    before: SpanProfile,
+    after: SpanProfile,
+    min_delta_seconds: float = 0.0005,
+) -> str:
+    """Per-kind self-time and count deltas between two profiles."""
+    lines = [
+        "span profile delta (after - before):",
+        f"  spans: {before.span_count} -> {after.span_count} "
+        f"({after.span_count - before.span_count:+d}), "
+        f"total: {before.total_seconds:.3f}s -> "
+        f"{after.total_seconds:.3f}s",
+    ]
+    kinds = sorted(set(before.kinds) | set(after.kinds))
+    emitted = 0
+    for kind in kinds:
+        b = before.kinds.get(kind, ProfileRow())
+        a = after.kinds.get(kind, ProfileRow())
+        delta_self = a.self_seconds - b.self_seconds
+        delta_count = a.count - b.count
+        if abs(delta_self) < min_delta_seconds and delta_count == 0:
+            continue
+        pct = (
+            f" ({100.0 * delta_self / b.self_seconds:+.1f}%)"
+            if b.self_seconds > 0
+            else ""
+        )
+        lines.append(
+            f"  {kind:<14} self {b.self_seconds:.3f}s -> "
+            f"{a.self_seconds:.3f}s{pct}, count {b.count} -> {a.count} "
+            f"({delta_count:+d})"
+        )
+        emitted += 1
+    if emitted == 0:
+        lines.append("  no per-kind changes above threshold")
+    return "\n".join(lines)

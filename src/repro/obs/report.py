@@ -17,7 +17,12 @@ deltas and, fatally interesting, placement-hash changes.
 
 When a run's profile carries the ``scheduler.batch_occupancy``
 histogram and its manifest records the scheduler capacity, the summary
-ends with :mod:`repro.obs.autotune`'s capacity advice.
+ends with :mod:`repro.obs.autotune`'s capacity advice; sharded runs add
+its band-sizing advice.  A run directory's ``metrics.prom`` snapshot is
+parsed (:func:`repro.obs.metrics.parse_prometheus`) so two-run diffs
+include per-series Prometheus deltas, and its ``trace.jsonl`` feeds the
+span-profile view (``repro report --profile``) via
+:func:`span_profile_for`.
 """
 
 from __future__ import annotations
@@ -27,10 +32,17 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
-from repro.obs.autotune import advice_for_run
+from repro.obs.autotune import advice_for_run, band_advice_for_run
 from repro.obs.manifest import diff_manifests, load_manifest, manifest_path_for
+from repro.obs.metrics import parse_prometheus
 
-__all__ = ["RunArtifacts", "load_run", "render_diff", "render_run"]
+__all__ = [
+    "RunArtifacts",
+    "load_run",
+    "render_diff",
+    "render_run",
+    "span_profile_for",
+]
 
 PathLike = Union[str, Path]
 
@@ -45,6 +57,9 @@ class RunArtifacts:
     profile: Optional[JsonDict] = None
     manifest: Optional[JsonDict] = None
     trace_path: Optional[Path] = None
+    trace_jsonl_path: Optional[Path] = None
+    #: Flat series map parsed from the run dir's ``metrics.prom``.
+    prom: Optional[Dict[str, float]] = None
     bench: Optional[JsonDict] = None
     problems: List[str] = field(default_factory=list)
 
@@ -90,7 +105,35 @@ def load_run(path: PathLike) -> RunArtifacts:
         )
     if trace_path.is_file():
         run.trace_path = trace_path
+    if root.is_dir():
+        jsonl_path = root / "trace.jsonl"
+        if jsonl_path.is_file():
+            run.trace_jsonl_path = jsonl_path
+        prom_path = root / "metrics.prom"
+        if prom_path.is_file():
+            run.prom = parse_prometheus(prom_path.read_text())
     return run
+
+
+def span_profile_for(run: RunArtifacts) -> Optional[Any]:
+    """The run's :class:`~repro.obs.profile.SpanProfile`, if derivable.
+
+    Prefers a stored ``span_profile.json`` (what the run store keeps),
+    falling back to folding the run dir's ``trace.jsonl``.  Returns
+    None when the run carries neither.
+    """
+    from repro.obs.profile import (
+        fold_spans,
+        load_trace_jsonl,
+        profile_from_dict,
+    )
+
+    stored = run.root / "span_profile.json" if run.root.is_dir() else None
+    if stored is not None and stored.is_file():
+        return profile_from_dict(_read_json(stored))
+    if run.trace_jsonl_path is not None:
+        return fold_spans(load_trace_jsonl(str(run.trace_jsonl_path)))
+    return None
 
 
 # ----------------------------------------------------------------------
@@ -243,6 +286,9 @@ def render_run(run: RunArtifacts) -> str:
     advice = advice_for_run(run.profile, run.manifest)
     if advice is not None:
         lines.append(f"autotune: {advice.render()}")
+    bands = band_advice_for_run(run.profile, run.manifest)
+    if bands is not None:
+        lines.append(f"autotune: {bands.render()}")
     return "\n".join(lines)
 
 
@@ -386,6 +432,16 @@ def render_diff(a: RunArtifacts, b: RunArtifacts) -> str:
         _section(b.profile, "histograms"),
         lines,
     )
+    if a.prom is not None and b.prom is not None:
+        _diff_numeric_section(
+            dict(a.prom),
+            dict(b.prom),
+            "prometheus series deltas (metrics.prom)",
+            lines,
+        )
+    elif a.prom is not None or b.prom is not None:
+        where = "first" if a.prom is not None else "second"
+        lines.append(f"  note: metrics.prom present only in {where} run")
     if len(lines) == 1:
         lines.append("no differences found")
     return "\n".join(lines)

@@ -1,0 +1,493 @@
+"""Persistent run store: append-only cross-run history with trends.
+
+One run directory (`repro legalize --run-dir`) is a single data point;
+the run store strings those points into history so drift shows up as a
+*trend*, not as a diff against one committed baseline.  Layout::
+
+    <store>/
+      index.json            # {"version": 1, "runs": [record, ...]}
+      runs/000001/
+        manifest.json       # the run's full manifest
+        metrics.json        # MetricsRegistry.as_dict(), when recorded
+        span_profile.json   # SpanProfile.as_dict(), when traced
+        profile.collapsed   # flamegraph.pl folded stacks, when traced
+
+The index record is the small, trend-able core: a comparability **key**
+(design name + cell count + a digest of the legalizer params, so runs
+with different knobs never trend against each other), wall seconds, the
+placement hash, and a few counters.  ``repro runs list|show|trend``
+renders the history; ``check_regression.py --store`` gates the scale CI
+job on the **median** of stored history instead of a single point and
+appends the fresh report afterwards, so the store seeds itself across
+CI runs.
+
+Run ids are sequential (``000001`` …), not timestamps — the store obeys
+the same no-wall-clock discipline as the rest of the codebase, and CI
+artifact ordering is by append order anyway.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from statistics import median
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+__all__ = [
+    "RunStore",
+    "TrendResult",
+    "bench_records",
+    "render_run_detail",
+    "render_runs_list",
+    "render_trends",
+    "run_key_for_manifest",
+]
+
+PathLike = Union[str, Path]
+
+#: One index entry.  Values are JSON scalars plus one nested counter map.
+Record = Dict[str, object]
+
+#: Counters worth trending from a bench record or metrics dump.
+_TREND_COUNTERS = ("insertions_evaluated", "window_expansions")
+
+STORE_VERSION = 1
+
+
+def run_key_for_manifest(manifest: Mapping[str, object]) -> str:
+    """Comparability key: design identity plus a params digest.
+
+    Two runs trend against each other only when they legalized the same
+    design shape with the same knobs; the 8-hex params digest keeps
+    e.g. a capacity-8 run from gating a capacity-1 run.
+    """
+    design = manifest.get("design")
+    name = "unknown"
+    cells = 0
+    if isinstance(design, Mapping):
+        name = str(design.get("name", "unknown"))
+        raw_cells = design.get("cells", 0)
+        if isinstance(raw_cells, (int, float)):
+            cells = int(raw_cells)
+    params = manifest.get("params")
+    digest = hashlib.sha256(
+        json.dumps(params, sort_keys=True, default=str).encode()
+    ).hexdigest()[:8]
+    return f"{name}@{cells}/{digest}"
+
+
+@dataclass
+class TrendResult:
+    """Latest-vs-history verdict for one key."""
+
+    key: str
+    runs: int
+    latest_seconds: Optional[float]
+    baseline_median: Optional[float]
+    drift_pct: Optional[float]
+    hash_changed: bool
+    counter_drift: Dict[str, float] = field(default_factory=dict)
+    flagged: bool = False
+    reason: str = ""
+
+
+class RunStore:
+    """Append-only store under one root directory."""
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = Path(root)
+
+    # -- index i/o -----------------------------------------------------
+
+    @property
+    def index_path(self) -> Path:
+        return self.root / "index.json"
+
+    def records(self) -> List[Record]:
+        if not self.index_path.exists():
+            return []
+        with open(self.index_path) as handle:
+            payload = json.load(handle)
+        runs = payload.get("runs", [])
+        return list(runs) if isinstance(runs, list) else []
+
+    def _write_records(self, records: Sequence[Record]) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = self.index_path.with_suffix(".json.tmp")
+        tmp.write_text(
+            json.dumps(
+                {"version": STORE_VERSION, "runs": list(records)},
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        os.replace(tmp, self.index_path)
+
+    def _next_id(self, records: Sequence[Record]) -> str:
+        highest = 0
+        for record in records:
+            raw = record.get("id")
+            if isinstance(raw, str) and raw.isdigit():
+                highest = max(highest, int(raw))
+        return f"{highest + 1:06d}"
+
+    # -- appends -------------------------------------------------------
+
+    def add_run(
+        self,
+        manifest: Mapping[str, object],
+        metrics: Optional[Mapping[str, object]] = None,
+        span_profile: Optional[Mapping[str, object]] = None,
+        collapsed: Optional[str] = None,
+        seconds: Optional[float] = None,
+        label: str = "",
+    ) -> str:
+        """Append one legalization run; returns its id."""
+        records = self.records()
+        run_id = self._next_id(records)
+        run_dir = self.root / "runs" / run_id
+        run_dir.mkdir(parents=True, exist_ok=True)
+        (run_dir / "manifest.json").write_text(
+            json.dumps(manifest, indent=2, sort_keys=True, default=str) + "\n"
+        )
+        if metrics is not None:
+            (run_dir / "metrics.json").write_text(
+                json.dumps(metrics, indent=2, sort_keys=True) + "\n"
+            )
+        if span_profile is not None:
+            (run_dir / "span_profile.json").write_text(
+                json.dumps(span_profile, indent=2, sort_keys=True) + "\n"
+            )
+        if collapsed is not None:
+            (run_dir / "profile.collapsed").write_text(collapsed)
+
+        design = manifest.get("design")
+        counters: Dict[str, object] = {}
+        if metrics is not None:
+            metric_counters = metrics.get("counters")
+            if isinstance(metric_counters, Mapping):
+                for name in _TREND_COUNTERS:
+                    value = metric_counters.get(f"mgl.{name}")
+                    if isinstance(value, (int, float)):
+                        counters[name] = value
+        record: Record = {
+            "id": run_id,
+            "key": run_key_for_manifest(manifest),
+            "source": "run",
+            "label": label,
+            "design": (
+                design.get("name") if isinstance(design, Mapping) else None
+            ),
+            "cells": (
+                design.get("cells") if isinstance(design, Mapping) else None
+            ),
+            "seconds": round(seconds, 4) if seconds is not None else None,
+            "placement_hash": manifest.get("placement_hash"),
+            "counters": counters,
+        }
+        records.append(record)
+        self._write_records(records)
+        return run_id
+
+    def add_bench_report(
+        self, report: Mapping[str, object], label: str = ""
+    ) -> List[str]:
+        """Append every trend-able case of one bench report."""
+        records = self.records()
+        added: List[str] = []
+        for record in bench_records(report, label=label):
+            run_id = self._next_id(records)
+            record["id"] = run_id
+            records.append(record)
+            added.append(run_id)
+        if added:
+            self._write_records(records)
+        return added
+
+    # -- queries -------------------------------------------------------
+
+    def keys(self) -> List[str]:
+        seen: List[str] = []
+        for record in self.records():
+            key = record.get("key")
+            if isinstance(key, str) and key not in seen:
+                seen.append(key)
+        return seen
+
+    def history(
+        self, key: str, last: Optional[int] = None
+    ) -> List[Record]:
+        """Records for ``key`` in append order, optionally the last N."""
+        matching = [r for r in self.records() if r.get("key") == key]
+        if last is not None and last > 0:
+            matching = matching[-last:]
+        return matching
+
+    def run_dir(self, run_id: str) -> Path:
+        return self.root / "runs" / run_id
+
+    def trend(
+        self,
+        key: str,
+        last: int = 10,
+        max_drift_pct: float = 25.0,
+        min_seconds: float = 0.05,
+    ) -> TrendResult:
+        """Latest run vs the median of its stored history.
+
+        Flags (a) wall-time drift beyond ``max_drift_pct`` when the
+        baseline is big enough to measure, (b) a placement-hash change
+        against the immediately preceding run (always fatal — that is
+        determinism drift, not noise), and (c) counter drift beyond the
+        same percentage.  Needs >= 3 runs to call a wall-time trend.
+        """
+        history = self.history(key, last=last)
+        result = TrendResult(
+            key=key,
+            runs=len(history),
+            latest_seconds=None,
+            baseline_median=None,
+            drift_pct=None,
+            hash_changed=False,
+        )
+        if not history:
+            return result
+        latest = history[-1]
+        seconds = latest.get("seconds")
+        result.latest_seconds = (
+            float(seconds) if isinstance(seconds, (int, float)) else None
+        )
+
+        hashes = [
+            r.get("placement_hash")
+            for r in history
+            if isinstance(r.get("placement_hash"), str)
+        ]
+        if len(hashes) >= 2 and hashes[-1] != hashes[-2]:
+            result.hash_changed = True
+            result.flagged = True
+            result.reason = (
+                f"placement hash changed: {hashes[-2]} -> {hashes[-1]}"
+            )
+
+        prior = history[:-1]
+        prior_seconds = [
+            float(r["seconds"])
+            for r in prior
+            if isinstance(r.get("seconds"), (int, float))
+        ]
+        if result.latest_seconds is not None and len(prior_seconds) >= 2:
+            baseline = median(prior_seconds)
+            result.baseline_median = round(baseline, 4)
+            if baseline >= min_seconds:
+                drift = 100.0 * (result.latest_seconds - baseline) / baseline
+                result.drift_pct = round(drift, 2)
+                if drift > max_drift_pct and not result.flagged:
+                    result.flagged = True
+                    result.reason = (
+                        f"wall time {result.latest_seconds:.3f}s is "
+                        f"{drift:+.1f}% vs median "
+                        f"{baseline:.3f}s of {len(prior_seconds)} runs"
+                    )
+
+        latest_counters = latest.get("counters")
+        if isinstance(latest_counters, Mapping):
+            for name in _TREND_COUNTERS:
+                value = latest_counters.get(name)
+                if not isinstance(value, (int, float)):
+                    continue
+                prior_values = [
+                    float(counters[name])
+                    for r in prior
+                    if isinstance(counters := r.get("counters"), Mapping)
+                    and isinstance(counters.get(name), (int, float))
+                ]
+                if len(prior_values) < 2:
+                    continue
+                baseline = median(prior_values)
+                if baseline <= 0:
+                    continue
+                drift = 100.0 * (float(value) - baseline) / baseline
+                result.counter_drift[name] = round(drift, 2)
+                if abs(drift) > max_drift_pct and not result.flagged:
+                    result.flagged = True
+                    result.reason = (
+                        f"{name} {value} is {drift:+.1f}% vs median "
+                        f"{baseline:.0f}"
+                    )
+        return result
+
+    def trends(
+        self, last: int = 10, max_drift_pct: float = 25.0
+    ) -> List[TrendResult]:
+        return [
+            self.trend(key, last=last, max_drift_pct=max_drift_pct)
+            for key in self.keys()
+        ]
+
+
+def bench_records(
+    report: Mapping[str, object], label: str = ""
+) -> List[Record]:
+    """Flatten a ``BENCH_mgl.json``-shaped report into store records.
+
+    One record per ``runs[]`` case (key ``name@scale``) plus one for
+    the sharded section under its topology-qualified key — the same
+    keys ``check_regression.py`` compares, so store history and the
+    committed baseline speak one naming scheme.
+    """
+    records: List[Record] = []
+    runs = report.get("runs")
+    if isinstance(runs, list):
+        for run in runs:
+            if not isinstance(run, Mapping):
+                continue
+            counters = {
+                name: run[name]
+                for name in _TREND_COUNTERS
+                if isinstance(run.get(name), (int, float))
+            }
+            records.append({
+                "id": "",
+                "key": f"{run.get('name')}@{run.get('scale')}",
+                "source": "bench",
+                "label": label,
+                "design": run.get("name"),
+                "cells": run.get("cells"),
+                "seconds": run.get("seconds"),
+                "placement_hash": run.get("placement_hash"),
+                "counters": counters,
+            })
+    sharded = report.get("sharded")
+    if isinstance(sharded, Mapping):
+        key = (
+            f"{sharded.get('name')}@{sharded.get('scale')}"
+            f"#shards{sharded.get('shards')}h{sharded.get('halo_rows')}"
+        )
+        records.append({
+            "id": "",
+            "key": key,
+            "source": "bench",
+            "label": label,
+            "design": sharded.get("name"),
+            "cells": sharded.get("cells"),
+            "seconds": sharded.get("sharded_seconds"),
+            "placement_hash": sharded.get("sharded_hash"),
+            "counters": {},
+        })
+    overhead = report.get("tracing_overhead")
+    if isinstance(overhead, Mapping):
+        records.append({
+            "id": "",
+            "key": (
+                f"{overhead.get('name')}@{overhead.get('scale')}"
+                f"#sampled{overhead.get('sample_every')}"
+            ),
+            "source": "bench",
+            "label": label,
+            "design": overhead.get("name"),
+            "cells": overhead.get("cells"),
+            "seconds": overhead.get("sampled_seconds"),
+            "placement_hash": overhead.get("sampled_hash"),
+            "counters": {},
+        })
+    return records
+
+
+# ----------------------------------------------------------------------
+# Rendering (the `repro runs` views)
+# ----------------------------------------------------------------------
+
+
+def render_runs_list(store: RunStore) -> str:
+    records = store.records()
+    if not records:
+        return f"run store {store.root}: empty"
+    lines = [
+        f"run store {store.root}: {len(records)} runs, "
+        f"{len(store.keys())} keys",
+        f"  {'id':<8} {'source':<6} {'seconds':>9} {'hash':<18} key",
+    ]
+    for record in records:
+        seconds = record.get("seconds")
+        seconds_text = (
+            f"{float(seconds):9.3f}"
+            if isinstance(seconds, (int, float))
+            else f"{'-':>9}"
+        )
+        digest = record.get("placement_hash")
+        lines.append(
+            f"  {record.get('id', ''):<8} {record.get('source', ''):<6} "
+            f"{seconds_text} {str(digest or '-'):<18} {record.get('key')}"
+        )
+    return "\n".join(lines)
+
+
+def render_run_detail(store: RunStore, run_id: str) -> str:
+    """The ``repro runs show`` view: index record + stored artifacts."""
+    record = next(
+        (r for r in store.records() if r.get("id") == run_id), None
+    )
+    if record is None:
+        return f"run {run_id}: not found in {store.index_path}"
+    lines = [f"run {run_id} ({record.get('source')}):"]
+    for field_name in ("key", "design", "cells", "seconds",
+                       "placement_hash", "label"):
+        value = record.get(field_name)
+        if value not in (None, ""):
+            lines.append(f"  {field_name}: {value}")
+    counters = record.get("counters")
+    if isinstance(counters, Mapping) and counters:
+        for name in sorted(counters):
+            lines.append(f"  counters.{name}: {counters[name]}")
+    run_dir = store.run_dir(run_id)
+    artifacts = sorted(p.name for p in run_dir.glob("*")) if (
+        run_dir.exists()
+    ) else []
+    if artifacts:
+        lines.append(f"  artifacts ({run_dir}): {', '.join(artifacts)}")
+    profile_path = run_dir / "span_profile.json"
+    if profile_path.exists():
+        from repro.obs.profile import profile_from_dict, render_profile
+
+        with open(profile_path) as handle:
+            profile = profile_from_dict(json.load(handle))
+        lines.append(render_profile(profile))
+    return "\n".join(lines)
+
+
+def render_trends(trends: Sequence[TrendResult]) -> str:
+    if not trends:
+        return "no keys in store"
+    lines = [
+        f"  {'key':<44} {'runs':>4} {'median(s)':>10} {'latest(s)':>10} "
+        f"{'drift':>8}  status"
+    ]
+    for trend in trends:
+        median_text = (
+            f"{trend.baseline_median:10.3f}"
+            if trend.baseline_median is not None
+            else f"{'-':>10}"
+        )
+        latest_text = (
+            f"{trend.latest_seconds:10.3f}"
+            if trend.latest_seconds is not None
+            else f"{'-':>10}"
+        )
+        drift_text = (
+            f"{trend.drift_pct:+7.1f}%"
+            if trend.drift_pct is not None
+            else f"{'-':>8}"
+        )
+        status = "DRIFT" if trend.flagged else "ok"
+        lines.append(
+            f"  {trend.key:<44} {trend.runs:>4} {median_text} "
+            f"{latest_text} {drift_text}  {status}"
+        )
+        if trend.flagged:
+            lines.append(f"      {trend.reason}")
+    return "\n".join(lines)

@@ -37,6 +37,20 @@ tests/test_trace_determinism.py).  Worker processes return their
 order** via :meth:`SpanTracer.attach_payloads`, so the tree never
 depends on pool timing.  All timestamps come from the sanctioned
 :mod:`repro.obs.clock` (repro-lint D004).
+
+**Sampling.**  ``SpanTracer(sample_every=k)`` keeps the per-cell spans
+(``window`` and its ``evaluate`` children) only for every k-th cell of
+the fixed legalization order, registered once per run via
+:meth:`NullTracer.set_cell_population`.  The keep/drop decision is a
+pure function of the cell's *rank in that order* — never of worker
+identity, shard assignment, or time — so the sampled structure hash
+obeys the same worker-count-invariance contract as the full trace, and
+``k=1`` is bit-identical to an unsampled trace.  Structural spans
+(``legalize``/``mgl``/``batch``/``shard``/``reconcile``…) are always
+kept.  Instrumented code opens per-cell spans through
+:meth:`NullTracer.cell_span` and gates payload attachment on
+:meth:`NullTracer.sampled`, so dropped cells pay one frozenset lookup
+and nothing else.
 """
 
 from __future__ import annotations
@@ -45,8 +59,10 @@ import hashlib
 import json
 from contextlib import contextmanager
 from typing import (
+    ClassVar,
     ContextManager,
     Dict,
+    FrozenSet,
     Iterator,
     List,
     Optional,
@@ -85,6 +101,11 @@ class Span:
     """
 
     __slots__ = ("name", "attrs", "children", "t_start", "t_end", "meta")
+
+    #: True on recorded spans, False on the shared null span — hot paths
+    #: gate expensive attribute computation on this so a sampled-out
+    #: cell's ``finish_window_span`` costs one attribute read.
+    recording: ClassVar[bool] = True
 
     def __init__(
         self,
@@ -177,6 +198,8 @@ class _NullSpan(Span):
 
     __slots__ = ()
 
+    recording: ClassVar[bool] = False
+
     def set(self, **attrs: AttrValue) -> None:  # noqa: D102 - no-op
         return None
 
@@ -214,6 +237,32 @@ class NullTracer:
         """Open a child span of the innermost open span."""
         return _NULL_CONTEXT
 
+    def cell_span(
+        self, name: str, cell: int, **attrs: AttrValue
+    ) -> ContextManager[Span]:
+        """Open a per-cell span, subject to the sampling policy.
+
+        Identical to :meth:`span` when the cell is sampled (always, at
+        ``sample_every=1``); yields the shared null span otherwise, so
+        the caller's ``with`` block runs but records nothing.
+        """
+        return _NULL_CONTEXT
+
+    def sampled(self, cell: int) -> bool:
+        """Whether per-cell spans/payloads for ``cell`` are recorded."""
+        return False
+
+    def set_cell_population(self, order: Sequence[int]) -> None:
+        """Register the fixed cell order the sampling policy draws from.
+
+        Called once per run with :func:`repro.core.mgl.mgl_cell_order`
+        *before* any per-cell span opens.  The sampled set is every
+        k-th cell of this order — a pure function of the order itself,
+        which is what keeps the sampled trace structure invariant
+        across worker and shard-pool configurations.
+        """
+        return None
+
     def attach_payloads(
         self, payloads: Sequence[SpanPayload], worker: Optional[int] = None
     ) -> None:
@@ -226,18 +275,51 @@ NULL_TRACER = NullTracer()
 
 
 class SpanTracer(NullTracer):
-    """The recording tracer: builds the tree, exports, and hashes it."""
+    """The recording tracer: builds the tree, exports, and hashes it.
+
+    Args:
+        sample_every: keep per-cell spans (``window``/``evaluate``) for
+            every k-th cell of the registered cell population; 1 (the
+            default) records everything.  Structural spans are always
+            recorded.  See the module docstring for the determinism
+            argument.
+    """
 
     enabled = True
 
-    def __init__(self) -> None:
+    def __init__(self, sample_every: int = 1) -> None:
+        if sample_every < 1:
+            raise ValueError(
+                f"sample_every must be >= 1, got {sample_every}"
+            )
+        self.sample_every = sample_every
         self.roots: List[Span] = []
         self._stack: List[Span] = []
+        #: The sampled cell ids; None means "record every cell" (either
+        #: sample_every == 1 or no population registered yet — the safe
+        #: default for direct unit-level tracer use).
+        self._sampled: Optional[FrozenSet[int]] = None
 
     # -- recording -----------------------------------------------------
 
     def span(self, name: str, **attrs: AttrValue) -> ContextManager[Span]:
         return self._open(name, attrs)
+
+    def cell_span(
+        self, name: str, cell: int, **attrs: AttrValue
+    ) -> ContextManager[Span]:
+        sampled = self._sampled
+        if sampled is None or cell in sampled:
+            return self._open(name, attrs)
+        return _NULL_CONTEXT
+
+    def sampled(self, cell: int) -> bool:
+        sampled = self._sampled
+        return sampled is None or cell in sampled
+
+    def set_cell_population(self, order: Sequence[int]) -> None:
+        if self.sample_every > 1:
+            self._sampled = frozenset(order[:: self.sample_every])
 
     @contextmanager
     def _open(self, name: str, attrs: Dict[str, AttrValue]) -> Iterator[Span]:

@@ -286,3 +286,126 @@ class TestAgainstRealArtifacts:
         assert check_regression.main(
             [str(ROOT / "BENCH_mgl.json"), str(path)]
         ) == 0
+
+
+def make_overhead(**overrides):
+    section = {
+        "name": "a",
+        "scale": 0.05,
+        "cells": 5600,
+        "sample_every": 16,
+        "plain_seconds": 5.0,
+        "sampled_seconds": 5.15,
+        "overhead_pct": 3.0,
+        "plain_hash": "cafe",
+        "sampled_hash": "cafe",
+        "hashes_match": True,
+        "span_count": 400,
+        "structure_hash": "feed",
+        "progress_events": 12,
+    }
+    section.update(overrides)
+    return section
+
+
+class TestTracingOverheadGate:
+    def test_within_budget_passes(self, tmp_path):
+        report = make_report([make_run("a")])
+        report["tracing_overhead"] = make_overhead()
+        assert run_main(tmp_path, report, report) == 0
+
+    def test_hash_divergence_is_fatal(self, tmp_path, capsys):
+        report = make_report([make_run("a")])
+        fresh = dict(report)
+        fresh["tracing_overhead"] = make_overhead(
+            sampled_hash="beef", hashes_match=False
+        )
+        assert run_main(tmp_path, report, fresh) == 1
+        assert "diverged from the untraced run" in capsys.readouterr().err
+
+    def test_overhead_above_budget_is_fatal(self, tmp_path, capsys):
+        report = make_report([make_run("a")])
+        fresh = dict(report)
+        fresh["tracing_overhead"] = make_overhead(
+            overhead_pct=9.5, sampled_seconds=5.5
+        )
+        assert run_main(
+            tmp_path, report, fresh, "--max-trace-overhead", "5.0"
+        ) == 1
+        err = capsys.readouterr().err
+        assert "overhead +9.5% exceeds the 5% budget" in err
+
+    def test_tiny_runs_never_gate_on_overhead(self, tmp_path):
+        # Sub-min_seconds untraced runs measure timer noise.
+        report = make_report([make_run("a")])
+        fresh = dict(report)
+        fresh["tracing_overhead"] = make_overhead(
+            plain_seconds=0.02, overhead_pct=80.0
+        )
+        assert run_main(
+            tmp_path, report, fresh, "--min-seconds", "0.5"
+        ) == 0
+
+    def test_absent_section_is_not_an_error(self, tmp_path):
+        report = make_report([make_run("a")])
+        assert run_main(tmp_path, report, report) == 0
+
+    def test_summary_renders_the_section(self, tmp_path):
+        report = make_report([make_run("a")])
+        report["tracing_overhead"] = make_overhead()
+        summary = tmp_path / "summary.md"
+        assert run_main(
+            tmp_path, report, report, "--summary", str(summary)
+        ) == 0
+        text = summary.read_text()
+        assert "### Tracing overhead" in text
+        assert "**3.0%**" in text and "12 progress events" in text
+
+
+class TestStoreTrendGate:
+    def store_args(self, tmp_path):
+        return ("--store", str(tmp_path / "store"))
+
+    def test_cold_store_passes_and_warms_up(self, tmp_path, capsys):
+        report = make_report([make_run("a")])
+        assert run_main(
+            tmp_path, report, report, *self.store_args(tmp_path)
+        ) == 0
+        out = capsys.readouterr().out
+        assert "trend not yet callable" in out
+        assert "appended 1 record(s), 1 total" in out
+
+    def test_steady_history_stays_clean(self, tmp_path, capsys):
+        report = make_report([make_run("a", seconds=1.0)])
+        for _ in range(4):
+            assert run_main(
+                tmp_path, report, report, *self.store_args(tmp_path)
+            ) == 0
+        assert "ok (+0.0% vs median)" in capsys.readouterr().out
+
+    def test_injected_wall_time_regression_gates(self, tmp_path, capsys):
+        steady = make_report([make_run("a", seconds=1.0)])
+        for _ in range(3):
+            assert run_main(
+                tmp_path, steady, steady, *self.store_args(tmp_path)
+            ) == 0
+        slow = make_report([make_run("a", seconds=1.6)])
+        # The fresh-vs-baseline time gate needs --min-seconds above the
+        # case; only the store trend should fire here.
+        assert run_main(
+            tmp_path, steady, slow, *self.store_args(tmp_path),
+            "--min-seconds", "5.0",
+        ) == 1
+        err = capsys.readouterr().err
+        assert "store trend a@0.004: wall time 1.600s" in err
+        assert "vs median 1.000s" in err
+
+    def test_hash_flip_in_history_gates_without_timing(self, tmp_path):
+        steady = make_report([make_run("a", placement_hash="aaaa")])
+        for _ in range(2):
+            run_main(tmp_path, steady, steady, *self.store_args(tmp_path))
+        flipped = make_report([make_run("a", placement_hash="bbbb")])
+        # Baseline is also flipped so only the store history detects it.
+        assert run_main(
+            tmp_path, flipped, flipped, *self.store_args(tmp_path)
+        ) == 1

@@ -2,7 +2,14 @@
 
 import math
 
-from repro.obs.autotune import advice_for_run, suggest_capacity
+import pytest
+
+from repro.obs.autotune import (
+    advice_for_run,
+    band_advice_for_run,
+    suggest_capacity,
+    suggest_shard_bands,
+)
 
 
 def profile_with(counts, bounds=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)):
@@ -98,3 +105,78 @@ class TestAdviceForRun:
             advice_for_run(profile, {"params": {"scheduler_capacity": "8"}})
             is None
         )
+
+
+def shard_profile(count=12):
+    return {
+        "histograms": {
+            "shard.occupancy": {
+                "bounds": [64.0, 256.0, 1024.0],
+                "counts": [0, count, 0, 0],
+                "count": count,
+                "sum": 0.0,
+                "mean": 0.0,
+            }
+        }
+    }
+
+
+def topology(populations, halo_rows=2):
+    return {
+        "halo_rows": halo_rows,
+        "bands": [
+            {"index": i, "cells": cells}
+            for i, cells in enumerate(populations)
+        ],
+    }
+
+
+class TestSuggestShardBands:
+    def test_balanced_bands(self):
+        advice = suggest_shard_bands(
+            shard_profile(), topology([100, 110, 95, 105])
+        )
+        assert advice is not None
+        assert advice.balanced and advice.shards == 4
+        assert advice.max_cells == 110 and advice.min_cells == 95
+        assert "look balanced" in advice.render()
+        assert "split the work evenly" in advice.rationale
+
+    def test_imbalanced_topology_is_called_out(self):
+        # Widest band at 2.29x the mean (>= 1.5 threshold).
+        advice = suggest_shard_bands(
+            shard_profile(), topology([400, 50, 50, 200])
+        )
+        assert advice is not None
+        assert not advice.balanced
+        assert advice.imbalance == pytest.approx(400 / 175)
+        assert "IMBALANCED" in advice.render()
+        assert "bounds the sharded wall clock" in advice.rationale
+
+    def test_single_band_is_balanced_by_definition(self):
+        advice = suggest_shard_bands(shard_profile(), topology([500]))
+        assert advice is not None
+        assert advice.balanced and advice.shards == 1
+        assert "sharding is effectively off" in advice.rationale
+
+    def test_unsharded_run_returns_none(self):
+        # No shard.occupancy samples: the run never sharded.
+        assert suggest_shard_bands({}, topology([100, 100])) is None
+        empty = shard_profile(count=0)
+        empty["histograms"]["shard.occupancy"]["counts"] = [0, 0, 0, 0]
+        assert suggest_shard_bands(empty, topology([100, 100])) is None
+        # Sharded profile but no band populations in the manifest.
+        assert suggest_shard_bands(shard_profile(), {"bands": []}) is None
+
+
+class TestBandAdviceForRun:
+    def test_reads_topology_from_manifest(self):
+        manifest = {"shard_topology": topology([100, 100], halo_rows=3)}
+        advice = band_advice_for_run(shard_profile(), manifest)
+        assert advice is not None
+        assert advice.halo_rows == 3
+
+    def test_absent_pieces_return_none(self):
+        assert band_advice_for_run(None, {}) is None
+        assert band_advice_for_run(shard_profile(), None) is None
+        assert band_advice_for_run(shard_profile(), {}) is None

@@ -1,0 +1,84 @@
+"""Logging setup: format selection, stream policy, idempotence."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.log import get_logger, setup_logging
+
+
+@pytest.fixture(autouse=True)
+def restore_repro_logger():
+    logger = get_logger()
+    saved = list(logger.handlers)
+    try:
+        yield
+    finally:
+        logger.handlers[:] = saved
+
+
+class TestHumanFormat:
+    def test_level_name_message_lines(self):
+        stream = io.StringIO()
+        setup_logging("info", stream=stream)
+        get_logger("cli").info("wrote %s", "out.json")
+        assert stream.getvalue() == "INFO repro.cli: wrote out.json\n"
+
+    def test_level_filtering(self):
+        stream = io.StringIO()
+        setup_logging("warning", stream=stream)
+        get_logger("cli").info("chatty")
+        get_logger("cli").warning("real")
+        assert "chatty" not in stream.getvalue()
+        assert "real" in stream.getvalue()
+
+
+class TestJsonFormat:
+    def test_one_sorted_object_per_line(self):
+        stream = io.StringIO()
+        setup_logging("info", stream=stream, fmt="json")
+        get_logger("cli").info("wrote %s", "out.json")
+        get_logger("shard").warning("slow band %d", 3)
+        lines = stream.getvalue().strip().split("\n")
+        records = [json.loads(line) for line in lines]
+        assert records[0] == {
+            "level": "info",
+            "logger": "repro.cli",
+            "message": "wrote out.json",
+        }
+        assert records[1]["level"] == "warning"
+        assert records[1]["logger"] == "repro.shard"
+        assert lines[0] == json.dumps(records[0], sort_keys=True)
+
+    def test_exceptions_carry_exc_info(self):
+        stream = io.StringIO()
+        setup_logging("info", stream=stream, fmt="json")
+        try:
+            raise RuntimeError("boom")
+        except RuntimeError:
+            get_logger().exception("failed")
+        (line,) = stream.getvalue().strip().split("\n")
+        record = json.loads(line)
+        assert record["level"] == "error"
+        assert "RuntimeError: boom" in record["exc_info"]
+
+
+class TestSetupPolicy:
+    def test_invalid_level_and_format_are_rejected(self):
+        with pytest.raises(ValueError, match="log level"):
+            setup_logging("loud")
+        with pytest.raises(ValueError, match="log format"):
+            setup_logging("info", fmt="xml")
+
+    def test_repeat_setup_does_not_stack_handlers(self):
+        setup_logging("info", stream=io.StringIO())
+        setup_logging("info", stream=io.StringIO(), fmt="json")
+        assert len(get_logger().handlers) == 1
+
+    def test_root_logger_is_left_alone(self):
+        before = list(logging.getLogger().handlers)
+        setup_logging("info", stream=io.StringIO())
+        assert logging.getLogger().handlers == before
+        assert get_logger().propagate is False

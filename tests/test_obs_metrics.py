@@ -8,6 +8,7 @@ from repro.obs.metrics import (
     DISPLACEMENT_BUCKETS,
     Histogram,
     MetricsRegistry,
+    parse_prometheus,
 )
 from repro.perf import PerfRecorder
 
@@ -217,3 +218,36 @@ class TestPrometheusRendering:
         registry = MetricsRegistry()
         registry.count("cells", 7)
         assert "myapp_cells_total 7" in registry.render_prometheus("myapp")
+
+
+class TestParsePrometheus:
+    def test_round_trips_the_registry_rendering(self):
+        registry = MetricsRegistry()
+        registry.count("mgl.insertions_evaluated", 42)
+        registry.set_gauge("mgl.gap_cache_hit_rate", 0.25)
+        registry.observe("scheduler.batch_occupancy", 3.0, (1.0, 2.0, 4.0))
+        series = parse_prometheus(registry.render_prometheus())
+        assert series["repro_mgl_insertions_evaluated_total"] == 42.0
+        assert series["repro_mgl_gap_cache_hit_rate"] == 0.25
+        # Labeled bucket series keep their label block in the key.
+        assert series['repro_scheduler_batch_occupancy_bucket{le="+Inf"}'] == 1.0
+        assert series["repro_scheduler_batch_occupancy_count"] == 1.0
+
+    def test_comments_blanks_and_garbage_are_skipped(self):
+        text = "\n".join([
+            "# HELP x some help",
+            "# TYPE x counter",
+            "",
+            "x_total 3",
+            "lonely_name_without_value",
+            "bad_value nan-ish?",
+            'labeled{le="1.0", q="a b"} 7',
+        ])
+        series = parse_prometheus(text)
+        assert series == {
+            "x_total": 3.0,
+            'labeled{le="1.0", q="a b"}': 7.0,
+        }
+
+    def test_empty_text_parses_to_empty(self):
+        assert parse_prometheus("") == {}

@@ -1,0 +1,174 @@
+"""Span profiles: folding, attribution, exports, and round-trips."""
+
+import json
+
+from repro.core.legalizer import Legalizer
+from repro.core.params import LegalizerParams
+from repro.obs.profile import (
+    ProfileRow,
+    SpanProfile,
+    diff_profiles,
+    fold_spans,
+    load_trace_jsonl,
+    profile_from_dict,
+    render_profile,
+)
+from repro.obs.tracer import Span, SpanTracer
+
+
+def make_span(name, start, end, attrs=None, children=(), worker=None):
+    span = Span(name, dict(attrs or {}), t_start=start)
+    span.t_end = end
+    span.children = list(children)
+    if worker is not None:
+        span.meta["worker"] = worker
+    return span
+
+
+def small_forest():
+    """One root (10s): child a (4s, self 3s after its 1s grandchild),
+    child b (2s, from worker 0) — root self time 4s."""
+    grandchild = make_span("leaf", 1.0, 2.0)
+    child_a = make_span("stage_a", 0.5, 4.5, children=[grandchild])
+    child_b = make_span("stage_b", 5.0, 7.0, worker=0)
+    return [make_span("root", 0.0, 10.0, children=[child_a, child_b])]
+
+
+class TestFold:
+    def test_self_time_subtracts_children(self):
+        profile = fold_spans(small_forest())
+        assert profile.span_count == 4
+        assert profile.total_seconds == 10.0
+        assert profile.kinds["root"].self_seconds == 4.0
+        assert profile.kinds["stage_a"].self_seconds == 3.0
+        assert profile.kinds["stage_a"].total_seconds == 4.0
+        assert profile.kinds["leaf"].self_seconds == 1.0
+        # Self times sum back to the walltime of the forest.
+        assert sum(
+            row.self_seconds for row in profile.kinds.values()
+        ) == profile.total_seconds
+
+    def test_self_time_clamps_at_zero(self):
+        # Merged worker spans can overrun the parent's recorded window.
+        child = make_span("inner", 0.0, 5.0)
+        parent = make_span("outer", 0.0, 3.0, children=[child])
+        profile = fold_spans([parent])
+        assert profile.kinds["outer"].self_seconds == 0.0
+
+    def test_worker_attribution_reads_meta(self):
+        profile = fold_spans(small_forest())
+        assert profile.by_worker["w0"] == {"stage_b": 2.0}
+        assert "stage_b" not in profile.by_worker["main"]
+
+    def test_shard_attribution_follows_enclosing_shard_span(self):
+        inner = make_span("evaluate", 1.0, 2.0)
+        shard = make_span(
+            "shard", 0.0, 3.0, attrs={"index": 2}, children=[inner]
+        )
+        reconcile = make_span("reconcile", 3.0, 4.0)
+        root = make_span(
+            "shard_mgl", 0.0, 5.0, children=[shard, reconcile]
+        )
+        profile = fold_spans([root])
+        assert profile.by_shard["shard2"] == {"shard": 2.0, "evaluate": 1.0}
+        assert profile.by_shard["reconcile"] == {"reconcile": 1.0}
+        assert "shard_mgl" in profile.by_shard["-"]
+
+    def test_collapsed_stacks_are_path_keyed_microseconds(self):
+        profile = fold_spans(small_forest())
+        assert profile.collapsed["root"] == 4.0
+        assert profile.collapsed["root;stage_a;leaf"] == 1.0
+        text = profile.collapsed_stacks()
+        lines = dict(
+            line.rsplit(" ", 1) for line in text.strip().split("\n")
+        )
+        assert lines["root;stage_a"] == str(round(3.0 * 1e6))
+        # Sorted by path, newline-terminated: diff- and flamegraph-safe.
+        assert list(lines) == sorted(lines)
+        assert text.endswith("\n")
+        assert SpanProfile().collapsed_stacks() == ""
+
+
+class TestRoundTrips:
+    def test_as_dict_profile_from_dict_round_trip(self):
+        profile = fold_spans(small_forest())
+        clone = profile_from_dict(
+            json.loads(json.dumps(profile.as_dict()))
+        )
+        assert clone.as_dict() == profile.as_dict()
+        assert clone.span_count == profile.span_count
+        assert clone.kinds["stage_a"].self_seconds == 3.0
+
+    def test_profile_from_dict_tolerates_garbage(self):
+        profile = profile_from_dict(
+            {"span_count": "x", "kinds": {"a": 3}, "by_worker": []}
+        )
+        assert profile.span_count == 0
+        assert profile.kinds == {}
+
+    def test_load_trace_jsonl_rebuilds_the_tracer_forest(
+        self, small_design, tmp_path
+    ):
+        tracer = SpanTracer(sample_every=4)
+        Legalizer(
+            small_design, LegalizerParams(routability=False), tracer=tracer
+        ).run()
+        path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(str(path))
+        roots = load_trace_jsonl(str(path))
+        reloaded = fold_spans(roots)
+        direct = fold_spans(tracer.roots)
+        assert reloaded.span_count == direct.span_count
+        assert set(reloaded.kinds) == set(direct.kinds)
+        for kind, row in direct.kinds.items():
+            assert reloaded.kinds[kind].count == row.count
+
+    def test_load_trace_jsonl_skips_non_span_events(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            json.dumps({"event": "span", "name": "a", "depth": 0,
+                        "attrs": {}, "t_start": 0.0, "t_end": 1.0}) + "\n"
+            + json.dumps({"event": "metric", "name": "x"}) + "\n"
+            + "\n"
+        )
+        roots = load_trace_jsonl(str(path))
+        assert [root.name for root in roots] == ["a"]
+
+
+class TestRendering:
+    def test_render_orders_kinds_by_self_time(self):
+        text = render_profile(fold_spans(small_forest()), title="t")
+        lines = text.split("\n")
+        assert lines[0] == "t"
+        assert "span profile: 4 spans, 10.000s total" in lines[1]
+        kinds = [line.split()[0] for line in lines[3:7]]
+        assert kinds == ["root", "stage_a", "stage_b", "leaf"]
+        # Two workers present -> attribution table renders.
+        assert "self seconds by worker:" in text
+        assert "w0" in text
+
+    def test_diff_reports_deltas_above_threshold(self):
+        before = fold_spans(small_forest())
+        after = fold_spans(small_forest())
+        after.kinds["stage_a"].self_seconds += 1.5
+        after.kinds["stage_a"].count += 2
+        text = diff_profiles(before, after)
+        assert "stage_a" in text
+        assert "(+50.0%)" in text
+        assert "count 1 -> 3 (+2)" in text
+        assert "root" not in text.split("span profile delta")[1].split(
+            "\n", 2
+        )[2]
+
+    def test_diff_of_identical_profiles_is_quiet(self):
+        profile = fold_spans(small_forest())
+        assert "no per-kind changes" in diff_profiles(profile, profile)
+
+    def test_diff_handles_new_kinds(self):
+        before = SpanProfile()
+        after = SpanProfile()
+        after.kinds["fresh"] = ProfileRow(
+            count=3, total_seconds=1.0, self_seconds=1.0
+        )
+        text = diff_profiles(before, after)
+        assert "fresh" in text and "count 0 -> 3" in text

@@ -1,0 +1,298 @@
+"""The persistent run store: appends, history, and trend gating.
+
+The acceptance-critical property lives in ``TestTrend``: an injected
+wall-time regression in a fixture store is flagged by ``trend()`` (and
+therefore by ``repro runs trend`` / ``check_regression.py --store``),
+while a placement-hash flip is fatal regardless of timing noise.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.runstore import (
+    RunStore,
+    bench_records,
+    render_run_detail,
+    render_runs_list,
+    render_trends,
+    run_key_for_manifest,
+)
+
+
+def manifest_for(
+    name="unit", cells=100, params=None, placement_hash="aaaa1111bbbb2222"
+):
+    return {
+        "design": {"name": name, "cells": cells},
+        "params": dict(params or {"capacity": 8}),
+        "placement_hash": placement_hash,
+    }
+
+
+def metrics_for(evaluated=1000, expansions=40):
+    return {
+        "counters": {
+            "mgl.insertions_evaluated": evaluated,
+            "mgl.window_expansions": expansions,
+            "mgl.cells_placed": 100,
+        }
+    }
+
+
+def seed_history(store, count, seconds=1.0, **manifest_kwargs):
+    for _ in range(count):
+        store.add_run(
+            manifest_for(**manifest_kwargs),
+            metrics=metrics_for(),
+            seconds=seconds,
+        )
+
+
+class TestRunKey:
+    def test_key_binds_design_shape_and_params(self):
+        base = run_key_for_manifest(manifest_for())
+        assert base.startswith("unit@100/")
+        assert len(base.split("/")[1]) == 8
+        # Same design, different knobs: different key, never trended
+        # against each other.
+        other = run_key_for_manifest(manifest_for(params={"capacity": 1}))
+        assert other.startswith("unit@100/")
+        assert other != base
+
+    def test_key_is_stable_across_param_ordering(self):
+        a = run_key_for_manifest(
+            {"design": {"name": "d", "cells": 5}, "params": {"a": 1, "b": 2}}
+        )
+        b = run_key_for_manifest(
+            {"design": {"name": "d", "cells": 5}, "params": {"b": 2, "a": 1}}
+        )
+        assert a == b
+
+    def test_malformed_manifest_degrades_to_unknown(self):
+        assert run_key_for_manifest({}).startswith("unknown@0/")
+
+
+class TestAppends:
+    def test_add_run_writes_artifacts_and_sequential_ids(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        first = store.add_run(
+            manifest_for(),
+            metrics=metrics_for(),
+            span_profile={"span_count": 3},
+            collapsed="legalize;mgl 120\n",
+            seconds=1.5,
+        )
+        second = store.add_run(manifest_for(), seconds=1.6)
+        assert [first, second] == ["000001", "000002"]
+        run_dir = store.run_dir(first)
+        assert (run_dir / "manifest.json").exists()
+        assert (run_dir / "metrics.json").exists()
+        assert (run_dir / "span_profile.json").exists()
+        assert (run_dir / "profile.collapsed").read_text() == (
+            "legalize;mgl 120\n"
+        )
+        # Optional artifacts are genuinely optional.
+        assert not (store.run_dir(second) / "metrics.json").exists()
+
+    def test_record_extracts_trend_counters(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        store.add_run(
+            manifest_for(), metrics=metrics_for(evaluated=777), seconds=1.0
+        )
+        (record,) = store.records()
+        assert record["counters"] == {
+            "insertions_evaluated": 777,
+            "window_expansions": 40,
+        }
+        assert record["source"] == "run"
+        assert record["placement_hash"] == "aaaa1111bbbb2222"
+
+    def test_index_has_no_leftover_tmp_file(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        store.add_run(manifest_for(), seconds=0.5)
+        names = {p.name for p in store.root.iterdir()}
+        assert "index.json" in names
+        assert not any(name.endswith(".tmp") for name in names)
+        payload = json.loads(store.index_path.read_text())
+        assert payload["version"] == 1
+        assert len(payload["runs"]) == 1
+
+    def test_empty_store_queries(self, tmp_path):
+        store = RunStore(tmp_path / "missing")
+        assert store.records() == []
+        assert store.keys() == []
+        assert store.trends() == []
+        assert "empty" in render_runs_list(store)
+
+
+class TestBenchIngestion:
+    REPORT = {
+        "runs": [
+            {
+                "name": "des", "scale": 0.004, "cells": 451,
+                "seconds": 0.8, "placement_hash": "cafe",
+                "insertions_evaluated": 9000, "window_expansions": 120,
+            }
+        ],
+        "sharded": {
+            "name": "des", "scale": 0.2, "cells": 22000, "shards": 4,
+            "halo_rows": 2, "sharded_seconds": 30.0,
+            "sharded_hash": "beef",
+        },
+        "tracing_overhead": {
+            "name": "des", "scale": 0.05, "cells": 5600,
+            "sample_every": 16, "sampled_seconds": 5.0,
+            "sampled_hash": "f00d",
+        },
+    }
+
+    def test_keys_match_the_bench_hash_naming_scheme(self):
+        keys = [r["key"] for r in bench_records(self.REPORT)]
+        assert keys == [
+            "des@0.004", "des@0.2#shards4h2", "des@0.05#sampled16",
+        ]
+
+    def test_add_bench_report_appends_every_section(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        added = store.add_bench_report(self.REPORT, label="ci")
+        assert added == ["000001", "000002", "000003"]
+        by_key = {r["key"]: r for r in store.records()}
+        assert by_key["des@0.004"]["counters"] == {
+            "insertions_evaluated": 9000, "window_expansions": 120,
+        }
+        assert by_key["des@0.2#shards4h2"]["placement_hash"] == "beef"
+        assert by_key["des@0.05#sampled16"]["seconds"] == 5.0
+        assert all(r["label"] == "ci" for r in store.records())
+
+    def test_ids_interleave_with_cli_runs(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        store.add_run(manifest_for(), seconds=1.0)
+        added = store.add_bench_report({"runs": self.REPORT["runs"]})
+        assert added == ["000002"]
+
+
+class TestTrend:
+    def test_injected_wall_time_regression_is_flagged(self, tmp_path):
+        """The ISSUE acceptance gate: a slow run against steady history."""
+        store = RunStore(tmp_path / "store")
+        for seconds in (1.0, 1.02, 0.98, 1.01):
+            store.add_run(
+                manifest_for(), metrics=metrics_for(), seconds=seconds
+            )
+        store.add_run(manifest_for(), metrics=metrics_for(), seconds=1.5)
+        (trend,) = store.trends()
+        assert trend.flagged
+        assert not trend.hash_changed
+        assert trend.drift_pct == pytest.approx(48.5, abs=1.0)
+        assert "wall time 1.500s" in trend.reason
+        assert "vs median" in trend.reason
+
+    def test_steady_history_is_clean(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        seed_history(store, 5, seconds=1.0)
+        trend = store.trend(store.keys()[0])
+        assert not trend.flagged
+        assert trend.drift_pct == pytest.approx(0.0)
+        assert trend.baseline_median == pytest.approx(1.0)
+
+    def test_hash_change_is_fatal_even_when_fast(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        store.add_run(manifest_for(placement_hash="aaaa"), seconds=1.0)
+        store.add_run(manifest_for(placement_hash="bbbb"), seconds=0.5)
+        trend = store.trend(store.keys()[0])
+        assert trend.flagged and trend.hash_changed
+        assert trend.reason == "placement hash changed: aaaa -> bbbb"
+
+    def test_counter_drift_is_flagged(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        for _ in range(3):
+            store.add_run(
+                manifest_for(), metrics=metrics_for(evaluated=1000),
+                seconds=1.0,
+            )
+        store.add_run(
+            manifest_for(), metrics=metrics_for(evaluated=2000), seconds=1.0
+        )
+        trend = store.trend(store.keys()[0])
+        assert trend.flagged
+        assert trend.counter_drift["insertions_evaluated"] == pytest.approx(
+            100.0
+        )
+        assert "insertions_evaluated" in trend.reason
+
+    def test_two_runs_cannot_call_a_wall_time_trend(self, tmp_path):
+        # One prior second value is noise, not a baseline.
+        store = RunStore(tmp_path / "store")
+        store.add_run(manifest_for(), seconds=1.0)
+        store.add_run(manifest_for(), seconds=9.0)
+        trend = store.trend(store.keys()[0])
+        assert trend.drift_pct is None
+        assert not trend.flagged
+
+    def test_tiny_baselines_never_gate(self, tmp_path):
+        # Sub-min_seconds medians measure timer noise; stay silent.
+        store = RunStore(tmp_path / "store")
+        seed_history(store, 3, seconds=0.003)
+        store.add_run(manifest_for(), seconds=0.03)
+        trend = store.trend(store.keys()[0])
+        assert trend.drift_pct is None
+        assert not trend.flagged
+
+    def test_history_window_limits_the_baseline(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        seed_history(store, 4, seconds=10.0)  # ancient slow epoch
+        seed_history(store, 6, seconds=1.0)
+        trend = store.trend(store.keys()[0], last=5)
+        assert trend.baseline_median == pytest.approx(1.0)
+        assert not trend.flagged
+
+    def test_keys_trend_independently(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        seed_history(store, 4, seconds=1.0, name="steady")
+        seed_history(store, 3, seconds=1.0, name="jumpy")
+        store.add_run(manifest_for(name="jumpy"), seconds=5.0)
+        flagged = {t.key: t.flagged for t in store.trends()}
+        assert [flag for key, flag in flagged.items()
+                if key.startswith("steady")] == [False]
+        assert [flag for key, flag in flagged.items()
+                if key.startswith("jumpy")] == [True]
+
+
+class TestRendering:
+    def test_list_show_and_trend_views(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        run_id = store.add_run(
+            manifest_for(),
+            metrics=metrics_for(),
+            span_profile={
+                "span_count": 2,
+                "total_seconds": 1.0,
+                "kinds": {
+                    "mgl": {
+                        "count": 1, "total_seconds": 1.0, "self_seconds": 0.9,
+                    }
+                },
+            },
+            seconds=1.25,
+        )
+        listing = render_runs_list(store)
+        assert "1 runs, 1 keys" in listing
+        assert "unit@100/" in listing
+
+        detail = render_run_detail(store, run_id)
+        assert f"run {run_id} (run):" in detail
+        assert "counters.insertions_evaluated: 1000" in detail
+        assert "span profile: 2 spans" in detail
+        assert "manifest.json" in detail
+
+        assert "not found" in render_run_detail(store, "999999")
+
+    def test_trend_table_marks_drift_with_reason(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        seed_history(store, 3, seconds=1.0)
+        store.add_run(manifest_for(), seconds=2.0)
+        table = render_trends(store.trends())
+        assert "DRIFT" in table
+        assert "wall time 2.000s" in table
+        assert render_trends([]) == "no keys in store"

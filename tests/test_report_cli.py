@@ -254,3 +254,214 @@ class TestRunDirPrometheus:
         out = capsys.readouterr().out
         assert "autotune:" in out
         assert "batches" in out
+
+
+class TestSampledTraceCli:
+    def test_sample_every_lands_in_manifest_and_shrinks_trace(
+        self, design_file, tmp_path
+    ):
+        full_dir = run_legalize(design_file, tmp_path, "full")
+        thin_dir = run_legalize(
+            design_file, tmp_path, "thin", "--sample-every", "4"
+        )
+        full_manifest = json.loads((full_dir / "manifest.json").read_text())
+        thin_manifest = json.loads((thin_dir / "manifest.json").read_text())
+        assert full_manifest["trace_sample_every"] == 1
+        assert thin_manifest["trace_sample_every"] == 4
+        # Sampling is observational: the placement hash never moves.
+        assert (
+            thin_manifest["placement_hash"]
+            == full_manifest["placement_hash"]
+        )
+        full_lines = (full_dir / "trace.jsonl").read_text().count("\n")
+        thin_lines = (thin_dir / "trace.jsonl").read_text().count("\n")
+        assert 0 < thin_lines < full_lines
+
+    def test_span_profile_artifacts_written(self, design_file, tmp_path):
+        run_dir = run_legalize(design_file, tmp_path, "prof")
+        profile = json.loads((run_dir / "span_profile.json").read_text())
+        assert profile["span_count"] > 0
+        assert "mgl" in profile["kinds"]
+        collapsed = (run_dir / "profile.collapsed").read_text()
+        assert collapsed.startswith("legalize")
+        for line in collapsed.strip().split("\n"):
+            stack, value = line.rsplit(" ", 1)
+            assert int(value) >= 1
+
+
+class TestProgressCli:
+    def test_progress_jsonl_stream(self, design_file, tmp_path):
+        stream_path = tmp_path / "progress.jsonl"
+        code = main([
+            "legalize", str(design_file), "-o", str(tmp_path / "p.pl"),
+            "--no-routability", "--progress", str(stream_path),
+        ])
+        assert code == 0
+        events = [
+            json.loads(line)
+            for line in stream_path.read_text().strip().split("\n")
+        ]
+        phases = [e["phase"] for e in events if e["event"] == "phase"]
+        assert phases[0] == "mgl" and phases[-1] == "done"
+        finals = [
+            e for e in events
+            if e["event"] == "cells" and e["placed"] == e["total"]
+        ]
+        assert finals
+
+    def test_progress_does_not_change_the_placement(
+        self, design_file, tmp_path
+    ):
+        quiet = tmp_path / "quiet.pl"
+        loud = tmp_path / "loud.pl"
+        assert main([
+            "legalize", str(design_file), "-o", str(quiet),
+            "--no-routability",
+        ]) == 0
+        assert main([
+            "legalize", str(design_file), "-o", str(loud),
+            "--no-routability",
+            "--progress", str(tmp_path / "events.jsonl"),
+            "--sample-every", "8",
+        ]) == 0
+        assert quiet.read_text() == loud.read_text()
+
+    def test_progress_to_stderr_renders_lines(
+        self, design_file, tmp_path, capsys
+    ):
+        assert main([
+            "legalize", str(design_file), "-o", str(tmp_path / "p.pl"),
+            "--no-routability", "--progress",
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "phase mgl" in err and "phase done" in err
+
+
+class TestRunsCli:
+    def legalize_into_store(self, design_file, tmp_path, store):
+        return main([
+            "legalize", str(design_file), "-o", str(tmp_path / "out.pl"),
+            "--no-routability", "--store", str(store),
+        ])
+
+    def test_store_list_show_trend_round_trip(
+        self, design_file, tmp_path, capsys
+    ):
+        store = tmp_path / "store"
+        assert self.legalize_into_store(design_file, tmp_path, store) == 0
+        capsys.readouterr()
+
+        assert main(["runs", "--store", str(store), "list"]) == 0
+        listing = capsys.readouterr().out
+        assert "1 runs, 1 keys" in listing
+        assert "obsdesign@" in listing
+
+        assert main([
+            "runs", "--store", str(store), "show", "000001",
+        ]) == 0
+        detail = capsys.readouterr().out
+        assert "run 000001 (run):" in detail
+        assert "counters.insertions_evaluated" in detail
+        assert "span profile:" in detail
+
+        assert main(["runs", "--store", str(store), "trend"]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_trend_exits_nonzero_on_injected_regression(
+        self, design_file, tmp_path, capsys
+    ):
+        store = tmp_path / "store"
+        for _ in range(3):
+            assert (
+                self.legalize_into_store(design_file, tmp_path, store) == 0
+            )
+        # Rewrite the history with measurable wall times and inject a
+        # slow run: `repro runs trend` must flag it and exit 1.  (The
+        # real runs finish in milliseconds, below the gate's
+        # min_seconds noise floor.)
+        index_path = store / "index.json"
+        payload = json.loads(index_path.read_text())
+        for record, seconds in zip(payload["runs"], (1.0, 1.02, 0.98)):
+            record["seconds"] = seconds
+        slow = dict(payload["runs"][-1])
+        slow["id"] = "000099"
+        slow["seconds"] = 60.0
+        payload["runs"].append(slow)
+        index_path.write_text(json.dumps(payload))
+        capsys.readouterr()
+        assert main(["runs", "--store", str(store), "trend"]) == 1
+        out = capsys.readouterr().out
+        assert "DRIFT" in out and "wall time 60.000s" in out
+
+    def test_show_unknown_id_fails(self, tmp_path, capsys):
+        store = tmp_path / "empty-store"
+        assert main(["runs", "--store", str(store), "show", "000001"]) == 1
+        assert "not found" in capsys.readouterr().out
+
+    def test_trend_on_empty_store_is_clean(self, tmp_path, capsys):
+        assert main([
+            "runs", "--store", str(tmp_path / "nothing"), "trend",
+        ]) == 0
+        assert "empty" in capsys.readouterr().out
+
+
+class TestReportProfileFlag:
+    def test_single_run_profile_rendering(
+        self, design_file, tmp_path, capsys
+    ):
+        run_dir = run_legalize(design_file, tmp_path, "prof_a")
+        assert main(["report", str(run_dir), "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "span profile:" in out
+        assert "kind" in out and "self(s)" in out
+
+    def test_profile_diff_between_two_runs(
+        self, design_file, tmp_path, capsys
+    ):
+        run_a = run_legalize(design_file, tmp_path, "diff_a")
+        run_b = run_legalize(
+            design_file, tmp_path, "diff_b", "--sample-every", "6"
+        )
+        assert main([
+            "report", str(run_a), str(run_b), "--profile",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "span profile delta (after - before):" in out
+        # Sampling drops per-cell spans, so the count delta is negative.
+        assert "window" in out
+
+    def test_prometheus_deltas_render_in_diff(
+        self, design_file, tmp_path, capsys
+    ):
+        run_a = run_legalize(design_file, tmp_path, "prom_a")
+        run_b = run_legalize(design_file, tmp_path, "prom_b")
+        assert main(["report", str(run_a), str(run_b)]) == 0
+        out = capsys.readouterr().out
+        assert "prometheus series deltas (metrics.prom)" in out
+
+    def test_profile_flag_without_artifacts_fails(self, tmp_path, capsys):
+        bare = tmp_path / "bare"
+        bare.mkdir()
+        (bare / "manifest.json").write_text(json.dumps({
+            "design": {"name": "x", "cells": 1}, "params": {},
+        }))
+        assert main(["report", str(bare), "--profile"]) == 1
+
+
+class TestJsonLogFormatCli:
+    def test_legalize_diagnostics_as_json_lines(
+        self, design_file, tmp_path, capsys
+    ):
+        assert main([
+            "--log-format", "json",
+            "legalize", str(design_file), "-o", str(tmp_path / "p.pl"),
+            "--no-routability",
+        ]) == 0
+        err_lines = [
+            line for line in capsys.readouterr().err.strip().split("\n")
+            if line
+        ]
+        records = [json.loads(line) for line in err_lines]
+        assert all({"level", "logger", "message"} <= set(r)
+                   for r in records)
+        assert any("placement written" in r["message"] for r in records)
