@@ -1,0 +1,12 @@
+"""Fixture: unstable array sorts in an ordering-sensitive module (A001)."""
+
+import numpy as np
+
+
+def rank(values):
+    order = np.argsort(values)              # no kind: unstable introsort
+    np.sort(values)                         # same, expression position
+    idx = np.searchsorted(values, 3.0)      # implicit tie-break side
+    arr = np.zeros(4)
+    arr.sort()                              # ndarray receiver, proven by flow
+    return order, idx, arr

@@ -1,0 +1,13 @@
+"""Fixture: pinned sort kinds and sides; list.sort is stable (A001 clean)."""
+
+import numpy as np
+
+
+def rank(values):
+    order = np.argsort(values, kind="stable")
+    idx = np.searchsorted(values, 3.0, side="left")
+    items = list(values)
+    items.sort()                            # Python list sort: stable
+    arr = np.zeros(4)
+    arr.sort(kind="stable")
+    return order, idx, items, arr

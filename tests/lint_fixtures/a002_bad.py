@@ -1,0 +1,11 @@
+"""Fixture: float32/float64 mixing in a float-sensitive module (A002)."""
+
+import numpy as np
+
+
+def widths(sites):
+    narrow = np.zeros(4, dtype=np.float32)
+    wide = np.asarray(sites, dtype=np.float64)
+    span = narrow + wide                    # mixed-precision add
+    gap = wide - narrow                     # mixed-precision subtract
+    return span, gap

@@ -1,0 +1,12 @@
+"""Fixture: single-precision-consistent arithmetic (A002 clean)."""
+
+import numpy as np
+
+
+def widths(sites):
+    wide = np.asarray(sites, dtype=np.float64)
+    also = np.ones(4)                       # default float64
+    span = wide + also
+    narrow = np.zeros(4, dtype=np.float32)
+    scaled = narrow * np.float32(2.0)       # f32 * f32: no promotion
+    return span, scaled

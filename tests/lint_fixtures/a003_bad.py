@@ -1,0 +1,14 @@
+"""Fixture: axis-dependent float reductions feeding selection keys (A003)."""
+
+import heapq
+
+import numpy as np
+
+
+def pick(grid):
+    totals = np.sum(grid, axis=0)           # fold order follows layout
+    best = np.argmin(totals)                # selection over the reduction
+    order = sorted(range(4), key=lambda i: totals[i])
+    heap = []
+    heapq.heappush(heap, (float(totals[0]), 0))
+    return best, order, heap

@@ -1,0 +1,16 @@
+"""Fixture: exact integer/bool reductions in selection keys (A003 clean)."""
+
+import heapq
+
+import numpy as np
+
+
+def pick(costs):
+    hits = np.zeros((4, 4), dtype=np.int64)
+    mask = hits > 0
+    counts = np.sum(mask, axis=0)           # bool sum is exact
+    best = np.argmin(counts)
+    order = sorted(range(4), key=lambda i: float(costs[i]))
+    heap = []
+    heapq.heappush(heap, (int(counts[0]), 0))
+    return best, order, heap

@@ -1,0 +1,56 @@
+"""Fixture: trial-path protected mutations with no restore (E001).
+
+The ``Occupancy`` here stands in for the real one; per-test configs
+list it under ``mutation-protected`` and this directory under
+``trial-modules``.  ``commit_moves`` is only judged when a test also
+declares it in ``mutation-commits`` (atomicity check).
+"""
+
+
+class Occupancy:
+    def __init__(self):
+        self.rows = {}
+
+    def add(self, cell):
+        self.rows[cell] = True
+
+    def remove(self, cell):
+        self.rows.pop(cell, None)
+
+
+def probe(cell):
+    if cell < 0:
+        raise ValueError("bad cell")
+    return cell * 2
+
+
+class Shuffler:
+    def __init__(self, occupancy):
+        self.occupancy = occupancy
+
+    def trial(self, cell):
+        self.occupancy.add(cell)        # shared receiver, probe may raise
+        cost = probe(cell)
+        self.occupancy.remove(cell)     # unreached when probe raises
+        return cost
+
+
+def helper_trial(occupancy, cell):
+    occupancy.add(cell)                 # param receiver: judged at call sites
+    return probe(cell)
+
+
+class Driver:
+    def __init__(self):
+        self.occupancy = Occupancy()
+
+    def run(self, cell):
+        return helper_trial(self.occupancy, cell)   # shared state passed in
+
+
+def commit_moves(occupancy, moves):
+    for cell in moves:
+        occupancy.add(cell)
+    if not moves:
+        raise ValueError("empty commit")            # raise after mutations
+    return len(moves)

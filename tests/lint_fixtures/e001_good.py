@@ -1,0 +1,60 @@
+"""Fixture: every sanctioned trial-mutation pattern (E001 clean).
+
+Fresh-object discard, journal rollback, try/finally restore, and a
+call site passing a fresh receiver into a param-mutating helper.
+"""
+
+
+class Occupancy:
+    def __init__(self):
+        self.rows = {}
+        self.journal = None
+
+    def add(self, cell):
+        self.rows[cell] = True
+
+    def restore(self, cell):
+        self.rows.pop(cell, None)
+
+    def set_journal(self, journal):
+        self.journal = journal
+
+
+def probe(cell):
+    if cell < 0:
+        raise ValueError("bad cell")
+    return cell * 2
+
+
+def trial_fresh(cell):
+    occupancy = Occupancy()             # discarded with the frame on raise
+    occupancy.add(cell)
+    return probe(cell)
+
+
+def trial_journaled(occupancy, journal, cell):
+    occupancy.set_journal(journal)      # delta log can roll back
+    occupancy.add(cell)
+    return probe(cell)
+
+
+class Keeper:
+    def __init__(self):
+        self.occupancy = Occupancy()
+
+    def trial_restored(self, cell):
+        try:
+            self.occupancy.add(cell)
+            return probe(cell)
+        finally:
+            self.occupancy.restore(cell)
+
+
+def helper_trial(occupancy, cell):
+    occupancy.add(cell)                 # param receiver: judged at call sites
+    return probe(cell)
+
+
+def run_fresh(cell):
+    occupancy = Occupancy()
+    return helper_trial(occupancy, cell)

@@ -1,0 +1,21 @@
+"""Fixture: non-canonical worker pipe payloads (P001)."""
+
+import json
+
+_CACHE = {}
+
+
+def tally(results):
+    for key, value in results:          # writes shared module state
+        _CACHE[key] = _CACHE.get(key, 0) + value
+    return _CACHE
+
+
+def worker_loop(conn, design):
+    results = []
+    conn.send("ready")                              # not a tuple
+    conn.send((1, results))                         # no string tag
+    conn.send(("stats", {name for name in design})) # set comprehension
+    conn.send(("totals", tally(results)))           # impure builder
+    blob = json.dumps({"cells": len(design)})       # unsorted serialization
+    return blob

@@ -1,0 +1,19 @@
+"""Fixture: canonical worker pipe payloads (P001 clean)."""
+
+import json
+
+
+def build_stats(design):
+    names = sorted(design)
+    return [(name, len(name)) for name in names]
+
+
+def worker_loop(conn, design):
+    results = []
+    for name in sorted(design):
+        results.append((name, len(name)))
+    conn.send(("ready",))
+    conn.send(("stats", build_stats(design)))       # pure builder
+    conn.send(("results", results, len(results)))   # canonical accumulator
+    blob = json.dumps({"cells": len(design)}, sort_keys=True)
+    conn.send(("blob", blob))

@@ -42,8 +42,11 @@ FIXTURE_CONFIG = LintConfig(
     float_sensitive=(FIXTURES,),
     algorithm_modules=(FIXTURES,),
     scheduler_modules=(FIXTURES,),
+    trial_modules=(FIXTURES,),
+    pipe_modules=(FIXTURES,),
     pure_contracts=(),
     mutation_protected=(),
+    mutation_commits=(),
 )
 
 
@@ -237,6 +240,98 @@ def test_m001_good_fixture_clean():
 def test_m001_home_module_is_exempt():
     # The Store's own methods write its internals freely.
     assert lint_fixture("m001_shared.py", M001_CONFIG) == []
+
+
+def test_a001_bad_fixture_detected():
+    violations = [v for v in lint_fixture("a001_bad.py") if v.rule == "A001"]
+    # np.argsort without kind, np.sort without kind, searchsorted
+    # without side, ndarray .sort() without kind.
+    assert len(violations) == 4
+    assert {v.line for v in violations} == {7, 8, 9, 11}
+
+
+def test_a001_good_fixture_clean():
+    assert lint_fixture("a001_good.py") == []
+
+
+def test_a002_bad_fixture_detected():
+    violations = [v for v in lint_fixture("a002_bad.py") if v.rule == "A002"]
+    # float32 + float64 add and subtract on flow-tracked arrays.
+    assert len(violations) == 2
+    assert {v.line for v in violations} == {9, 10}
+
+
+def test_a002_good_fixture_clean():
+    assert lint_fixture("a002_good.py") == []
+
+
+def test_a003_bad_fixture_detected():
+    violations = [v for v in lint_fixture("a003_bad.py") if v.rule == "A003"]
+    # argmin over an axis reduction, sorted() keyed on it, and the
+    # reduction value pushed into a heap item.
+    assert len(violations) == 3
+    assert {v.line for v in violations} == {10, 11, 13}
+
+
+def test_a003_good_fixture_clean():
+    # Integer/bool reductions are exact regardless of axis order and
+    # must not taint the selection.
+    assert lint_fixture("a003_good.py") == []
+
+
+E001_CONFIG = replace(
+    FIXTURE_CONFIG,
+    mutation_protected=("tests.lint_fixtures.e001_bad.Occupancy",),
+)
+
+
+def test_e001_bad_fixture_detected():
+    violations = [
+        v for v in lint_fixture("e001_bad.py", E001_CONFIG)
+        if v.rule == "E001"
+    ]
+    # Two direct trial-path mutations on shared occupancy plus the
+    # call-site violation where run() passes its shared instance into
+    # the mutating helper.
+    assert len(violations) == 3
+    assert {v.line for v in violations} == {32, 34, 48}
+
+
+def test_e001_commit_atomicity_detected():
+    config = replace(
+        E001_CONFIG,
+        mutation_commits=("tests.lint_fixtures.e001_bad.commit_moves",),
+    )
+    violations = [
+        v for v in lint_fixture("e001_bad.py", config) if v.rule == "E001"
+    ]
+    # The declared commit function raises after its first mutation: one
+    # extra atomicity finding on top of the three trial-path ones.
+    assert len(violations) == 4
+    atomicity = [v for v in violations if "exit exceptionally" in v.message]
+    assert len(atomicity) == 1 and atomicity[0].line == 53
+
+
+def test_e001_good_fixture_clean():
+    config = replace(
+        FIXTURE_CONFIG,
+        mutation_protected=("tests.lint_fixtures.e001_good.Occupancy",),
+    )
+    # Fresh receivers, journaled mutation, try/finally restore, and a
+    # fresh instance passed into the shared helper all stay silent.
+    assert lint_fixture("e001_good.py", config) == []
+
+
+def test_p001_bad_fixture_detected():
+    violations = [v for v in lint_fixture("p001_bad.py") if v.rule == "P001"]
+    # Non-tuple payload, missing string tag, set-comprehension element,
+    # impure builder, and json.dumps without sort_keys.
+    assert len(violations) == 5
+    assert {v.line for v in violations} == {16, 17, 18, 19, 20}
+
+
+def test_p001_good_fixture_clean():
+    assert lint_fixture("p001_good.py") == []
 
 
 # ----------------------------------------------------------------------
@@ -542,6 +637,73 @@ def test_cache_corrupt_file_is_ignored(tmp_path):
     assert warm.stats.cache_mode == "warm"
 
 
+def test_cache_family_granular_invalidation(tmp_path):
+    """Changing only one family's config fields re-runs just that
+    family; everything else replays from the cached entries."""
+    _write_cross_module_tree(tmp_path, _PURE_HELPER)
+    cache = tmp_path / "cache.json"
+    lint(tmp_path, ["."], _CACHE_CONFIG, cache_path=cache)
+
+    # trial-modules belongs to the E family alone.
+    config = replace(_CACHE_CONFIG, trial_modules=("libb.py",))
+    result = lint(tmp_path, ["."], config, cache_path=cache)
+    assert result.stats.cache_mode == "partial"
+    assert result.stats.families_rerun == ["E"]
+    assert result.stats.files_replayed == 3
+    # Identical findings to a cacheless run under the new config.
+    assert result.violations == run_lint(tmp_path, ["."], config)
+
+
+def test_cache_family_replay_carries_other_families_findings(tmp_path):
+    """A cached D-finding must survive an E-family-only config change —
+    replayed, not recomputed, and never dropped."""
+    _write_cross_module_tree(tmp_path, _PURE_HELPER)
+    (tmp_path / "libc.py").write_text(
+        "import random\n\nVALUE = random.randint(0, 9)\n"
+    )
+    base = replace(_CACHE_CONFIG, algorithm_modules=("libc.py",))
+    cache = tmp_path / "cache.json"
+    cold = lint(tmp_path, ["."], base, cache_path=cache)
+    assert [v.rule for v in cold.violations] == ["D001"]
+
+    config = replace(base, trial_modules=("libb.py",))
+    result = lint(tmp_path, ["."], config, cache_path=cache)
+    assert result.stats.families_rerun == ["E"]
+    assert result.violations == cold.violations
+
+
+def test_cache_base_field_change_disables_family_replay(tmp_path):
+    """``exclude`` is shared by every rule: changing it must degrade to
+    a full re-run, not a family-granular one."""
+    _write_cross_module_tree(tmp_path, _PURE_HELPER)
+    cache = tmp_path / "cache.json"
+    lint(tmp_path, ["."], _CACHE_CONFIG, cache_path=cache)
+
+    config = replace(_CACHE_CONFIG, exclude=("nothing_matches/",))
+    result = lint(tmp_path, ["."], config, cache_path=cache)
+    assert result.stats.families_rerun == []
+    assert result.stats.files_replayed == 0
+
+
+def test_family_rerun_beats_half_of_cold_on_real_tree(tmp_path):
+    """Acceptance criterion: a config edit touching one family's fields
+    re-lints the full tree in under half the cold wall time, with
+    findings identical to a cold run under the changed config."""
+    config = load_config(REPO_ROOT)
+    cache = tmp_path / "cache.json"
+    targets = ["src", "tests", "benchmarks", "tools"]
+    cold = lint(REPO_ROOT, targets, config, cache_path=cache)
+
+    changed = replace(
+        config, trial_modules=config.trial_modules + ("src/repro/gp/",)
+    )
+    partial = lint(REPO_ROOT, targets, changed, cache_path=cache)
+    assert partial.stats.cache_mode == "partial"
+    assert partial.stats.families_rerun == ["E"]
+    assert partial.stats.wall_seconds < 0.5 * cold.stats.wall_seconds
+    assert partial.violations == cold.violations == []
+
+
 def test_warm_cache_halves_full_tree_wall_time(tmp_path):
     """Acceptance criterion: warm rerun < half the cold wall time, with
     identical findings."""
@@ -566,9 +728,27 @@ def test_cli_exit_codes(capsys):
     assert lint_main(["--list-rules"]) == 0
     out = capsys.readouterr().out
     for code in (
-        "D001", "D002", "D003", "D004", "D005", "C001", "C002", "M001"
+        "D001", "D002", "D003", "D004", "D005", "C001", "C002", "M001",
+        "A001", "A002", "A003", "E001", "P001",
     ):
         assert code in out
+    assert len(all_rules()) == 13
+
+
+def test_cli_internal_error_exits_2(tmp_path, capsys, monkeypatch):
+    """An analyzer crash is exit 2, never 0 (clean) or 1 (findings)."""
+    import tools.repro_lint.cli as cli_module
+
+    def boom(*args, **kwargs):
+        raise RuntimeError("dataflow engine exploded")
+
+    monkeypatch.setattr(cli_module, "lint", boom)
+    good = tmp_path / "ok.py"
+    good.write_text("x = 1\n")
+    assert lint_main(["--root", str(tmp_path), "ok.py"]) == 2
+    err = capsys.readouterr().err
+    assert "internal analyzer error" in err
+    assert "dataflow engine exploded" in err
 
 
 def test_cli_nonzero_on_violation(tmp_path, capsys):

@@ -1,0 +1,71 @@
+"""Ordering audit of every numpy sort/search site in ``src/repro``.
+
+The A001 rule is scoped to ``ordering-sensitive`` modules in the
+checked-in config; this suite widens the scope to the *whole* package
+and asserts the audit stays clean, so an unpinned ``np.argsort`` (or a
+``searchsorted`` without ``side=``) anywhere in ``src/repro`` fails
+here even if its module never joins the configured scope.  The
+behavioral locks pin down the numpy semantics the audited sites rely
+on (tie order under ``kind="stable"``, duplicate bracketing under
+``side=``), so a numpy upgrade that changed them would be caught
+directly rather than as a mysterious placement diff.
+"""
+
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from tools.repro_lint.config import load_config  # noqa: E402
+from tools.repro_lint.engine import build_project, collect_files  # noqa: E402
+from tools.repro_lint.rules.arrays import UnstableArraySortRule  # noqa: E402
+
+
+def test_every_numpy_sort_site_in_package_is_order_pinned():
+    config = replace(
+        load_config(REPO_ROOT), ordering_sensitive=("src/repro/",)
+    )
+    files = collect_files(REPO_ROOT, ["src"], config)
+    project, errors = build_project(REPO_ROOT, files)
+    assert errors == []
+    rule = UnstableArraySortRule()
+    findings = []
+    for source in project.files:
+        findings.extend(rule.check_file(source, project, config))
+    assert findings == [], "\n".join(v.render() for v in findings)
+
+
+def test_gp_spreading_order_is_explicitly_stable():
+    # The audit's one gp-side sort: candidate spreading order in the
+    # quadratic placer must stay kind="stable" (it keys on float costs
+    # with frequent ties across symmetric cells).
+    quadratic = (REPO_ROOT / "src/repro/gp/quadratic.py").read_text(
+        encoding="utf-8"
+    )
+    assert 'kind="stable"' in quadratic
+
+
+def test_stable_argsort_preserves_tie_order():
+    keys = np.array([2.0, 1.0, 2.0, 1.0, 1.0])
+    assert list(np.argsort(keys, kind="stable")) == [1, 3, 4, 0, 2]
+    # And on a tie-heavy array the stable order equals the Python
+    # (key, index) tiebreak — the definition the legalizer relies on.
+    ties = (np.arange(64) % 4).astype(float)
+    expected = sorted(range(64), key=lambda i: (ties[i], i))
+    assert list(np.argsort(ties, kind="stable")) == expected
+
+
+def test_searchsorted_sides_bracket_duplicates():
+    xs = np.array([0.0, 1.0, 1.0, 1.0, 2.0])
+    # side="left": first admissible slot; side="right": one past the
+    # last — the pair the segment-window and curve lookups depend on.
+    assert int(np.searchsorted(xs, 1.0, side="left")) == 1
+    assert int(np.searchsorted(xs, 1.0, side="right")) == 4
+    assert int(np.searchsorted(xs, 0.5, side="left")) == int(
+        np.searchsorted(xs, 0.5, side="right")
+    ) == 1

@@ -22,6 +22,14 @@ Two replay tiers:
   file regardless), but rules re-run only for files whose dependency
   digest changed; the rest replay.
 
+Config invalidation is **family-granular**: alongside the full config
+digest the cache stores a *base* digest (fields every rule shares,
+i.e. ``exclude``) and one digest per rule family
+(:data:`~tools.repro_lint.config.FAMILY_FIELDS`).  When only one
+family's scoping changed — say ``trial-modules`` — unchanged files
+replay every other family's findings and re-run just the E-series
+rules, instead of degrading to a cold run.
+
 Cached findings are post-suppression, so replay is exactly what a cold
 run would print.  A missing, corrupt, or version-mismatched cache file
 degrades to a cold run.
@@ -33,11 +41,11 @@ import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Set
 
 from tools.repro_lint.violations import Violation
 
-CACHE_VERSION = 2
+CACHE_VERSION = 3
 
 
 def content_hash(text: str) -> str:
@@ -65,9 +73,11 @@ class CacheEntry:
 
 @dataclass
 class LintCache:
-    """On-disk cache: config digest plus one entry per scanned file."""
+    """On-disk cache: config digests plus one entry per scanned file."""
 
     config_digest: str = ""
+    base_digest: str = ""
+    family_digests: Dict[str, str] = field(default_factory=dict)
     entries: Dict[str, CacheEntry] = field(default_factory=dict)
 
     @classmethod
@@ -80,9 +90,21 @@ class LintCache:
             return None
         raw_entries = data.get("files")
         digest = data.get("config")
+        base = data.get("base")
+        families = data.get("families")
         if not isinstance(raw_entries, dict) or not isinstance(digest, str):
             return None
-        cache = cls(config_digest=digest)
+        if not isinstance(base, str) or not isinstance(families, dict):
+            return None
+        if not all(
+            isinstance(k, str) and isinstance(v, str)
+            for k, v in families.items()
+        ):
+            return None
+        cache = cls(
+            config_digest=digest, base_digest=base,
+            family_digests=dict(families),
+        )
         try:
             for rel_path, raw in raw_entries.items():
                 cache.entries[rel_path] = CacheEntry(
@@ -102,6 +124,8 @@ class LintCache:
         data = {
             "version": CACHE_VERSION,
             "config": self.config_digest,
+            "base": self.base_digest,
+            "families": dict(sorted(self.family_digests.items())),
             "files": {
                 rel_path: {
                     "content": entry.content,
@@ -147,7 +171,36 @@ class LintCache:
         """Entry for ``rel_path`` if its digests still match, else None."""
         if self.config_digest != config_digest:
             return None
+        return self.entry_for(rel_path, content, deps)
+
+    def entry_for(
+        self, rel_path: str, content: str, deps: str
+    ) -> Optional[CacheEntry]:
+        """Content/deps-matched entry, ignoring the config digests.
+
+        Callers doing family-granular replay have already decided which
+        families the entry may speak for.
+        """
         entry = self.entries.get(rel_path)
         if entry is None or entry.content != content or entry.deps != deps:
             return None
         return entry
+
+    def changed_families(
+        self, base_digest: str, family_digests: Dict[str, str]
+    ) -> Optional[Set[str]]:
+        """Families whose config fields changed since this cache.
+
+        Returns ``None`` when family-granular replay is impossible (base
+        fields changed, or the cache predates family digests); an empty
+        set means the config is identical at family granularity.
+        Families present on only one side count as changed.
+        """
+        if self.base_digest != base_digest or not self.family_digests:
+            return None
+        changed = {
+            family
+            for family in set(self.family_digests) | set(family_digests)
+            if self.family_digests.get(family) != family_digests.get(family)
+        }
+        return changed

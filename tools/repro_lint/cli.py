@@ -1,4 +1,12 @@
-"""Command-line entry point: ``python -m tools.repro_lint src tests ...``."""
+"""Command-line entry point: ``python -m tools.repro_lint src tests ...``.
+
+Exit codes: 0 clean, 1 findings (or sanitizer divergence), 2 internal
+error — a broken analyzer, bad baseline, or missing target, so CI can
+tell a dirty tree from a broken tool.
+
+``python -m tools.repro_lint sanitize ...`` dispatches to the runtime
+determinism sanitizer (:mod:`tools.repro_lint.sanitize`).
+"""
 
 from __future__ import annotations
 
@@ -21,6 +29,12 @@ DEFAULT_TARGETS = ["src", "tests", "benchmarks", "tools"]
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    args_list = list(sys.argv[1:] if argv is None else argv)
+    if args_list and args_list[0] == "sanitize":
+        from tools.repro_lint.sanitize import sanitize_main
+
+        return sanitize_main(args_list[1:])
+
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description=(
@@ -68,7 +82,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
     )
-    args = parser.parse_args(argv)
+    args = parser.parse_args(args_list)
 
     if args.list_rules:
         for rule in all_rules():
@@ -89,7 +103,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         cache_path = Path(args.cache)
         if not cache_path.is_absolute():
             cache_path = root / cache_path
-    result = lint(root, args.targets, config, cache_path=cache_path)
+    try:
+        result = lint(root, args.targets, config, cache_path=cache_path)
+    except Exception as exc:  # noqa: BLE001 - analyzer crash != findings
+        print(
+            f"repro-lint: internal analyzer error: "
+            f"{type(exc).__name__}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
     violations = result.violations
 
     if args.write_baseline:

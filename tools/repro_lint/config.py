@@ -72,6 +72,42 @@ DEFAULT_MUTATION_PROTECTED: Tuple[str, ...] = (
     "repro.core.insertion.InsertionContext",
 )
 
+#: E001: modules whose protected-state mutations must be balanced by a
+#: restore on every exit edge (the trial/rollback machinery).
+DEFAULT_TRIAL_MODULES: Tuple[str, ...] = (
+    "src/repro/core/mgl.py",
+    "src/repro/core/scheduler.py",
+    "src/repro/core/shard.py",
+    "src/repro/core/parallel.py",
+)
+
+#: E001: functions *declared* to commit accepted moves for real.  Their
+#: mutations are exempt from the restore requirement, but the rule then
+#: verifies they are atomic: no exceptional exit is reachable after the
+#: first protected mutation.
+DEFAULT_MUTATION_COMMITS: Tuple[str, ...] = (
+    "repro.core.mgl.MGLegalizer.apply_insertion",
+)
+
+#: P001: modules whose worker pipe payloads must be canonical.
+DEFAULT_PIPE_MODULES: Tuple[str, ...] = (
+    "src/repro/core/parallel.py",
+    "src/repro/core/shard.py",
+)
+
+#: Rule-family -> config fields its verdicts depend on.  The tier-2
+#: cache uses this to re-run only the families whose scoping actually
+#: changed; ``exclude`` is global, so it lives in the base digest that
+#: every family inherits.
+FAMILY_FIELDS: Dict[str, Tuple[str, ...]] = {
+    "A": ("ordering_sensitive", "float_sensitive"),
+    "C": ("scheduler_modules", "pure_contracts"),
+    "D": ("ordering_sensitive", "float_sensitive", "algorithm_modules"),
+    "E": ("trial_modules", "mutation_commits", "mutation_protected"),
+    "M": ("mutation_protected",),
+    "P": ("pipe_modules", "pure_contracts"),
+}
+
 
 @dataclass(frozen=True)
 class PureContract:
@@ -103,6 +139,9 @@ class LintConfig:
     scheduler_modules: Tuple[str, ...] = DEFAULT_SCHEDULER_MODULES
     pure_contracts: Tuple[str, ...] = DEFAULT_PURE_CONTRACTS
     mutation_protected: Tuple[str, ...] = DEFAULT_MUTATION_PROTECTED
+    trial_modules: Tuple[str, ...] = DEFAULT_TRIAL_MODULES
+    mutation_commits: Tuple[str, ...] = DEFAULT_MUTATION_COMMITS
+    pipe_modules: Tuple[str, ...] = DEFAULT_PIPE_MODULES
 
     @staticmethod
     def in_scope(rel_path: str, prefixes: Tuple[str, ...]) -> bool:
@@ -113,19 +152,44 @@ class LintConfig:
         """Parsed C002 purity contracts."""
         return tuple(PureContract.parse(spec) for spec in self.pure_contracts)
 
-    def digest(self) -> str:
-        """Stable content hash of the configuration (cache key part)."""
+    def _hash_fields(self, names: Tuple[str, ...]) -> str:
         import hashlib
 
         payload = "\x1e".join(
-            f"{name}={'|'.join(getattr(self, name))}"
-            for name in (
+            f"{name}={'|'.join(getattr(self, name))}" for name in names
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def base_digest(self) -> str:
+        """Digest of the config every rule family depends on."""
+        return self._hash_fields(("exclude",))
+
+    def family_digest(self, family: str) -> str:
+        """Digest of the fields one rule family's verdicts depend on.
+
+        Unknown families (future rules whose code letter has no entry
+        in :data:`FAMILY_FIELDS`) conservatively hash the whole config.
+        """
+        fields = FAMILY_FIELDS.get(family)
+        if fields is None:
+            return self.digest()
+        return self._hash_fields(fields)
+
+    def family_digests(self) -> Dict[str, str]:
+        return {
+            family: self.family_digest(family) for family in FAMILY_FIELDS
+        }
+
+    def digest(self) -> str:
+        """Stable content hash of the configuration (cache key part)."""
+        return self._hash_fields(
+            (
                 "exclude", "ordering_sensitive", "float_sensitive",
                 "algorithm_modules", "scheduler_modules",
                 "pure_contracts", "mutation_protected",
+                "trial_modules", "mutation_commits", "pipe_modules",
             )
         )
-        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def _load_toml(path: Path) -> Optional[Dict[str, Any]]:
@@ -168,4 +232,7 @@ def load_config(root: Path) -> LintConfig:
         mutation_protected=read(
             "mutation-protected", DEFAULT_MUTATION_PROTECTED
         ),
+        trial_modules=read("trial-modules", DEFAULT_TRIAL_MODULES),
+        mutation_commits=read("mutation-commits", DEFAULT_MUTATION_COMMITS),
+        pipe_modules=read("pipe-modules", DEFAULT_PIPE_MODULES),
     )

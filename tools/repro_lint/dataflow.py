@@ -1,0 +1,366 @@
+"""Flow-sensitive intraprocedural dataflow over statement-ordered CFGs.
+
+The taint rule (D005) walks statements in order but merges branch
+environments by fiat and cannot see exit edges.  The A/E/P rule
+families need both: branch joins (a fact must hold however control
+arrived) and explicit exit-edge modeling (a mutation is only safe when
+*every* way out of the function restores it).  This module builds a
+statement-granularity control-flow graph over the already-parsed ASTs
+and runs a generic monotone forward analysis on it.
+
+Graph model
+-----------
+
+Three synthetic nodes frame every function: ``ENTRY``, ``EXIT`` (normal
+return / fall-off-the-end), and ``RAISE_EXIT`` (an exception escaping
+the function).  Every simple statement becomes one node.  Compound
+statements contribute their header (``if``/``while``/``for`` tests bind
+or branch) plus the recursively-built bodies.
+
+Exception edges are approximated the way a linter can afford:
+
+* an explicit ``raise`` (and ``assert``) jumps to the innermost
+  enclosing handler/finally, or to ``RAISE_EXIT``;
+* every statement lexically inside a ``try`` body gets an implicit
+  exceptional edge to that try's handlers (and finally), because calls
+  inside a guarded region are guarded precisely because they may raise;
+* statements *outside* any ``try`` are not assumed to raise — without
+  that restriction every mutation would trivially reach ``RAISE_EXIT``
+  and the E-series rule would flag all code everywhere.
+
+``finally`` blocks are entered from normal completion, from ``return``,
+and from exceptional paths; their exits fan out to the corresponding
+continuations (an over-approximation of the runtime's duplicated
+finally contexts, which is the conservative direction for a monotone
+analysis).
+
+The analysis driver (:func:`analyze_forward`) is a textbook worklist
+fixpoint: clients supply the transfer function and the per-value join;
+environments are plain ``dict``s from local names to client facts.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    TypeVar,
+)
+
+ENTRY = 0
+EXIT = 1
+RAISE_EXIT = 2
+
+
+@dataclass
+class CFG:
+    """Statement-granularity control-flow graph of one function body."""
+
+    #: Node id -> statement.  Synthetic nodes (ENTRY/EXIT/RAISE_EXIT)
+    #: carry ``None``.
+    stmts: Dict[int, Optional[ast.stmt]] = field(default_factory=dict)
+    succs: Dict[int, Set[int]] = field(default_factory=dict)
+
+    def node_ids(self) -> Iterator[int]:
+        return iter(self.stmts)
+
+    def preds(self) -> Dict[int, Set[int]]:
+        result: Dict[int, Set[int]] = {node: set() for node in self.stmts}
+        for node, outs in self.succs.items():
+            for succ in outs:
+                result.setdefault(succ, set()).add(node)
+        return result
+
+    def can_reach(self, target: int) -> Set[int]:
+        """All nodes from which ``target`` is reachable (excl. target)."""
+        preds = self.preds()
+        seen: Set[int] = set()
+        stack = list(preds.get(target, ()))
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(preds.get(node, ()))
+        return seen
+
+
+@dataclass
+class _TryFrame:
+    """One enclosing ``try``: where in-body exceptions are routed."""
+
+    handler_entries: List[int] = field(default_factory=list)
+    finally_entry: Optional[int] = None
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        for node in (ENTRY, EXIT, RAISE_EXIT):
+            self.cfg.stmts[node] = None
+            self.cfg.succs[node] = set()
+        self._next_id = RAISE_EXIT + 1
+        self._loops: List[Tuple[int, List[int]]] = []  # (head, break srcs)
+        self._tries: List[_TryFrame] = []
+
+    # -- primitives ----------------------------------------------------
+    def new_node(self, stmt: ast.stmt) -> int:
+        node = self._next_id
+        self._next_id += 1
+        self.cfg.stmts[node] = stmt
+        self.cfg.succs[node] = set()
+        return node
+
+    def new_join(self) -> int:
+        """Synthetic no-op node (handler/finally entry point)."""
+        node = self._next_id
+        self._next_id += 1
+        self.cfg.stmts[node] = None
+        self.cfg.succs[node] = set()
+        return node
+
+    def edge(self, src: int, dst: int) -> None:
+        self.cfg.succs[src].add(dst)
+
+    def _connect(self, frontier: Sequence[int], dst: int) -> None:
+        for src in frontier:
+            self.edge(src, dst)
+
+    def _exception_targets(self) -> List[int]:
+        """Where an exception raised *here* goes first."""
+        for frame in reversed(self._tries):
+            targets = list(frame.handler_entries)
+            if frame.finally_entry is not None:
+                targets.append(frame.finally_entry)
+            if targets:
+                return targets
+        return [RAISE_EXIT]
+
+    def _route_exception(self, node: int) -> None:
+        for target in self._exception_targets():
+            self.edge(node, target)
+
+    # -- statement lowering --------------------------------------------
+    def build_body(
+        self, stmts: Sequence[ast.stmt], frontier: List[int]
+    ) -> List[int]:
+        """Lower ``stmts``; returns the fall-through frontier."""
+        for stmt in stmts:
+            if not frontier:
+                # Unreachable code after return/raise/break: keep
+                # lowering so facts exist, but nothing flows in.
+                frontier = []
+            frontier = self._build_stmt(stmt, frontier)
+        return frontier
+
+    def _build_stmt(
+        self, stmt: ast.stmt, frontier: List[int]
+    ) -> List[int]:
+        if isinstance(stmt, ast.If):
+            head = self.new_node(stmt)
+            self._connect(frontier, head)
+            then_out = self.build_body(stmt.body, [head])
+            else_out = self.build_body(stmt.orelse, [head])
+            return then_out + else_out
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            head = self.new_node(stmt)
+            self._connect(frontier, head)
+            breaks: List[int] = []
+            self._loops.append((head, breaks))
+            body_out = self.build_body(stmt.body, [head])
+            self._loops.pop()
+            self._connect(body_out, head)
+            else_out = self.build_body(stmt.orelse, [head])
+            return (else_out if stmt.orelse else [head]) + breaks
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            head = self.new_node(stmt)
+            self._connect(frontier, head)
+            return self.build_body(stmt.body, [head])
+        if isinstance(stmt, ast.Try):
+            return self._build_try(stmt, frontier)
+        if isinstance(stmt, (ast.Return, ast.Raise, ast.Assert)):
+            node = self.new_node(stmt)
+            self._connect(frontier, node)
+            if isinstance(stmt, ast.Return):
+                self._route_return(node)
+                return []
+            if isinstance(stmt, ast.Raise):
+                self._route_exception(node)
+                return []
+            # assert: may raise, may fall through.
+            self._route_exception(node)
+            return [node]
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            node = self.new_node(stmt)
+            self._connect(frontier, node)
+            if self._loops:
+                head, breaks = self._loops[-1]
+                if isinstance(stmt, ast.Break):
+                    breaks.append(node)
+                else:
+                    self.edge(node, head)
+            return []
+        # Simple statement (incl. nested def/class, treated opaquely).
+        node = self.new_node(stmt)
+        self._connect(frontier, node)
+        if self._tries:
+            # Anything inside a guarded region may raise into it.
+            self._route_exception(node)
+        return [node]
+
+    def _route_return(self, node: int) -> None:
+        # A return runs every enclosing finally before leaving.
+        for frame in reversed(self._tries):
+            if frame.finally_entry is not None:
+                self.edge(node, frame.finally_entry)
+                return
+        self.edge(node, EXIT)
+
+    def _build_try(self, stmt: ast.Try, frontier: List[int]) -> List[int]:
+        head = self.new_join()
+        self._connect(frontier, head)
+
+        frame = _TryFrame(
+            finally_entry=self.new_join() if stmt.finalbody else None,
+        )
+        frame.handler_entries = [self.new_join() for _ in stmt.handlers]
+
+        self._tries.append(frame)
+        body_out = self.build_body(stmt.body, [head])
+        self._tries.pop()
+
+        # try/else runs unguarded; handler bodies raise into *outer*
+        # frames (the frame is popped before either is lowered).
+        outs = list(self.build_body(stmt.orelse, body_out))
+        for handler, entry in zip(stmt.handlers, frame.handler_entries):
+            outs.extend(self.build_body(handler.body, [entry]))
+
+        if frame.finally_entry is not None:
+            self._connect(outs, frame.finally_entry)
+            finally_out = self.build_body(
+                stmt.finalbody, [frame.finally_entry]
+            )
+            exits = finally_out or [frame.finally_entry]
+            # The finally's exit continues normally, or re-propagates
+            # when it was entered exceptionally / from a return — an
+            # over-approximation of the duplicated finally contexts.
+            for src in exits:
+                self.edge(src, EXIT)
+                for target in self._exception_targets():
+                    self.edge(src, target)
+            return list(exits)
+        return outs
+
+
+def build_cfg(fn: ast.AST) -> CFG:
+    """CFG of a function (or module treated as a zero-arg function)."""
+    builder = _Builder()
+    body = getattr(fn, "body", [])
+    out = builder.build_body(list(body), [ENTRY])
+    builder._connect(out, EXIT)
+    return builder.cfg
+
+
+# ----------------------------------------------------------------------
+# Generic forward analysis
+# ----------------------------------------------------------------------
+
+Fact = TypeVar("Fact")
+Env = Dict[str, Fact]
+
+
+def join_envs(
+    a: Env[Fact],
+    b: Env[Fact],
+    join_value: Callable[[Optional[Fact], Optional[Fact]], Optional[Fact]],
+) -> Env[Fact]:
+    merged: Env[Fact] = {}
+    for name in a.keys() | b.keys():
+        value = join_value(a.get(name), b.get(name))
+        if value is not None:
+            merged[name] = value
+    return merged
+
+
+@dataclass
+class FlowResult:
+    """Fixpoint environments of one function."""
+
+    cfg: CFG
+    #: Environment *before* each node executes.
+    before: Dict[int, Dict[str, object]]
+    #: ``id(stmt)`` -> node id, for O(1) environment lookups.
+    stmt_nodes: Dict[int, int] = field(default_factory=dict)
+
+    def env_at(self, stmt: ast.stmt) -> Dict[str, object]:
+        node = self.stmt_nodes.get(id(stmt))
+        if node is None:
+            return {}
+        return self.before.get(node, {})
+
+    def node_of(self, stmt: ast.stmt) -> Optional[int]:
+        return self.stmt_nodes.get(id(stmt))
+
+
+def analyze_forward(
+    fn: ast.AST,
+    *,
+    initial: Dict[str, object],
+    transfer: Callable[[ast.stmt, Dict[str, object]], Dict[str, object]],
+    join_value: Callable[[Optional[object], Optional[object]], Optional[object]],
+    max_passes: int = 50,
+) -> FlowResult:
+    """Run a monotone forward analysis to fixpoint over ``fn``'s CFG.
+
+    ``transfer`` receives the statement and the entry environment and
+    returns the exit environment (it must not mutate its input).
+    ``join_value`` merges facts at control-flow joins; either side may
+    be ``None`` (the name is unbound on that path).  ``max_passes``
+    bounds worklist iterations per node so a non-monotone client cannot
+    loop forever.
+    """
+    cfg = build_cfg(fn)
+    before: Dict[int, Dict[str, object]] = {ENTRY: dict(initial)}
+    visits: Dict[int, int] = {}
+    worklist: List[int] = [ENTRY]
+    while worklist:
+        node = worklist.pop(0)
+        if visits.get(node, 0) >= max_passes:
+            continue
+        visits[node] = visits.get(node, 0) + 1
+        env = before.get(node, {})
+        stmt = cfg.stmts.get(node)
+        out = transfer(stmt, dict(env)) if stmt is not None else dict(env)
+        for succ in cfg.succs.get(node, ()):
+            prior = before.get(succ)
+            merged = out if prior is None else join_envs(
+                prior, out, join_value
+            )
+            if prior is None or merged != prior:
+                before[succ] = merged
+                if succ not in worklist:
+                    worklist.append(succ)
+    stmt_nodes = {
+        id(node_stmt): node
+        for node, node_stmt in cfg.stmts.items()
+        if node_stmt is not None
+    }
+    return FlowResult(cfg=cfg, before=before, stmt_nodes=stmt_nodes)
+
+
+def iter_function_defs(
+    tree: ast.Module,
+) -> Iterator[ast.FunctionDef]:
+    """Every (sync) function/method definition in the module, outermost
+    first, including nested ones."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef):
+            yield node

@@ -13,7 +13,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from tools.repro_lint.cache import (
     CacheEntry,
@@ -23,7 +23,7 @@ from tools.repro_lint.cache import (
 )
 from tools.repro_lint.config import LintConfig
 from tools.repro_lint.project import Project, SourceFile, parse_source
-from tools.repro_lint.rules import all_rules
+from tools.repro_lint.rules import Rule, all_rules
 from tools.repro_lint.violations import Violation
 
 _SKIP_DIRS = {"__pycache__", ".git", ".mypy_cache", ".pytest_cache", "build",
@@ -39,6 +39,9 @@ class LintStats:
     cache_mode: str = "disabled"  # disabled | cold | partial | warm
     wall_seconds: float = 0.0
     per_rule: Dict[str, int] = field(default_factory=dict)
+    #: Rule families re-run because only their config fields changed
+    #: (empty when the whole rule set ran or everything replayed).
+    families_rerun: List[str] = field(default_factory=list)
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -47,6 +50,7 @@ class LintStats:
             "cache_mode": self.cache_mode,
             "wall_seconds": round(self.wall_seconds, 4),
             "per_rule": dict(sorted(self.per_rule.items())),
+            "families_rerun": sorted(self.families_rerun),
         }
 
 
@@ -145,6 +149,8 @@ def lint(
     hashes = {rel: content_hash(text) for rel, text in texts.items()}
     stats.files_total = len(texts) + len(io_errors)
     config_digest = config.digest()
+    base_digest = config.base_digest()
+    family_map = config.family_digests()
 
     cache: Optional[LintCache] = None
     if cache_path is not None:
@@ -179,27 +185,62 @@ def lint(
         dep_digests[source.rel_path] = dependency_digest(closure, hashes)
 
     rules = all_rules()
-    next_cache = LintCache(config_digest=config_digest)
+
+    # Family-granular config invalidation: an entry whose content and
+    # dependency closure still match can replay the findings of every
+    # family whose config fields did not change, re-running only the
+    # changed families' rules.  ``None`` means the cache cannot speak
+    # for any family (base fields changed, or no/any-version mismatch).
+    changed_families: Optional[Set[str]] = None
+    if cache is not None:
+        if cache.config_digest == config_digest:
+            changed_families = set()
+        else:
+            changed_families = cache.changed_families(
+                base_digest, family_map
+            )
+    if changed_families:
+        stats.families_rerun = sorted(changed_families)
+
+    def _run_rules(source: SourceFile, subset: List[Rule]) -> List[Violation]:
+        found: List[Violation] = []
+        for rule in subset:
+            for violation in rule.check_file(source, project, config):
+                if source.suppressions.is_suppressed(
+                    violation.rule, violation.line
+                ):
+                    continue
+                found.append(violation)
+        return found
+
+    next_cache = LintCache(
+        config_digest=config_digest, base_digest=base_digest,
+        family_digests=family_map,
+    )
     replayed = 0
     for source in project.files:
         rel = source.rel_path
         deps = dep_digests[rel]
         entry = (
-            cache.lookup(config_digest, rel, hashes[rel], deps)
-            if cache is not None else None
+            cache.entry_for(rel, hashes[rel], deps)
+            if cache is not None and changed_families is not None
+            else None
         )
-        if entry is not None:
+        if entry is not None and not changed_families:
             file_violations = list(entry.violations)
             replayed += 1
+        elif entry is not None:
+            file_violations = [
+                v for v in entry.violations
+                if v.rule[:1] not in changed_families
+            ]
+            file_violations.extend(_run_rules(
+                source,
+                [r for r in rules if r.code[:1] in changed_families],
+            ))
+            replayed += 1
         else:
-            file_violations = []
-            for rule in rules:
-                for violation in rule.check_file(source, project, config):
-                    if source.suppressions.is_suppressed(
-                        violation.rule, violation.line
-                    ):
-                        continue
-                    file_violations.append(violation)
+            file_violations = _run_rules(source, rules)
         violations.extend(file_violations)
         next_cache.entries[rel] = CacheEntry(
             content=hashes[rel], deps=deps, violations=file_violations,

@@ -28,6 +28,11 @@ class Rule:
 
 def all_rules() -> List[Rule]:
     """Instantiate the full rule set."""
+    from tools.repro_lint.rules.arrays import (
+        MixedFloatDtypeRule,
+        ReductionOrderedKeyRule,
+        UnstableArraySortRule,
+    )
     from tools.repro_lint.rules.concurrency import SchedulerRaceRule
     from tools.repro_lint.rules.contracts import PurityContractRule
     from tools.repro_lint.rules.determinism import (
@@ -36,7 +41,9 @@ def all_rules() -> List[Rule]:
         UnseededRandomRule,
         WallClockRule,
     )
+    from tools.repro_lint.rules.exceptions import TrialMutationRule
     from tools.repro_lint.rules.mutation import SanctionedMutationRule
+    from tools.repro_lint.rules.protocol import PipeProtocolRule
     from tools.repro_lint.rules.taint import NondeterminismTaintRule
 
     classes: List[Type[Rule]] = [
@@ -48,5 +55,10 @@ def all_rules() -> List[Rule]:
         SchedulerRaceRule,
         PurityContractRule,
         SanctionedMutationRule,
+        UnstableArraySortRule,
+        MixedFloatDtypeRule,
+        ReductionOrderedKeyRule,
+        TrialMutationRule,
+        PipeProtocolRule,
     ]
     return [cls() for cls in classes]

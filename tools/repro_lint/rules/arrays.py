@@ -1,0 +1,534 @@
+"""Array-determinism rules A001-A003 (flow-sensitive).
+
+The PR 6 structure-of-arrays core moved the insertion hot path onto
+NumPy, which introduced three silent ways to break the bit-identity
+contract (docs/STATIC_ANALYSIS.md):
+
+* **A001** — order-unstable array sorts in ordering-sensitive modules:
+  ``np.argsort``/``np.sort`` default to an *unstable* introsort, so two
+  equal keys may swap between runs or platforms; every call must pin
+  ``kind="stable"``.  ``np.searchsorted`` must pin an explicit
+  ``side=`` — the default ``"left"`` is fine when written down, but an
+  implicit side is an unreviewable tie-break.  ``.sort()`` method calls
+  are flagged only when the receiver is *known to be an ndarray* via
+  the dataflow engine; Python ``list.sort`` is stable by definition.
+* **A002** — float32/float64 dtype mixing in float-sensitive modules:
+  mixed-precision arithmetic rounds at whichever operand promotes,
+  which makes results depend on array provenance instead of values.
+* **A003** — axis/shape-dependent float reductions (``sum(axis=...)``,
+  ``dot``, ``einsum``, ``cumsum`` over float data) flowing into
+  candidate-selection keys (``sorted``/``min``/``max`` keys, ``heapq``
+  pushes, ``np.argmin``/``argmax``/``argsort``): float summation order
+  follows the memory layout, so a reshape changes the fold order and
+  flips ties in the selection.  Integer/bool reductions are exact and
+  pass.
+
+All three share one forward dataflow per function: abstract values are
+small tag sets (``ndarray``/``list``/``f32``/``f64``/``intarr``/
+``boolarr``/``reduction``) joined by union at control-flow merges.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from tools.repro_lint.config import LintConfig
+from tools.repro_lint.dataflow import analyze_forward, iter_function_defs
+from tools.repro_lint.project import Project, SourceFile
+from tools.repro_lint.rules import Rule
+from tools.repro_lint.rules.determinism import ImportAliases
+from tools.repro_lint.violations import Violation
+
+Tags = FrozenSet[str]
+
+_EMPTY: Tags = frozenset()
+_NDARRAY = frozenset({"ndarray"})
+_LIST = frozenset({"list"})
+
+#: NumPy constructors returning arrays; dtype defaults to float64 when
+#: no integer-producing signature applies.
+_ARRAY_MAKERS = {
+    "array", "asarray", "ascontiguousarray", "zeros", "ones", "empty",
+    "full", "zeros_like", "ones_like", "empty_like", "full_like",
+    "linspace", "concatenate", "stack", "hstack", "vstack", "where",
+}
+_INT_MAKERS = {"arange", "argsort", "lexsort", "searchsorted", "argmin",
+               "argmax", "nonzero", "flatnonzero"}
+_FLOAT32_NAMES = {"float32", "single"}
+_FLOAT64_NAMES = {"float64", "double", "float_"}
+_INT_DTYPE_NAMES = {"int8", "int16", "int32", "int64", "intp", "uint8",
+                    "uint16", "uint32", "uint64", "bool_", "int_"}
+
+#: Reductions whose float result depends on traversal order.  Those
+#: taking ``axis=`` are order-dependent only when an axis (or a
+#: multi-dim input) is in play; ``dot``/``einsum``/``matmul``/``cumsum``
+#: always fold in layout order.
+_AXIS_REDUCTIONS = {"sum", "mean", "average", "prod", "nansum", "nanmean"}
+_ALWAYS_REDUCTIONS = {"dot", "matmul", "einsum", "cumsum", "trace", "vdot"}
+
+_SELECTION_FUNCS = {"argmin", "argmax", "argsort"}
+
+
+def _dtype_tag(expr: Optional[ast.expr], aliases: ImportAliases) -> Optional[str]:
+    """Tag for a ``dtype=`` argument expression, if recognizable."""
+    if expr is None:
+        return None
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        name = expr.value
+    else:
+        target = aliases.call_target(expr) if isinstance(
+            expr, (ast.Attribute, ast.Name)
+        ) else None
+        if target is not None and target[0].split(".")[0] == "numpy":
+            name = target[1]
+        elif isinstance(expr, ast.Attribute):
+            name = expr.attr
+        elif isinstance(expr, ast.Name):
+            name = expr.id
+        else:
+            return None
+    if name in _FLOAT32_NAMES:
+        return "f32"
+    if name in _FLOAT64_NAMES:
+        return "f64"
+    if name in _INT_DTYPE_NAMES or name in ("int", "bool"):
+        return "intarr"
+    return None
+
+
+class _ArrayFlow:
+    """Per-file tag dataflow shared by the three A rules."""
+
+    def __init__(self, source: SourceFile, config: LintConfig):
+        self.source = source
+        self.config = config
+        self.aliases = ImportAliases(source.tree)
+        self.a001: List[Violation] = []
+        self.a002: List[Violation] = []
+        self.a003: List[Violation] = []
+        self._seen: Set[Tuple[int, int, str]] = set()
+
+    # -- driver --------------------------------------------------------
+    def run(self) -> None:
+        module_fn = ast.Module(body=self.source.tree.body, type_ignores=[])
+        self._analyze_function(module_fn)
+        for fn in iter_function_defs(self.source.tree):
+            self._analyze_function(fn)
+
+    def _analyze_function(self, fn: ast.AST) -> None:
+        def transfer(stmt: ast.stmt, env: Dict[str, object]) -> Dict[str, object]:
+            return self._transfer(stmt, env)
+
+        def join(a: Optional[object], b: Optional[object]) -> Optional[object]:
+            left: Tags = a if isinstance(a, frozenset) else _EMPTY
+            right: Tags = b if isinstance(b, frozenset) else _EMPTY
+            return left | right
+
+        analyze_forward(fn, initial={}, transfer=transfer, join_value=join)
+
+    # -- transfer ------------------------------------------------------
+    def _transfer(
+        self, stmt: ast.stmt, env: Dict[str, object]
+    ) -> Dict[str, object]:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return env  # nested scopes analyzed separately
+        if isinstance(stmt, ast.Assign):
+            tags = self._eval(stmt.value, env)
+            for target in stmt.targets:
+                self._bind(target, tags, env)
+            return env
+        if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            tags = self._eval(stmt.value, env)
+            self._bind(stmt.target, tags, env)
+            return env
+        if isinstance(stmt, ast.AugAssign):
+            tags = self._eval(stmt.value, env) | self._eval(stmt.target, env)
+            self._bind(stmt.target, tags, env)
+            return env
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_tags = self._eval(stmt.iter, env)
+            # Iterating an array yields elements carrying its dtype.
+            element = iter_tags - {"ndarray", "list"}
+            self._bind(stmt.target, element, env)
+            return env
+        # Expression statements and everything else: evaluate for
+        # side-effect checks (sinks, .sort() receivers).
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                self._eval_call(node, env)
+            elif isinstance(node, (ast.BinOp, ast.Compare)):
+                self._eval(node, env)
+        return env
+
+    def _bind(self, target: ast.expr, tags: Tags, env: Dict[str, object]) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = tags
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, _EMPTY, env)
+
+    # -- expression evaluation -----------------------------------------
+    def _eval(self, expr: ast.expr, env: Dict[str, object]) -> Tags:
+        if isinstance(expr, ast.Constant):
+            if isinstance(expr.value, float):
+                return frozenset({"f64"})
+            return _EMPTY
+        if isinstance(expr, ast.Name):
+            value = env.get(expr.id)
+            return value if isinstance(value, frozenset) else _EMPTY
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr, env)
+        if isinstance(expr, ast.BinOp):
+            left = self._eval(expr.left, env)
+            right = self._eval(expr.right, env)
+            self._check_dtype_mix(expr, left, right)
+            return left | right
+        if isinstance(expr, ast.UnaryOp):
+            return self._eval(expr.operand, env)
+        if isinstance(expr, ast.Compare):
+            operands = [self._eval(expr.left, env)] + [
+                self._eval(comp, env) for comp in expr.comparators
+            ]
+            for first, second in zip(operands, operands[1:]):
+                self._check_dtype_mix(expr, first, second)
+            if any("ndarray" in tags for tags in operands):
+                return frozenset({"ndarray", "boolarr"})
+            return _EMPTY
+        if isinstance(expr, (ast.List, ast.ListComp)):
+            return _LIST
+        if isinstance(expr, ast.Subscript):
+            base = self._eval(expr.value, env)
+            # Slicing keeps the container kind; scalar indexing of an
+            # array keeps its dtype facts but drops array-ness only for
+            # plain index forms we cannot distinguish — keep all tags
+            # (over-approximation in the safe direction).
+            return base
+        if isinstance(expr, ast.IfExp):
+            return self._eval(expr.body, env) | self._eval(expr.orelse, env)
+        if isinstance(expr, ast.Attribute):
+            base = self._eval(expr.value, env)
+            if expr.attr == "T" and "ndarray" in base:
+                return base
+            return _EMPTY
+        return _EMPTY
+
+    def _eval_call(self, call: ast.Call, env: Dict[str, object]) -> Tags:
+        func = call.func
+        target = self.aliases.call_target(func)
+        kwargs = {kw.arg: kw.value for kw in call.keywords if kw.arg}
+        arg_tags = [self._eval(arg, env) for arg in call.args]
+
+        if target is not None and target[0].split(".")[0] == "numpy":
+            return self._eval_numpy_call(call, target[1], arg_tags, kwargs, env)
+
+        if isinstance(func, ast.Name):
+            if func.id in ("list", "sorted"):
+                return _LIST
+            if func.id == "float":
+                return frozenset({"f64"})
+        if isinstance(func, ast.Attribute):
+            receiver = self._eval(func.value, env)
+            return self._eval_method_call(call, func.attr, receiver, kwargs, env)
+        return _EMPTY
+
+    def _eval_numpy_call(
+        self,
+        call: ast.Call,
+        attr: str,
+        arg_tags: List[Tags],
+        kwargs: Dict[str, ast.expr],
+        env: Dict[str, object],
+    ) -> Tags:
+        dtype = _dtype_tag(kwargs.get("dtype"), self.aliases)
+        if attr in ("sort", "argsort"):
+            kind = kwargs.get("kind")
+            stable = (
+                isinstance(kind, ast.Constant)
+                and kind.value in ("stable", "mergesort")
+            )
+            if not stable and self._ordering_scope():
+                self._flag(
+                    self.a001, call,
+                    f"np.{attr} without kind=\"stable\": the default "
+                    "introsort reorders equal keys nondeterministically "
+                    "in an ordering-sensitive module",
+                )
+            self._check_selection_args(call, arg_tags)
+            return frozenset({"ndarray", "intarr" if attr == "argsort"
+                              else "f64"})
+        if attr == "searchsorted":
+            if "side" not in kwargs and self._ordering_scope():
+                self._flag(
+                    self.a001, call,
+                    "np.searchsorted without an explicit side=: pin the "
+                    "tie-break side so boundary hits are reviewable",
+                )
+            return frozenset({"ndarray", "intarr"})
+        if attr in _FLOAT32_NAMES:
+            return frozenset({"f32"})
+        if attr in _FLOAT64_NAMES:
+            return frozenset({"f64"})
+        if attr in _SELECTION_FUNCS:
+            # Before _INT_MAKERS: argmin/argmax select *over* their
+            # argument, so a reduction-tagged input matters here.
+            self._check_selection_args(call, arg_tags)
+            return frozenset({"ndarray", "intarr"})
+        if attr in _INT_MAKERS:
+            return frozenset({"ndarray", "intarr"})
+        if attr in _ARRAY_MAKERS:
+            if dtype is not None:
+                return frozenset({"ndarray", dtype})
+            inherited = _EMPTY
+            for tags in arg_tags:
+                inherited |= tags & {"f32", "intarr", "boolarr"}
+            if inherited:
+                return frozenset({"ndarray"}) | inherited
+            return frozenset({"ndarray", "f64"})
+        if attr in _AXIS_REDUCTIONS or attr in _ALWAYS_REDUCTIONS:
+            source_tags = _EMPTY
+            for tags in arg_tags:
+                source_tags |= tags
+            return self._reduction_result(
+                attr, source_tags, "axis" in kwargs
+            )
+        return _EMPTY
+
+    def _eval_method_call(
+        self,
+        call: ast.Call,
+        attr: str,
+        receiver: Tags,
+        kwargs: Dict[str, ast.expr],
+        env: Dict[str, object],
+    ) -> Tags:
+        if attr == "sort" and "ndarray" in receiver:
+            kind = kwargs.get("kind")
+            stable = (
+                isinstance(kind, ast.Constant)
+                and kind.value in ("stable", "mergesort")
+            )
+            if not stable and self._ordering_scope():
+                self._flag(
+                    self.a001, call,
+                    "ndarray.sort() without kind=\"stable\": the default "
+                    "introsort reorders equal keys nondeterministically "
+                    "in an ordering-sensitive module",
+                )
+            return _EMPTY
+        if attr == "astype":
+            dtype = _dtype_tag(
+                call.args[0] if call.args else kwargs.get("dtype"),
+                self.aliases,
+            )
+            if dtype is not None:
+                return frozenset({"ndarray", dtype}) | (
+                    receiver & {"reduction"}
+                )
+            return receiver
+        if attr == "tolist":
+            return _LIST | (receiver & {"reduction", "f32", "f64"})
+        if attr in _AXIS_REDUCTIONS or attr in _ALWAYS_REDUCTIONS:
+            return self._reduction_result(attr, receiver, "axis" in kwargs)
+        return _EMPTY
+
+    def _check_selection_args(
+        self, call: ast.Call, arg_tags: List[Tags]
+    ) -> None:
+        for tags in arg_tags:
+            if "reduction" in tags:
+                attr = call.func.attr if isinstance(
+                    call.func, ast.Attribute
+                ) else "argsort"
+                self._flag(
+                    self.a003, call,
+                    f"np.{attr} selects over an axis/shape-dependent "
+                    "float reduction: the fold order follows memory "
+                    "layout, so ties here are layout-dependent",
+                )
+
+    def _reduction_result(
+        self, attr: str, source: Tags, has_axis: bool
+    ) -> Tags:
+        exact = bool(source & {"intarr", "boolarr"}) and not (
+            source & {"f32", "f64"}
+        )
+        if exact:
+            return frozenset({"ndarray", "intarr"})
+        order_dependent = has_axis or attr in _ALWAYS_REDUCTIONS
+        tags = {"ndarray"} | (source & {"f32", "f64"} or {"f64"})
+        if order_dependent:
+            tags.add("reduction")
+        return frozenset(tags)
+
+    # -- checks --------------------------------------------------------
+    def _check_dtype_mix(self, expr: ast.expr, left: Tags, right: Tags) -> None:
+        if not self._float_scope():
+            return
+        mixed = ("f32" in left and "f32" not in right and "f64" in right) or (
+            "f32" in right and "f32" not in left and "f64" in left
+        )
+        if mixed:
+            self._flag(
+                self.a002, expr,
+                "float32/float64 mixed in arithmetic: the promotion "
+                "rounds at whichever operand widens, making results "
+                "depend on array provenance",
+            )
+
+    def check_selection_sinks(self) -> None:
+        """Second pass: reduction-tainted names reaching selection keys.
+
+        Runs D005-style sink detection, but keyed on the ``reduction``
+        tag which only the flow analysis can assign.
+        """
+        module_fn = ast.Module(body=self.source.tree.body, type_ignores=[])
+        for fn in [module_fn] + list(iter_function_defs(self.source.tree)):
+            self._sink_pass(fn)
+
+    def _sink_pass(self, fn: ast.AST) -> None:
+        tainted: Set[str] = set()
+
+        def transfer(stmt: ast.stmt, env: Dict[str, object]) -> Dict[str, object]:
+            out = self._transfer(stmt, env)
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call):
+                    self._check_sink_call(node, out, tainted)
+            return out
+
+        def join(a: Optional[object], b: Optional[object]) -> Optional[object]:
+            left: Tags = a if isinstance(a, frozenset) else _EMPTY
+            right: Tags = b if isinstance(b, frozenset) else _EMPTY
+            return left | right
+
+        analyze_forward(fn, initial={}, transfer=transfer, join_value=join)
+
+    def _check_sink_call(
+        self, call: ast.Call, env: Dict[str, object], tainted: Set[str]
+    ) -> None:
+        func = call.func
+        target = self.aliases.call_target(func)
+        # heapq.heappush(heap, item): item carries the ordering key.
+        if target is not None and target[0] == "heapq" and target[1] in (
+            "heappush", "heappushpop",
+        ):
+            if len(call.args) >= 2 and self._carries_reduction(
+                call.args[1], env
+            ):
+                self._flag(
+                    self.a003, call,
+                    "heap push key derives from an axis/shape-dependent "
+                    "float reduction: heap order becomes layout-dependent",
+                )
+            return
+        key_kw = next(
+            (kw.value for kw in call.keywords if kw.arg == "key"), None
+        )
+        is_key_sink = (
+            isinstance(func, ast.Name) and func.id in ("sorted", "min", "max")
+        ) or (isinstance(func, ast.Attribute) and func.attr == "sort")
+        if is_key_sink and key_kw is not None:
+            if self._carries_reduction(key_kw, env):
+                self._flag(
+                    self.a003, call,
+                    "selection key derives from an axis/shape-dependent "
+                    "float reduction: ties flip with memory layout",
+                )
+
+    def _carries_reduction(
+        self, expr: ast.expr, env: Dict[str, object]
+    ) -> bool:
+        if isinstance(expr, ast.Lambda):
+            shadowed = {arg.arg for arg in expr.args.args}
+            return any(
+                isinstance(node, ast.Name)
+                and node.id not in shadowed
+                and "reduction" in self._name_tags(node.id, env)
+                for node in ast.walk(expr.body)
+            )
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Name) and "reduction" in self._name_tags(
+                node.id, env
+            ):
+                return True
+            if isinstance(node, ast.Call):
+                if "reduction" in self._eval(node, env):
+                    return True
+        return False
+
+    def _name_tags(self, name: str, env: Dict[str, object]) -> Tags:
+        value = env.get(name)
+        return value if isinstance(value, frozenset) else _EMPTY
+
+    # -- plumbing ------------------------------------------------------
+    def _ordering_scope(self) -> bool:
+        return self.config.in_scope(
+            self.source.rel_path, self.config.ordering_sensitive
+        )
+
+    def _float_scope(self) -> bool:
+        return self.config.in_scope(
+            self.source.rel_path, self.config.float_sensitive
+        )
+
+    def _flag(
+        self, sink: List[Violation], node: ast.AST, message: str
+    ) -> None:
+        code = {
+            id(self.a001): "A001",
+            id(self.a002): "A002",
+            id(self.a003): "A003",
+        }[id(sink)]
+        key = (node.lineno, node.col_offset, code)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        sink.append(
+            Violation(
+                self.source.rel_path, node.lineno, node.col_offset,
+                code, message,
+            )
+        )
+
+
+def _analyze(source: SourceFile, config: LintConfig) -> _ArrayFlow:
+    flow = _ArrayFlow(source, config)
+    flow.run()
+    flow.check_selection_sinks()
+    return flow
+
+
+class UnstableArraySortRule(Rule):
+    code = "A001"
+    summary = "array sort/search without a pinned stable kind or side"
+
+    def check_file(
+        self, source: SourceFile, project: Project, config: LintConfig
+    ) -> List[Violation]:
+        if not config.in_scope(source.rel_path, config.ordering_sensitive):
+            return []
+        return _analyze(source, config).a001
+
+
+class MixedFloatDtypeRule(Rule):
+    code = "A002"
+    summary = "float32/float64 dtype mixing in geometry math"
+
+    def check_file(
+        self, source: SourceFile, project: Project, config: LintConfig
+    ) -> List[Violation]:
+        if not config.in_scope(source.rel_path, config.float_sensitive):
+            return []
+        return _analyze(source, config).a002
+
+
+class ReductionOrderedKeyRule(Rule):
+    code = "A003"
+    summary = "axis-dependent float reduction feeding a selection key"
+
+    def check_file(
+        self, source: SourceFile, project: Project, config: LintConfig
+    ) -> List[Violation]:
+        if not config.in_scope(source.rel_path, config.ordering_sensitive):
+            return []
+        return _analyze(source, config).a003

@@ -1,0 +1,733 @@
+"""Exception-safety rule E001: trial mutations must be restorable.
+
+The scheduler, shard, and parallel subsystems evaluate insertions
+against shared ``Occupancy``/``InsertionContext`` state and commit the
+winners.  A mutation that escapes on an exception path leaves the
+occupancy half-applied — and the worker-retirement machinery then bakes
+the corruption into every later answer.  **E001** enforces the repo's
+trial-mutation discipline in the configured ``trial-modules``
+(``mgl.py``/``scheduler.py``/``shard.py``/``parallel.py``): every
+mutation of a protected class (``mutation-protected`` config) must be
+sanctioned by one of
+
+* **fresh-object discard** — the receiver was constructed in this
+  function (directly, or via a builder that returns a fresh instance):
+  an escaping exception discards the object with the frame;
+* **journal rollback** — ``set_journal(...)`` with a live journal was
+  attached to the receiver on every path reaching the mutation, so the
+  delta log can replay/roll back the half-applied state;
+* **try/finally restore** — the mutation sits in a ``try`` whose
+  ``finally`` (or an except handler) touches the same receiver;
+* **declared commit point** — the enclosing function is listed in
+  ``mutation-commits``.  Commits are then held to an atomicity check:
+  no exceptional exit edge (explicit ``raise``, or a guarded-region
+  statement) may be reachable once the first mutation has run.
+
+Receivers whose origin is a *parameter* defer judgment to the call
+sites: the rule resolves calls through the project symbol table and
+evaluates the argument's freshness in the caller's own flow
+environment, propagating through at most five call layers.  A shared
+argument passed into a param-mutating trial function is flagged at the
+call site.  Functions with no scanned call sites stay silent — their
+eventual callers are outside the analyzed tree (soundness boundary,
+see docs/STATIC_ANALYSIS.md).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from tools.repro_lint.config import LintConfig
+from tools.repro_lint.dataflow import (
+    RAISE_EXIT,
+    FlowResult,
+    analyze_forward,
+    iter_function_defs,
+)
+from tools.repro_lint.project import Project, SourceFile
+from tools.repro_lint.rules import Rule
+from tools.repro_lint.symbols import FunctionInfo, ModuleSymbols
+from tools.repro_lint.violations import Violation
+
+#: Mutating methods of the protected occupancy-like classes.
+MUTATOR_METHODS = {"add", "remove", "update_x", "move", "clear", "pop",
+                   "append", "extend", "update", "insert"}
+
+_MAX_CALL_DEPTH = 5
+
+
+# Abstract receiver origins.  ``Param`` carries the positional index in
+# the enclosing function's signature (self included for methods).
+@dataclass(frozen=True)
+class Fresh:
+    cls: str = ""
+
+
+@dataclass(frozen=True)
+class Shared:
+    pass
+
+
+@dataclass(frozen=True)
+class Param:
+    index: int
+
+
+Origin = Union[Fresh, Shared, Param]
+
+
+@dataclass(frozen=True)
+class AbsVal:
+    origin: Origin
+    journaled: bool = False
+
+
+def _join_origin(a: Origin, b: Origin) -> Origin:
+    if a == b:
+        return a
+    # Any disagreement collapses to shared — the unsafe direction.
+    return Shared()
+
+
+def _join(a: Optional[object], b: Optional[object]) -> Optional[object]:
+    if not isinstance(a, AbsVal):
+        return b if isinstance(b, AbsVal) else None
+    if not isinstance(b, AbsVal):
+        # Name unbound on one path: freshness survives (the object
+        # cannot be mutated on the unbound path), journal does not.
+        return AbsVal(a.origin, False)
+    return AbsVal(_join_origin(a.origin, b.origin), a.journaled and b.journaled)
+
+
+@dataclass
+class Mutation:
+    """One protected mutation site inside a function."""
+
+    node: ast.AST
+    receiver_name: Optional[str]
+    value: AbsVal
+    in_restoring_try: bool
+
+
+@dataclass
+class FunctionSummary:
+    qname: str
+    rel_path: str
+    fn: ast.FunctionDef
+    params: List[str]
+    #: Param indexes the function mutates without a local sanction.
+    deferred: Dict[int, ast.AST] = field(default_factory=dict)
+    violations: List[Violation] = field(default_factory=list)
+
+
+class _ProjectAnalysis:
+    """Whole-project E001 pass, memoized per Project instance."""
+
+    def __init__(self, project: Project, config: LintConfig):
+        self.project = project
+        self.config = config
+        self.protected_classes = set(config.mutation_protected)
+        self.protected_basenames = {
+            qname.rsplit(".", 1)[-1] for qname in config.mutation_protected
+        }
+        self.commits = set(config.mutation_commits)
+        self.by_file: Dict[str, List[Violation]] = {}
+        self.summaries: Dict[str, FunctionSummary] = {}
+        self._fresh_makers: Dict[str, bool] = {}
+        self._run()
+
+    # -- entry ---------------------------------------------------------
+    def _run(self) -> None:
+        trial_files = [
+            source for source in self.project.files
+            if self.config.in_scope(source.rel_path, self.config.trial_modules)
+        ]
+        for source in trial_files:
+            self._analyze_file(source)
+        self._resolve_deferred()
+
+    # -- per-function analysis -----------------------------------------
+    def _analyze_file(self, source: SourceFile) -> None:
+        mod = self.project.symbols.by_path.get(source.rel_path)
+        qnames: Dict[int, str] = {}
+        if mod is not None:
+            for info in mod.functions.values():
+                qnames[id(info.node)] = info.qname
+            for cls in mod.classes.values():
+                for method in cls.methods.values():
+                    qnames[id(method.node)] = method.qname
+        for fn in iter_function_defs(source.tree):
+            qname = qnames.get(id(fn), f"{source.rel_path}:{fn.name}")
+            self._analyze_function(source, mod, fn, qname)
+
+    def _analyze_function(
+        self,
+        source: SourceFile,
+        mod: Optional[ModuleSymbols],
+        fn: ast.FunctionDef,
+        qname: str,
+    ) -> None:
+        params = [arg.arg for arg in fn.args.args]
+        initial: Dict[str, object] = {}
+        for index, arg in enumerate(fn.args.args):
+            if self._is_protected_annotation(mod, arg):
+                initial[arg.arg] = AbsVal(Param(index))
+        summary = FunctionSummary(
+            qname=qname, rel_path=source.rel_path, fn=fn, params=params,
+        )
+        mutations: List[Mutation] = []
+        restoring_tries = self._restoring_try_ranges(fn)
+
+        def transfer(stmt: ast.stmt, env: Dict[str, object]) -> Dict[str, object]:
+            self._transfer(stmt, env, mod)
+            for node in ast.walk(stmt):
+                if isinstance(node, (ast.FunctionDef, ast.Lambda)) and (
+                    node is not stmt
+                ):
+                    continue
+                mutation = self._mutation_at(node, env, mod)
+                if mutation is not None:
+                    mutation.in_restoring_try = self._inside_restoring_try(
+                        node, mutation.receiver_name, restoring_tries
+                    )
+                    mutations.append(mutation)
+            return env
+
+        flow = analyze_forward(
+            fn, initial=initial, transfer=transfer, join_value=_join
+        )
+
+        is_commit = qname in self.commits
+        # The worklist revisits statements on the way to fixpoint; the
+        # last recorded environment per site is the fixpoint one.
+        latest: Dict[Tuple[int, int], Mutation] = {}
+        for mutation in mutations:
+            latest[(mutation.node.lineno, mutation.node.col_offset)] = mutation
+        for mutation in latest.values():
+            value = mutation.value
+            if isinstance(value.origin, Fresh):
+                continue
+            if value.journaled:
+                continue
+            if mutation.in_restoring_try:
+                continue
+            if is_commit:
+                continue  # atomicity handled below
+            if isinstance(value.origin, Param):
+                summary.deferred.setdefault(
+                    value.origin.index, mutation.node
+                )
+                continue
+            summary.violations.append(
+                self._violation(
+                    source.rel_path, mutation.node,
+                    "mutates shared protected state on a trial path with "
+                    "no restore on the exception exit edges (no fresh "
+                    "receiver, journal, try/finally, or declared commit)",
+                )
+            )
+        if is_commit and latest:
+            self._check_commit_atomicity(
+                source, fn, flow, list(latest.values())
+            )
+
+        self.summaries[qname] = summary
+        self.by_file.setdefault(source.rel_path, []).extend(summary.violations)
+
+    def _check_commit_atomicity(
+        self,
+        source: SourceFile,
+        fn: ast.FunctionDef,
+        flow: FlowResult,
+        mutations: List[Mutation],
+    ) -> None:
+        reaches_raise = flow.cfg.can_reach(RAISE_EXIT)
+        flagged: Set[Tuple[int, int]] = set()
+        for mutation in mutations:
+            # Locate the narrowest CFG statement covering the mutation.
+            node: Optional[int] = None
+            best_span: Optional[int] = None
+            for cand, cand_stmt in flow.cfg.stmts.items():
+                if cand_stmt is None:
+                    continue
+                end = getattr(cand_stmt, "end_lineno", cand_stmt.lineno)
+                if cand_stmt.lineno <= mutation.node.lineno <= end:
+                    span = end - cand_stmt.lineno
+                    if best_span is None or span < best_span:
+                        node, best_span = cand, span
+            if node is None:
+                continue
+            exceptional_after = any(
+                succ in reaches_raise or succ == RAISE_EXIT
+                for succ in flow.cfg.succs.get(node, ())
+            )
+            key = (mutation.node.lineno, mutation.node.col_offset)
+            if exceptional_after and key not in flagged:
+                flagged.add(key)
+                self.by_file.setdefault(source.rel_path, []).append(
+                    self._violation(
+                        source.rel_path, mutation.node,
+                        f"commit function {fn.name} can exit exceptionally "
+                        "after this mutation: a declared commit must apply "
+                        "atomically with respect to raise edges",
+                    )
+                )
+
+    # -- transfer ------------------------------------------------------
+    def _transfer(
+        self,
+        stmt: ast.stmt,
+        env: Dict[str, object],
+        mod: Optional[ModuleSymbols],
+    ) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name):
+                value = self._eval(stmt.value, env, mod)
+                if value is not None:
+                    env[target.id] = value
+                else:
+                    env.pop(target.id, None)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ) and stmt.value is not None:
+            value = self._eval(stmt.value, env, mod)
+            if value is not None:
+                env[stmt.target.id] = value
+            else:
+                env.pop(stmt.target.id, None)
+        # set_journal flow: attach/detach on the receiver's name.
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "set_journal"
+                and isinstance(node.func.value, ast.Name)
+            ):
+                name = node.func.value.id
+                current = env.get(name)
+                attached = bool(node.args) and not (
+                    isinstance(node.args[0], ast.Constant)
+                    and node.args[0].value is None
+                )
+                if isinstance(current, AbsVal):
+                    env[name] = AbsVal(current.origin, attached)
+                elif attached:
+                    env[name] = AbsVal(Shared(), True)
+
+    def _eval(
+        self,
+        expr: ast.expr,
+        env: Dict[str, object],
+        mod: Optional[ModuleSymbols],
+    ) -> Optional[AbsVal]:
+        if isinstance(expr, ast.Name):
+            value = env.get(expr.id)
+            return value if isinstance(value, AbsVal) else None
+        if isinstance(expr, ast.Call):
+            cls = self._constructed_class(expr, mod)
+            if cls is not None:
+                return AbsVal(Fresh(cls))
+            if self._is_fresh_maker(expr, mod):
+                return AbsVal(Fresh())
+            return None
+        if isinstance(expr, ast.Attribute):
+            # Attribute loads of protected classes are shared state.
+            cls = self._attr_protected_class(expr, mod)
+            if cls is not None:
+                return AbsVal(Shared())
+            return None
+        return None
+
+    # -- receiver classification ---------------------------------------
+    def _mutation_at(
+        self,
+        node: ast.AST,
+        env: Dict[str, object],
+        mod: Optional[ModuleSymbols],
+    ) -> Optional[Mutation]:
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            method = node.func.attr
+            if method not in MUTATOR_METHODS:
+                return None
+            receiver = node.func.value
+            value = self._receiver_value(receiver, env, mod)
+            if value is None:
+                return None
+            name = receiver.id if isinstance(receiver, ast.Name) else None
+            return Mutation(node, name, value, False)
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Attribute):
+                    value = self._receiver_value(target.value, env, mod)
+                    if value is not None:
+                        name = (
+                            target.value.id
+                            if isinstance(target.value, ast.Name) else None
+                        )
+                        return Mutation(node, name, value, False)
+        return None
+
+    def _receiver_value(
+        self,
+        receiver: ast.expr,
+        env: Dict[str, object],
+        mod: Optional[ModuleSymbols],
+    ) -> Optional[AbsVal]:
+        """AbsVal of a receiver *known to be a protected class*."""
+        if isinstance(receiver, ast.Name):
+            value = env.get(receiver.id)
+            if isinstance(value, AbsVal):
+                if isinstance(value.origin, Fresh) and value.origin.cls:
+                    if not self._class_protected(value.origin.cls):
+                        return None
+                return value
+            return None
+        if isinstance(receiver, ast.Attribute):
+            cls = self._attr_protected_class(receiver, mod)
+            if cls is not None:
+                return AbsVal(Shared())
+        return None
+
+    def _class_protected(self, qname: str) -> bool:
+        return (
+            qname in self.protected_classes
+            or qname.rsplit(".", 1)[-1] in self.protected_basenames
+        )
+
+    def _constructed_class(
+        self, call: ast.Call, mod: Optional[ModuleSymbols]
+    ) -> Optional[str]:
+        """Class qname when ``call`` constructs a scanned class."""
+        dotted = _dotted(call.func)
+        if dotted is None or mod is None:
+            return None
+        resolved = self.project.symbols.resolve(mod, dotted)
+        if resolved is None:
+            return None
+        if self.project.symbols.lookup_class(resolved) is not None:
+            return resolved
+        return None
+
+    def _is_fresh_maker(
+        self, call: ast.Call, mod: Optional[ModuleSymbols]
+    ) -> bool:
+        """True when ``call`` resolves to a function returning a fresh
+        protected instance (e.g. ``build_occupancy``)."""
+        dotted = _dotted(call.func)
+        if dotted is None or mod is None:
+            return False
+        resolved = self.project.symbols.resolve(mod, dotted)
+        if resolved is None:
+            return False
+        cached = self._fresh_makers.get(resolved)
+        if cached is not None:
+            return cached
+        info = self.project.symbols.lookup_function(resolved)
+        fresh = False
+        if info is not None:
+            fn_mod = self.project.symbols.by_path.get(info.rel_path)
+            for node in ast.walk(info.node):
+                if isinstance(node, ast.Return) and isinstance(
+                    node.value, ast.Call
+                ):
+                    cls = self._constructed_class(node.value, fn_mod)
+                    if cls is not None and self._class_protected(cls):
+                        fresh = True
+                        break
+        self._fresh_makers[resolved] = fresh
+        return fresh
+
+    def _attr_protected_class(
+        self, attr: ast.Attribute, mod: Optional[ModuleSymbols]
+    ) -> Optional[str]:
+        """Protected-class qname of an attribute chain like
+        ``self.occupancy`` / ``legalizer.occupancy``."""
+        if not isinstance(attr, ast.Attribute):
+            return None
+        # Attribute name matching the lowercase of a protected class is
+        # the repo convention (occupancy, context); confirm via the
+        # symbol table when possible.
+        leaf = attr.attr
+        for qname in self.protected_classes:
+            basename = qname.rsplit(".", 1)[-1]
+            if leaf == basename.lower() or leaf == f"_{basename.lower()}":
+                return qname
+        return None
+
+    def _is_protected_annotation(
+        self, mod: Optional[ModuleSymbols], arg: ast.arg
+    ) -> bool:
+        if arg.annotation is None:
+            # Untyped params named after a protected class still count:
+            # the repo's trial modules pass occupancies positionally.
+            return arg.arg in {
+                qname.rsplit(".", 1)[-1].lower()
+                for qname in self.protected_classes
+            }
+        dotted = _dotted(arg.annotation)
+        if dotted is None:
+            return False
+        if mod is not None:
+            resolved = self.project.symbols.resolve(mod, dotted)
+            if resolved is not None:
+                return self._class_protected(resolved)
+        return self._class_protected(dotted)
+
+    # -- try/finally sanction ------------------------------------------
+    def _restoring_try_ranges(
+        self, fn: ast.FunctionDef
+    ) -> List[Tuple[int, int, Set[str]]]:
+        """(body start, body end, receiver names restored) per try."""
+        ranges: List[Tuple[int, int, Set[str]]] = []
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Try):
+                continue
+            restored: Set[str] = set()
+            for block in [node.finalbody] + [
+                handler.body for handler in node.handlers
+            ]:
+                for stmt in block:
+                    for inner in ast.walk(stmt):
+                        if isinstance(inner, ast.Name):
+                            restored.add(inner.id)
+                        elif isinstance(inner, ast.Attribute):
+                            restored.add(inner.attr)
+            if not restored:
+                continue
+            start = node.body[0].lineno if node.body else node.lineno
+            end = max(
+                getattr(stmt, "end_lineno", stmt.lineno)
+                for stmt in node.body
+            )
+            ranges.append((start, end, restored))
+        return ranges
+
+    def _inside_restoring_try(
+        self,
+        node: ast.AST,
+        receiver_name: Optional[str],
+        ranges: Sequence[Tuple[int, int, Set[str]]],
+    ) -> bool:
+        line = getattr(node, "lineno", None)
+        if line is None:
+            return False
+        for start, end, restored in ranges:
+            if start <= line <= end:
+                if receiver_name is None or receiver_name in restored:
+                    return True
+        return False
+
+    # -- deferred call-site resolution ---------------------------------
+    def _resolve_deferred(self) -> None:
+        deferred = {
+            qname: summary
+            for qname, summary in self.summaries.items()
+            if summary.deferred
+        }
+        if not deferred:
+            return
+        for depth in range(_MAX_CALL_DEPTH):
+            new_deferrals = self._call_site_pass(deferred)
+            if not new_deferrals:
+                break
+            deferred = new_deferrals
+
+    def _call_site_pass(
+        self, deferred: Dict[str, FunctionSummary]
+    ) -> Dict[str, FunctionSummary]:
+        """Evaluate every call site of deferred functions; returns the
+        next layer of deferrals (callers passing their own params)."""
+        next_layer: Dict[str, FunctionSummary] = {}
+        for source in self.project.files:
+            mod = self.project.symbols.by_path.get(source.rel_path)
+            if mod is None:
+                continue
+            for fn in iter_function_defs(source.tree):
+                calls = [
+                    (node, target)
+                    for node in ast.walk(fn)
+                    if isinstance(node, ast.Call)
+                    for target in [self._resolve_call(node, mod)]
+                    if target is not None and target in deferred
+                ]
+                if not calls:
+                    continue
+                env_flow = self._freshness_flow(source, mod, fn)
+                for call, target in calls:
+                    callee = deferred[target]
+                    self._judge_call_site(
+                        source, mod, fn, call, callee, env_flow, next_layer
+                    )
+        return next_layer
+
+    def _judge_call_site(
+        self,
+        source: SourceFile,
+        mod: Optional[ModuleSymbols],
+        fn: ast.FunctionDef,
+        call: ast.Call,
+        callee: FunctionSummary,
+        flow: FlowResult,
+        next_layer: Dict[str, FunctionSummary],
+    ) -> None:
+        stmt = _enclosing_stmt(fn, call)
+        env = flow.env_at(stmt) if stmt is not None else {}
+        is_method_call = isinstance(call.func, ast.Attribute)
+        for index in sorted(callee.deferred):
+            arg_index = index - 1 if is_method_call and index > 0 else index
+            if is_method_call and index == 0:
+                continue  # self receiver: judged via attr heuristics
+            if arg_index >= len(call.args):
+                # Keyword-passed receiver.
+                name = callee.params[index] if index < len(
+                    callee.params
+                ) else None
+                arg = next(
+                    (kw.value for kw in call.keywords if kw.arg == name),
+                    None,
+                )
+            else:
+                arg = call.args[arg_index]
+            if arg is None:
+                continue
+            value = self._eval(arg, dict(env), mod)
+            if value is None and isinstance(arg, ast.Name):
+                bound = env.get(arg.id)
+                value = bound if isinstance(bound, AbsVal) else None
+            if value is None:
+                # Unknown origin: stay silent (soundness boundary).
+                continue
+            if isinstance(value.origin, Fresh) or value.journaled:
+                continue
+            if isinstance(value.origin, Param):
+                caller_qname = self._qname_of(source, fn)
+                entry = next_layer.setdefault(
+                    caller_qname,
+                    FunctionSummary(
+                        qname=caller_qname,
+                        rel_path=source.rel_path,
+                        fn=fn,
+                        params=[a.arg for a in fn.args.args],
+                    ),
+                )
+                entry.deferred.setdefault(value.origin.index, call)
+                continue
+            self.by_file.setdefault(source.rel_path, []).append(
+                self._violation(
+                    source.rel_path, call,
+                    f"passes shared protected state into "
+                    f"{callee.qname.rsplit('.', 1)[-1]}(), which mutates "
+                    "it on a trial path without a restore on its "
+                    "exception exit edges",
+                )
+            )
+
+    def _freshness_flow(
+        self,
+        source: SourceFile,
+        mod: Optional[ModuleSymbols],
+        fn: ast.FunctionDef,
+    ) -> FlowResult:
+        initial: Dict[str, object] = {}
+        for index, arg in enumerate(fn.args.args):
+            if self._is_protected_annotation(mod, arg):
+                initial[arg.arg] = AbsVal(Param(index))
+
+        def transfer(stmt: ast.stmt, env: Dict[str, object]) -> Dict[str, object]:
+            self._transfer(stmt, env, mod)
+            return env
+
+        return analyze_forward(
+            fn, initial=initial, transfer=transfer, join_value=_join
+        )
+
+    def _resolve_call(
+        self, call: ast.Call, mod: ModuleSymbols
+    ) -> Optional[str]:
+        dotted = _dotted(call.func)
+        if dotted is not None:
+            resolved = self.project.symbols.resolve(mod, dotted)
+            if resolved is not None and resolved in self.summaries:
+                return resolved
+        # Method calls: match by name against deferred method summaries.
+        if isinstance(call.func, ast.Attribute):
+            leaf = call.func.attr
+            matches = [
+                qname for qname in self.summaries
+                if qname.rsplit(".", 1)[-1] == leaf
+                and self.summaries[qname].deferred
+            ]
+            if len(matches) == 1:
+                return matches[0]
+        return None
+
+    def _qname_of(self, source: SourceFile, fn: ast.FunctionDef) -> str:
+        mod = self.project.symbols.by_path.get(source.rel_path)
+        if mod is not None:
+            for info in mod.functions.values():
+                if info.node is fn:
+                    return info.qname
+            for cls in mod.classes.values():
+                for method in cls.methods.values():
+                    if method.node is fn:
+                        return method.qname
+        return f"{source.rel_path}:{fn.name}"
+
+    def _violation(
+        self, rel_path: str, node: ast.AST, message: str
+    ) -> Violation:
+        return Violation(
+            rel_path,
+            getattr(node, "lineno", 1),
+            getattr(node, "col_offset", 0),
+            "E001",
+            message,
+        )
+
+
+def _dotted(expr: ast.expr) -> Optional[str]:
+    parts: List[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _enclosing_stmt(fn: ast.FunctionDef, target: ast.AST) -> Optional[ast.stmt]:
+    """Innermost statement of ``fn`` containing ``target`` (by identity)."""
+    best: Optional[ast.stmt] = None
+    for node in ast.walk(fn):
+        if isinstance(node, ast.stmt):
+            for inner in ast.walk(node):
+                if inner is target:
+                    best = node  # walk order visits outer first
+                    break
+    return best
+
+
+class TrialMutationRule(Rule):
+    code = "E001"
+    summary = "trial-path protected mutation with no restore on exit edges"
+
+    def __init__(self) -> None:
+        self._memo: Optional[Tuple[int, _ProjectAnalysis]] = None
+
+    def check_file(
+        self, source: SourceFile, project: Project, config: LintConfig
+    ) -> List[Violation]:
+        if self._memo is None or self._memo[0] != id(project):
+            self._memo = (id(project), _ProjectAnalysis(project, config))
+        analysis = self._memo[1]
+        return list(analysis.by_file.get(source.rel_path, ()))

@@ -1,0 +1,340 @@
+"""Pipe-protocol rule P001: worker payloads must be canonical.
+
+The parallel and shard pools keep bit-identity across worker counts
+only because every message on the pipe is a pure function of the
+batch inputs.  **P001** checks each ``conn.send(...)`` in the
+configured ``pipe-modules``:
+
+* the payload must be a tuple literal (or a name flow-bound to one)
+  whose first element is a string tag — the repo's message protocol;
+* every element must be *canonical*: constants, f-strings, parameters,
+  attribute/subscript loads, arithmetic over canonical parts,
+  comprehensions, accumulator lists built from canonical appends,
+  constructions of scanned classes, and calls that resolve to **pure
+  builders** (verified through :mod:`tools.repro_lint.purity` or
+  declared in ``pure-contracts``) or to the serialization allowlist
+  (``pickle.dumps``, the sanctioned monotonic clock);
+* set/dict displays, set/dict comprehensions and generator expressions
+  are rejected outright — their iteration order is hash-dependent, so
+  a payload built from one desynchronizes workers silently;
+* calls that resolve to a scanned function that is *not* pure are
+  rejected: an impure builder can fold shared mutable state into the
+  message;
+* independently, every ``json.dumps`` in a pipe module must pass
+  ``sort_keys=True`` — canonical serialization is what makes payload
+  hashes comparable.
+
+Unresolvable names (closed-over state, module globals) pass silently —
+the documented soundness boundary shared with C002/M001.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from tools.repro_lint.config import LintConfig
+from tools.repro_lint.project import Project, SourceFile
+from tools.repro_lint.purity import FRESH, PurityWalker, Val
+from tools.repro_lint.rules import Rule
+from tools.repro_lint.symbols import dotted_name
+from tools.repro_lint.violations import Violation
+
+#: Modules whose top-level callables may appear in payloads without a
+#: purity proof: stdlib serialization and the sanctioned clock.
+_CALL_ALLOWLIST_MODULES = {"pickle", "json", "struct", "hashlib"}
+_CALL_ALLOWLIST_FUNCS = {"monotonic", "len", "int", "float", "str", "bool",
+                         "tuple", "list", "sorted", "repr", "min", "max",
+                         "range", "zip", "enumerate", "isinstance"}
+
+
+class _FileChecker:
+    def __init__(
+        self, source: SourceFile, project: Project, config: LintConfig
+    ):
+        self.source = source
+        self.project = project
+        self.config = config
+        self.mod = project.symbols.by_path.get(source.rel_path)
+        self.violations: List[Violation] = []
+        self._purity_cache: Dict[str, bool] = {}
+        self._pure_contract_names = {
+            contract.split("(")[0] for contract in config.pure_contracts
+        }
+
+    def run(self) -> List[Violation]:
+        for fn_node in ast.walk(self.source.tree):
+            if isinstance(fn_node, ast.FunctionDef):
+                self._check_function(fn_node)
+        self._check_json_dumps()
+        return self.violations
+
+    # -- send-site discovery -------------------------------------------
+    def _check_function(self, fn: ast.FunctionDef) -> None:
+        # Flow-insensitive local binding map is enough here: payload
+        # tuples are built once and sent; rebinding a payload name
+        # between build and send does not occur in protocol code, and
+        # if it did, the *last* binding is the conservative one.
+        bindings: Dict[str, ast.expr] = {}
+        appends: Dict[str, List[ast.Call]] = {}
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    bindings[target.id] = node.value
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ) and node.value is not None:
+                bindings[node.target.id] = node.value
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "append"
+                and isinstance(node.func.value, ast.Name)
+            ):
+                appends.setdefault(node.func.value.id, []).append(node)
+        params = {arg.arg for arg in fn.args.args}
+        for node in ast.walk(fn):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "send"
+                and node.args
+            ):
+                self._check_send(node, bindings, appends, params)
+
+    def _check_send(
+        self,
+        call: ast.Call,
+        bindings: Dict[str, ast.expr],
+        appends: Dict[str, List[ast.Call]],
+        params: Set[str],
+    ) -> None:
+        payload = call.args[0]
+        resolved = payload
+        if isinstance(payload, ast.Name):
+            bound = bindings.get(payload.id)
+            if bound is not None:
+                resolved = bound
+        if not isinstance(resolved, ast.Tuple):
+            self._flag(
+                call,
+                "pipe payload is not a tuple literal: the worker "
+                "protocol requires a (tag, ...) tuple so the message "
+                "shape is reviewable",
+            )
+            return
+        if not resolved.elts or not (
+            isinstance(resolved.elts[0], ast.Constant)
+            and isinstance(resolved.elts[0].value, str)
+        ):
+            self._flag(
+                call,
+                "pipe payload does not lead with a string tag: every "
+                "protocol message starts with its message kind",
+            )
+            return
+        for element in resolved.elts[1:]:
+            problem = self._canonical_problem(
+                element, bindings, appends, params, depth=0
+            )
+            if problem is not None:
+                self._flag(
+                    element,
+                    f"non-canonical pipe payload element: {problem}",
+                )
+
+    # -- canonicality --------------------------------------------------
+    def _canonical_problem(
+        self,
+        expr: ast.expr,
+        bindings: Dict[str, ast.expr],
+        appends: Dict[str, List[ast.Call]],
+        params: Set[str],
+        depth: int,
+    ) -> Optional[str]:
+        """None when canonical, else a short description of the issue."""
+        if depth > 8:
+            return None  # give unboundedly nested shapes the benefit
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return "set displays iterate in hash order"
+        if isinstance(expr, (ast.DictComp, ast.GeneratorExp)):
+            return "comprehension over an unordered source cannot be " \
+                   "proven canonical; build a list from a sorted iterable"
+        if isinstance(expr, ast.Dict):
+            return "dict displays in payloads hide key order; use a " \
+                   "pure builder that serializes with sorted keys"
+        if isinstance(expr, ast.Constant):
+            return None
+        if isinstance(expr, ast.JoinedStr):
+            return None
+        if isinstance(expr, (ast.Tuple, ast.List)):
+            for element in expr.elts:
+                problem = self._canonical_problem(
+                    element, bindings, appends, params, depth + 1
+                )
+                if problem is not None:
+                    return problem
+            return None
+        if isinstance(expr, ast.ListComp):
+            problem = self._canonical_problem(
+                expr.elt, bindings, appends, params, depth + 1
+            )
+            if problem is not None:
+                return problem
+            for gen in expr.generators:
+                if isinstance(gen.iter, (ast.Set, ast.SetComp)):
+                    return "comprehension iterates a set"
+                if (
+                    isinstance(gen.iter, ast.Call)
+                    and isinstance(gen.iter.func, ast.Name)
+                    and gen.iter.func.id in ("set", "frozenset")
+                ):
+                    return "comprehension iterates a set"
+            return None
+        if isinstance(expr, (ast.BinOp, ast.UnaryOp, ast.Compare,
+                             ast.BoolOp, ast.IfExp)):
+            return None  # arithmetic/logic over canonical leaves
+        if isinstance(expr, (ast.Attribute, ast.Subscript)):
+            return None  # loads from inputs; D002/M001 guard the rest
+        if isinstance(expr, ast.Name):
+            if expr.id in params:
+                return None
+            if expr.id in appends:
+                for append in appends[expr.id]:
+                    if append.args:
+                        problem = self._canonical_problem(
+                            append.args[0], bindings, appends, params,
+                            depth + 1,
+                        )
+                        if problem is not None:
+                            return problem
+                return None
+            bound = bindings.get(expr.id)
+            if bound is not None and bound is not expr:
+                return self._canonical_problem(
+                    bound, bindings, appends, params, depth + 1
+                )
+            return None  # unresolved origin: soundness boundary
+        if isinstance(expr, ast.Call):
+            return self._call_problem(expr, bindings, appends, params, depth)
+        return None
+
+    def _call_problem(
+        self,
+        call: ast.Call,
+        bindings: Dict[str, ast.expr],
+        appends: Dict[str, List[ast.Call]],
+        params: Set[str],
+        depth: int,
+    ) -> Optional[str]:
+        dotted = dotted_name(call.func)
+        if dotted in ("json.dumps", "json.dump"):
+            # Canonical iff sort_keys=True — enforced for the whole
+            # module by _check_json_dumps; don't double-flag the dict
+            # argument here.
+            return None
+        for arg in call.args:
+            problem = self._canonical_problem(
+                arg, bindings, appends, params, depth + 1
+            )
+            if problem is not None:
+                return problem
+        func = call.func
+        if isinstance(func, ast.Name) and func.id in _CALL_ALLOWLIST_FUNCS:
+            return None
+        if dotted is not None and self.mod is not None:
+            resolved = self.project.symbols.resolve(self.mod, dotted)
+            if resolved is not None:
+                if self.project.symbols.lookup_class(resolved) is not None:
+                    return None  # fresh construction from canonical args
+                if resolved in self._pure_contract_names:
+                    return None
+                info = self.project.symbols.lookup_function(resolved)
+                if info is not None:
+                    if self._is_pure(resolved):
+                        return None
+                    return (
+                        f"builder {resolved.rsplit('.', 1)[-1]}() is not "
+                        "verifiably pure; payloads must come from pure "
+                        "builders"
+                    )
+            root = dotted.split(".")[0]
+            if root in _CALL_ALLOWLIST_MODULES:
+                return None
+            alias = self.mod.imports.get(root)
+            if alias is not None and alias.split(".")[0] in (
+                _CALL_ALLOWLIST_MODULES
+            ):
+                return None
+        if isinstance(func, ast.Attribute) and func.attr in (
+            "dumps", "pack", "hexdigest", "digest", "tolist", "copy",
+        ):
+            return None
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return "payload built from a set constructor"
+        # Method calls on locals and unresolved helpers: allow; the
+        # structural blacklist above catches the unordered shapes.
+        return None
+
+    def _is_pure(self, qname: str) -> bool:
+        cached = self._purity_cache.get(qname)
+        if cached is not None:
+            return cached
+        info = self.project.symbols.lookup_function(qname)
+        pure = False
+        if info is not None:
+            walker = PurityWalker(self.project.symbols)
+            env: Dict[str, Val] = {
+                arg.arg: Val(FRESH) for arg in info.node.args.args
+            }
+            walker.walk_function(info, env, 0)
+            pure = not walker.findings
+        self._purity_cache[qname] = pure
+        return pure
+
+    # -- json.dumps ----------------------------------------------------
+    def _check_json_dumps(self) -> None:
+        for node in ast.walk(self.source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted not in ("json.dumps", "json.dump"):
+                continue
+            sort_keys = next(
+                (kw.value for kw in node.keywords if kw.arg == "sort_keys"),
+                None,
+            )
+            if not (
+                isinstance(sort_keys, ast.Constant)
+                and sort_keys.value is True
+            ):
+                self._flag(
+                    node,
+                    f"{dotted} without sort_keys=True in a pipe module: "
+                    "serialized payloads must be canonical so hashes "
+                    "compare across workers",
+                )
+
+    def _flag(self, node: ast.AST, message: str) -> None:
+        self.violations.append(
+            Violation(
+                self.source.rel_path,
+                getattr(node, "lineno", 1),
+                getattr(node, "col_offset", 0),
+                "P001",
+                message,
+            )
+        )
+
+
+class PipeProtocolRule(Rule):
+    code = "P001"
+    summary = "worker pipe payload is not canonical / unsorted serialization"
+
+    def check_file(
+        self, source: SourceFile, project: Project, config: LintConfig
+    ) -> List[Violation]:
+        if not config.in_scope(source.rel_path, config.pipe_modules):
+            return []
+        return _FileChecker(source, project, config).run()
